@@ -1,0 +1,80 @@
+//! Microbenchmarks of the computational kernels: the location DES (the
+//! §III-A load model's subject — note the superlinear growth past the
+//! crossover), the transmission function, and the counter-based RNG.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use episim_core::kernel::{simulate_location_day, InfectivityClasses};
+use episim_core::messages::VisitMsg;
+use ptts::crng::{CounterRng, Purpose};
+use ptts::transmission::{combined_infection_prob, infection_prob};
+use ptts::{flu_model, Ptts};
+use std::hint::black_box;
+
+fn make_visits(ptts: &Ptts, n: usize, infectious_frac: f64, rooms: u16) -> Vec<VisitMsg> {
+    let sus = ptts.state_by_name("susceptible").unwrap();
+    let sym = ptts.state_by_name("symptomatic").unwrap();
+    let mut rng = CounterRng::from_key(&[99]);
+    (0..n)
+        .map(|i| {
+            let start = rng.uniform_u64(1200) as u16;
+            let dur = 30 + rng.uniform_u64(300) as u16;
+            VisitMsg {
+                person: i as u32,
+                location: 0,
+                sublocation: (rng.uniform_u64(rooms as u64)) as u16,
+                start_min: start,
+                end_min: (start + dur).min(1439),
+                state: if rng.bernoulli(infectious_frac) { sym } else { sus },
+                sus_scale: 1.0,
+            }
+        })
+        .collect()
+}
+
+fn bench_location_des(c: &mut Criterion) {
+    let ptts = flu_model();
+    let classes = InfectivityClasses::new(&ptts);
+    let mut group = c.benchmark_group("location_des");
+    for &n in &[16usize, 128, 1024, 8192] {
+        let visits = make_visits(&ptts, n, 0.05, ((n / 25).max(1)) as u16);
+        group.bench_with_input(BenchmarkId::new("visits", n), &visits, |b, v| {
+            let mut out = Vec::new();
+            b.iter(|| {
+                let mut work = v.clone();
+                out.clear();
+                black_box(simulate_location_day(
+                    &mut work, &ptts, &classes, 0.0008, 1, 0, &mut out,
+                ))
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_transmission(c: &mut Criterion) {
+    c.bench_function("infection_prob", |b| {
+        b.iter(|| black_box(infection_prob(black_box(0.001), 0.9, 0.8, 120.0)))
+    });
+    let contacts: Vec<(f64, f64)> = (0..32).map(|i| (0.5 + (i % 2) as f64 * 0.5, 60.0)).collect();
+    c.bench_function("combined_infection_prob_32", |b| {
+        b.iter(|| black_box(combined_infection_prob(0.001, 1.0, contacts.iter().copied())))
+    });
+}
+
+fn bench_crng(c: &mut Criterion) {
+    c.bench_function("counter_rng_keyed_draw", |b| {
+        let mut entity = 0u64;
+        b.iter(|| {
+            entity += 1;
+            let mut rng = CounterRng::for_entity(7, entity, 3, Purpose::Infection);
+            black_box(rng.uniform_f64())
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(20);
+    targets = bench_location_des, bench_transmission, bench_crng
+}
+criterion_main!(benches);

@@ -1,0 +1,75 @@
+//! Benchmarks of the §III machinery: multilevel k-way partitioning of the
+//! real workload graph, the round-robin baseline, and the splitLoc
+//! preprocessor.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use episim_core::splitloc::{split_heavy_locations, SplitConfig};
+use episim_core::workload::build_workload_graph;
+use graph_part::{kway_partition, round_robin, PartitionConfig};
+use load_model::{LoadUnits, PiecewiseModel};
+use std::hint::black_box;
+use synthpop::{Population, PopulationConfig};
+
+fn pop() -> Population {
+    Population::generate(&PopulationConfig::small("bench", 10_000, 5))
+}
+
+fn bench_kway(c: &mut Criterion) {
+    let p = pop();
+    let (g, _) = build_workload_graph(&p, &PiecewiseModel::paper_constants(), LoadUnits::default());
+    let mut group = c.benchmark_group("kway_partition");
+    group.sample_size(10);
+    for &k in &[8u32, 64, 512] {
+        group.bench_with_input(BenchmarkId::new("k", k), &k, |b, &k| {
+            b.iter(|| black_box(kway_partition(&g, &PartitionConfig::new(k))))
+        });
+    }
+    group.finish();
+}
+
+fn bench_round_robin(c: &mut Criterion) {
+    let p = pop();
+    let n = p.n_people() + p.n_locations();
+    c.bench_function("round_robin_12k", |b| {
+        b.iter(|| black_box(round_robin(n, 64)))
+    });
+}
+
+fn bench_workload_graph(c: &mut Criterion) {
+    let p = pop();
+    let mut group = c.benchmark_group("workload_graph_build");
+    group.sample_size(10);
+    group.bench_function("10k_people", |b| {
+        b.iter(|| {
+            black_box(build_workload_graph(
+                &p,
+                &PiecewiseModel::paper_constants(),
+                LoadUnits::default(),
+            ))
+        })
+    });
+    group.finish();
+}
+
+fn bench_splitloc(c: &mut Criterion) {
+    let p = pop();
+    let cfg = SplitConfig {
+        max_partitions: 1024,
+        threshold_override: None,
+    };
+    let mut group = c.benchmark_group("splitloc");
+    group.sample_size(10);
+    group.bench_function("10k_people", |b| {
+        b.iter(|| black_box(split_heavy_locations(&p, &cfg)))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_kway,
+    bench_round_robin,
+    bench_workload_graph,
+    bench_splitloc
+);
+criterion_main!(benches);

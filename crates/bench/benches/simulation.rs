@@ -1,0 +1,78 @@
+//! Whole-simulation benchmarks: full simulated days under each data
+//! distribution (the measured, laptop-scale counterpart of Figure 13) and
+//! the sequential-oracle baseline.
+
+use chare_rt::RuntimeConfig;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use episim_core::distribution::{DataDistribution, Strategy};
+use episim_core::seq::run_sequential;
+use episim_core::simulator::{SimConfig, Simulator};
+use ptts::flu_model;
+use std::hint::black_box;
+use synthpop::{Population, PopulationConfig};
+
+fn pop() -> Population {
+    Population::generate(&PopulationConfig::small("sim", 5000, 11))
+}
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        days: 3,
+        r: 0.0012,
+        seed: 11,
+        initial_infections: 20,
+        stop_when_extinct: false,
+        ..Default::default()
+    }
+}
+
+/// Three simulated days under each strategy — the per-strategy per-day cost
+/// on real hardware (absolute values feed the scale-model calibration).
+fn bench_by_strategy(c: &mut Criterion) {
+    let pop = pop();
+    let mut group = c.benchmark_group("three_days_5k_people");
+    group.sample_size(10);
+    for strategy in Strategy::ALL {
+        let dist = DataDistribution::build(&pop, strategy, 4, 11);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(strategy.label()),
+            &dist,
+            |b, dist| {
+                b.iter(|| {
+                    let sim =
+                        Simulator::new(dist, flu_model(), cfg(), RuntimeConfig::sequential(4));
+                    black_box(sim.run().curve.total_infections())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+fn bench_oracle(c: &mut Criterion) {
+    let pop = pop();
+    let mut group = c.benchmark_group("oracle");
+    group.sample_size(10);
+    group.bench_function("three_days_5k_people", |b| {
+        b.iter(|| black_box(run_sequential(&pop, &flu_model(), &cfg()).total_infections()));
+    });
+    group.finish();
+}
+
+fn bench_generation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("population_generation");
+    group.sample_size(10);
+    for &n in &[5_000u32, 50_000] {
+        group.bench_with_input(BenchmarkId::new("people", n), &n, |b, &n| {
+            b.iter(|| {
+                black_box(Population::generate(&PopulationConfig::small(
+                    "gen", n, 42,
+                )))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_by_strategy, bench_oracle, bench_generation);
+criterion_main!(benches);

@@ -1,0 +1,251 @@
+//! Ablations of the design choices DESIGN.md calls out, beyond the paper's
+//! own figures:
+//!
+//! 1. aggregation batch size (§IV-C) — projected day time vs batch;
+//! 2. TRAM 2D routing (§IV-C footnote) — vs plain aggregation over P;
+//! 3. partitioner balance tolerance (ubfactor, §III-A's METIS constraint);
+//! 4. splitLoc threshold (§III-C) — ceiling gain vs graph growth;
+//! 5. the §VII dynamic-LB epoch length — measured imbalance trajectory;
+//! 6. over-decomposition granularity (§II-C) — chares per PE vs measured
+//!    runtime overhead ("a large number of chares, each with little work
+//!    increases flexibility, but also results in higher overhead").
+
+use bench::{calibrated_machine, clamp_k, fnum, gen_state, print_table};
+use chare_rt::RuntimeConfig;
+use episim_core::distribution::{DataDistribution, Strategy};
+use episim_core::rebalance::{run_with_rebalancing, RebalanceConfig};
+use episim_core::simulator::SimConfig;
+use episim_core::splitloc::{split_heavy_locations, SplitConfig};
+use episim_core::workload::{build_workload_graph, location_static_loads};
+use graph_part::{kway_partition, recursive_bisection, PartitionConfig, PartitionQuality};
+use load_model::speedup::sub_ceiling;
+use load_model::{LoadUnits, PiecewiseModel};
+use ptts::flu_model;
+use scale_model::{inputs_from_distribution, project_day, RuntimeOptions};
+
+fn main() {
+    let machine = calibrated_machine();
+    let model = PiecewiseModel::paper_constants();
+    let pop = gen_state("IA");
+    println!("== Ablations (state IA at reproduction scale) ==\n");
+
+    // ---- 1. aggregation batch size.
+    {
+        let dist = DataDistribution::build(&pop, Strategy::RoundRobin, 256, 1);
+        let inputs = inputs_from_distribution(&dist, &model, LoadUnits::default());
+        let mut rows = Vec::new();
+        for batch in [1u32, 4, 16, 64, 256, 1024] {
+            let opts = RuntimeOptions {
+                aggregation_batch: batch,
+                ..RuntimeOptions::optimized()
+            };
+            rows.push(vec![
+                batch.to_string(),
+                fnum(project_day(&inputs, &machine, &opts).seconds),
+            ]);
+        }
+        print_table(
+            "1. aggregation batch (RR, P=256): s/day",
+            &["batch", "s/day"],
+            &rows,
+        );
+    }
+
+    // ---- 2. TRAM vs plain over P.
+    {
+        let mut rows = Vec::new();
+        for &p in &[16u32, 64, 256, 1024, 4096] {
+            let p = clamp_k(p, &pop);
+            let dist = DataDistribution::build(&pop, Strategy::RoundRobin, p, 1);
+            let inputs = inputs_from_distribution(&dist, &model, LoadUnits::default());
+            let plain = project_day(&inputs, &machine, &RuntimeOptions::optimized());
+            let tram = project_day(&inputs, &machine, &RuntimeOptions::optimized_tram());
+            rows.push(vec![
+                p.to_string(),
+                fnum(plain.network_s),
+                fnum(tram.network_s),
+                format!("{:.2}×", plain.network_s / tram.network_s.max(1e-12)),
+            ]);
+        }
+        print_table(
+            "2. TRAM 2D routing (RR): network component, s",
+            &["P", "plain", "tram", "gain"],
+            &rows,
+        );
+        println!("TRAM wins once fanout ≫ 2√P (high P, low locality).\n");
+    }
+
+    // ---- 3. partitioner ubfactor.
+    {
+        let (graph, _) = build_workload_graph(&pop, &model, LoadUnits::default());
+        let mut rows = Vec::new();
+        for ub in [1.01f64, 1.05, 1.2, 1.5, 2.0] {
+            let part = kway_partition(&graph, &PartitionConfig::new(64).with_ubfactor(ub));
+            let q = PartitionQuality::compute(&graph, &part);
+            rows.push(vec![
+                format!("{ub:.2}"),
+                q.edge_cut.to_string(),
+                format!("{:.3}", q.imbalance[0]),
+                format!("{:.3}", q.imbalance[1]),
+            ]);
+        }
+        print_table(
+            "3. balance tolerance (k=64): cut vs imbalance",
+            &["ubfactor", "edge_cut", "imb_person", "imb_location"],
+            &rows,
+        );
+        println!("looser balance buys a smaller cut — the paper's Figure 2 tradeoff.\n");
+    }
+
+    // ---- 3b. partitioner driver: direct k-way vs recursive bisection vs RR.
+    {
+        let (graph, _) = build_workload_graph(&pop, &model, LoadUnits::default());
+        let mut rows = Vec::new();
+        for k in [8u32, 64, 256] {
+            let t0 = std::time::Instant::now();
+            let kw = kway_partition(&graph, &PartitionConfig::new(k));
+            let t_kw = t0.elapsed().as_secs_f64() * 1e3;
+            let q_kw = PartitionQuality::compute(&graph, &kw);
+            let t1 = std::time::Instant::now();
+            let rb = recursive_bisection(&graph, &PartitionConfig::new(k));
+            let t_rb = t1.elapsed().as_secs_f64() * 1e3;
+            let q_rb = PartitionQuality::compute(&graph, &rb);
+            let rr = graph_part::round_robin(graph.n(), k);
+            let q_rr = PartitionQuality::compute(&graph, &rr);
+            rows.push(vec![
+                k.to_string(),
+                q_kw.edge_cut.to_string(),
+                q_rb.edge_cut.to_string(),
+                q_rr.edge_cut.to_string(),
+                fnum(t_kw),
+                fnum(t_rb),
+            ]);
+        }
+        print_table(
+            "3b. partitioner drivers: edge cut (and ms to partition)",
+            &["k", "kway_cut", "rb_cut", "rr_cut", "kway_ms", "rb_ms"],
+            &rows,
+        );
+        println!("both METIS-family drivers crush RR; their relative cut order\nvaries with k — the classic kway-vs-RB tradeoff.\n");
+    }
+
+    // ---- 4. splitLoc threshold.
+    {
+        let base_loads = location_static_loads(&pop, &model, LoadUnits::default());
+        let base_ceiling = sub_ceiling(&base_loads);
+        let mut rows = Vec::new();
+        for threshold in [2000u32, 500, 120, 60, 30] {
+            let res = split_heavy_locations(
+                &pop,
+                &SplitConfig {
+                    max_partitions: 4096,
+                    threshold_override: Some(threshold),
+                },
+            );
+            let loads = location_static_loads(&res.pop, &model, LoadUnits::default());
+            rows.push(vec![
+                threshold.to_string(),
+                res.n_split.to_string(),
+                format!(
+                    "{:.2}%",
+                    100.0 * (res.pop.n_locations() as f64 / pop.n_locations() as f64 - 1.0)
+                ),
+                format!("{:.1}×", sub_ceiling(&loads) / base_ceiling),
+            ]);
+        }
+        print_table(
+            "4. splitLoc threshold: graph growth vs ceiling gain",
+            &["threshold", "locs_split", "D_growth", "ceiling_gain"],
+            &rows,
+        );
+    }
+
+    // ---- 5. dynamic-LB epoch length.
+    {
+        let dist = DataDistribution::build(&pop, Strategy::GraphPartition, 8, 1);
+        let cfg = SimConfig {
+            days: 30,
+            r: 0.0012,
+            seed: 5,
+            initial_infections: 20,
+            stop_when_extinct: false,
+            ..Default::default()
+        };
+        let mut rows = Vec::new();
+        for epoch_days in [5u32, 10, 30] {
+            let rb = run_with_rebalancing(
+                &dist,
+                flu_model(),
+                cfg.clone(),
+                RuntimeConfig::sequential(4),
+                RebalanceConfig {
+                    epoch_days,
+                    imbalance_threshold: 1.10,
+                },
+            );
+            let lbs = rb.epochs.iter().filter(|e| e.repartitioned).count();
+            let first = rb.epochs.first().map(|e| e.imbalance).unwrap_or(1.0);
+            let last = rb.epochs.last().map(|e| e.imbalance).unwrap_or(1.0);
+            rows.push(vec![
+                epoch_days.to_string(),
+                lbs.to_string(),
+                format!("{first:.3}"),
+                format!("{last:.3}"),
+            ]);
+        }
+        print_table(
+            "5. §VII dynamic LB: measured location-load imbalance",
+            &["epoch_days", "lb_phases", "imb_first", "imb_last"],
+            &rows,
+        );
+        println!("(the epidemic itself is bit-identical in every row — see tests)\n");
+    }
+
+    // ---- 6. over-decomposition granularity (§II-C): k chare-pairs on a
+    // fixed 4 PEs, measured with the real sequential engine.
+    {
+        use episim_core::simulator::Simulator;
+        let cfg = SimConfig {
+            days: 3,
+            r: 0.0012,
+            seed: 9,
+            initial_infections: 20,
+            stop_when_extinct: false,
+            ..Default::default()
+        };
+        let mut rows = Vec::new();
+        for k in [4u32, 16, 64, 256, 1024] {
+            let dist = DataDistribution::build(&pop, Strategy::GraphPartition, k, 9);
+            let t0 = std::time::Instant::now();
+            let run = Simulator::new(&dist, flu_model(), cfg.clone(), RuntimeConfig::sequential(4))
+                .run();
+            let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
+            let msgs: u64 = run
+                .perf
+                .iter()
+                .map(|p| p.person_phase.totals().sent_total())
+                .sum();
+            let busy_ms: u64 = run
+                .perf
+                .iter()
+                .map(|p| {
+                    (p.person_phase.totals().busy_ns + p.location_phase.totals().busy_ns) / 1_000_000
+                })
+                .sum();
+            rows.push(vec![
+                k.to_string(),
+                (2 * k).to_string(),
+                msgs.to_string(),
+                fnum(busy_ms as f64),
+                fnum(wall_ms),
+            ]);
+        }
+        print_table(
+            "6. over-decomposition (4 PEs, 3 days): chares vs overhead",
+            &["partitions", "chares", "messages", "busy_ms", "wall_ms"],
+            &rows,
+        );
+        println!("results identical at every granularity; overhead grows past the");
+        println!("§II-C sweet spot as per-chare work shrinks.");
+    }
+}

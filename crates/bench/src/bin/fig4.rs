@@ -1,0 +1,18 @@
+//! Figure 4: the upper bound on the estimated speedup of the location
+//! computation, per state, over partition counts (GP — graph partitioning
+//! without splitLoc).
+//!
+//! `Sub = Ltot / Lmax` computed from the real partitioner's assignment of
+//! the real static loads. The paper's curves rise with K and then flatten
+//! hard against the `Ltot/lmax` ceiling (a few hundred to ~2000 at full
+//! scale); the flattening — caused by single heavy locations — is the
+//! phenomenon being demonstrated.
+
+use bench::speedup_bound_report;
+use episim_core::distribution::Strategy;
+
+fn main() {
+    speedup_bound_report(Strategy::GraphPartition, "Figure 4 (GP)");
+    println!("each row flattens against its Ltot/lmax ceiling as K grows —");
+    println!("the heavy-tail effect of §III-B (paper Fig. 4 tops out ≈ 2,300 for CA).");
+}

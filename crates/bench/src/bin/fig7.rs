@@ -1,0 +1,51 @@
+//! Figure 7: degree and static-load distributions after graph modification
+//! (GP-splitLoc) — the post-split counterpart of Figures 3(c)/3(d).
+//!
+//! The visible effect to reproduce: the heavy tail is truncated — the
+//! largest degree/load bins of fig3 disappear, with their mass moved into
+//! the mid-range bins.
+
+use bench::{gen_state, FIGURE_STATES};
+use episim_core::splitloc::{split_heavy_locations, SplitConfig};
+use episim_core::workload::location_static_loads;
+use load_model::{LoadUnits, PiecewiseModel};
+use synthpop::{BipartiteGraph, LocationId, LogHistogram};
+
+fn main() {
+    println!("== Figure 7: distributions after splitLoc ==\n");
+    let model = PiecewiseModel::paper_constants();
+    let split_cfg = SplitConfig {
+        max_partitions: 4096,
+        threshold_override: None,
+    };
+    for code in FIGURE_STATES {
+        let pop = gen_state(code);
+        let split = split_heavy_locations(&pop, &split_cfg);
+        let g0 = BipartiteGraph::build(&pop);
+        let g1 = BipartiteGraph::build(&split.pop);
+        let dmax_before = g0.location_degree_stats().max;
+        let dmax_after = g1.location_degree_stats().max;
+
+        let mut deg_hist = LogHistogram::new(1);
+        for l in 0..g1.n_locations() {
+            deg_hist.add(g1.unique_visitors(&split.pop, LocationId(l)) as f64);
+        }
+        let mut load_hist = LogHistogram::new(1);
+        for &l in &location_static_loads(&split.pop, &model, LoadUnits::default()) {
+            load_hist.add(l as f64 / 1000.0); // µs
+        }
+        println!(
+            "{code}: dmax {dmax_before} → {dmax_after} ({}× reduction), {} locations split",
+            if dmax_after > 0 {
+                dmax_before / dmax_after.max(1)
+            } else {
+                0
+            },
+            split.n_split
+        );
+        println!("{}", deg_hist.render(&format!("(a) {code} degree after split")));
+        println!("{}", load_hist.render(&format!("(b) {code} load (µs) after split")));
+    }
+    println!("paper: dmax falls by avg 54× (min 12×, max 341×) at full scale,");
+    println!("while D grows by at most 5.25%.");
+}

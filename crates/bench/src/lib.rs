@@ -1,0 +1,10 @@
+//! Shared plumbing for the experiment regeneration binaries.
+//!
+//! Every table and figure of the paper's evaluation has a binary under
+//! `src/bin/` (see DESIGN.md's experiment index); this library holds the
+//! pieces they share: scaled state populations, the calibrated machine
+//! model, and table rendering.
+
+pub mod common;
+
+pub use common::*;

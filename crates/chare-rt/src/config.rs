@@ -1,0 +1,168 @@
+//! Runtime configuration: execution mode, SMP topology, aggregation.
+
+/// How the runtime executes PEs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One thread simulates all PEs deterministically (strict round-robin
+    /// message draining). Per-PE busy time is still measured, so this mode
+    /// doubles as the calibration harness for the performance model.
+    Sequential,
+    /// One OS thread per PE, crossbeam channels between them.
+    Threads,
+}
+
+/// SMP topology (§IV-A): `n` cores per node, `k` processes per node, one
+/// core per process donated to a communication thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SmpConfig {
+    /// PEs per process. Sends between PEs of the same process are
+    /// intra-process (shared memory); others are inter-process (network).
+    pub pes_per_process: u32,
+    /// Whether each process has a dedicated communication thread. This
+    /// affects the *accounting* (offloaded send overhead) used by the
+    /// performance model; message delivery is identical.
+    pub comm_thread: bool,
+}
+
+impl Default for SmpConfig {
+    fn default() -> Self {
+        SmpConfig {
+            pes_per_process: 1,
+            comm_thread: false,
+        }
+    }
+}
+
+impl SmpConfig {
+    /// Process of a PE.
+    #[inline]
+    pub fn process_of(&self, pe: u32) -> u32 {
+        pe / self.pes_per_process.max(1)
+    }
+
+    /// Whether two PEs share a process.
+    #[inline]
+    pub fn same_process(&self, a: u32, b: u32) -> bool {
+        self.process_of(a) == self.process_of(b)
+    }
+}
+
+/// Message aggregation (§IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AggregationConfig {
+    /// Enabled?
+    pub enabled: bool,
+    /// Flush a destination buffer at this many messages.
+    pub max_batch: u32,
+    /// Route remote messages through a virtual 2D grid (TRAM, the §IV-C
+    /// footnote): aggregation lanes shrink from O(P) to O(√P) at the cost
+    /// of an extra hop for off-row/off-column destinations.
+    pub tram_2d: bool,
+}
+
+impl Default for AggregationConfig {
+    fn default() -> Self {
+        AggregationConfig {
+            enabled: true,
+            max_batch: 64,
+            tram_2d: false,
+        }
+    }
+}
+
+/// Termination detector choice (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SyncMode {
+    /// Completion detection: produce/consume counting scoped to the phase.
+    #[default]
+    CompletionDetection,
+    /// Quiescence detection: global idleness. Functionally equivalent here
+    /// but charged a higher synchronization cost by the performance model
+    /// (it requires application-wide quiescence).
+    QuiescenceDetection,
+}
+
+/// Full runtime configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RuntimeConfig {
+    /// Number of processing elements.
+    pub n_pes: u32,
+    /// Engine.
+    pub mode: ExecMode,
+    /// SMP topology.
+    pub smp: SmpConfig,
+    /// Aggregation settings.
+    pub aggregation: AggregationConfig,
+    /// Termination detector.
+    pub sync: SyncMode,
+}
+
+impl RuntimeConfig {
+    /// A sequential runtime with `n_pes` simulated PEs and all §IV
+    /// optimizations on.
+    pub fn sequential(n_pes: u32) -> Self {
+        RuntimeConfig {
+            n_pes,
+            mode: ExecMode::Sequential,
+            smp: SmpConfig {
+                pes_per_process: 4,
+                comm_thread: true,
+            },
+            aggregation: AggregationConfig::default(),
+            sync: SyncMode::CompletionDetection,
+        }
+    }
+
+    /// A threaded runtime with `n_pes` OS threads.
+    pub fn threaded(n_pes: u32) -> Self {
+        RuntimeConfig {
+            mode: ExecMode::Threads,
+            ..Self::sequential(n_pes)
+        }
+    }
+
+    /// The paper's "RR no-opt" baseline: no aggregation, no SMP comm
+    /// thread, QD instead of CD.
+    pub fn no_opt(mut self) -> Self {
+        self.aggregation.enabled = false;
+        self.smp.comm_thread = false;
+        self.smp.pes_per_process = 1;
+        self.sync = SyncMode::QuiescenceDetection;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn process_mapping() {
+        let smp = SmpConfig {
+            pes_per_process: 4,
+            comm_thread: true,
+        };
+        assert_eq!(smp.process_of(0), 0);
+        assert_eq!(smp.process_of(3), 0);
+        assert_eq!(smp.process_of(4), 1);
+        assert!(smp.same_process(1, 3));
+        assert!(!smp.same_process(3, 4));
+    }
+
+    #[test]
+    fn zero_pes_per_process_is_safe() {
+        let smp = SmpConfig {
+            pes_per_process: 0,
+            comm_thread: false,
+        };
+        assert_eq!(smp.process_of(7), 7);
+    }
+
+    #[test]
+    fn no_opt_strips_optimizations() {
+        let cfg = RuntimeConfig::sequential(8).no_opt();
+        assert!(!cfg.aggregation.enabled);
+        assert!(!cfg.smp.comm_thread);
+        assert_eq!(cfg.sync, SyncMode::QuiescenceDetection);
+    }
+}

@@ -1,0 +1,51 @@
+//! # chare-rt — a Charm++-style message-driven runtime
+//!
+//! EpiSimdemics is "implemented in a parallel language called CHARM++ …
+//! accompanied by a message-driven asynchronous runtime. The underlying idea
+//! is to over-decompose the computation … into smaller units called chares
+//! … and to let the runtime then assign a set of work units to each physical
+//! processor" (paper §II-C). No Charm++ exists for Rust, so this crate is a
+//! from-scratch runtime with the same execution semantics and — critically
+//! for reproducing §IV — the same *optimizations*, each toggleable:
+//!
+//! * **Chare arrays** ([`chare`]): application objects addressed by dense
+//!   ids, mapped to processing elements (PEs) by an arbitrary assignment.
+//! * **SMP mode** ([`config::SmpConfig`]): PEs are grouped into OS-process
+//!   analogues of `k` cores each; one core per process is reserved for a
+//!   communication thread (§IV-A). Intra-process sends are direct memory
+//!   handoffs; inter-process sends pay the network path and are accounted
+//!   separately.
+//! * **Completion detection** ([`completion`]): the 4-counter two-wave
+//!   produce/consume algorithm Charm++ exposes as CD (§IV-B), plus a
+//!   quiescence-detection (QD) fallback for comparison.
+//! * **Message aggregation** ([`aggregator`]): per-destination buffers
+//!   flushed on a size threshold or on idle — the application-aware
+//!   aggregation of §IV-C (and the TRAM footnote).
+//!
+//! Two interchangeable engines run the same application code: a
+//! deterministic sequential engine ([`seq`]) that simulates any number of
+//! PEs on one thread (and measures per-PE busy time, which the
+//! `scale-model` crate consumes), and a threaded engine ([`threads`]) using
+//! real OS threads with crossbeam channels. Applications built on
+//! [`runtime::Runtime`] produce identical results under either engine; the
+//! property tests in `episim-core` rely on that.
+
+pub mod aggregator;
+pub mod chare;
+pub mod completion;
+pub mod config;
+pub mod runtime;
+pub mod seq;
+pub mod stats;
+pub mod threads;
+pub mod tram;
+
+pub use chare::{Chare, ChareId, Ctx, Message};
+pub use config::{AggregationConfig, ExecMode, RuntimeConfig, SmpConfig};
+pub use runtime::Runtime;
+pub use stats::{PeStats, PhaseStats};
+
+/// A processing element: one scheduler queue, analogous to one Charm++
+/// worker thread / core.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PeId(pub u32);

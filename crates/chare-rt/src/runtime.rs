@@ -1,0 +1,300 @@
+//! The engine-agnostic runtime facade.
+
+use crate::chare::{Chare, ChareId, Message};
+use crate::config::{ExecMode, RuntimeConfig};
+use crate::seq::SeqEngine;
+use crate::stats::PhaseStats;
+use crate::threads::ThreadEngine;
+
+enum Engine<M: Message> {
+    Seq(SeqEngine<M>),
+    Threads(ThreadEngine<M>),
+}
+
+/// A message-driven runtime hosting one chare array across `n_pes`
+/// processing elements.
+///
+/// ```
+/// use chare_rt::{Chare, ChareId, Ctx, Message, Runtime, RuntimeConfig};
+///
+/// #[derive(Debug)]
+/// struct Ping(u32);
+/// impl Message for Ping {}
+///
+/// struct Counter(u64);
+/// impl Chare<Ping> for Counter {
+///     fn receive(&mut self, msg: Ping, ctx: &mut Ctx<'_, Ping>) {
+///         self.0 += 1;
+///         ctx.contribute(0, 1);
+///         if msg.0 > 0 {
+///             ctx.send(ctx.self_id(), Ping(msg.0 - 1));
+///         }
+///     }
+///
+///     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> { self }
+/// }
+///
+/// let mut rt = Runtime::new(RuntimeConfig::sequential(2));
+/// rt.add_chare(ChareId(0), 0, Box::new(Counter(0)));
+/// let stats = rt.run_phase(vec![(ChareId(0), Ping(9))]);
+/// assert_eq!(stats.reduction(0), 10);
+/// ```
+pub struct Runtime<M: Message> {
+    engine: Engine<M>,
+    cfg: RuntimeConfig,
+}
+
+impl<M: Message> Runtime<M> {
+    /// Build a runtime.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        assert!(cfg.n_pes >= 1, "need at least one PE");
+        let engine = match cfg.mode {
+            ExecMode::Sequential => Engine::Seq(SeqEngine::new(cfg)),
+            ExecMode::Threads => Engine::Threads(ThreadEngine::new(cfg)),
+        };
+        Runtime { engine, cfg }
+    }
+
+    /// The configuration in force.
+    pub fn config(&self) -> &RuntimeConfig {
+        &self.cfg
+    }
+
+    /// Register a chare on a PE. All chares must be added before the first
+    /// phase runs.
+    pub fn add_chare(&mut self, id: ChareId, pe: u32, chare: Box<dyn Chare<M>>) {
+        match &mut self.engine {
+            Engine::Seq(e) => e.add_chare(id, pe, chare),
+            Engine::Threads(e) => e.add_chare(id, pe, chare),
+        }
+    }
+
+    /// Inject the given messages and run until completion detection fires
+    /// (no message awaiting processing or in transit).
+    pub fn run_phase(&mut self, injections: Vec<(ChareId, M)>) -> PhaseStats {
+        match &mut self.engine {
+            Engine::Seq(e) => e.run_phase(injections),
+            Engine::Threads(e) => e.run_phase(injections),
+        }
+    }
+
+    /// Tear down and return all chares (sorted by id).
+    pub fn into_chares(self) -> Vec<(ChareId, Box<dyn Chare<M>>)> {
+        match self.engine {
+            Engine::Seq(e) => {
+                let mut v = e.into_chares();
+                v.sort_by_key(|(id, _)| *id);
+                v
+            }
+            Engine::Threads(e) => e.into_chares(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chare::Ctx;
+
+    #[derive(Debug)]
+    struct Hop {
+        remaining: u32,
+        payload: u64,
+    }
+    impl Message for Hop {}
+
+    /// Accumulates payloads and forwards around a ring.
+    struct Acc {
+        next: ChareId,
+        sum: u64,
+    }
+    impl Chare<Hop> for Acc {
+        fn receive(&mut self, msg: Hop, ctx: &mut Ctx<'_, Hop>) {
+            self.sum += msg.payload;
+            ctx.contribute(0, msg.payload);
+            if msg.remaining > 0 {
+                ctx.send(
+                    self.next,
+                    Hop {
+                        remaining: msg.remaining - 1,
+                        payload: msg.payload + 1,
+                    },
+                );
+            }
+        }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+    }
+
+    fn build(cfg: RuntimeConfig) -> Runtime<Hop> {
+        let mut rt = Runtime::new(cfg);
+        for i in 0..10u32 {
+            rt.add_chare(
+                ChareId(i),
+                i % cfg.n_pes,
+                Box::new(Acc {
+                    next: ChareId((i + 1) % 10),
+                    sum: 0,
+                }),
+            );
+        }
+        rt
+    }
+
+    fn run_and_total(cfg: RuntimeConfig) -> (u64, u64) {
+        let mut rt = build(cfg);
+        let stats = rt.run_phase(vec![(
+            ChareId(0),
+            Hop {
+                remaining: 50,
+                payload: 1,
+            },
+        )]);
+        (stats.reduction(0), stats.totals().processed)
+    }
+
+    #[test]
+    fn sequential_and_threaded_agree() {
+        let (sum_seq, n_seq) = run_and_total(RuntimeConfig::sequential(4));
+        let (sum_thr, n_thr) = run_and_total(RuntimeConfig::threaded(4));
+        assert_eq!(sum_seq, sum_thr);
+        assert_eq!(n_seq, n_thr);
+        // Payload 1..=51 summed = 51·52/2 − 0 = 1326.
+        assert_eq!(sum_seq, 1326);
+        assert_eq!(n_seq, 51);
+    }
+
+    #[test]
+    fn agree_across_pe_counts() {
+        let baseline = run_and_total(RuntimeConfig::sequential(1));
+        for pes in [2u32, 3, 5, 10] {
+            assert_eq!(run_and_total(RuntimeConfig::sequential(pes)), baseline);
+        }
+        for pes in [2u32, 4] {
+            assert_eq!(run_and_total(RuntimeConfig::threaded(pes)), baseline);
+        }
+    }
+
+    #[test]
+    fn no_opt_config_same_results_different_packets() {
+        let opt = RuntimeConfig::sequential(4);
+        let noopt = RuntimeConfig::sequential(4).no_opt();
+        let mut rt_o = build(opt);
+        let mut rt_n = build(noopt);
+        let inj = |rt: &mut Runtime<Hop>| {
+            rt.run_phase(vec![(
+                ChareId(0),
+                Hop {
+                    remaining: 200,
+                    payload: 1,
+                },
+            )])
+        };
+        let so = inj(&mut rt_o);
+        let sn = inj(&mut rt_n);
+        assert_eq!(so.reduction(0), sn.reduction(0));
+        // Without aggregation every remote message is its own packet.
+        assert!(sn.totals().network_packets >= so.totals().network_packets);
+        assert_eq!(sn.totals().network_packets, sn.totals().sent_remote);
+    }
+
+    #[test]
+    fn tram_routing_preserves_results() {
+        // 16 PEs in a 4×4 TRAM grid, all-to-all ring traffic: identical
+        // reductions with and without topological routing, under both
+        // engines.
+        let mut base_cfg = RuntimeConfig::sequential(16);
+        base_cfg.smp.pes_per_process = 1;
+        let mut tram_cfg = base_cfg;
+        tram_cfg.aggregation.tram_2d = true;
+        let runs: Vec<(u64, u64, u64)> = [base_cfg, tram_cfg]
+            .into_iter()
+            .map(|cfg| {
+                let mut rt = build(cfg);
+                let stats = rt.run_phase(vec![(
+                    ChareId(0),
+                    Hop {
+                        remaining: 500,
+                        payload: 1,
+                    },
+                )]);
+                let t = stats.totals();
+                (stats.reduction(0), t.processed, t.forwarded)
+            })
+            .collect();
+        assert_eq!(runs[0].0, runs[1].0, "TRAM must not change results");
+        assert_eq!(runs[0].1, runs[1].1);
+        assert_eq!(runs[0].2, 0, "no forwarding without TRAM");
+        // The ring hops between PEs 4 apart in a 4-column grid are
+        // same-column (direct), so forwarding may legitimately be rare;
+        // just assert the counter is consistent.
+        let mut thr_cfg = RuntimeConfig::threaded(4);
+        thr_cfg.smp.pes_per_process = 1;
+        thr_cfg.aggregation.tram_2d = true;
+        let mut rt = build(thr_cfg);
+        let stats = rt.run_phase(vec![(
+            ChareId(0),
+            Hop {
+                remaining: 500,
+                payload: 1,
+            },
+        )]);
+        assert_eq!(stats.reduction(0), runs[0].0);
+        rt.into_chares();
+    }
+
+    #[test]
+    fn tram_forwards_on_diagonal_traffic() {
+        // Chare 0 on PE 0 sprays chare 1 on PE 15 of a 4×4 grid — a
+        // diagonal route that must take two hops via PE 3.
+        struct Spray(u32);
+        impl Chare<Hop> for Spray {
+            fn receive(&mut self, _m: Hop, ctx: &mut Ctx<'_, Hop>) {
+                for _ in 0..self.0 {
+                    ctx.send(ChareId(1), Hop { remaining: 0, payload: 1 });
+                }
+            }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+        }
+        struct Count(u64);
+        impl Chare<Hop> for Count {
+            fn receive(&mut self, _m: Hop, ctx: &mut Ctx<'_, Hop>) {
+                self.0 += 1;
+                ctx.contribute(1, 1);
+            }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+        }
+        let mut cfg = RuntimeConfig::sequential(16);
+        cfg.smp.pes_per_process = 1;
+        cfg.aggregation.tram_2d = true;
+        let mut rt: Runtime<Hop> = Runtime::new(cfg);
+        rt.add_chare(ChareId(0), 0, Box::new(Spray(100)));
+        rt.add_chare(ChareId(1), 15, Box::new(Count(0)));
+        let stats = rt.run_phase(vec![(ChareId(0), Hop { remaining: 0, payload: 0 })]);
+        assert_eq!(stats.reduction(1), 100, "all messages delivered");
+        assert_eq!(stats.per_pe[3].forwarded, 100, "PE 3 relays the diagonal");
+    }
+
+    #[test]
+    fn chares_survive_and_return() {
+        let mut rt = build(RuntimeConfig::threaded(3));
+        rt.run_phase(vec![(
+            ChareId(0),
+            Hop {
+                remaining: 9,
+                payload: 1,
+            },
+        )]);
+        let chares = rt.into_chares();
+        assert_eq!(chares.len(), 10);
+        assert_eq!(chares[3].0, ChareId(3));
+    }
+}

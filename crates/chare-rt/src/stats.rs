@@ -1,0 +1,165 @@
+//! Per-PE and per-phase statistics.
+//!
+//! These counters are the bridge to the `scale-model` crate: the paper's
+//! communication optimizations (§IV) change *these numbers* — remote vs
+//! local message counts, network messages after aggregation, bytes, busy
+//! time — and the performance model turns them into projected time on a
+//! Blue-Waters-like machine.
+
+/// Number of sum-reduction slots available to applications.
+pub const REDUCTION_SLOTS: usize = 16;
+
+/// Per-phase sum reductions (u64 addition — the only reduction EpiSimdemics
+/// needs for its global counts).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ReductionSlots {
+    slots: [u64; REDUCTION_SLOTS],
+}
+
+impl ReductionSlots {
+    /// Number of slots.
+    pub const N: usize = REDUCTION_SLOTS;
+
+    /// Add into a slot.
+    #[inline]
+    pub fn add(&mut self, slot: usize, value: u64) {
+        self.slots[slot] += value;
+    }
+
+    /// Read a slot.
+    #[inline]
+    pub fn get(&self, slot: usize) -> u64 {
+        self.slots[slot]
+    }
+
+    /// Merge another set of slots into this one.
+    pub fn merge(&mut self, other: &ReductionSlots) {
+        for (a, b) in self.slots.iter_mut().zip(&other.slots) {
+            *a += b;
+        }
+    }
+
+    /// Reset all slots to zero.
+    pub fn clear(&mut self) {
+        self.slots = [0; REDUCTION_SLOTS];
+    }
+}
+
+/// Counters for one PE over one phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PeStats {
+    /// Messages this PE's chares sent to chares on the same PE.
+    pub sent_self: u64,
+    /// Messages sent to other PEs within the same SMP process.
+    pub sent_intra: u64,
+    /// Messages sent to PEs in other processes ("network" messages before
+    /// aggregation).
+    pub sent_remote: u64,
+    /// Network packets actually emitted after aggregation (buffer flushes).
+    pub network_packets: u64,
+    /// Bytes carried by remote messages.
+    pub remote_bytes: u64,
+    /// Envelopes relayed on behalf of other PEs (TRAM intermediate hops).
+    pub forwarded: u64,
+    /// Messages processed (consumed) by this PE.
+    pub processed: u64,
+    /// Nanoseconds spent inside `Chare::receive`.
+    pub busy_ns: u64,
+}
+
+impl PeStats {
+    /// Total messages sent.
+    pub fn sent_total(&self) -> u64 {
+        self.sent_self + self.sent_intra + self.sent_remote
+    }
+
+    /// Merge (for aggregate views).
+    pub fn merge(&mut self, o: &PeStats) {
+        self.sent_self += o.sent_self;
+        self.sent_intra += o.sent_intra;
+        self.sent_remote += o.sent_remote;
+        self.network_packets += o.network_packets;
+        self.remote_bytes += o.remote_bytes;
+        self.forwarded += o.forwarded;
+        self.processed += o.processed;
+        self.busy_ns += o.busy_ns;
+    }
+}
+
+/// The result of one phase: per-PE counters plus the reduction totals.
+#[derive(Debug, Clone, Default)]
+pub struct PhaseStats {
+    /// One entry per PE.
+    pub per_pe: Vec<PeStats>,
+    /// Summed reduction slots across all PEs.
+    pub reductions: ReductionSlots,
+}
+
+impl PhaseStats {
+    /// Aggregate counters over all PEs.
+    pub fn totals(&self) -> PeStats {
+        let mut t = PeStats::default();
+        for pe in &self.per_pe {
+            t.merge(pe);
+        }
+        t
+    }
+
+    /// The busiest PE's compute time in nanoseconds — the quantity that
+    /// bounds the phase's parallel time (§III-B's `Lmax` measured live).
+    pub fn max_busy_ns(&self) -> u64 {
+        self.per_pe.iter().map(|p| p.busy_ns).max().unwrap_or(0)
+    }
+
+    /// Read one reduction slot.
+    pub fn reduction(&self, slot: usize) -> u64 {
+        self.reductions.get(slot)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reduction_slots_accumulate_and_merge() {
+        let mut a = ReductionSlots::default();
+        a.add(0, 3);
+        a.add(7, 2);
+        let mut b = ReductionSlots::default();
+        b.add(0, 4);
+        a.merge(&b);
+        assert_eq!(a.get(0), 7);
+        assert_eq!(a.get(7), 2);
+        a.clear();
+        assert_eq!(a.get(0), 0);
+    }
+
+    #[test]
+    fn pe_stats_totals() {
+        let s = PeStats {
+            sent_self: 1,
+            sent_intra: 2,
+            sent_remote: 3,
+            ..Default::default()
+        };
+        assert_eq!(s.sent_total(), 6);
+    }
+
+    #[test]
+    fn phase_stats_aggregate() {
+        let mut ps = PhaseStats::default();
+        ps.per_pe.push(PeStats {
+            busy_ns: 100,
+            processed: 5,
+            ..Default::default()
+        });
+        ps.per_pe.push(PeStats {
+            busy_ns: 300,
+            processed: 7,
+            ..Default::default()
+        });
+        assert_eq!(ps.max_busy_ns(), 300);
+        assert_eq!(ps.totals().processed, 12);
+    }
+}

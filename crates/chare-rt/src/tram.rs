@@ -1,0 +1,148 @@
+//! TRAM-style topological routing (§IV-C footnote).
+//!
+//! "The CHARM++ team is currently working on TRAM (Topological Routing and
+//! Aggregation Module), which implements an application agnostic message
+//! aggregation in the runtime." TRAM routes each message through a virtual
+//! topology so that a PE aggregates into O(√P) lanes (one per row/column
+//! peer of a 2D grid) instead of O(P) per-destination lanes — trading an
+//! extra hop per message for far better aggregation at scale.
+//!
+//! This module provides the 2D grid and dimension-order (row-first) next-hop
+//! function; the engines consult it when
+//! [`crate::config::AggregationConfig::tram_2d`] is set, re-routing packet
+//! envelopes that arrive at an intermediate PE.
+
+/// A virtual 2D grid over `p` PEs, rows × cols with `cols = ⌈√p⌉`.
+/// The grid may be ragged (the last row partially filled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Grid2D {
+    p: u32,
+    cols: u32,
+}
+
+impl Grid2D {
+    /// Grid over `p` PEs.
+    pub fn new(p: u32) -> Self {
+        let cols = (p.max(1) as f64).sqrt().ceil() as u32;
+        Grid2D { p: p.max(1), cols }
+    }
+
+    /// Number of PEs.
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+
+    /// Grid columns (≈ √p).
+    pub fn cols(&self) -> u32 {
+        self.cols
+    }
+
+    #[inline]
+    fn row(&self, pe: u32) -> u32 {
+        pe / self.cols
+    }
+
+    #[inline]
+    fn col(&self, pe: u32) -> u32 {
+        pe % self.cols
+    }
+
+    /// Dimension-order next hop from `src` toward `dst`: first correct the
+    /// column within `src`'s row, then travel the column. Falls back to a
+    /// direct hop when the ragged corner of the grid would be addressed.
+    /// Returns `dst` when one hop suffices.
+    #[inline]
+    pub fn next_hop(&self, src: u32, dst: u32) -> u32 {
+        debug_assert!(src < self.p && dst < self.p);
+        if src == dst {
+            return dst;
+        }
+        if self.col(src) == self.col(dst) || self.row(src) == self.row(dst) {
+            // Same row or column: one hop.
+            return dst;
+        }
+        let intermediate = self.row(src) * self.cols + self.col(dst);
+        if intermediate >= self.p {
+            // Ragged corner: no such PE; go direct.
+            dst
+        } else {
+            intermediate
+        }
+    }
+
+    /// Upper bound on the number of distinct next hops a PE uses
+    /// (its row peers + its column peers).
+    pub fn max_lanes(&self) -> u32 {
+        let rows = self.p.div_ceil(self.cols);
+        (self.cols - 1) + (rows - 1)
+    }
+
+    /// Number of hops a message takes from `src` to `dst` (1 or 2).
+    pub fn hops(&self, src: u32, dst: u32) -> u32 {
+        if src == dst {
+            0
+        } else if self.next_hop(src, dst) == dst {
+            1
+        } else {
+            2
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn routing_terminates_for_all_pairs() {
+        for p in [1u32, 2, 3, 4, 7, 16, 17, 64, 100] {
+            let g = Grid2D::new(p);
+            for src in 0..p {
+                for dst in 0..p {
+                    let mut at = src;
+                    let mut hops = 0;
+                    while at != dst {
+                        at = g.next_hop(at, dst);
+                        hops += 1;
+                        assert!(at < p, "hop out of range");
+                        assert!(hops <= 2, "p={p} {src}→{dst} took >2 hops");
+                    }
+                    assert_eq!(hops, g.hops(src, dst));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn same_row_or_column_is_direct() {
+        let g = Grid2D::new(16); // 4×4
+        assert_eq!(g.next_hop(0, 3), 3); // same row
+        assert_eq!(g.next_hop(0, 12), 12); // same column
+        assert_eq!(g.next_hop(1, 1), 1);
+    }
+
+    #[test]
+    fn diagonal_goes_via_row_corner() {
+        let g = Grid2D::new(16); // 4×4: pe = 4·row + col
+        // 0 (0,0) → 15 (3,3): first to (0,3) = 3.
+        assert_eq!(g.next_hop(0, 15), 3);
+        assert_eq!(g.next_hop(3, 15), 15);
+        assert_eq!(g.hops(0, 15), 2);
+    }
+
+    #[test]
+    fn lanes_scale_as_sqrt_p() {
+        let g = Grid2D::new(1024);
+        assert_eq!(g.cols(), 32);
+        assert_eq!(g.max_lanes(), 62); // 31 + 31 ≪ 1023
+        let small = Grid2D::new(4);
+        assert_eq!(small.max_lanes(), 2);
+    }
+
+    #[test]
+    fn single_pe() {
+        let g = Grid2D::new(1);
+        assert_eq!(g.next_hop(0, 0), 0);
+        assert_eq!(g.hops(0, 0), 0);
+    }
+}

@@ -1,0 +1,326 @@
+//! Checkpoint/restart for long simulations.
+//!
+//! A checkpoint captures everything a resumed run needs to continue
+//! *bit-exactly*: the next day to simulate, the global epidemic counters,
+//! the intervention activation state, and every person's health state with
+//! transmission provenance. Location state needs no capture — visit buffers
+//! are empty at day boundaries and the DES is stateless across days.
+//!
+//! Binary layout (little-endian):
+//!
+//! ```text
+//! magic "EPCK" | version u32
+//! next_day u32 | seeds u64 | cumulative u64 | yd_new u64 | yd_infected u64
+//! fired: n u32 + u8 × n
+//! active windows: n u32 + (source u32, end_day u32) × n
+//! persons: n u32 + (state u16, days_remaining u32, treatment u16,
+//!                   sus_scale f32, infected_on u32, infected_by u32) × n
+//!          (u32::MAX encodes "none"; pending infections are always empty
+//!           at day boundaries and are not stored)
+//! ```
+
+use crate::person::PersonSlot;
+use crate::simulator::Carry;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use ptts::intervention::{InterventionSet, InterventionSnapshot};
+use ptts::model::{HealthTracker, StateId, TreatmentId};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"EPCK";
+const VERSION: u32 = 1;
+
+/// A captured simulation state.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Checkpoint {
+    /// The next day to simulate.
+    pub next_day: u32,
+    /// Initial seeded infections (for `EpiCurve` bookkeeping).
+    pub seeds: u64,
+    /// Cumulative infections through `next_day − 1`.
+    pub cumulative: u64,
+    /// New infections on day `next_day − 1`.
+    pub yesterday_new: u64,
+    /// Infected count at the start of day `next_day − 1`.
+    pub yesterday_infected: u64,
+    /// Intervention activation state.
+    pub interventions: InterventionSnapshot,
+    /// Every person's state, indexed by person id.
+    pub states: Vec<PersonSlot>,
+}
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Wrong magic bytes.
+    BadMagic,
+    /// Unsupported version.
+    BadVersion(u32),
+    /// Buffer ended early.
+    Truncated,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not an EPCK checkpoint"),
+            CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
+            CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+/// Capture a checkpoint from epoch state (person states from
+/// [`crate::simulator::Simulator::dismantle`], counters from [`Carry`]).
+pub fn capture(next_day: u32, seeds: u64, carry: &Carry, states: Vec<PersonSlot>) -> Checkpoint {
+    debug_assert!(
+        states.iter().all(|s| s.pending.is_none()),
+        "pending infections must be applied before checkpointing"
+    );
+    Checkpoint {
+        next_day,
+        seeds,
+        cumulative: carry.cumulative,
+        yesterday_new: carry.yesterday_new,
+        yesterday_infected: carry.yesterday_infected,
+        interventions: carry.interventions.snapshot(),
+        states,
+    }
+}
+
+impl Checkpoint {
+    /// Rebuild the [`Carry`] for resumption, given the intervention
+    /// configuration (which is part of `SimConfig`, not the checkpoint).
+    pub fn to_carry(&self, interventions: &InterventionSet) -> Carry {
+        Carry {
+            interventions: InterventionSet::restore(
+                interventions.interventions().to_vec(),
+                &self.interventions,
+            ),
+            cumulative: self.cumulative,
+            yesterday_new: self.yesterday_new,
+            yesterday_infected: self.yesterday_infected,
+        }
+    }
+
+    /// Serialize.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(64 + self.states.len() * 20);
+        buf.put_slice(MAGIC);
+        buf.put_u32_le(VERSION);
+        buf.put_u32_le(self.next_day);
+        buf.put_u64_le(self.seeds);
+        buf.put_u64_le(self.cumulative);
+        buf.put_u64_le(self.yesterday_new);
+        buf.put_u64_le(self.yesterday_infected);
+        buf.put_u32_le(self.interventions.fired.len() as u32);
+        for &f in &self.interventions.fired {
+            buf.put_u8(f as u8);
+        }
+        buf.put_u32_le(self.interventions.active.len() as u32);
+        for &(source, end_day) in &self.interventions.active {
+            buf.put_u32_le(source);
+            buf.put_u32_le(end_day);
+        }
+        buf.put_u32_le(self.states.len() as u32);
+        for s in &self.states {
+            buf.put_u16_le(s.health.state.0);
+            buf.put_u32_le(s.health.days_remaining);
+            buf.put_u16_le(s.health.treatment.0);
+            buf.put_f32_le(s.sus_scale);
+            buf.put_u32_le(s.infected_on.unwrap_or(u32::MAX));
+            buf.put_u32_le(s.infected_by.unwrap_or(u32::MAX));
+        }
+        buf.freeze()
+    }
+
+    /// Deserialize.
+    pub fn decode(mut buf: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        let need = |buf: &&[u8], n: usize| -> Result<(), CheckpointError> {
+            if buf.remaining() < n {
+                Err(CheckpointError::Truncated)
+            } else {
+                Ok(())
+            }
+        };
+        need(&buf, 8)?;
+        let mut magic = [0u8; 4];
+        buf.copy_to_slice(&mut magic);
+        if &magic != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let version = buf.get_u32_le();
+        if version != VERSION {
+            return Err(CheckpointError::BadVersion(version));
+        }
+        need(&buf, 4 + 8 * 4 + 4)?;
+        let next_day = buf.get_u32_le();
+        let seeds = buf.get_u64_le();
+        let cumulative = buf.get_u64_le();
+        let yesterday_new = buf.get_u64_le();
+        let yesterday_infected = buf.get_u64_le();
+        let n_fired = buf.get_u32_le() as usize;
+        need(&buf, n_fired)?;
+        let fired = (0..n_fired).map(|_| buf.get_u8() != 0).collect();
+        need(&buf, 4)?;
+        let n_active = buf.get_u32_le() as usize;
+        need(&buf, n_active * 8 + 4)?;
+        let active = (0..n_active)
+            .map(|_| (buf.get_u32_le(), buf.get_u32_le()))
+            .collect();
+        let n_states = buf.get_u32_le() as usize;
+        need(&buf, n_states * 20)?;
+        let mut states = Vec::with_capacity(n_states);
+        for id in 0..n_states {
+            let state = StateId(buf.get_u16_le());
+            let days_remaining = buf.get_u32_le();
+            let treatment = TreatmentId(buf.get_u16_le());
+            let sus_scale = buf.get_f32_le();
+            let infected_on = buf.get_u32_le();
+            let infected_by = buf.get_u32_le();
+            states.push(PersonSlot {
+                id: id as u32,
+                health: HealthTracker {
+                    state,
+                    days_remaining,
+                    treatment,
+                },
+                sus_scale,
+                pending: None,
+                infected_on: (infected_on != u32::MAX).then_some(infected_on),
+                infected_by: (infected_by != u32::MAX).then_some(infected_by),
+            });
+        }
+        Ok(Checkpoint {
+            next_day,
+            seeds,
+            cumulative,
+            yesterday_new,
+            yesterday_infected,
+            interventions: InterventionSnapshot { fired, active },
+            states,
+        })
+    }
+
+    /// Write to a file.
+    pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
+        std::fs::write(path, self.encode())
+    }
+
+    /// Read from a file.
+    pub fn load(path: &std::path::Path) -> std::io::Result<Checkpoint> {
+        let data = std::fs::read(path)?;
+        Self::decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::{DataDistribution, Strategy};
+    use crate::simulator::{SimConfig, Simulator};
+    use chare_rt::RuntimeConfig;
+    use ptts::flu_model;
+    use ptts::intervention::{Action, Intervention, Trigger};
+    use synthpop::{Population, PopulationConfig};
+
+    fn pop() -> Population {
+        Population::generate(&PopulationConfig::small("CK", 2000, 55))
+    }
+
+    fn cfg() -> SimConfig {
+        SimConfig {
+            days: 30,
+            r: 0.0013,
+            seed: 55,
+            initial_infections: 8,
+            stop_when_extinct: false,
+            interventions: ptts::intervention::InterventionSet::new(vec![Intervention {
+                trigger: Trigger::PrevalenceAbove(0.05),
+                action: Action::CloseKind {
+                    kind: synthpop::LocationKind::School as u8,
+                    duration: 10,
+                },
+            }]),
+        }
+    }
+
+    #[test]
+    fn restart_is_bit_exact() {
+        let pop = pop();
+        let dist = DataDistribution::build(&pop, Strategy::GraphPartition, 4, 55);
+        // Straight 30-day run.
+        let straight =
+            Simulator::new(&dist, flu_model(), cfg(), RuntimeConfig::sequential(2)).run();
+
+        // 15 days, checkpoint (through an encode/decode round trip), resume.
+        let mut carry = Carry::new(cfg().interventions.clone(), 8);
+        let mut sim = Simulator::new(&dist, flu_model(), cfg(), RuntimeConfig::sequential(2));
+        let (mut days, _, _) = sim.run_days(0, 15, &mut carry);
+        let (states, _) = sim.dismantle();
+        let ckpt = capture(15, 8, &carry, states);
+        let ckpt = Checkpoint::decode(&ckpt.encode()).expect("round trip");
+
+        let mut carry2 = ckpt.to_carry(&cfg().interventions);
+        let mut sim2 = Simulator::with_states(
+            &dist,
+            flu_model(),
+            cfg(),
+            RuntimeConfig::sequential(2),
+            Some(ckpt.states.clone()),
+        );
+        let (tail, _, _) = sim2.run_days(ckpt.next_day, 30, &mut carry2);
+        days.extend(tail);
+        assert_eq!(days, straight.curve.days, "restart must be bit-exact");
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let pop = pop();
+        let dist = DataDistribution::build(&pop, Strategy::RoundRobin, 2, 55);
+        let mut carry = Carry::new(cfg().interventions.clone(), 8);
+        let mut sim = Simulator::new(&dist, flu_model(), cfg(), RuntimeConfig::sequential(2));
+        sim.run_days(0, 5, &mut carry);
+        let (states, _) = sim.dismantle();
+        let ckpt = capture(5, 8, &carry, states);
+        let dir = std::env::temp_dir().join("episim-ckpt-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.epck");
+        ckpt.save(&path).unwrap();
+        let loaded = Checkpoint::load(&path).unwrap();
+        assert_eq!(ckpt, loaded);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(
+            Checkpoint::decode(b"XXXXYYYY").err(),
+            Some(CheckpointError::BadMagic)
+        );
+        assert_eq!(
+            Checkpoint::decode(b"EP").err(),
+            Some(CheckpointError::Truncated)
+        );
+        let pop = pop();
+        let dist = DataDistribution::build(&pop, Strategy::RoundRobin, 2, 55);
+        let mut carry = Carry::new(cfg().interventions.clone(), 8);
+        let mut sim = Simulator::new(&dist, flu_model(), cfg(), RuntimeConfig::sequential(2));
+        sim.run_days(0, 2, &mut carry);
+        let (states, _) = sim.dismantle();
+        let data = capture(2, 8, &carry, states).encode();
+        for cut in [5usize, 20, data.len() / 2, data.len() - 1] {
+            assert!(
+                Checkpoint::decode(&data[..cut]).is_err(),
+                "cut {cut} decoded"
+            );
+        }
+        let mut bad_version = data.to_vec();
+        bad_version[4] = 77;
+        assert!(matches!(
+            Checkpoint::decode(&bad_version),
+            Err(CheckpointError::BadVersion(77))
+        ));
+    }
+}

@@ -1,0 +1,224 @@
+//! Ensemble runs: the same scenario under many seeds, with quantile bands.
+//!
+//! A single stochastic trajectory is an anecdote; course-of-action studies
+//! of the kind EpiSimdemics supported during H1N1 report medians and
+//! uncertainty bands over replicates. Replicates are embarrassingly
+//! parallel and fully deterministic per seed, so the runner fans them out
+//! over OS threads and the result is independent of the thread count.
+
+use crate::distribution::DataDistribution;
+use crate::output::EpiCurve;
+use crate::seq::run_sequential;
+use crate::simulator::SimConfig;
+use ptts::Ptts;
+
+/// Summary of one day across the ensemble.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DayBand {
+    /// Simulation day.
+    pub day: u32,
+    /// Quantiles of the day's *new infections* across replicates:
+    /// (10th percentile, median, 90th percentile).
+    pub new_infections: (u64, u64, u64),
+    /// Quantiles of the day's currently-infected count.
+    pub infected_now: (u64, u64, u64),
+}
+
+/// Result of an ensemble: per-replicate curves plus day-wise bands.
+#[derive(Debug, Clone, Default)]
+pub struct Ensemble {
+    /// One epidemic curve per replicate (ordered by seed).
+    pub runs: Vec<EpiCurve>,
+    /// Day-wise quantile bands (length = the longest replicate).
+    pub bands: Vec<DayBand>,
+}
+
+impl Ensemble {
+    /// Attack rates across replicates, sorted ascending.
+    pub fn attack_rates(&self) -> Vec<f64> {
+        let mut v: Vec<f64> = self.runs.iter().map(|r| r.attack_rate()).collect();
+        v.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        v
+    }
+
+    /// Quantile of the attack-rate distribution (`q ∈ [0,1]`).
+    pub fn attack_rate_quantile(&self, q: f64) -> f64 {
+        quantile_f64(&self.attack_rates(), q)
+    }
+
+    /// Fraction of replicates where the outbreak took off (attack rate
+    /// above `threshold`) — small seeds fizzle stochastically.
+    pub fn takeoff_probability(&self, threshold: f64) -> f64 {
+        if self.runs.is_empty() {
+            return 0.0;
+        }
+        self.runs
+            .iter()
+            .filter(|r| r.attack_rate() > threshold)
+            .count() as f64
+            / self.runs.len() as f64
+    }
+}
+
+fn quantile_u64(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+fn quantile_f64(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// Run `replicates` copies of the scenario with seeds `base_seed + i`,
+/// spread over `n_threads` OS threads. Uses the sequential oracle per
+/// replicate (replicate-level parallelism beats PE-level parallelism when
+/// there are many replicates).
+pub fn run_ensemble(
+    dist: &DataDistribution,
+    ptts: &Ptts,
+    cfg: &SimConfig,
+    replicates: u32,
+    n_threads: u32,
+) -> Ensemble {
+    let n_threads = n_threads.clamp(1, replicates.max(1));
+    let mut runs: Vec<Option<EpiCurve>> = (0..replicates).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for t in 0..n_threads {
+            let pop = &dist.pop;
+            let cfg = cfg.clone();
+            let ptts = ptts.clone();
+            handles.push((
+                t,
+                scope.spawn(move || {
+                    let mut out = Vec::new();
+                    let mut rep = t;
+                    while rep < replicates {
+                        let mut c = cfg.clone();
+                        c.seed = cfg.seed.wrapping_add(rep as u64);
+                        out.push((rep, run_sequential(pop, &ptts, &c)));
+                        rep += n_threads;
+                    }
+                    out
+                }),
+            ));
+        }
+        for (_, h) in handles {
+            for (rep, curve) in h.join().expect("ensemble worker panicked") {
+                runs[rep as usize] = Some(curve);
+            }
+        }
+    });
+    let runs: Vec<EpiCurve> = runs.into_iter().flatten().collect();
+
+    // Day-wise bands (replicates that ended early contribute zeros, which
+    // is the true epidemic state after extinction).
+    let horizon = runs.iter().map(|r| r.days.len()).max().unwrap_or(0);
+    let mut bands = Vec::with_capacity(horizon);
+    for d in 0..horizon {
+        let mut new_inf: Vec<u64> = runs
+            .iter()
+            .map(|r| r.days.get(d).map(|x| x.new_infections).unwrap_or(0))
+            .collect();
+        let mut inf_now: Vec<u64> = runs
+            .iter()
+            .map(|r| r.days.get(d).map(|x| x.infected_now).unwrap_or(0))
+            .collect();
+        new_inf.sort_unstable();
+        inf_now.sort_unstable();
+        bands.push(DayBand {
+            day: d as u32,
+            new_infections: (
+                quantile_u64(&new_inf, 0.1),
+                quantile_u64(&new_inf, 0.5),
+                quantile_u64(&new_inf, 0.9),
+            ),
+            infected_now: (
+                quantile_u64(&inf_now, 0.1),
+                quantile_u64(&inf_now, 0.5),
+                quantile_u64(&inf_now, 0.9),
+            ),
+        });
+    }
+    Ensemble { runs, bands }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::Strategy;
+    use ptts::flu_model;
+    use synthpop::{Population, PopulationConfig};
+
+    fn setup() -> (DataDistribution, SimConfig) {
+        let pop = Population::generate(&PopulationConfig::small("ENS", 1500, 5));
+        let dist = DataDistribution::build(&pop, Strategy::RoundRobin, 1, 5);
+        let cfg = SimConfig {
+            days: 25,
+            r: 0.0012,
+            seed: 100,
+            initial_infections: 3,
+            ..Default::default()
+        };
+        (dist, cfg)
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let (dist, cfg) = setup();
+        let ptts = flu_model();
+        let a = run_ensemble(&dist, &ptts, &cfg, 8, 1);
+        let b = run_ensemble(&dist, &ptts, &cfg, 8, 4);
+        assert_eq!(a.runs, b.runs);
+        assert_eq!(a.bands, b.bands);
+    }
+
+    #[test]
+    fn replicates_differ_but_share_structure() {
+        let (dist, cfg) = setup();
+        let ensemble = run_ensemble(&dist, &flu_model(), &cfg, 6, 2);
+        assert_eq!(ensemble.runs.len(), 6);
+        // Different seeds → (generically) different totals.
+        let totals: std::collections::BTreeSet<u64> = ensemble
+            .runs
+            .iter()
+            .map(|r| r.total_infections())
+            .collect();
+        assert!(totals.len() > 1, "all replicates identical");
+        // Bands are ordered quantiles.
+        for b in &ensemble.bands {
+            assert!(b.new_infections.0 <= b.new_infections.1);
+            assert!(b.new_infections.1 <= b.new_infections.2);
+        }
+    }
+
+    #[test]
+    fn quantile_helpers() {
+        assert_eq!(quantile_u64(&[], 0.5), 0);
+        assert_eq!(quantile_u64(&[7], 0.0), 7);
+        assert_eq!(quantile_u64(&[1, 2, 3, 4, 5], 0.5), 3);
+        assert_eq!(quantile_u64(&[1, 2, 3, 4, 5], 1.0), 5);
+        assert_eq!(quantile_f64(&[0.1, 0.9], 0.0), 0.1);
+    }
+
+    #[test]
+    fn takeoff_probability_sane() {
+        let (dist, cfg) = setup();
+        let ensemble = run_ensemble(&dist, &flu_model(), &cfg, 10, 3);
+        let p = ensemble.takeoff_probability(0.02);
+        assert!((0.0..=1.0).contains(&p));
+        // With r = 0.0012 on this town most replicates take off.
+        assert!(p >= 0.5, "takeoff probability {p}");
+        // Attack-rate quantiles are monotone.
+        assert!(
+            ensemble.attack_rate_quantile(0.1) <= ensemble.attack_rate_quantile(0.9)
+        );
+    }
+}

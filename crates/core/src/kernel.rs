@@ -1,0 +1,548 @@
+//! The location DES kernel (§II-B step 3).
+//!
+//! "Each location constructs a sequential and local DES by converting each
+//! visit message into an arrive event and depart event. The DES is
+//! executed, computing the interactions between each pair of susceptible
+//! and infectious people who are at the location at the same time."
+//!
+//! People only interact within the same *sublocation* (§III-C), so the
+//! sweep runs per sublocation. Exposure is accumulated exactly but in
+//! O(E log E) rather than O(pairs): infectivity values are drawn from the
+//! finite PTTS state set, so we maintain one cumulative occupancy-time
+//! integral per distinct infectivity class; a susceptible's pairwise
+//! exposure `Σ_j τ_ij · ln(1 − r·s_i·ι_j)` factors through those class
+//! integrals. Infector attribution (rare) falls back to a pairwise pass.
+
+use crate::messages::{InfectMsg, VisitMsg};
+use ptts::crng::{CounterRng, Purpose};
+use ptts::transmission::select_infector;
+use ptts::Ptts;
+
+/// Features the dynamic load model consumes (Figure 3b), accumulated per
+/// location per day.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct LocationDayFeatures {
+    /// Arrive + depart events processed (2 × visits).
+    pub events: u64,
+    /// Total susceptible×infectious interaction pairs.
+    pub interactions: u64,
+    /// Σ 1/interactions over occupants with ≥ 1 interaction.
+    pub sum_reciprocal_interactions: f64,
+}
+
+/// Map PTTS states to dense infectivity classes.
+#[derive(Debug, Clone)]
+pub struct InfectivityClasses {
+    /// Class index per state (`u8::MAX` = not infectious).
+    class_of_state: Vec<u8>,
+    /// Infectivity per class.
+    iota: Vec<f64>,
+}
+
+impl InfectivityClasses {
+    /// Build from a PTTS.
+    pub fn new(ptts: &Ptts) -> Self {
+        let mut class_of_state = vec![u8::MAX; ptts.n_states()];
+        let mut iota = Vec::new();
+        for (s, slot) in class_of_state.iter_mut().enumerate() {
+            let inf = ptts.infectivity(ptts::model::StateId(s as u16));
+            if inf > 0.0 {
+                let class = iota
+                    .iter()
+                    .position(|&x: &f64| (x - inf).abs() < 1e-12)
+                    .unwrap_or_else(|| {
+                        iota.push(inf);
+                        iota.len() - 1
+                    });
+                *slot = class as u8;
+            }
+        }
+        InfectivityClasses {
+            class_of_state,
+            iota,
+        }
+    }
+
+    /// Number of classes.
+    pub fn n(&self) -> usize {
+        self.iota.len()
+    }
+
+    #[inline]
+    fn class(&self, state: ptts::model::StateId) -> Option<usize> {
+        let c = self.class_of_state[state.0 as usize];
+        (c != u8::MAX).then_some(c as usize)
+    }
+}
+
+/// Run one location's DES for one day over its visit messages.
+///
+/// `visits` is the day's buffer (any order — it is sorted internally, so
+/// results are independent of message arrival order). Returns the infect
+/// messages and the load-model features. `r_eff` is the effective
+/// per-minute transmissibility.
+pub fn simulate_location_day(
+    visits: &mut [VisitMsg],
+    ptts: &Ptts,
+    classes: &InfectivityClasses,
+    r_eff: f64,
+    seed: u64,
+    day: u32,
+    out: &mut Vec<InfectMsg>,
+) -> LocationDayFeatures {
+    let mut features = LocationDayFeatures {
+        events: 2 * visits.len() as u64,
+        ..Default::default()
+    };
+    if visits.is_empty() {
+        return features;
+    }
+    // Deterministic order: by sublocation, then start, then person.
+    visits.sort_unstable_by_key(|v| (v.sublocation, v.start_min, v.person));
+
+    let mut lo = 0usize;
+    while lo < visits.len() {
+        let subloc = visits[lo].sublocation;
+        let mut hi = lo + 1;
+        while hi < visits.len() && visits[hi].sublocation == subloc {
+            hi += 1;
+        }
+        simulate_sublocation(
+            &visits[lo..hi],
+            ptts,
+            classes,
+            r_eff,
+            seed,
+            day,
+            out,
+            &mut features,
+        );
+        lo = hi;
+    }
+    features
+}
+
+/// Sweep events of one sublocation.
+#[allow(clippy::too_many_arguments)]
+fn simulate_sublocation(
+    visits: &[VisitMsg],
+    ptts: &Ptts,
+    classes: &InfectivityClasses,
+    r_eff: f64,
+    seed: u64,
+    day: u32,
+    out: &mut Vec<InfectMsg>,
+    features: &mut LocationDayFeatures,
+) {
+    let ncls = classes.n();
+    // Event list: (time, is_depart, visit index). Departs before arrives at
+    // equal times so zero-overlap pairs don't interact.
+    let mut events: Vec<(u16, bool, u32)> = Vec::with_capacity(visits.len() * 2);
+    for (i, v) in visits.iter().enumerate() {
+        if v.end_min <= v.start_min {
+            continue;
+        }
+        events.push((v.start_min, false, i as u32));
+        events.push((v.end_min, true, i as u32));
+    }
+    events.sort_unstable_by_key(|&(t, is_depart, i)| (t, !is_depart, i));
+
+    // Sweep state.
+    let mut cit = vec![0.0f64; ncls]; // ∫ count_c dt per class
+    let mut present = vec![0u32; ncls]; // infectious currently present, per class
+    let mut arrivals = 0u64; // cumulative infectious arrivals (all classes)
+    let mut last_t = 0u16;
+    let mut sus_state: Vec<Option<SusSnapshot>> = vec![None; visits.len()];
+
+    for &(t, is_depart, vi) in &events {
+        // Advance integrals to t.
+        let dt = (t - last_t) as f64;
+        if dt > 0.0 {
+            for (citc, &pres) in cit.iter_mut().zip(&present) {
+                *citc += pres as f64 * dt;
+            }
+            last_t = t;
+        }
+        let v = &visits[vi as usize];
+        let v_class = classes.class(v.state);
+        let susceptible = ptts.is_susceptible(v.state) && v.sus_scale > 0.0;
+        if !is_depart {
+            // Arrive.
+            if susceptible {
+                sus_state[vi as usize] = Some(SusSnapshot {
+                    cit_at_arrive: cit.clone(),
+                    present_at_arrive: present.iter().sum(),
+                    arrivals_at_arrive: arrivals,
+                });
+            }
+            if let Some(c) = v_class {
+                present[c] += 1;
+                arrivals += 1;
+            }
+        } else {
+            // Depart.
+            if let Some(c) = v_class {
+                present[c] -= 1;
+            }
+            if let Some(snapshot) = sus_state[vi as usize].take() {
+                resolve_susceptible(
+                    v, &snapshot, &cit, arrivals, visits, ptts, classes, r_eff, seed, day, out,
+                    features,
+                );
+            }
+        }
+    }
+}
+
+/// At a susceptible's departure: compute exposure, draw infection, and if
+/// infected, attribute an infector.
+#[allow(clippy::too_many_arguments)]
+fn resolve_susceptible(
+    v: &VisitMsg,
+    snapshot: &SusSnapshot,
+    cit: &[f64],
+    arrivals_now: u64,
+    visits: &[VisitMsg],
+    ptts: &Ptts,
+    classes: &InfectivityClasses,
+    r_eff: f64,
+    seed: u64,
+    day: u32,
+    out: &mut Vec<InfectMsg>,
+    features: &mut LocationDayFeatures,
+) {
+    let s_i = ptts.susceptibility(v.state) * v.sus_scale as f64;
+    // Interaction count: infectious present at arrival + infectious
+    // arrivals during the stay (exact count of overlapping intervals,
+    // minus self if this visit is also infectious).
+    let mut encounters =
+        snapshot.present_at_arrive as u64 + (arrivals_now - snapshot.arrivals_at_arrive);
+    let self_class = classes.class(v.state);
+    if self_class.is_some() {
+        encounters = encounters.saturating_sub(1);
+    }
+    features.interactions += encounters;
+    if encounters > 0 {
+        features.sum_reciprocal_interactions += 1.0 / encounters as f64;
+    }
+
+    // Exposure: log-escape via class integrals.
+    let mut log_escape = 0.0f64;
+    #[allow(clippy::needless_range_loop)] // c indexes three parallel arrays
+    for c in 0..classes.n() {
+        let mut tau = cit[c] - snapshot.cit_at_arrive[c];
+        if Some(c) == self_class {
+            // Exclude self-exposure.
+            tau -= (v.end_min - v.start_min) as f64;
+        }
+        if tau <= 0.0 {
+            continue;
+        }
+        let q = (r_eff * s_i * classes.iota[c]).clamp(0.0, 1.0 - 1e-12);
+        if q > 0.0 {
+            log_escape += tau * (-q).ln_1p();
+        }
+    }
+    let p = 1.0 - log_escape.exp();
+    if p <= 0.0 {
+        return;
+    }
+    let mut rng = CounterRng::from_key(&[
+        seed,
+        v.person as u64,
+        day as u64,
+        Purpose::Infection as u64,
+        v.start_min as u64,
+    ]);
+    if !rng.bernoulli(p) {
+        return;
+    }
+    // Attribute an infector: pairwise pass over overlapping infectious
+    // visits in this sublocation (visits slice is the sublocation group).
+    let mut cands: Vec<(u32, f64)> = Vec::new();
+    for (j, w) in visits.iter().enumerate() {
+        if w.person == v.person && w.start_min == v.start_min {
+            continue;
+        }
+        let Some(c) = classes.class(w.state) else {
+            continue;
+        };
+        let overlap =
+            (v.end_min.min(w.end_min) as i32 - v.start_min.max(w.start_min) as i32).max(0) as f64;
+        if overlap > 0.0 {
+            let q = (r_eff * s_i * classes.iota[c]).clamp(0.0, 1.0 - 1e-12);
+            let p_j = 1.0 - (overlap * (-q).ln_1p()).exp();
+            cands.push((j as u32, p_j));
+        }
+    }
+    let infector = if cands.is_empty() {
+        u32::MAX
+    } else {
+        let probs: Vec<f64> = cands.iter().map(|&(_, p)| p).collect();
+        match select_infector(&probs, rng.uniform_f64()) {
+            Some(i) => visits[cands[i].0 as usize].person,
+            None => u32::MAX,
+        }
+    };
+    out.push(InfectMsg {
+        person: v.person,
+        time_min: v.start_min,
+        infector,
+    });
+}
+
+/// Snapshot of the sweep state at a susceptible's arrival.
+#[derive(Clone)]
+struct SusSnapshot {
+    cit_at_arrive: Vec<f64>,
+    present_at_arrive: u32,
+    arrivals_at_arrive: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptts::flu_model;
+    use ptts::model::StateId;
+
+    fn visit(person: u32, state: StateId, start: u16, end: u16, subloc: u16) -> VisitMsg {
+        VisitMsg {
+            person,
+            location: 0,
+            sublocation: subloc,
+            start_min: start,
+            end_min: end,
+            state,
+            sus_scale: 1.0,
+        }
+    }
+
+    fn run(visits: &mut [VisitMsg], r: f64) -> (Vec<InfectMsg>, LocationDayFeatures) {
+        let ptts = flu_model();
+        let classes = InfectivityClasses::new(&ptts);
+        let mut out = Vec::new();
+        let f = simulate_location_day(visits, &ptts, &classes, r, 42, 0, &mut out);
+        (out, f)
+    }
+
+    fn sus(ptts: &Ptts) -> StateId {
+        ptts.state_by_name("susceptible").unwrap()
+    }
+    fn sym(ptts: &Ptts) -> StateId {
+        ptts.state_by_name("symptomatic").unwrap()
+    }
+
+    #[test]
+    fn classes_built_from_flu() {
+        let ptts = flu_model();
+        let c = InfectivityClasses::new(&ptts);
+        // incubating 0.25, symptomatic 1.0, asymptomatic 0.5.
+        assert_eq!(c.n(), 3);
+    }
+
+    #[test]
+    fn empty_location_no_events() {
+        let (out, f) = run(&mut Vec::new(), 0.01);
+        assert!(out.is_empty());
+        assert_eq!(f.events, 0);
+    }
+
+    #[test]
+    fn no_transmission_without_infectious() {
+        let p = flu_model();
+        let mut vs = vec![
+            visit(1, sus(&p), 0, 100, 0),
+            visit(2, sus(&p), 50, 150, 0),
+        ];
+        let (out, f) = run(&mut vs, 1.0);
+        assert!(out.is_empty());
+        assert_eq!(f.events, 4);
+        assert_eq!(f.interactions, 0);
+    }
+
+    #[test]
+    fn certain_transmission_with_r_one() {
+        let p = flu_model();
+        let mut vs = vec![
+            visit(1, sus(&p), 0, 600, 0),
+            visit(2, sym(&p), 0, 600, 0),
+        ];
+        let (out, f) = run(&mut vs, 1.0);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].person, 1);
+        assert_eq!(out[0].infector, 2);
+        assert_eq!(f.interactions, 1);
+    }
+
+    #[test]
+    fn no_interaction_across_sublocations() {
+        let p = flu_model();
+        let mut vs = vec![
+            visit(1, sus(&p), 0, 600, 0),
+            visit(2, sym(&p), 0, 600, 1), // different room
+        ];
+        let (out, f) = run(&mut vs, 1.0);
+        assert!(out.is_empty());
+        assert_eq!(f.interactions, 0);
+    }
+
+    #[test]
+    fn no_interaction_without_time_overlap() {
+        let p = flu_model();
+        let mut vs = vec![
+            visit(1, sus(&p), 0, 100, 0),
+            visit(2, sym(&p), 100, 400, 0), // back-to-back, zero overlap
+        ];
+        let (out, f) = run(&mut vs, 1.0);
+        assert!(out.is_empty());
+        assert_eq!(f.interactions, 0);
+    }
+
+    #[test]
+    fn interaction_counts_are_pairwise_exact() {
+        let p = flu_model();
+        // Two infectious overlap one susceptible; one infectious arrives
+        // during the stay, one is present beforehand.
+        let mut vs = vec![
+            visit(1, sus(&p), 100, 300, 0),
+            visit(2, sym(&p), 0, 200, 0),   // present at arrival
+            visit(3, sym(&p), 150, 400, 0), // arrives during stay
+            visit(4, sym(&p), 350, 500, 0), // after departure — no overlap
+        ];
+        let (_, f) = run(&mut vs, 0.0001);
+        assert_eq!(f.interactions, 2);
+        assert!((f.sum_reciprocal_interactions - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probability_matches_closed_form() {
+        // Single pair, moderate r: empirical infection rate over many
+        // persons ≈ 1 − (1−r·s·ι)^τ.
+        let p = flu_model();
+        let classes = InfectivityClasses::new(&p);
+        let r = 0.002;
+        let tau = 120u16;
+        let n = 4000u32;
+        let mut infected = 0;
+        for person in 0..n {
+            let mut vs = vec![
+                visit(person, sus(&p), 0, tau, 0),
+                visit(1_000_000, sym(&p), 0, tau, 0),
+            ];
+            let mut out = Vec::new();
+            simulate_location_day(&mut vs, &p, &classes, r, 7, 3, &mut out);
+            infected += out.len();
+        }
+        let expected = 1.0 - (1.0f64 - r).powf(tau as f64);
+        let got = infected as f64 / n as f64;
+        assert!(
+            (got - expected).abs() < 0.02,
+            "empirical {got} vs closed form {expected}"
+        );
+    }
+
+    #[test]
+    fn exposure_independent_of_visit_order() {
+        let p = flu_model();
+        let mut a = vec![
+            visit(1, sus(&p), 0, 300, 0),
+            visit(2, sym(&p), 100, 200, 0),
+            visit(3, sym(&p), 50, 250, 0),
+        ];
+        let mut b = a.clone();
+        b.reverse();
+        let (out_a, fa) = run(&mut a, 0.01);
+        let (out_b, fb) = run(&mut b, 0.01);
+        assert_eq!(out_a, out_b);
+        assert_eq!(fa, fb);
+    }
+
+    #[test]
+    fn vaccinated_scale_reduces_probability() {
+        let p = flu_model();
+        let classes = InfectivityClasses::new(&p);
+        let count = |scale: f32| {
+            let mut infected = 0;
+            for person in 0..3000u32 {
+                let mut vs = vec![
+                    VisitMsg {
+                        sus_scale: scale,
+                        ..visit(person, sus(&p), 0, 200, 0)
+                    },
+                    visit(9_999_999, sym(&p), 0, 200, 0),
+                ];
+                let mut out = Vec::new();
+                simulate_location_day(&mut vs, &p, &classes, 0.003, 11, 1, &mut out);
+                infected += out.len();
+            }
+            infected
+        };
+        let unvaxed = count(1.0);
+        let vaxed = count(0.2);
+        assert!(
+            (vaxed as f64) < 0.55 * unvaxed as f64,
+            "vaxed {vaxed} vs unvaxed {unvaxed}"
+        );
+        assert_eq!(count(0.0), 0, "perfect vaccine blocks everything");
+    }
+
+    #[test]
+    fn multiple_infectious_raise_risk() {
+        let p = flu_model();
+        let classes = InfectivityClasses::new(&p);
+        let count = |n_inf: u32| {
+            let mut infected = 0;
+            for person in 0..3000u32 {
+                let mut vs = vec![visit(person, sus(&p), 0, 100, 0)];
+                for j in 0..n_inf {
+                    vs.push(visit(1_000_000 + j, sym(&p), 0, 100, 0));
+                }
+                let mut out = Vec::new();
+                simulate_location_day(&mut vs, &p, &classes, 0.002, 13, 2, &mut out);
+                infected += out.len();
+            }
+            infected
+        };
+        let one = count(1);
+        let four = count(4);
+        assert!(four > one, "4 infectious {four} vs 1 infectious {one}");
+    }
+
+    #[test]
+    fn infector_attribution_prefers_longer_overlap() {
+        let p = flu_model();
+        let classes = InfectivityClasses::new(&p);
+        let mut by_infector = std::collections::HashMap::new();
+        for person in 0..4000u32 {
+            let mut vs = vec![
+                visit(person, sus(&p), 0, 400, 0),
+                visit(77, sym(&p), 0, 400, 0),  // full overlap
+                visit(88, sym(&p), 380, 400, 0), // 20 minutes
+            ];
+            let mut out = Vec::new();
+            simulate_location_day(&mut vs, &p, &classes, 0.01, 17, 5, &mut out);
+            for i in out {
+                *by_infector.entry(i.infector).or_insert(0u32) += 1;
+            }
+        }
+        let c77 = by_infector.get(&77).copied().unwrap_or(0);
+        let c88 = by_infector.get(&88).copied().unwrap_or(0);
+        assert!(c77 > 10 * c88.max(1), "77:{c77} 88:{c88}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let p = flu_model();
+        let mk = || {
+            vec![
+                visit(1, sus(&p), 0, 300, 0),
+                visit(2, sym(&p), 0, 300, 0),
+                visit(3, sus(&p), 100, 250, 0),
+                visit(4, sym(&p), 120, 260, 0),
+            ]
+        };
+        let (a, _) = run(&mut mk(), 0.004);
+        let (b, _) = run(&mut mk(), 0.004);
+        assert_eq!(a, b);
+    }
+}

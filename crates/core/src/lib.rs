@@ -1,0 +1,76 @@
+//! # episim-core — the EpiSimdemics contagion simulator
+//!
+//! The paper's primary contribution (Yeom et al., IPDPS 2014): an
+//! agent-based contagion simulator over person–location bipartite graphs,
+//! implemented message-driven on the `chare-rt` runtime, with the §III
+//! scalability machinery — application-specific workload modeling,
+//! multi-constraint graph partitioning, and heavy-location splitting
+//! (splitLoc).
+//!
+//! The per-day algorithm (§II-B):
+//!
+//! 1. **Person phase** — every person recalculates their health state (a
+//!    PTTS step), reacts to interventions, and sends a *visit* message to
+//!    every location they will visit today.
+//! 2. Completion detection (receivers don't know how many messages to
+//!    expect).
+//! 3. **Location phase** — every location builds a local DES from the
+//!    arrive/depart events, computes susceptible×infectious interactions,
+//!    and sends *infect* messages.
+//! 4. Completion detection again.
+//! 5. **Apply phase** — infected persons update their health state; global
+//!    counts reduce to the driver.
+//!
+//! Modules:
+//! * [`messages`] — the visit/infect message types and phase controls.
+//! * [`kernel`] — the location DES: class-binned exposure integrals, the
+//!   Barrett transmission function, infector attribution.
+//! * [`person`] — person-side scheduling (health + interventions).
+//! * [`managers`] — PersonManager / LocationManager chares (§II-C's
+//!   two-level hierarchical data distribution).
+//! * [`splitloc`] — §III-C's heavy-location splitting preprocessor.
+//! * [`workload`] — the 2-constraint partitioner input graph (§III-A).
+//! * [`distribution`] — the four data distributions of the evaluation:
+//!   `RR`, `GP`, `RR-splitLoc`, `GP-splitLoc`.
+//! * [`simulator`] — the parallel driver (day loop over runtime phases).
+//! * [`rebalance`] — measurement-based dynamic load balancing between
+//!   epochs (the paper's §VII future work, implemented).
+//! * [`seq`] — a direct sequential implementation used as the correctness
+//!   oracle for the parallel one.
+//! * [`checkpoint`] — save/restore a simulation mid-run (restart is
+//!   bit-exact).
+//! * [`ensemble`] — multi-seed replicates with quantile bands.
+//! * [`tree`] — transmission-tree analytics (R_t, generation intervals,
+//!   offspring distribution).
+//! * [`output`] — epidemic curves and TSV rendering.
+
+pub mod checkpoint;
+pub mod distribution;
+pub mod ensemble;
+pub mod kernel;
+pub mod managers;
+pub mod messages;
+pub mod output;
+pub mod person;
+pub mod rebalance;
+pub mod seq;
+pub mod simulator;
+pub mod splitloc;
+pub mod tree;
+pub mod workload;
+
+pub use distribution::{DataDistribution, Strategy};
+pub use output::{DayStats, EpiCurve};
+pub use rebalance::{run_with_rebalancing, RebalanceConfig, RebalanceRun};
+pub use simulator::{SimConfig, Simulator};
+pub use splitloc::{split_heavy_locations, SplitConfig, SplitResult};
+pub use tree::{transmission_stats, TransmissionStats};
+pub use workload::build_workload_graph;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use crate::distribution::{DataDistribution, Strategy};
+    pub use crate::output::{DayStats, EpiCurve};
+    pub use crate::simulator::{SimConfig, Simulator};
+    pub use crate::splitloc::{split_heavy_locations, SplitConfig};
+}

@@ -1,0 +1,225 @@
+//! PersonManager and LocationManager chares (§II-C).
+//!
+//! "We follow a two-level hierarchical data distribution technique … we
+//! create two types of chares, LocationManagers (LM) and PersonManagers
+//! (PM), each able to manage multiple second level objects representing
+//! individual locations and persons … The individual chares in both arrays
+//! handle the computation and communication of all location or person
+//! objects assigned to them."
+
+use crate::kernel::{simulate_location_day, InfectivityClasses, LocationDayFeatures};
+use crate::messages::{slots, SimMsg, SharedRef, VisitMsg};
+use crate::person::{person_day, PersonSlot};
+use chare_rt::{Chare, ChareId, Ctx};
+use ptts::model::StateId;
+
+/// A PersonManager: owns a set of persons, drives phases 1 and 5.
+pub struct PersonManager {
+    shared: SharedRef,
+    persons: Vec<PersonSlot>,
+    symptomatic_state: Option<StateId>,
+    /// Scratch buffer reused across days.
+    visit_buf: Vec<VisitMsg>,
+}
+
+impl PersonManager {
+    /// Build a PM owning `person_ids` (ascending order expected; local slot
+    /// index must match `Shared::local_of_person`).
+    pub fn new(shared: SharedRef, person_ids: Vec<u32>) -> Self {
+        let persons = person_ids
+            .iter()
+            .map(|&id| PersonSlot::new(id, &shared.ptts))
+            .collect();
+        Self::with_states(shared, persons)
+    }
+
+    /// Build a PM from pre-existing person states (chare migration: the
+    /// §VII load-rebalancing path re-homes persons between epochs).
+    pub fn with_states(shared: SharedRef, persons: Vec<PersonSlot>) -> Self {
+        let symptomatic_state = shared.ptts.state_by_name("symptomatic");
+        PersonManager {
+            shared,
+            persons,
+            symptomatic_state,
+            visit_buf: Vec::new(),
+        }
+    }
+
+    /// Take the person states out (after `Runtime::into_chares`).
+    pub fn into_persons(self) -> Vec<PersonSlot> {
+        self.persons
+    }
+
+    /// Seed an initial infection (before day 0).
+    pub fn seed_infection(&mut self, local_idx: u32) {
+        let shared = self.shared.clone();
+        self.persons[local_idx as usize].seed(&shared.ptts, shared.seed);
+    }
+
+    /// The owned persons (read access for tests and result extraction).
+    pub fn persons(&self) -> &[PersonSlot] {
+        &self.persons
+    }
+
+    fn begin_day(&mut self, day: u32, effects: &crate::messages::DayEffects, ctx: &mut Ctx<'_, SimMsg>) {
+        let shared = self.shared.clone();
+        let mut symptomatic = 0u64;
+        let mut infected_now = 0u64;
+        let mut susceptible = 0u64;
+        let mut visits_sent = 0u64;
+        for slot in &mut self.persons {
+            self.visit_buf.clear();
+            let sym = person_day(
+                slot,
+                &shared.pop,
+                &shared.ptts,
+                effects,
+                self.symptomatic_state,
+                shared.seed,
+                day,
+                &mut self.visit_buf,
+            );
+            symptomatic += sym as u64;
+            infected_now += slot.is_infected() as u64;
+            susceptible += shared.ptts.is_susceptible(slot.health.state) as u64;
+            visits_sent += self.visit_buf.len() as u64;
+            for msg in self.visit_buf.drain(..) {
+                let lm = shared.lm_of_location[msg.location as usize];
+                ctx.send(ChareId(lm), SimMsg::Visit(msg));
+            }
+        }
+        ctx.contribute(slots::SYMPTOMATIC, symptomatic);
+        ctx.contribute(slots::INFECTED_NOW, infected_now);
+        ctx.contribute(slots::SUSCEPTIBLE, susceptible);
+        ctx.contribute(slots::VISITS_SENT, visits_sent);
+    }
+
+    fn apply_day(&mut self, day: u32, ctx: &mut Ctx<'_, SimMsg>) {
+        let shared = self.shared.clone();
+        let mut new_infections = 0u64;
+        for slot in &mut self.persons {
+            new_infections += slot.apply_pending(&shared.ptts, shared.seed, day) as u64;
+        }
+        ctx.contribute(slots::NEW_INFECTIONS, new_infections);
+    }
+}
+
+impl Chare<SimMsg> for PersonManager {
+    fn receive(&mut self, msg: SimMsg, ctx: &mut Ctx<'_, SimMsg>) {
+        match msg {
+            SimMsg::BeginDay { day, effects } => self.begin_day(day, &effects, ctx),
+            SimMsg::Infect(infect) => {
+                let local = self.shared.local_of_person[infect.person as usize] as usize;
+                self.persons[local].record_infection(&infect);
+            }
+            SimMsg::ApplyDay { day } => self.apply_day(day, ctx),
+            other => panic!("PersonManager got unexpected message {other:?}"),
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+/// A LocationManager: owns a set of locations, buffers the day's visit
+/// messages, and runs the DES in phase 3.
+pub struct LocationManager {
+    shared: SharedRef,
+    /// Global location ids owned, ordered by local slot.
+    locations: Vec<u32>,
+    /// Per-location visit buffer for the current day.
+    buffers: Vec<Vec<VisitMsg>>,
+    classes: InfectivityClasses,
+    /// Accumulated per-location features of the most recent day (exposed
+    /// for load-model calibration).
+    pub last_features: Vec<LocationDayFeatures>,
+    /// Per-location features summed over every day this LM has computed —
+    /// the measured dynamic load the §VII rebalancer feeds on.
+    pub feature_totals: Vec<LocationDayFeatures>,
+    infect_buf: Vec<crate::messages::InfectMsg>,
+}
+
+impl LocationManager {
+    /// Build an LM owning `location_ids` (local slot order must match
+    /// `Shared::local_of_location`).
+    pub fn new(shared: SharedRef, location_ids: Vec<u32>) -> Self {
+        let n = location_ids.len();
+        let classes = InfectivityClasses::new(&shared.ptts);
+        LocationManager {
+            shared,
+            locations: location_ids,
+            buffers: vec![Vec::new(); n],
+            classes,
+            last_features: vec![LocationDayFeatures::default(); n],
+            feature_totals: vec![LocationDayFeatures::default(); n],
+            infect_buf: Vec::new(),
+        }
+    }
+
+    /// The owned location ids.
+    pub fn locations(&self) -> &[u32] {
+        &self.locations
+    }
+
+    fn compute_day(&mut self, day: u32, r_eff: f64, ctx: &mut Ctx<'_, SimMsg>) {
+        let shared = self.shared.clone();
+        let mut events = 0u64;
+        let mut interactions = 0u64;
+        let mut infects_sent = 0u64;
+        let mut by_kind = [0u64; 5];
+        for li in 0..self.locations.len() {
+            self.infect_buf.clear();
+            let features = simulate_location_day(
+                &mut self.buffers[li],
+                &shared.ptts,
+                &self.classes,
+                r_eff,
+                shared.seed,
+                day,
+                &mut self.infect_buf,
+            );
+            self.buffers[li].clear();
+            events += features.events;
+            interactions += features.interactions;
+            infects_sent += self.infect_buf.len() as u64;
+            let kind =
+                shared.pop.locations[self.locations[li] as usize].kind as usize;
+            by_kind[kind] += self.infect_buf.len() as u64;
+            self.last_features[li] = features;
+            let tot = &mut self.feature_totals[li];
+            tot.events += features.events;
+            tot.interactions += features.interactions;
+            tot.sum_reciprocal_interactions += features.sum_reciprocal_interactions;
+            for infect in self.infect_buf.drain(..) {
+                let pm = shared.pm_of_person[infect.person as usize];
+                ctx.send(ChareId(pm), SimMsg::Infect(infect));
+            }
+        }
+        ctx.contribute(slots::EVENTS, events);
+        ctx.contribute(slots::INTERACTIONS, interactions);
+        ctx.contribute(slots::INFECTS_SENT, infects_sent);
+        for (k, &n) in by_kind.iter().enumerate() {
+            if n > 0 {
+                ctx.contribute(slots::BY_KIND_BASE + k, n);
+            }
+        }
+    }
+}
+
+impl Chare<SimMsg> for LocationManager {
+    fn receive(&mut self, msg: SimMsg, ctx: &mut Ctx<'_, SimMsg>) {
+        match msg {
+            SimMsg::Visit(v) => {
+                let local = self.shared.local_of_location[v.location as usize] as usize;
+                self.buffers[local].push(v);
+            }
+            SimMsg::ComputeDay { day, r_eff } => self.compute_day(day, r_eff, ctx),
+            other => panic!("LocationManager got unexpected message {other:?}"),
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}

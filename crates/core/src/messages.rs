@@ -1,0 +1,214 @@
+//! Simulator messages and shared immutable state.
+
+use chare_rt::Message;
+use ptts::intervention::VaccinationOrder;
+use ptts::model::StateId;
+use ptts::Ptts;
+use std::sync::Arc;
+use synthpop::Population;
+
+/// A visit message: "the object representing the person sends a 'visit'
+/// message to the object representing the visited location with the ID of
+/// the person, the start time and the end time of the visit, as well as the
+/// person's health state" (§II-B step 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VisitMsg {
+    /// Visiting person.
+    pub person: u32,
+    /// Destination location (global id).
+    pub location: u32,
+    /// Room within the location.
+    pub sublocation: u16,
+    /// Start minute.
+    pub start_min: u16,
+    /// End minute (exclusive).
+    pub end_min: u16,
+    /// The person's health state today.
+    pub state: StateId,
+    /// Personal susceptibility multiplier (vaccine efficacy etc.).
+    pub sus_scale: f32,
+}
+
+/// An infect message: "for each interaction that results in disease
+/// transmission, an 'infect' message is sent to the infected person"
+/// (§II-B step 3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct InfectMsg {
+    /// Person being infected.
+    pub person: u32,
+    /// Minute of infection (for deterministic dedup across sources).
+    pub time_min: u16,
+    /// Who transmitted.
+    pub infector: u32,
+}
+
+/// Per-day intervention effects, broadcast to PersonManagers.
+#[derive(Debug, Clone, Default)]
+pub struct DayEffects {
+    /// Bitmask over location kinds: bit k set ⇒ kind k closed today.
+    pub closed_kinds: u8,
+    /// Multiplier on transmissibility (social distancing).
+    pub r_scale: f64,
+    /// Vaccination orders activating today.
+    pub vaccinations: Vec<VaccinationOrder>,
+}
+
+impl DayEffects {
+    /// No active interventions.
+    pub fn none() -> Self {
+        DayEffects {
+            closed_kinds: 0,
+            r_scale: 1.0,
+            vaccinations: Vec::new(),
+        }
+    }
+
+    /// Is location kind `k` closed?
+    #[inline]
+    pub fn is_closed(&self, kind: u8) -> bool {
+        kind < 8 && (self.closed_kinds >> kind) & 1 == 1
+    }
+
+    /// Build the bitmask from the intervention crate's bool array.
+    pub fn from_flags(flags: &[bool]) -> u8 {
+        flags
+            .iter()
+            .enumerate()
+            .take(8)
+            .fold(0u8, |m, (i, &c)| if c { m | (1 << i) } else { m })
+    }
+}
+
+/// All messages exchanged in the simulation.
+#[derive(Debug, Clone)]
+pub enum SimMsg {
+    /// Phase 1 kick-off, sent to every PersonManager.
+    BeginDay {
+        /// Simulation day (0-based).
+        day: u32,
+        /// Intervention effects in force.
+        effects: DayEffects,
+    },
+    /// A person visiting a location (PM → LM; the aggregated hot path).
+    Visit(VisitMsg),
+    /// Phase 2 kick-off, sent to every LocationManager.
+    ComputeDay {
+        /// Simulation day.
+        day: u32,
+        /// Effective transmissibility `r × r_scale`.
+        r_eff: f64,
+    },
+    /// A disease transmission (LM → PM).
+    Infect(InfectMsg),
+    /// Phase 3 kick-off, sent to every PersonManager.
+    ApplyDay {
+        /// Simulation day.
+        day: u32,
+    },
+}
+
+impl Message for SimMsg {
+    fn size_bytes(&self) -> usize {
+        // Wire-size estimates for the bandwidth model: the hot-path
+        // messages are what matter.
+        match self {
+            SimMsg::Visit(_) => 20,
+            SimMsg::Infect(_) => 12,
+            SimMsg::BeginDay { effects, .. } => {
+                16 + effects.vaccinations.len() * std::mem::size_of::<VaccinationOrder>()
+            }
+            SimMsg::ComputeDay { .. } => 16,
+            SimMsg::ApplyDay { .. } => 8,
+        }
+    }
+}
+
+/// Reduction slot assignments (see `chare_rt::stats::REDUCTION_SLOTS`).
+pub mod slots {
+    /// Persons currently infected (dwelling in a non-absorbing state).
+    pub const INFECTED_NOW: usize = 0;
+    /// Infections applied this day.
+    pub const NEW_INFECTIONS: usize = 1;
+    /// Visit messages sent this day.
+    pub const VISITS_SENT: usize = 2;
+    /// Symptomatic persons today.
+    pub const SYMPTOMATIC: usize = 3;
+    /// Still-susceptible persons.
+    pub const SUSCEPTIBLE: usize = 4;
+    /// Arrive/depart events processed by locations today.
+    pub const EVENTS: usize = 5;
+    /// Susceptible×infectious interactions counted today.
+    pub const INTERACTIONS: usize = 6;
+    /// Infect messages sent today.
+    pub const INFECTS_SENT: usize = 7;
+    /// Base of the per-location-kind transmission counters: slot
+    /// `BY_KIND_BASE + k` counts infect messages computed at locations of
+    /// kind `k` (venue attribution of transmissions, before per-person
+    /// dedup).
+    pub const BY_KIND_BASE: usize = 8;
+}
+
+/// Immutable state shared by every manager chare (read-only sharing across
+/// threads is one of the SMP-mode benefits the paper lists in §IV-A).
+#[derive(Debug)]
+pub struct Shared {
+    /// The population (post-splitLoc if applicable).
+    pub pop: Population,
+    /// The disease model.
+    pub ptts: Ptts,
+    /// Base transmissibility per minute of contact.
+    pub r: f64,
+    /// Simulation seed.
+    pub seed: u64,
+    /// person → PersonManager chare id.
+    pub pm_of_person: Vec<u32>,
+    /// person → local slot within its PM.
+    pub local_of_person: Vec<u32>,
+    /// location → LocationManager chare id.
+    pub lm_of_location: Vec<u32>,
+    /// location → local slot within its LM.
+    pub local_of_location: Vec<u32>,
+}
+
+/// Shared handle.
+pub type SharedRef = Arc<Shared>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_kind_bitmask() {
+        let e = DayEffects {
+            closed_kinds: DayEffects::from_flags(&[false, false, true, false, true]),
+            r_scale: 1.0,
+            vaccinations: Vec::new(),
+        };
+        assert!(!e.is_closed(0));
+        assert!(e.is_closed(2));
+        assert!(e.is_closed(4));
+        assert!(!e.is_closed(7));
+        assert!(!e.is_closed(200));
+    }
+
+    #[test]
+    fn message_sizes_reflect_payload() {
+        let v = SimMsg::Visit(VisitMsg {
+            person: 1,
+            location: 2,
+            sublocation: 0,
+            start_min: 0,
+            end_min: 100,
+            state: StateId(0),
+            sus_scale: 1.0,
+        });
+        assert_eq!(v.size_bytes(), 20);
+        let i = SimMsg::Infect(InfectMsg {
+            person: 1,
+            time_min: 10,
+            infector: 2,
+        });
+        assert_eq!(i.size_bytes(), 12);
+        assert!(v.size_bytes() > i.size_bytes());
+    }
+}

@@ -1,0 +1,152 @@
+//! Simulation outputs: per-day statistics and epidemic curves.
+
+/// One day's global statistics (§II-B step 6, "global system state").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DayStats {
+    /// Simulation day (0-based).
+    pub day: u32,
+    /// Infections applied at the end of this day.
+    pub new_infections: u64,
+    /// Persons in a non-absorbing health state at the start of this day.
+    pub infected_now: u64,
+    /// Still-susceptible persons at the start of this day.
+    pub susceptible: u64,
+    /// Symptomatic persons today.
+    pub symptomatic: u64,
+    /// Cumulative infections through this day (seeds included).
+    pub cumulative: u64,
+    /// Visit messages sent today.
+    pub visits: u64,
+    /// Location DES events processed today.
+    pub events: u64,
+    /// Susceptible×infectious interactions today.
+    pub interactions: u64,
+    /// Infect messages sent today.
+    pub infects_sent: u64,
+    /// Infect messages by the kind of location where the transmission was
+    /// computed (index = `synthpop::LocationKind` discriminant; venue
+    /// attribution before per-person dedup, so the sum equals
+    /// `infects_sent`).
+    pub infections_by_kind: [u64; 5],
+}
+
+/// A full run's day-by-day curve.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EpiCurve {
+    /// Population size.
+    pub population: u64,
+    /// Initial seeded infections.
+    pub seeds: u64,
+    /// One entry per simulated day.
+    pub days: Vec<DayStats>,
+}
+
+impl EpiCurve {
+    /// Total infections over the run (including seeds).
+    pub fn total_infections(&self) -> u64 {
+        self.seeds + self.days.iter().map(|d| d.new_infections).sum::<u64>()
+    }
+
+    /// Attack rate: fraction of the population ever infected.
+    pub fn attack_rate(&self) -> f64 {
+        if self.population == 0 {
+            return 0.0;
+        }
+        self.total_infections() as f64 / self.population as f64
+    }
+
+    /// Day with the most new infections, if any day had one.
+    pub fn peak_day(&self) -> Option<u32> {
+        self.days
+            .iter()
+            .max_by_key(|d| (d.new_infections, std::cmp::Reverse(d.day)))
+            .filter(|d| d.new_infections > 0)
+            .map(|d| d.day)
+    }
+
+    /// New-infection series (for quick comparisons in tests).
+    pub fn new_infection_series(&self) -> Vec<u64> {
+        self.days.iter().map(|d| d.new_infections).collect()
+    }
+
+    /// Render as a TSV table, one row per day.
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::from(
+            "day\tnew_infections\tinfected_now\tsusceptible\tsymptomatic\tcumulative\tvisits\tevents\tinteractions\n",
+        );
+        for d in &self.days {
+            out.push_str(&format!(
+                "{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\t{}\n",
+                d.day,
+                d.new_infections,
+                d.infected_now,
+                d.susceptible,
+                d.symptomatic,
+                d.cumulative,
+                d.visits,
+                d.events,
+                d.interactions
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn curve() -> EpiCurve {
+        EpiCurve {
+            population: 1000,
+            seeds: 5,
+            days: vec![
+                DayStats {
+                    day: 0,
+                    new_infections: 10,
+                    cumulative: 15,
+                    ..Default::default()
+                },
+                DayStats {
+                    day: 1,
+                    new_infections: 30,
+                    cumulative: 45,
+                    ..Default::default()
+                },
+                DayStats {
+                    day: 2,
+                    new_infections: 30,
+                    cumulative: 75,
+                    ..Default::default()
+                },
+                DayStats {
+                    day: 3,
+                    new_infections: 5,
+                    cumulative: 80,
+                    ..Default::default()
+                },
+            ],
+        }
+    }
+
+    #[test]
+    fn totals_and_attack_rate() {
+        let c = curve();
+        assert_eq!(c.total_infections(), 80);
+        assert!((c.attack_rate() - 0.08).abs() < 1e-12);
+    }
+
+    #[test]
+    fn peak_day_earliest_tie() {
+        assert_eq!(curve().peak_day(), Some(1));
+        let empty = EpiCurve::default();
+        assert_eq!(empty.peak_day(), None);
+    }
+
+    #[test]
+    fn tsv_has_header_and_rows() {
+        let t = curve().to_tsv();
+        assert!(t.starts_with("day\t"));
+        assert_eq!(t.lines().count(), 5);
+    }
+}

@@ -1,0 +1,502 @@
+//! The parallel simulation driver: the per-day phase loop of §II-B run on
+//! the chare runtime.
+
+use crate::distribution::DataDistribution;
+use crate::kernel::LocationDayFeatures;
+use crate::managers::{LocationManager, PersonManager};
+use crate::messages::{slots, DayEffects, Shared, SharedRef, SimMsg};
+use crate::output::{DayStats, EpiCurve};
+use chare_rt::{ChareId, PhaseStats, Runtime, RuntimeConfig};
+use ptts::crng::{CounterRng, Purpose};
+use ptts::intervention::{DayObservables, InterventionSet};
+use ptts::Ptts;
+use std::sync::Arc;
+
+/// Simulation parameters.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// Days to simulate (the paper runs 120–180).
+    pub days: u32,
+    /// Base transmissibility per minute of contact.
+    pub r: f64,
+    /// Master seed (drives every stochastic decision).
+    pub seed: u64,
+    /// Number of initially infected persons.
+    pub initial_infections: u32,
+    /// Public-policy interventions.
+    pub interventions: InterventionSet,
+    /// Stop early once no one is infected and nothing is pending.
+    pub stop_when_extinct: bool,
+}
+
+impl Default for SimConfig {
+    fn default() -> Self {
+        SimConfig {
+            days: 120,
+            r: 0.0001,
+            seed: 42,
+            initial_infections: 5,
+            interventions: InterventionSet::none(),
+            stop_when_extinct: true,
+        }
+    }
+}
+
+/// Per-day runtime counters: one [`PhaseStats`] per §II-B phase.
+#[derive(Debug, Clone, Default)]
+pub struct DayPerf {
+    /// Phase 1+2: person updates and visit messages (ends at the first
+    /// completion detection).
+    pub person_phase: PhaseStats,
+    /// Phase 3+4: location DES and infect messages.
+    pub location_phase: PhaseStats,
+    /// Phase 5+6: infection application and global reduction.
+    pub apply_phase: PhaseStats,
+}
+
+/// Result of a run: the epidemic curve plus per-day runtime counters.
+#[derive(Debug, Clone, Default)]
+pub struct SimRun {
+    /// Day-by-day epidemic statistics.
+    pub curve: EpiCurve,
+    /// Day-by-day runtime counters (message/packet/busy-time), used by the
+    /// performance model.
+    pub perf: Vec<DayPerf>,
+}
+
+/// Epidemic bookkeeping that persists across epochs when the simulation is
+/// driven in spans (the §VII rebalancing path): intervention activation
+/// state and the running global counts.
+#[derive(Debug, Clone)]
+pub struct Carry {
+    /// Intervention activation state.
+    pub interventions: InterventionSet,
+    /// Cumulative infections so far (seeds included).
+    pub cumulative: u64,
+    /// New infections on the previous day.
+    pub yesterday_new: u64,
+    /// Infected count at the start of the previous day.
+    pub yesterday_infected: u64,
+}
+
+impl Carry {
+    /// Fresh bookkeeping for a run with `seeds` initial infections.
+    pub fn new(interventions: InterventionSet, seeds: u64) -> Self {
+        Carry {
+            interventions,
+            cumulative: seeds,
+            yesterday_new: 0,
+            yesterday_infected: seeds,
+        }
+    }
+}
+
+/// The parallel simulator.
+pub struct Simulator {
+    runtime: Runtime<SimMsg>,
+    shared: SharedRef,
+    cfg: SimConfig,
+    n_pm: u32,
+    n_lm: u32,
+}
+
+impl Simulator {
+    /// Assemble a simulator: one PersonManager and one LocationManager
+    /// chare per partition of `dist`, mapped to PE `partition % n_pes`.
+    /// Persons start in the disease's start state with `initial_infections`
+    /// seeded deterministically.
+    pub fn new(
+        dist: &DataDistribution,
+        ptts: Ptts,
+        cfg: SimConfig,
+        rt_cfg: RuntimeConfig,
+    ) -> Simulator {
+        Self::with_states(dist, ptts, cfg, rt_cfg, None)
+    }
+
+    /// Like [`Simulator::new`] but resuming from pre-existing person states
+    /// (indexed by person id) — the chare-migration path used between
+    /// rebalancing epochs. When `states` is `None`, fresh persons are
+    /// created and initial infections are seeded.
+    pub fn with_states(
+        dist: &DataDistribution,
+        ptts: Ptts,
+        cfg: SimConfig,
+        rt_cfg: RuntimeConfig,
+        states: Option<Vec<crate::person::PersonSlot>>,
+    ) -> Simulator {
+        let pop = dist.pop.clone();
+        let k = dist.k;
+        let n_people = pop.n_people() as usize;
+        let n_locations = pop.n_locations() as usize;
+        if let Some(st) = &states {
+            assert_eq!(st.len(), n_people, "states must cover every person");
+        }
+
+        // Chare ids: PMs are 0..k, LMs are k..2k.
+        let mut pm_of_person = vec![0u32; n_people];
+        let mut local_of_person = vec![0u32; n_people];
+        let mut lm_of_location = vec![0u32; n_locations];
+        let mut local_of_location = vec![0u32; n_locations];
+        let mut persons_per_part: Vec<Vec<u32>> = vec![Vec::new(); k as usize];
+        let mut locations_per_part: Vec<Vec<u32>> = vec![Vec::new(); k as usize];
+        for p in 0..n_people {
+            let part = dist.person_part[p];
+            pm_of_person[p] = part;
+            local_of_person[p] = persons_per_part[part as usize].len() as u32;
+            persons_per_part[part as usize].push(p as u32);
+        }
+        for l in 0..n_locations {
+            let part = dist.location_part[l];
+            lm_of_location[l] = k + part;
+            local_of_location[l] = locations_per_part[part as usize].len() as u32;
+            locations_per_part[part as usize].push(l as u32);
+        }
+
+        let shared: SharedRef = Arc::new(Shared {
+            pop,
+            ptts,
+            r: cfg.r,
+            seed: cfg.seed,
+            pm_of_person,
+            local_of_person,
+            lm_of_location,
+            local_of_location,
+        });
+
+        // Choose initial infections deterministically (fresh runs only).
+        let seeds = if states.is_none() {
+            let mut set = std::collections::BTreeSet::new();
+            let mut rng = CounterRng::for_entity(cfg.seed, 0, 0, Purpose::Synthesis);
+            let want = (cfg.initial_infections as usize).min(n_people);
+            while set.len() < want {
+                set.insert(rng.uniform_u64(n_people as u64) as u32);
+            }
+            set
+        } else {
+            std::collections::BTreeSet::new()
+        };
+
+        let mut runtime = Runtime::new(rt_cfg);
+        let n_pes = rt_cfg.n_pes;
+        for part in 0..k {
+            let ids = &persons_per_part[part as usize];
+            let mut pm = match &states {
+                Some(st) => PersonManager::with_states(
+                    shared.clone(),
+                    ids.iter().map(|&pid| st[pid as usize]).collect(),
+                ),
+                None => PersonManager::new(shared.clone(), ids.clone()),
+            };
+            for (local, &pid) in ids.iter().enumerate() {
+                if seeds.contains(&pid) {
+                    pm.seed_infection(local as u32);
+                }
+            }
+            runtime.add_chare(ChareId(part), part % n_pes, Box::new(pm));
+            let lm =
+                LocationManager::new(shared.clone(), locations_per_part[part as usize].clone());
+            runtime.add_chare(ChareId(k + part), part % n_pes, Box::new(lm));
+        }
+
+        Simulator {
+            runtime,
+            shared,
+            cfg,
+            n_pm: k,
+            n_lm: k,
+        }
+    }
+
+    /// Run days `start..end`, updating `carry`. Returns the day statistics,
+    /// the per-day runtime counters, and whether the epidemic went extinct.
+    pub fn run_days(
+        &mut self,
+        start: u32,
+        end: u32,
+        carry: &mut Carry,
+    ) -> (Vec<DayStats>, Vec<DayPerf>, bool) {
+        let population = self.shared.pop.n_people() as u64;
+        let mut days = Vec::new();
+        let mut perf = Vec::new();
+        let mut extinct = false;
+
+        for day in start..end {
+            // Step 0: interventions react to yesterday's global state.
+            let obs = DayObservables {
+                day,
+                infected_now: carry.yesterday_infected,
+                new_cases: carry.yesterday_new,
+                cumulative: carry.cumulative,
+                population,
+            };
+            let fx = carry.interventions.evaluate(&obs);
+            let effects = DayEffects {
+                closed_kinds: DayEffects::from_flags(&fx.closed_kinds),
+                r_scale: fx.r_scale,
+                vaccinations: fx.vaccinations,
+            };
+            let r_eff = self.shared.r * effects.r_scale;
+
+            // Phase 1+2: person phase.
+            let injections: Vec<(ChareId, SimMsg)> = (0..self.n_pm)
+                .map(|pm| {
+                    (
+                        ChareId(pm),
+                        SimMsg::BeginDay {
+                            day,
+                            effects: effects.clone(),
+                        },
+                    )
+                })
+                .collect();
+            let person_phase = self.runtime.run_phase(injections);
+
+            // Phase 3+4: location phase.
+            let injections: Vec<(ChareId, SimMsg)> = (0..self.n_lm)
+                .map(|lm| (ChareId(self.n_pm + lm), SimMsg::ComputeDay { day, r_eff }))
+                .collect();
+            let location_phase = self.runtime.run_phase(injections);
+
+            // Phase 5+6: apply infections, reduce.
+            let injections: Vec<(ChareId, SimMsg)> = (0..self.n_pm)
+                .map(|pm| (ChareId(pm), SimMsg::ApplyDay { day }))
+                .collect();
+            let apply_phase = self.runtime.run_phase(injections);
+
+            let new_infections = apply_phase.reduction(slots::NEW_INFECTIONS);
+            carry.cumulative += new_infections;
+            let stats = DayStats {
+                day,
+                new_infections,
+                infected_now: person_phase.reduction(slots::INFECTED_NOW),
+                susceptible: person_phase.reduction(slots::SUSCEPTIBLE),
+                symptomatic: person_phase.reduction(slots::SYMPTOMATIC),
+                cumulative: carry.cumulative,
+                visits: person_phase.reduction(slots::VISITS_SENT),
+                events: location_phase.reduction(slots::EVENTS),
+                interactions: location_phase.reduction(slots::INTERACTIONS),
+                infects_sent: location_phase.reduction(slots::INFECTS_SENT),
+                infections_by_kind: std::array::from_fn(|k| {
+                    location_phase.reduction(slots::BY_KIND_BASE + k)
+                }),
+            };
+            carry.yesterday_new = new_infections;
+            carry.yesterday_infected = stats.infected_now;
+            days.push(stats);
+            perf.push(DayPerf {
+                person_phase,
+                location_phase,
+                apply_phase,
+            });
+            if self.cfg.stop_when_extinct
+                && stats.infected_now == 0
+                && new_infections == 0
+                && day > 0
+            {
+                extinct = true;
+                break;
+            }
+        }
+        (days, perf, extinct)
+    }
+
+    /// Tear down, reclaiming per-person states (indexed by person id) and
+    /// each location's accumulated dynamic features (indexed by global
+    /// location id).
+    pub fn dismantle(self) -> (Vec<crate::person::PersonSlot>, Vec<LocationDayFeatures>) {
+        let n_people = self.shared.pop.n_people() as usize;
+        let n_locations = self.shared.pop.n_locations() as usize;
+        let ptts = &self.shared.ptts;
+        let mut states: Vec<crate::person::PersonSlot> = (0..n_people)
+            .map(|p| crate::person::PersonSlot::new(p as u32, ptts))
+            .collect();
+        let mut features = vec![LocationDayFeatures::default(); n_locations];
+        let n_pm = self.n_pm;
+        for (id, chare) in self.runtime.into_chares() {
+            let any = chare.into_any();
+            if id.0 < n_pm {
+                let pm = any
+                    .downcast::<PersonManager>()
+                    .expect("PM chare ids hold PersonManagers");
+                for slot in pm.into_persons() {
+                    states[slot.id as usize] = slot;
+                }
+            } else {
+                let lm = any
+                    .downcast::<LocationManager>()
+                    .expect("LM chare ids hold LocationManagers");
+                for (li, &loc) in lm.locations().iter().enumerate() {
+                    features[loc as usize] = lm.feature_totals[li];
+                }
+            }
+        }
+        (states, features)
+    }
+
+    /// Run the full simulation and also return the final person states
+    /// (carrying the transmission tree) and per-location accumulated
+    /// dynamic features.
+    pub fn run_collecting(
+        mut self,
+    ) -> (
+        SimRun,
+        Vec<crate::person::PersonSlot>,
+        Vec<LocationDayFeatures>,
+    ) {
+        let population = self.shared.pop.n_people() as u64;
+        let seeds = self
+            .cfg
+            .initial_infections
+            .min(self.shared.pop.n_people()) as u64;
+        let mut carry = Carry::new(self.cfg.interventions.clone(), seeds);
+        let days = self.cfg.days;
+        let (day_stats, perf, _extinct) = self.run_days(0, days, &mut carry);
+        let run = SimRun {
+            curve: EpiCurve {
+                population,
+                seeds,
+                days: day_stats,
+            },
+            perf,
+        };
+        let (states, features) = self.dismantle();
+        (run, states, features)
+    }
+
+    /// Run the full simulation.
+    pub fn run(mut self) -> SimRun {
+        let population = self.shared.pop.n_people() as u64;
+        let seeds = self
+            .cfg
+            .initial_infections
+            .min(self.shared.pop.n_people()) as u64;
+        let mut carry = Carry::new(self.cfg.interventions.clone(), seeds);
+        let days = self.cfg.days;
+        let (day_stats, perf, _extinct) = self.run_days(0, days, &mut carry);
+        SimRun {
+            curve: EpiCurve {
+                population,
+                seeds,
+                days: day_stats,
+            },
+            perf,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::distribution::Strategy;
+    use ptts::flu_model;
+    use synthpop::{Population, PopulationConfig};
+
+    fn small_pop() -> Population {
+        Population::generate(&PopulationConfig::small("T", 1500, 11))
+    }
+
+    fn run(strategy: Strategy, k: u32, rt: RuntimeConfig, seed: u64) -> SimRun {
+        let pop = small_pop();
+        let dist = DataDistribution::build(&pop, strategy, k, seed);
+        let cfg = SimConfig {
+            days: 40,
+            r: 0.0012,
+            seed,
+            initial_infections: 8,
+            ..Default::default()
+        };
+        Simulator::new(&dist, flu_model(), cfg, rt).run()
+    }
+
+    #[test]
+    fn epidemic_spreads_and_ends() {
+        let run = run(Strategy::RoundRobin, 4, RuntimeConfig::sequential(4), 7);
+        let total = run.curve.total_infections();
+        assert!(
+            total > 50,
+            "epidemic should take off (total {total})"
+        );
+        assert!(run.curve.attack_rate() <= 1.0);
+        // Daily visits roughly population × 5.5.
+        let d0 = &run.curve.days[0];
+        assert!(d0.visits > 1500 * 4 && d0.visits < 1500 * 9, "{}", d0.visits);
+        assert_eq!(d0.events, 2 * d0.visits);
+    }
+
+    #[test]
+    fn distributions_do_not_change_results() {
+        // The epidemic trajectory must be identical under every data
+        // distribution (including splitLoc — Figure 6a's no-added-
+        // communication split is correctness-preserving).
+        let base = run(Strategy::RoundRobin, 3, RuntimeConfig::sequential(3), 5);
+        for strategy in [
+            Strategy::GraphPartition,
+            Strategy::RoundRobinSplit,
+            Strategy::GraphPartitionSplit,
+        ] {
+            let other = run(strategy, 3, RuntimeConfig::sequential(3), 5);
+            assert_eq!(
+                base.curve.new_infection_series(),
+                other.curve.new_infection_series(),
+                "strategy {strategy:?} changed the epidemic"
+            );
+        }
+    }
+
+    #[test]
+    fn pe_count_does_not_change_results() {
+        let one = run(Strategy::GraphPartition, 4, RuntimeConfig::sequential(1), 9);
+        let four = run(Strategy::GraphPartition, 4, RuntimeConfig::sequential(4), 9);
+        assert_eq!(
+            one.curve.new_infection_series(),
+            four.curve.new_infection_series()
+        );
+    }
+
+    #[test]
+    fn threaded_matches_sequential() {
+        let seq = run(Strategy::GraphPartition, 4, RuntimeConfig::sequential(2), 3);
+        let thr = run(Strategy::GraphPartition, 4, RuntimeConfig::threaded(2), 3);
+        assert_eq!(
+            seq.curve.new_infection_series(),
+            thr.curve.new_infection_series()
+        );
+        assert_eq!(seq.curve.days.len(), thr.curve.days.len());
+    }
+
+    #[test]
+    fn seeds_counted_in_cumulative() {
+        let r = run(Strategy::RoundRobin, 2, RuntimeConfig::sequential(2), 1);
+        assert!(r.curve.total_infections() >= 8);
+        assert_eq!(r.curve.seeds, 8);
+    }
+
+    #[test]
+    fn perf_counters_present() {
+        let r = run(Strategy::RoundRobin, 4, RuntimeConfig::sequential(4), 7);
+        assert_eq!(r.perf.len(), r.curve.days.len());
+        let day0 = &r.perf[0];
+        assert_eq!(day0.person_phase.per_pe.len(), 4);
+        // The person phase carries the visit traffic.
+        assert!(day0.person_phase.totals().sent_total() > 0);
+        assert!(day0.person_phase.totals().busy_ns > 0);
+    }
+
+    #[test]
+    fn zero_r_means_no_spread() {
+        let pop = small_pop();
+        let dist = DataDistribution::build(&pop, Strategy::RoundRobin, 2, 1);
+        let cfg = SimConfig {
+            days: 30,
+            r: 0.0,
+            seed: 1,
+            initial_infections: 5,
+            ..Default::default()
+        };
+        let run = Simulator::new(&dist, flu_model(), cfg, RuntimeConfig::sequential(2)).run();
+        assert_eq!(run.curve.total_infections(), 5);
+        // Early exit once the seeds recover.
+        assert!(run.curve.days.len() < 30);
+    }
+}

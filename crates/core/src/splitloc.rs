@@ -1,0 +1,355 @@
+//! Heavy-location splitting — §III-C's graph preprocessing.
+//!
+//! "We split a heavy location into multiple locations, each of which
+//! contains an exclusive subset of sublocations of the original location."
+//! Because people only interact within a sublocation, the split adds no
+//! communication edges (Figure 6a) and provably does not change simulation
+//! results — a property the integration tests verify.
+//!
+//! The split threshold follows the paper: "We determine the threshold based
+//! on the total load in the graph, the maximum number of partitions to use,
+//! and the largest weight of a sublocation."
+
+use synthpop::{Location, Population, SublocationId};
+
+/// Split parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct SplitConfig {
+    /// The largest partition count the distribution will be asked for; the
+    /// threshold scales with `total_load / max_partitions`.
+    pub max_partitions: u32,
+    /// Optional hard threshold override (visits per location). When `None`
+    /// the paper's rule computes it.
+    pub threshold_override: Option<u32>,
+}
+
+impl Default for SplitConfig {
+    fn default() -> Self {
+        SplitConfig {
+            max_partitions: 1024,
+            threshold_override: None,
+        }
+    }
+}
+
+/// Result of preprocessing.
+#[derive(Debug, Clone)]
+pub struct SplitResult {
+    /// The population with heavy locations split (visits rewritten; new
+    /// location ids appended after the originals).
+    pub pop: Population,
+    /// For every (new) location id, the original location id.
+    pub orig_of_location: Vec<u32>,
+    /// How many locations were split.
+    pub n_split: u32,
+    /// The visit-count threshold used.
+    pub threshold: u32,
+}
+
+/// Compute the split threshold per the paper's rule.
+pub fn split_threshold(pop: &Population, cfg: &SplitConfig) -> u32 {
+    if let Some(t) = cfg.threshold_override {
+        return t.max(1);
+    }
+    let total_visits = pop.visits.len() as u64;
+    // Largest sublocation weight: the biggest per-room visit capacity in
+    // use (the finest grain a split can reach).
+    let max_subloc_weight = pop
+        .locations
+        .iter()
+        .map(|l| l.kind.room_capacity())
+        .max()
+        .unwrap_or(1) as u64;
+    // Target load per partition at the largest requested K, but never finer
+    // than two of the heaviest rooms.
+    let per_part = total_visits / cfg.max_partitions.max(1) as u64;
+    (per_part.max(2 * max_subloc_weight)).min(u32::MAX as u64) as u32
+}
+
+/// Split every location whose visit count exceeds the threshold into
+/// pieces of exclusive sublocation subsets (round-robin by sublocation id,
+/// so pieces are even).
+pub fn split_heavy_locations(pop: &Population, cfg: &SplitConfig) -> SplitResult {
+    let threshold = split_threshold(pop, cfg);
+    let n_orig = pop.locations.len();
+
+    // Visit counts.
+    let mut degree = vec![0u32; n_orig];
+    for v in &pop.visits {
+        degree[v.location.0 as usize] += 1;
+    }
+
+    // Plan splits: for each heavy location, the number of pieces (capped by
+    // its sublocation count — we cannot split below one room).
+    // piece_base[l] = id of the first extra piece for location l.
+    let mut pieces = vec![1u32; n_orig];
+    let mut piece_base = vec![0u32; n_orig];
+    let mut next_id = n_orig as u32;
+    let mut n_split = 0u32;
+    for l in 0..n_orig {
+        let d = degree[l];
+        let rooms = pop.locations[l].n_sublocations as u32;
+        if d > threshold && rooms > 1 {
+            let want = d.div_ceil(threshold.max(1));
+            let p = want.min(rooms);
+            if p > 1 {
+                pieces[l] = p;
+                piece_base[l] = next_id;
+                next_id += p - 1;
+                n_split += 1;
+            }
+        }
+    }
+
+    // Build new location table.
+    let mut locations: Vec<Location> = Vec::with_capacity(next_id as usize);
+    let mut orig_of_location: Vec<u32> = Vec::with_capacity(next_id as usize);
+    for (l, loc) in pop.locations.iter().enumerate() {
+        let p = pieces[l];
+        let rooms = loc.n_sublocations as u32;
+        // Piece 0 keeps the original id; rooms distributed round-robin:
+        // piece q receives rooms {s | s % p == q}.
+        let rooms_piece0 = rooms.div_ceil(p);
+        locations.push(Location {
+            kind: loc.kind,
+            n_sublocations: rooms_piece0.max(1) as u16,
+            weight: loc.weight / p as f32,
+        });
+        orig_of_location.push(l as u32);
+    }
+    for (l, loc) in pop.locations.iter().enumerate() {
+        let p = pieces[l];
+        let rooms = loc.n_sublocations as u32;
+        for q in 1..p {
+            // Rooms with s % p == q: count = floor((rooms - q - 1)/p) + 1.
+            let count = if q < rooms { (rooms - q - 1) / p + 1 } else { 0 };
+            locations.push(Location {
+                kind: loc.kind,
+                n_sublocations: count.max(1) as u16,
+                weight: loc.weight / p as f32,
+            });
+            orig_of_location.push(l as u32);
+        }
+    }
+
+    // Rewrite visits: sublocation s of a split location l moves to piece
+    // s % p with local room index s / p.
+    let mut visits = pop.visits.clone();
+    for v in &mut visits {
+        let l = v.location.0 as usize;
+        let p = pieces[l];
+        if p > 1 {
+            let s = v.sublocation.0 as u32;
+            let q = s % p;
+            let new_loc = if q == 0 {
+                l as u32
+            } else {
+                piece_base[l] + (q - 1)
+            };
+            v.location = synthpop::LocationId(new_loc);
+            v.sublocation = SublocationId((s / p) as u16);
+        }
+    }
+
+    let new_pop = Population {
+        code: pop.code.clone(),
+        seed: pop.seed,
+        people: pop.people.clone(),
+        locations,
+        visits,
+        person_offsets: pop.person_offsets.clone(),
+    };
+    SplitResult {
+        pop: new_pop,
+        orig_of_location,
+        n_split,
+        threshold,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthpop::{BipartiteGraph, LocationId, PopulationConfig};
+
+    fn pop() -> Population {
+        Population::generate(&PopulationConfig::small("T", 20_000, 5))
+    }
+
+    fn degrees(p: &Population) -> Vec<u32> {
+        let mut d = vec![0u32; p.locations.len()];
+        for v in &p.visits {
+            d[v.location.0 as usize] += 1;
+        }
+        d
+    }
+
+    #[test]
+    fn split_reduces_max_degree() {
+        let p = pop();
+        let before = degrees(&p);
+        let dmax_before = *before.iter().max().unwrap();
+        let res = split_heavy_locations(
+            &p,
+            &SplitConfig {
+                max_partitions: 256,
+                threshold_override: None,
+            },
+        );
+        assert!(res.n_split > 0, "nothing split (threshold {})", res.threshold);
+        let after = degrees(&res.pop);
+        let dmax_after = *after.iter().max().unwrap();
+        assert!(
+            dmax_after < dmax_before,
+            "dmax {dmax_before} → {dmax_after}"
+        );
+        // The paper reports dmax dropping by large factors; with a room cap
+        // of ≤ 40 visits, pieces approach the threshold.
+        assert!(dmax_after as f64 <= 2.2 * res.threshold as f64 + 80.0);
+    }
+
+    #[test]
+    fn visits_and_people_conserved() {
+        let p = pop();
+        let res = split_heavy_locations(&p, &SplitConfig::default());
+        assert_eq!(res.pop.visits.len(), p.visits.len());
+        assert_eq!(res.pop.people.len(), p.people.len());
+        assert_eq!(res.pop.person_offsets, p.person_offsets);
+        // Total degree conserved.
+        assert_eq!(
+            degrees(&p).iter().sum::<u32>(),
+            degrees(&res.pop).iter().sum::<u32>()
+        );
+    }
+
+    #[test]
+    fn sublocation_cohorts_preserved() {
+        // Every set of people sharing (location, sublocation) before the
+        // split still shares a (location, sublocation) after — the split
+        // must not separate or merge interaction groups.
+        let p = pop();
+        let res = split_heavy_locations(&p, &SplitConfig::default());
+        use std::collections::HashMap;
+        let mut before: HashMap<(u32, u16), Vec<usize>> = HashMap::new();
+        for (i, v) in p.visits.iter().enumerate() {
+            before
+                .entry((v.location.0, v.sublocation.0))
+                .or_default()
+                .push(i);
+        }
+        let mut after: HashMap<(u32, u16), Vec<usize>> = HashMap::new();
+        for (i, v) in res.pop.visits.iter().enumerate() {
+            after
+                .entry((v.location.0, v.sublocation.0))
+                .or_default()
+                .push(i);
+        }
+        // Same number of cohorts with the same membership multiset.
+        let mut b: Vec<Vec<usize>> = before.into_values().collect();
+        let mut a: Vec<Vec<usize>> = after.into_values().collect();
+        b.iter_mut().for_each(|v| v.sort_unstable());
+        a.iter_mut().for_each(|v| v.sort_unstable());
+        b.sort();
+        a.sort();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn mapping_points_to_originals() {
+        let p = pop();
+        let n_orig = p.locations.len();
+        let res = split_heavy_locations(&p, &SplitConfig::default());
+        assert_eq!(res.orig_of_location.len(), res.pop.locations.len());
+        for (new_id, &orig) in res.orig_of_location.iter().enumerate() {
+            assert!((orig as usize) < n_orig);
+            if new_id < n_orig {
+                assert_eq!(orig as usize, new_id, "originals map to themselves");
+            }
+            // Kind preserved.
+            assert_eq!(
+                res.pop.locations[new_id].kind,
+                p.locations[orig as usize].kind
+            );
+        }
+    }
+
+    #[test]
+    fn sublocation_ids_in_range_after_split() {
+        let p = pop();
+        let res = split_heavy_locations(&p, &SplitConfig::default());
+        for v in &res.pop.visits {
+            let rooms = res.pop.locations[v.location.0 as usize].n_sublocations;
+            assert!(
+                v.sublocation.0 < rooms,
+                "subloc {} ≥ rooms {rooms} at location {}",
+                v.sublocation.0,
+                v.location.0
+            );
+        }
+    }
+
+    #[test]
+    fn threshold_override_respected() {
+        let p = pop();
+        let res = split_heavy_locations(
+            &p,
+            &SplitConfig {
+                max_partitions: 16,
+                threshold_override: Some(50),
+            },
+        );
+        assert_eq!(res.threshold, 50);
+    }
+
+    #[test]
+    fn small_threshold_splits_more() {
+        let p = pop();
+        let few = split_heavy_locations(
+            &p,
+            &SplitConfig {
+                max_partitions: 8,
+                threshold_override: None,
+            },
+        );
+        let many = split_heavy_locations(
+            &p,
+            &SplitConfig {
+                max_partitions: 4096,
+                threshold_override: None,
+            },
+        );
+        assert!(many.n_split >= few.n_split);
+        assert!(many.pop.locations.len() >= few.pop.locations.len());
+    }
+
+    #[test]
+    fn graph_builds_on_split_population() {
+        let p = pop();
+        let res = split_heavy_locations(&p, &SplitConfig::default());
+        let g = BipartiteGraph::build(&res.pop);
+        assert_eq!(g.n_locations() as usize, res.pop.locations.len());
+        // Unique visitors at any split piece ≤ original's.
+        let g0 = BipartiteGraph::build(&p);
+        let orig0 = res.orig_of_location[p.locations.len()]; // first extra piece
+        assert!(
+            g.location_degree(LocationId(p.locations.len() as u32))
+                <= g0.location_degree(LocationId(orig0))
+        );
+    }
+
+    #[test]
+    fn ceiling_improves_table_ii_style() {
+        // Table II: Ltot/lmax rises sharply after modification.
+        let p = pop();
+        let res = split_heavy_locations(&p, &SplitConfig::default());
+        let lmax_before = *degrees(&p).iter().max().unwrap() as f64;
+        let lmax_after = *degrees(&res.pop).iter().max().unwrap() as f64;
+        let total = p.visits.len() as f64;
+        let ceiling_before = total / lmax_before;
+        let ceiling_after = total / lmax_after;
+        assert!(
+            ceiling_after > 1.5 * ceiling_before,
+            "ceiling {ceiling_before:.1} → {ceiling_after:.1}"
+        );
+    }
+}

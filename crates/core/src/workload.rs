@@ -1,0 +1,200 @@
+//! Building the partitioner input graph (§III-A).
+//!
+//! Vertices are persons followed by locations; each vertex carries a
+//! 2-element weight vector — one balance constraint per computation phase:
+//!
+//! * constraint 0 (person phase): person load = number of visit messages
+//!   generated ("no significant variance"); locations weigh 0.
+//! * constraint 1 (location phase): location load = the piecewise static
+//!   model evaluated at the location's event count; persons weigh 0.
+//!
+//! Edges connect persons to the locations they visit, weighted by the
+//! number of daily visits (= messages crossing that edge).
+
+use graph_part::{CsrGraph, GraphBuilder};
+use load_model::{LoadUnits, PiecewiseModel};
+use synthpop::Population;
+
+/// Index helpers tying graph vertices back to persons/locations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WorkloadLayout {
+    /// Number of person vertices (ids `0..n_people`).
+    pub n_people: u32,
+    /// Number of location vertices (ids `n_people..n_people+n_locations`).
+    pub n_locations: u32,
+}
+
+impl WorkloadLayout {
+    /// Graph vertex of a person.
+    #[inline]
+    pub fn person_vertex(&self, p: u32) -> u32 {
+        p
+    }
+
+    /// Graph vertex of a location.
+    #[inline]
+    pub fn location_vertex(&self, l: u32) -> u32 {
+        self.n_people + l
+    }
+
+    /// Total vertices.
+    pub fn n_vertices(&self) -> u32 {
+        self.n_people + self.n_locations
+    }
+}
+
+/// Build the 2-constraint workload graph for a population.
+pub fn build_workload_graph(
+    pop: &Population,
+    model: &PiecewiseModel,
+    units: LoadUnits,
+) -> (CsrGraph, WorkloadLayout) {
+    let layout = WorkloadLayout {
+        n_people: pop.n_people(),
+        n_locations: pop.n_locations(),
+    };
+    let mut b = GraphBuilder::new(layout.n_vertices(), 2);
+
+    // Location event counts (2 per visit).
+    let mut events = vec![0u64; pop.locations.len()];
+    for v in &pop.visits {
+        events[v.location.0 as usize] += 2;
+    }
+
+    // Person weights: visit counts.
+    for p in 0..pop.n_people() {
+        let visits = pop.person_offsets[p as usize + 1] - pop.person_offsets[p as usize];
+        b.set_vwgt(layout.person_vertex(p), &[visits.max(1) as u64, 0]);
+    }
+    // Location weights: static model.
+    for l in 0..pop.n_locations() {
+        let load = model.eval_units(events[l as usize] as f64, units.per_second);
+        b.set_vwgt(layout.location_vertex(l), &[0, load]);
+    }
+    // Edges: one per (person, location) pair, weight = visit count.
+    // Visits are sorted by person, so same-pair visits may not be adjacent;
+    // GraphBuilder merges duplicates.
+    for v in &pop.visits {
+        b.add_edge(
+            layout.person_vertex(v.person.0),
+            layout.location_vertex(v.location.0),
+            1,
+        );
+    }
+    (b.build(), layout)
+}
+
+/// The per-location static loads used for Table II / Figures 4–8 (the
+/// location side of constraint 1).
+pub fn location_static_loads(
+    pop: &Population,
+    model: &PiecewiseModel,
+    units: LoadUnits,
+) -> Vec<u64> {
+    let mut events = vec![0u64; pop.locations.len()];
+    for v in &pop.visits {
+        events[v.location.0 as usize] += 2;
+    }
+    events
+        .iter()
+        .map(|&e| model.eval_units(e as f64, units.per_second))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use synthpop::PopulationConfig;
+
+    fn setup() -> (Population, CsrGraph, WorkloadLayout) {
+        let pop = Population::generate(&PopulationConfig::small("T", 2000, 9));
+        let (g, layout) =
+            build_workload_graph(&pop, &PiecewiseModel::paper_constants(), LoadUnits::default());
+        (pop, g, layout)
+    }
+
+    #[test]
+    fn graph_is_bipartite_sized() {
+        let (pop, g, layout) = setup();
+        assert_eq!(g.n(), pop.n_people() + pop.n_locations());
+        assert_eq!(layout.n_vertices(), g.n());
+        assert_eq!(g.ncon(), 2);
+        g.validate().unwrap();
+    }
+
+    #[test]
+    fn constraints_are_disjoint() {
+        let (pop, g, layout) = setup();
+        for p in 0..pop.n_people() {
+            let w = g.vwgts(layout.person_vertex(p));
+            assert!(w[0] > 0);
+            assert_eq!(w[1], 0);
+        }
+        for l in 0..pop.n_locations() {
+            let w = g.vwgts(layout.location_vertex(l));
+            assert_eq!(w[0], 0);
+        }
+    }
+
+    #[test]
+    fn person_constraint_totals_visits() {
+        let (pop, g, _) = setup();
+        let totals = g.total_weights();
+        assert_eq!(totals[0], pop.n_visits());
+    }
+
+    #[test]
+    fn edges_only_cross_the_bipartition() {
+        let (_, g, layout) = setup();
+        for v in 0..g.n() {
+            let v_is_person = v < layout.n_people;
+            for (u, _) in g.neighbors(v) {
+                let u_is_person = u < layout.n_people;
+                assert_ne!(v_is_person, u_is_person, "edge within one side");
+            }
+        }
+    }
+
+    #[test]
+    fn edge_weight_counts_visits() {
+        let (pop, g, layout) = setup();
+        // Total edge weight = number of visits (each visit contributes 1).
+        assert_eq!(g.total_edge_weight(), pop.n_visits());
+        // A person with two home visits has a weight-2 edge to home.
+        let home = pop.people[0].home.0;
+        let w = g
+            .neighbors(layout.person_vertex(0))
+            .find(|&(u, _)| u == layout.location_vertex(home))
+            .map(|(_, w)| w)
+            .unwrap();
+        assert!(w >= 2, "home edge weight {w}");
+    }
+
+    #[test]
+    fn heavy_location_heavy_weight() {
+        let (pop, g, layout) = setup();
+        // The heaviest-degree location gets the largest constraint-1 weight.
+        let mut deg = vec![0u64; pop.locations.len()];
+        for v in &pop.visits {
+            deg[v.location.0 as usize] += 1;
+        }
+        let dmax_l = (0..deg.len()).max_by_key(|&l| deg[l]).unwrap() as u32;
+        let wmax_l = (0..pop.n_locations())
+            .max_by_key(|&l| g.vwgt(layout.location_vertex(l), 1))
+            .unwrap();
+        assert_eq!(dmax_l, wmax_l);
+    }
+
+    #[test]
+    fn static_loads_match_graph_weights() {
+        let (pop, g, layout) = setup();
+        let loads = location_static_loads(
+            &pop,
+            &PiecewiseModel::paper_constants(),
+            LoadUnits::default(),
+        );
+        for l in 0..pop.n_locations() {
+            assert_eq!(loads[l as usize], g.vwgt(layout.location_vertex(l), 1));
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Partition quality metrics.
+//!
+//! Besides the standard total edge cut and per-constraint imbalance, this
+//! module computes the **maximum per-partition edge cut**, which Figure 14
+//! of the paper plots: "although minimizing the total edge cuts limits the
+//! maximum edge cuts per partition, these tools do not balance edge cuts
+//! across partitions, which is also important for minimizing communication
+//! cost" (§VI).
+
+use crate::graph::CsrGraph;
+use crate::Partition;
+
+/// Total weight of edges crossing partitions (each edge counted once).
+pub fn total_edge_cut(g: &CsrGraph, p: &Partition) -> u64 {
+    let mut cut = 0u64;
+    for v in 0..g.n() {
+        for (u, w) in g.neighbors(v) {
+            if v < u && p.assignment[v as usize] != p.assignment[u as usize] {
+                cut += w as u64;
+            }
+        }
+    }
+    cut
+}
+
+/// Per-partition cut: for each partition, the weight of its edges whose
+/// other endpoint lies elsewhere (each cut edge contributes to *both* of
+/// its partitions, matching how communication cost is paid at both ends).
+pub fn per_partition_cut(g: &CsrGraph, p: &Partition) -> Vec<u64> {
+    let mut cuts = vec![0u64; p.k as usize];
+    for v in 0..g.n() {
+        let pv = p.assignment[v as usize];
+        for (u, w) in g.neighbors(v) {
+            if p.assignment[u as usize] != pv {
+                cuts[pv as usize] += w as u64;
+            }
+        }
+    }
+    cuts
+}
+
+/// Maximum per-partition edge cut (the Figure 14 quantity).
+pub fn max_partition_cut(g: &CsrGraph, p: &Partition) -> u64 {
+    per_partition_cut(g, p).into_iter().max().unwrap_or(0)
+}
+
+/// Per-partition loads: `loads[p][c]`.
+pub fn partition_loads(g: &CsrGraph, p: &Partition) -> Vec<Vec<u64>> {
+    let mut loads = vec![vec![0u64; g.ncon()]; p.k as usize];
+    for v in 0..g.n() {
+        let pv = p.assignment[v as usize] as usize;
+        for (c, &w) in g.vwgts(v).iter().enumerate() {
+            loads[pv][c] += w;
+        }
+    }
+    loads
+}
+
+/// Per-constraint imbalance: `max_p load[p][c] / (total_c / k)`.
+/// 1.0 is perfect balance.
+pub fn imbalances(g: &CsrGraph, p: &Partition) -> Vec<f64> {
+    let loads = partition_loads(g, p);
+    let totals = g.total_weights();
+    (0..g.ncon())
+        .map(|c| {
+            let avg = (totals[c] as f64 / p.k as f64).max(f64::MIN_POSITIVE);
+            let max = loads.iter().map(|l| l[c]).max().unwrap_or(0);
+            max as f64 / avg
+        })
+        .collect()
+}
+
+/// All quality metrics in one pass-friendly bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionQuality {
+    /// Number of partitions.
+    pub k: u32,
+    /// Total cut weight.
+    pub edge_cut: u64,
+    /// Maximum per-partition cut weight.
+    pub max_partition_cut: u64,
+    /// `loads[p][c]`.
+    pub loads: Vec<Vec<u64>>,
+    /// Per-constraint imbalance ratios.
+    pub imbalance: Vec<f64>,
+}
+
+impl PartitionQuality {
+    /// Compute every metric for a partition.
+    pub fn compute(g: &CsrGraph, p: &Partition) -> Self {
+        PartitionQuality {
+            k: p.k,
+            edge_cut: total_edge_cut(g, p),
+            max_partition_cut: max_partition_cut(g, p),
+            loads: partition_loads(g, p),
+            imbalance: imbalances(g, p),
+        }
+    }
+
+    /// Maximum load under constraint `c` (§III-B's `Lmax`).
+    pub fn max_load(&self, c: usize) -> u64 {
+        self.loads.iter().map(|l| l[c]).max().unwrap_or(0)
+    }
+
+    /// Total load under constraint `c` (§III-B's `Ltot`).
+    pub fn total_load(&self, c: usize) -> u64 {
+        self.loads.iter().map(|l| l[c]).sum()
+    }
+
+    /// The paper's estimated speedup upper bound `Sub = Ltot / Lmax` for
+    /// constraint `c` (Figures 4 and 8).
+    pub fn speedup_upper_bound(&self, c: usize) -> f64 {
+        let lmax = self.max_load(c);
+        if lmax == 0 {
+            return 0.0;
+        }
+        self.total_load(c) as f64 / lmax as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::GraphBuilder;
+
+    /// 4 vertices in two dumbbells connected by one bridge.
+    fn dumbbell() -> CsrGraph {
+        let mut b = GraphBuilder::new(4, 1);
+        for v in 0..4 {
+            b.set_vwgt(v, &[v as u64 + 1]);
+        }
+        b.add_edge(0, 1, 10);
+        b.add_edge(2, 3, 10);
+        b.add_edge(1, 2, 3); // bridge
+        b.build()
+    }
+
+    fn part(k: u32, a: &[u32]) -> Partition {
+        Partition {
+            k,
+            assignment: a.to_vec(),
+        }
+    }
+
+    #[test]
+    fn cut_counts_bridge_only() {
+        let g = dumbbell();
+        let p = part(2, &[0, 0, 1, 1]);
+        assert_eq!(total_edge_cut(&g, &p), 3);
+        assert_eq!(per_partition_cut(&g, &p), vec![3, 3]);
+        assert_eq!(max_partition_cut(&g, &p), 3);
+    }
+
+    #[test]
+    fn bad_cut_is_larger() {
+        let g = dumbbell();
+        let p = part(2, &[0, 1, 0, 1]);
+        assert_eq!(total_edge_cut(&g, &p), 23);
+    }
+
+    #[test]
+    fn loads_and_imbalance() {
+        let g = dumbbell();
+        let p = part(2, &[0, 0, 1, 1]);
+        let loads = partition_loads(&g, &p);
+        assert_eq!(loads, vec![vec![3], vec![7]]);
+        let imb = imbalances(&g, &p);
+        assert!((imb[0] - 7.0 / 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quality_bundle_consistent() {
+        let g = dumbbell();
+        let p = part(2, &[0, 0, 1, 1]);
+        let q = PartitionQuality::compute(&g, &p);
+        assert_eq!(q.edge_cut, 3);
+        assert_eq!(q.total_load(0), 10);
+        assert_eq!(q.max_load(0), 7);
+        assert!((q.speedup_upper_bound(0) - 10.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_partition_handled() {
+        let g = dumbbell();
+        let p = part(3, &[0, 0, 1, 1]);
+        let q = PartitionQuality::compute(&g, &p);
+        assert_eq!(q.loads[2], vec![0]);
+        assert_eq!(q.max_partition_cut, 3);
+    }
+
+    #[test]
+    fn asymmetric_partition_cut_sides() {
+        // Cut edges land on both sides' tallies.
+        let mut b = GraphBuilder::new(3, 1);
+        for v in 0..3 {
+            b.set_vwgt(v, &[1]);
+        }
+        b.add_edge(0, 1, 2);
+        b.add_edge(0, 2, 4);
+        let g = b.build();
+        let p = part(3, &[0, 1, 2]);
+        assert_eq!(per_partition_cut(&g, &p), vec![6, 2, 4]);
+        assert_eq!(total_edge_cut(&g, &p), 6);
+    }
+}

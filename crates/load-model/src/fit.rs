@@ -1,0 +1,329 @@
+//! Regression machinery: ordinary least squares, two-segment piecewise
+//! fitting with breakpoint search, and the small multi-feature regression
+//! behind the paper's *dynamic* load model (Figure 3b).
+
+use crate::piecewise::PiecewiseModel;
+
+/// An ordinary-least-squares line `y = a + b·x`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinearFit {
+    /// Intercept.
+    pub a: f64,
+    /// Slope.
+    pub b: f64,
+    /// Sum of squared residuals.
+    pub sse: f64,
+    /// Number of points fitted.
+    pub n: usize,
+}
+
+/// OLS over `(x, y)` pairs. Returns `None` for fewer than 2 points or a
+/// degenerate (constant-x) design.
+pub fn fit_linear(points: &[(f64, f64)]) -> Option<LinearFit> {
+    let n = points.len();
+    if n < 2 {
+        return None;
+    }
+    let nf = n as f64;
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0.0, 0.0, 0.0, 0.0);
+    for &(x, y) in points {
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+    }
+    let denom = nf * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return None;
+    }
+    let b = (nf * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / nf;
+    let sse = points
+        .iter()
+        .map(|&(x, y)| {
+            let r = y - (a + b * x);
+            r * r
+        })
+        .sum();
+    Some(LinearFit { a, b, sse, n })
+}
+
+/// Fit the paper's two-segment model: search candidate breakpoints over the
+/// x-quantiles, fit OLS lines to each side, and pick the split minimizing
+/// total SSE. `width` controls the sigmoid blend of the returned model.
+///
+/// Returns `None` if there are not enough points for two segments.
+pub fn fit_piecewise(points: &[(f64, f64)], width: f64) -> Option<PiecewiseModel> {
+    // Degenerate fallback: one line on both sides (used when there are too
+    // few points for a split, or no split point separates distinct x).
+    let single_line = |points: &[(f64, f64)]| -> Option<PiecewiseModel> {
+        let l = fit_linear(points)?;
+        Some(PiecewiseModel {
+            mu: 1.0,
+            a1: l.a,
+            b1: l.b,
+            a2: l.a,
+            b2: l.b,
+            phi: points.iter().map(|p| p.0).fold(0.0, f64::max),
+            rho: 1.0,
+            width: width.max(1e-9),
+        })
+    };
+    if points.len() < 7 {
+        return single_line(points);
+    }
+    let mut sorted: Vec<(f64, f64)> = points.to_vec();
+    sorted.sort_by(|p, q| p.0.partial_cmp(&q.0).unwrap());
+
+    let mut best: Option<(f64, LinearFit, LinearFit)> = None;
+    // Candidate splits keep at least 3 points per side.
+    for i in 3..sorted.len() - 3 {
+        // Skip ties in x (breakpoint must separate distinct x values).
+        if sorted[i].0 == sorted[i - 1].0 {
+            continue;
+        }
+        let (lo, hi) = sorted.split_at(i);
+        let (Some(fl), Some(fh)) = (fit_linear(lo), fit_linear(hi)) else {
+            continue;
+        };
+        let sse = fl.sse + fh.sse;
+        let phi = (sorted[i - 1].0 + sorted[i].0) / 2.0;
+        match &best {
+            Some((_, bl, bh)) if bl.sse + bh.sse <= sse => {}
+            _ => best = Some((phi, fl, fh)),
+        }
+    }
+    let Some((phi, lo, hi)) = best else {
+        return single_line(points);
+    };
+    Some(PiecewiseModel {
+        mu: 1.0,
+        a1: lo.a,
+        b1: lo.b,
+        a2: hi.a,
+        b2: hi.b,
+        phi,
+        rho: 1.0,
+        width: width.max(1e-9),
+    })
+}
+
+/// Multi-feature linear regression `y = w₀ + w·x` solved by normal
+/// equations with Gaussian elimination. Used for the dynamic load model,
+/// whose features are (events, Σ interactions, Σ 1/interactions).
+///
+/// Returns the weight vector `[w₀, w₁, …, w_d]` or `None` if the system is
+/// singular or underdetermined.
+pub fn fit_multilinear(xs: &[Vec<f64>], ys: &[f64]) -> Option<Vec<f64>> {
+    let n = xs.len();
+    if n == 0 || n != ys.len() {
+        return None;
+    }
+    let d = xs[0].len() + 1; // +1 for intercept
+    if n < d {
+        return None;
+    }
+    // Normal equations: (XᵀX) w = Xᵀy, with X rows [1, x...].
+    let mut ata = vec![vec![0.0f64; d]; d];
+    let mut aty = vec![0.0f64; d];
+    for (row, &y) in xs.iter().zip(ys) {
+        debug_assert_eq!(row.len() + 1, d);
+        let mut xrow = Vec::with_capacity(d);
+        xrow.push(1.0);
+        xrow.extend_from_slice(row);
+        for i in 0..d {
+            aty[i] += xrow[i] * y;
+            for j in 0..d {
+                ata[i][j] += xrow[i] * xrow[j];
+            }
+        }
+    }
+    solve(ata, aty)
+}
+
+/// Gaussian elimination with partial pivoting.
+#[allow(clippy::needless_range_loop)] // index form mirrors the math
+fn solve(mut a: Vec<Vec<f64>>, mut b: Vec<f64>) -> Option<Vec<f64>> {
+    let n = b.len();
+    for col in 0..n {
+        // Pivot.
+        let pivot = (col..n).max_by(|&i, &j| {
+            a[i][col].abs().partial_cmp(&a[j][col].abs()).unwrap()
+        })?;
+        if a[pivot][col].abs() < 1e-12 {
+            return None;
+        }
+        a.swap(col, pivot);
+        b.swap(col, pivot);
+        for row in col + 1..n {
+            let f = a[row][col] / a[col][col];
+            for k in col..n {
+                a[row][k] -= f * a[col][k];
+            }
+            b[row] -= f * b[col];
+        }
+    }
+    let mut x = vec![0.0; n];
+    for row in (0..n).rev() {
+        let mut acc = b[row];
+        for (k, &xk) in x.iter().enumerate().skip(row + 1) {
+            acc -= a[row][k] * xk;
+        }
+        x[row] = acc / a[row][row];
+    }
+    Some(x)
+}
+
+/// Coefficient of determination (R²) of predictions vs observations.
+pub fn r_squared(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len());
+    let n = observed.len() as f64;
+    if n == 0.0 {
+        return 0.0;
+    }
+    let mean = observed.iter().sum::<f64>() / n;
+    let ss_tot: f64 = observed.iter().map(|&y| (y - mean) * (y - mean)).sum();
+    let ss_res: f64 = predicted
+        .iter()
+        .zip(observed)
+        .map(|(&p, &y)| (y - p) * (y - p))
+        .sum();
+    if ss_tot <= 0.0 {
+        return if ss_res <= 1e-12 { 1.0 } else { 0.0 };
+    }
+    1.0 - ss_res / ss_tot
+}
+
+/// Mean absolute percentage error — the paper validates its static model at
+/// "5% error on average" (Figure 3a).
+pub fn mape(predicted: &[f64], observed: &[f64]) -> f64 {
+    assert_eq!(predicted.len(), observed.len());
+    let mut total = 0.0;
+    let mut n = 0usize;
+    for (&p, &y) in predicted.iter().zip(observed) {
+        if y.abs() > 1e-12 {
+            total += ((y - p) / y).abs();
+            n += 1;
+        }
+    }
+    if n == 0 {
+        0.0
+    } else {
+        total / n as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptts::CounterRng;
+
+    #[test]
+    fn linear_fit_recovers_exact_line() {
+        let pts: Vec<(f64, f64)> = (0..20).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let f = fit_linear(&pts).unwrap();
+        assert!((f.a - 3.0).abs() < 1e-9);
+        assert!((f.b - 2.0).abs() < 1e-9);
+        assert!(f.sse < 1e-12);
+    }
+
+    #[test]
+    fn linear_fit_degenerate_cases() {
+        assert!(fit_linear(&[]).is_none());
+        assert!(fit_linear(&[(1.0, 2.0)]).is_none());
+        assert!(fit_linear(&[(1.0, 2.0), (1.0, 3.0)]).is_none()); // vertical
+    }
+
+    #[test]
+    fn piecewise_recovers_two_regimes() {
+        // y = 1 + x below 100; y = -99 + 2x above (continuous at 100).
+        let mut pts = Vec::new();
+        for i in 0..100 {
+            let x = i as f64;
+            pts.push((x, 1.0 + x));
+        }
+        for i in 100..200 {
+            let x = i as f64;
+            pts.push((x, -99.0 + 2.0 * x));
+        }
+        let m = fit_piecewise(&pts, 1.0).unwrap();
+        assert!((m.phi - 100.0).abs() < 5.0, "phi {}", m.phi);
+        assert!((m.b1 - 1.0).abs() < 0.05, "b1 {}", m.b1);
+        assert!((m.b2 - 2.0).abs() < 0.05, "b2 {}", m.b2);
+        // Predictions near either end match the true lines.
+        assert!((m.eval(10.0) - 11.0).abs() < 1.0);
+        assert!((m.eval(190.0) - 281.0).abs() < 3.0);
+    }
+
+    #[test]
+    fn piecewise_with_noise_low_mape() {
+        let mut rng = CounterRng::from_key(&[1]);
+        let truth = |x: f64| {
+            if x < 500.0 {
+                10.0 + 0.5 * x
+            } else {
+                -140.0 + 0.8 * x
+            }
+        };
+        let pts: Vec<(f64, f64)> = (0..300)
+            .map(|i| {
+                let x = i as f64 * 4.0;
+                let noise = 1.0 + 0.04 * (rng.uniform_f64() - 0.5);
+                (x, truth(x) * noise)
+            })
+            .collect();
+        let m = fit_piecewise(&pts, 10.0).unwrap();
+        let pred: Vec<f64> = pts.iter().map(|&(x, _)| m.eval(x)).collect();
+        let obs: Vec<f64> = pts.iter().map(|&(_, y)| y).collect();
+        let err = mape(&pred, &obs);
+        assert!(err < 0.05, "MAPE {err} — paper reports ≈ 5%");
+    }
+
+    #[test]
+    fn piecewise_few_points_falls_back_to_line() {
+        let pts = [(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)];
+        let m = fit_piecewise(&pts, 1.0).unwrap();
+        assert!((m.b1 - 1.0).abs() < 1e-9);
+        assert_eq!(m.b1, m.b2);
+    }
+
+    #[test]
+    fn multilinear_recovers_weights() {
+        let mut rng = CounterRng::from_key(&[2]);
+        let mut xs = Vec::new();
+        let mut ys = Vec::new();
+        for _ in 0..200 {
+            let f1 = rng.uniform_f64() * 10.0;
+            let f2 = rng.uniform_f64() * 5.0;
+            let f3 = rng.uniform_f64();
+            xs.push(vec![f1, f2, f3]);
+            ys.push(2.0 + 3.0 * f1 - 1.5 * f2 + 7.0 * f3);
+        }
+        let w = fit_multilinear(&xs, &ys).unwrap();
+        assert!((w[0] - 2.0).abs() < 1e-6);
+        assert!((w[1] - 3.0).abs() < 1e-6);
+        assert!((w[2] + 1.5).abs() < 1e-6);
+        assert!((w[3] - 7.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn multilinear_rejects_underdetermined() {
+        assert!(fit_multilinear(&[vec![1.0, 2.0]], &[3.0]).is_none());
+        assert!(fit_multilinear(&[], &[]).is_none());
+    }
+
+    #[test]
+    fn r_squared_perfect_and_mean() {
+        let obs = [1.0, 2.0, 3.0, 4.0];
+        assert!((r_squared(&obs, &obs) - 1.0).abs() < 1e-12);
+        let mean_pred = [2.5; 4];
+        assert!(r_squared(&mean_pred, &obs).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mape_basics() {
+        assert_eq!(mape(&[], &[]), 0.0);
+        let e = mape(&[110.0, 95.0], &[100.0, 100.0]);
+        assert!((e - 0.075).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,29 @@
+//! # load-model — estimating EpiSimdemics' workload (paper §III-A/III-B)
+//!
+//! The paper's central tooling contribution is "a workload model that allows
+//! state-of-the-art graph partitioners to use custom, application-specific
+//! load balancing constraints". This crate implements it:
+//!
+//! * [`piecewise`] — the static load model
+//!   `Y = Ya·S(ϕ−X′) + Yb·S(X′−ϕ)` with `X′ = µ·X` and
+//!   `S(t) = 1/(1+ρ·e^(−t))`: two linear regimes (small vs large
+//!   locations) blended by a sigmoid at the crossover ϕ. The paper's Blue
+//!   Waters constants are provided; [`fit`] recalibrates them for this
+//!   machine.
+//! * [`fit`] — two-segment piecewise least squares with breakpoint search,
+//!   plus the multi-feature linear regression used by the *dynamic* model
+//!   of Figure 3(b) (events, Σ interactions, Σ 1/interactions).
+//! * [`static_load`] — per-vertex loads: persons ≈ message count, locations
+//!   ≈ model(events).
+//! * [`speedup`] — `Sub = Ltot/Lmax`, the `Ltot/lmax` ceiling, and the
+//!   closed-form power-law bound of §III-B.
+
+pub mod fit;
+pub mod piecewise;
+pub mod speedup;
+pub mod static_load;
+
+pub use fit::{fit_linear, fit_piecewise, LinearFit};
+pub use piecewise::PiecewiseModel;
+pub use speedup::{analytic_sub_over_d, speedup_upper_bound, sub_ceiling};
+pub use static_load::{location_loads, person_loads, LoadUnits};

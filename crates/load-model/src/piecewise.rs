@@ -1,0 +1,174 @@
+//! The paper's piecewise-linear-with-sigmoid-blend static load model.
+//!
+//! §III-A: "We use a piecewise linear regression to approximate the
+//! non-linear dependence that exists between the location computational
+//! load and events as follows:
+//!
+//! ```text
+//! X′ = µ·X
+//! Ya = 6.09×10⁻⁶ + 7.72×10⁻⁷ X′
+//! Yb = −1.25×10⁻⁴ + 8.67×10⁻⁷ X′
+//! Y  = Ya·S(ϕ−X′) + Yb·S(X′−ϕ)      where S(t) = 1/(1+ρ·e⁻ᵗ)
+//! ```
+//!
+//! X is the number of events, Y the load (relative processing time, in
+//! seconds on Blue Waters), ϕ the crossover between the two linear models
+//! (determined experimentally) and ρ adjusts the smoothness of the
+//! transition."
+
+use serde::{Deserialize, Serialize};
+
+/// The two-piece sigmoid-blended linear model.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PiecewiseModel {
+    /// Input scaling µ (the paper measures LocationManagers and scales the
+    /// input to apply the model to single locations).
+    pub mu: f64,
+    /// Intercept of the small-X regime (`Ya`).
+    pub a1: f64,
+    /// Slope of the small-X regime.
+    pub b1: f64,
+    /// Intercept of the large-X regime (`Yb`).
+    pub a2: f64,
+    /// Slope of the large-X regime.
+    pub b2: f64,
+    /// Crossover point ϕ (in X′ units).
+    pub phi: f64,
+    /// Sigmoid shape ρ.
+    pub rho: f64,
+    /// Sigmoid width: `t` is divided by this before the logistic, so the
+    /// blend happens over a scale-appropriate window. The paper's raw
+    /// formula corresponds to `width = 1`.
+    pub width: f64,
+}
+
+impl PiecewiseModel {
+    /// The constants printed in the paper (loads in seconds on Blue
+    /// Waters). ϕ is the intersection of the two lines
+    /// (`(a1−a2)/(b2−b1) ≈ 1380` events).
+    pub fn paper_constants() -> Self {
+        let (a1, b1) = (6.09e-6, 7.72e-7);
+        let (a2, b2) = (-1.25e-4, 8.67e-7);
+        PiecewiseModel {
+            mu: 1.0,
+            a1,
+            b1,
+            a2,
+            b2,
+            phi: (a1 - a2) / (b2 - b1),
+            rho: 1.0,
+            width: 100.0,
+        }
+    }
+
+    /// The logistic blend `S(t) = 1/(1+ρ·e^(−t/width))`.
+    #[inline]
+    fn s(&self, t: f64) -> f64 {
+        1.0 / (1.0 + self.rho * (-t / self.width).exp())
+    }
+
+    /// Evaluate the model at `x` events. Never returns a negative load.
+    #[inline]
+    pub fn eval(&self, x: f64) -> f64 {
+        let xp = self.mu * x;
+        let ya = self.a1 + self.b1 * xp;
+        let yb = self.a2 + self.b2 * xp;
+        let y = ya * self.s(self.phi - xp) + yb * self.s(xp - self.phi);
+        y.max(0.0)
+    }
+
+    /// Evaluate and quantize to integer load units (`scale` units per
+    /// second); partitioners need integer weights. Always at least 1 for
+    /// x > 0 so no active vertex is weightless.
+    #[inline]
+    pub fn eval_units(&self, x: f64, scale: f64) -> u64 {
+        if x <= 0.0 {
+            return 0;
+        }
+        ((self.eval(x) * scale).round() as u64).max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_crossover_near_1380() {
+        let m = PiecewiseModel::paper_constants();
+        assert!((m.phi - 1380.0).abs() < 5.0, "phi = {}", m.phi);
+    }
+
+    #[test]
+    fn small_regime_follows_ya() {
+        let m = PiecewiseModel::paper_constants();
+        // Far below ϕ the blend saturates to Ya.
+        let x = 100.0;
+        let expected = 6.09e-6 + 7.72e-7 * x;
+        assert!((m.eval(x) - expected).abs() / expected < 0.01);
+    }
+
+    #[test]
+    fn large_regime_follows_yb() {
+        let m = PiecewiseModel::paper_constants();
+        let x = 50_000.0;
+        let expected = -1.25e-4 + 8.67e-7 * x;
+        assert!((m.eval(x) - expected).abs() / expected < 0.01);
+    }
+
+    #[test]
+    fn continuous_at_crossover() {
+        let m = PiecewiseModel::paper_constants();
+        // At ϕ the two lines intersect, so the blend is continuous and
+        // equal to either line's value.
+        let at_phi = m.eval(m.phi);
+        let line = 6.09e-6 + 7.72e-7 * m.phi;
+        assert!((at_phi - line).abs() / line < 0.01);
+        // And locally smooth.
+        let eps = 10.0;
+        let lo = m.eval(m.phi - eps);
+        let hi = m.eval(m.phi + eps);
+        assert!(lo < at_phi && at_phi < hi);
+    }
+
+    #[test]
+    fn monotone_nonnegative() {
+        let m = PiecewiseModel::paper_constants();
+        let mut prev = -1.0;
+        for i in 0..2000 {
+            let y = m.eval(i as f64 * 50.0);
+            assert!(y >= 0.0);
+            assert!(y >= prev, "non-monotone at {i}");
+            prev = y;
+        }
+    }
+
+    #[test]
+    fn superlinear_beyond_crossover() {
+        // The paper's large-location regime has a steeper slope: the cost
+        // per event grows once locations get big.
+        let m = PiecewiseModel::paper_constants();
+        let r_small = m.eval(1_000.0) / 1_000.0;
+        let r_large = m.eval(100_000.0) / 100_000.0;
+        assert!(r_large > r_small);
+    }
+
+    #[test]
+    fn mu_scales_input() {
+        let mut m = PiecewiseModel::paper_constants();
+        let base = m.eval(2000.0);
+        m.mu = 2.0;
+        let scaled = m.eval(1000.0);
+        assert!((base - scaled).abs() / base < 1e-9);
+    }
+
+    #[test]
+    fn units_quantization() {
+        let m = PiecewiseModel::paper_constants();
+        assert_eq!(m.eval_units(0.0, 1e9), 0);
+        assert!(m.eval_units(1.0, 1e9) >= 1);
+        // 1000 events ≈ 778 µs ≈ 778_000 units at 1e9 (ns).
+        let u = m.eval_units(1000.0, 1e9);
+        assert!((700_000..900_000).contains(&u), "{u}");
+    }
+}

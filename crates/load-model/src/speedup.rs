@@ -1,0 +1,163 @@
+//! Speedup upper bounds — the analysis of §III-B.
+//!
+//! With a K-way partition P of the location vertices, the paper defines the
+//! load of a partition `L_p = Σ_{v∈p} l_v`, the estimated speedup upper
+//! bound `Sub = Ltot / Lmax`, and observes `Sub ≤ Ltot / lmax` since
+//! `lmax ≤ Lmax`. It then derives, for a power-law degree distribution with
+//! exponent β,
+//!
+//! ```text
+//! log(Sub/D) ≲ log(davg) − (1/β)·log(D) − (1/β)·log(c)
+//! ```
+//!
+//! — the scalability *per location* shrinks as the data grows (Figure 5a),
+//! which is the motivation for splitLoc.
+
+/// `Sub = Ltot / Lmax` for a concrete assignment of loads to partitions.
+///
+/// `loads[v]` is vertex v's load; `assignment[v] < k` its partition.
+pub fn speedup_upper_bound(loads: &[u64], assignment: &[u32], k: u32) -> f64 {
+    assert_eq!(loads.len(), assignment.len());
+    let mut per_part = vec![0u64; k as usize];
+    let mut total = 0u64;
+    for (&l, &p) in loads.iter().zip(assignment) {
+        per_part[p as usize] += l;
+        total += l;
+    }
+    let lmax = per_part.into_iter().max().unwrap_or(0);
+    if lmax == 0 {
+        0.0
+    } else {
+        total as f64 / lmax as f64
+    }
+}
+
+/// The ceiling `Ltot / lmax` — the best any partitioning can do, reached
+/// when the heaviest single vertex sits alone (Table II's ratio).
+pub fn sub_ceiling(loads: &[u64]) -> f64 {
+    let total: u64 = loads.iter().sum();
+    let lmax = loads.iter().copied().max().unwrap_or(0);
+    if lmax == 0 {
+        0.0
+    } else {
+        total as f64 / lmax as f64
+    }
+}
+
+/// The closed-form §III-B bound on `Sub/D` for a power-law degree
+/// distribution: `log(Sub/D) ≲ log(davg) − (1/β)(log D + log c)`, i.e.
+/// `Sub/D ≤ davg · (c·D)^(−1/β)`, where `c` normalizes
+/// `c · Σ_{d≥1} d^(−β) = 1`.
+pub fn analytic_sub_over_d(davg: f64, beta: f64, d: f64) -> f64 {
+    assert!(beta > 1.0, "power law needs β > 1");
+    assert!(d >= 1.0);
+    let c = 1.0 / truncated_zeta(beta, 1_000_000);
+    davg * (c * d).powf(-1.0 / beta)
+}
+
+/// Truncated Riemann zeta `Σ_{d=1}^{n} d^(−β)` (converges fast for β > 1;
+/// the tail is folded in via the integral bound).
+pub fn truncated_zeta(beta: f64, n: u64) -> f64 {
+    let mut sum = 0.0;
+    for d in 1..=n.min(100_000) {
+        sum += (d as f64).powf(-beta);
+    }
+    // Integral tail bound: ∫_n^∞ x^(−β) dx = n^(1−β)/(β−1).
+    let n0 = n.min(100_000) as f64;
+    sum + n0.powf(1.0 - beta) / (beta - 1.0)
+}
+
+/// Given per-vertex loads before and after a graph modification, the
+/// improvement factor of the `Ltot/lmax` ceiling — Table II reports this
+/// rising by "a factor of, on average 89" across the states.
+pub fn ceiling_improvement(loads_before: &[u64], loads_after: &[u64]) -> f64 {
+    let before = sub_ceiling(loads_before);
+    let after = sub_ceiling(loads_after);
+    if before == 0.0 {
+        0.0
+    } else {
+        after / before
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sub_equals_total_over_max_partition() {
+        let loads = [4u64, 4, 4, 8];
+        let assignment = [0u32, 0, 1, 2];
+        // parts: 8, 4, 8 → total 20, Lmax 8.
+        let s = speedup_upper_bound(&loads, &assignment, 3);
+        assert!((s - 20.0 / 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ceiling_reached_when_heaviest_isolated() {
+        let loads = [1u64, 1, 1, 1, 16];
+        let ceiling = sub_ceiling(&loads);
+        assert!((ceiling - 20.0 / 16.0).abs() < 1e-12);
+        // Isolating the heavy vertex attains the ceiling.
+        let assignment = [0u32, 0, 0, 0, 1];
+        let s = speedup_upper_bound(&loads, &assignment, 2);
+        assert!((s - ceiling).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sub_never_exceeds_ceiling() {
+        let loads: Vec<u64> = (1..=50).map(|i| (i * i) as u64).collect();
+        let ceiling = sub_ceiling(&loads);
+        for k in [2u32, 5, 10, 50] {
+            let assignment: Vec<u32> = (0..50).map(|v| v % k).collect();
+            let s = speedup_upper_bound(&loads, &assignment, k);
+            assert!(s <= ceiling + 1e-9, "k={k}: {s} > {ceiling}");
+        }
+    }
+
+    #[test]
+    fn zero_loads() {
+        assert_eq!(sub_ceiling(&[]), 0.0);
+        assert_eq!(sub_ceiling(&[0, 0]), 0.0);
+        assert_eq!(speedup_upper_bound(&[0, 0], &[0, 1], 2), 0.0);
+    }
+
+    #[test]
+    fn analytic_bound_decreases_with_d() {
+        // The Figure 5(a) phenomenon: larger data ⇒ smaller Sub/D.
+        let b_small = analytic_sub_over_d(14.35, 2.0, 1e5);
+        let b_large = analytic_sub_over_d(14.35, 2.0, 1e7);
+        assert!(b_large < b_small);
+        // Slope on log–log axes should be −1/β = −0.5.
+        let slope = (b_large.ln() - b_small.ln()) / ((1e7f64).ln() - (1e5f64).ln());
+        assert!((slope + 0.5).abs() < 1e-9, "slope {slope}");
+    }
+
+    #[test]
+    fn heavier_tail_hurts_more() {
+        // Smaller β (heavier tail) ⇒ worse (smaller) Sub/D at large D.
+        let heavy = analytic_sub_over_d(14.35, 1.5, 1e7);
+        let light = analytic_sub_over_d(14.35, 3.0, 1e7);
+        assert!(heavy < light);
+    }
+
+    #[test]
+    fn zeta_matches_known_values() {
+        // ζ(2) = π²/6 ≈ 1.6449.
+        let z2 = truncated_zeta(2.0, 1_000_000);
+        assert!((z2 - std::f64::consts::PI.powi(2) / 6.0).abs() < 1e-4, "{z2}");
+        // ζ(3) ≈ 1.2021.
+        let z3 = truncated_zeta(3.0, 1_000_000);
+        assert!((z3 - 1.2020569).abs() < 1e-4, "{z3}");
+    }
+
+    #[test]
+    fn improvement_factor() {
+        // Splitting a 100-heavy vertex into 10×10 raises the ceiling 10×.
+        let before = vec![100u64, 1, 1];
+        let mut after = vec![1u64, 1];
+        after.extend(std::iter::repeat_n(10, 10));
+        let f = ceiling_improvement(&before, &after);
+        assert!((f - (102.0 / 10.0) / (102.0 / 100.0)).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,117 @@
+//! Per-vertex static loads for partitioning.
+//!
+//! §III-A: "the amount of computation per person is roughly proportional to
+//! the number of messages that each person generates … Thus, we approximate
+//! the load of a person vertex as the number of messages the person
+//! generates. On the other hand, the computation per location varies
+//! significantly and requires a more detailed estimation" — the piecewise
+//! model.
+//!
+//! This module turns raw inputs (visit counts / event counts) into the
+//! integer load units graph partitioners consume.
+
+use crate::piecewise::PiecewiseModel;
+
+/// Integer quantization scale: load units per model second.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LoadUnits {
+    /// Units per second (e.g. `1e9` for nanosecond-granular weights).
+    pub per_second: f64,
+}
+
+impl Default for LoadUnits {
+    fn default() -> Self {
+        LoadUnits { per_second: 1e9 }
+    }
+}
+
+/// Person loads: the number of visit messages each person generates.
+///
+/// `visit_counts[p]` is person `p`'s daily visit count.
+pub fn person_loads(visit_counts: &[u32]) -> Vec<u64> {
+    visit_counts.iter().map(|&c| c.max(1) as u64).collect()
+}
+
+/// Location loads: the static model evaluated on each location's event
+/// count (2 events — arrive and depart — per visit), quantized to units.
+pub fn location_loads(events: &[u64], model: &PiecewiseModel, units: LoadUnits) -> Vec<u64> {
+    events
+        .iter()
+        .map(|&e| model.eval_units(e as f64, units.per_second))
+        .collect()
+}
+
+/// §III-B assumption 3: `l_v = α·d_v + γ ≈ α·d_v` — the simple linear
+/// degree-proportional load used in the closed-form analysis (as opposed to
+/// the fitted piecewise model used for actual partitioning).
+pub fn linear_loads(degrees: &[u32], alpha: f64) -> Vec<u64> {
+    degrees
+        .iter()
+        .map(|&d| ((alpha * d as f64).round() as u64).max(u64::from(d > 0)))
+        .collect()
+}
+
+/// The dynamic-model feature vector of one location for one day
+/// (Figure 3b): the quantities "only available at run time".
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DynamicFeatures {
+    /// Number of arrive/depart events processed.
+    pub events: f64,
+    /// Sum of interactions (susceptible × infectious pair-durations).
+    pub sum_interactions: f64,
+    /// Sum of reciprocals of interactions per event block (captures
+    /// fragmentation of occupancy; the paper's third state variable).
+    pub sum_reciprocal_interactions: f64,
+}
+
+impl DynamicFeatures {
+    /// As a regression feature row.
+    pub fn as_row(&self) -> Vec<f64> {
+        vec![
+            self.events,
+            self.sum_interactions,
+            self.sum_reciprocal_interactions,
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn person_loads_are_message_counts() {
+        assert_eq!(person_loads(&[3, 5, 0]), vec![3, 5, 1]);
+    }
+
+    #[test]
+    fn location_loads_monotone_in_events() {
+        let m = PiecewiseModel::paper_constants();
+        let loads = location_loads(&[0, 10, 100, 10_000], &m, LoadUnits::default());
+        assert_eq!(loads[0], 0);
+        assert!(loads[1] < loads[2]);
+        assert!(loads[2] < loads[3]);
+    }
+
+    #[test]
+    fn linear_loads_scale_with_alpha() {
+        let l = linear_loads(&[0, 1, 10], 2.5);
+        assert_eq!(l, vec![0, 3, 25]);
+    }
+
+    #[test]
+    fn linear_loads_floor_at_one_for_active() {
+        let l = linear_loads(&[1, 2], 0.1);
+        assert_eq!(l, vec![1, 1]);
+    }
+
+    #[test]
+    fn dynamic_feature_row_shape() {
+        let f = DynamicFeatures {
+            events: 10.0,
+            sum_interactions: 55.0,
+            sum_reciprocal_interactions: 0.5,
+        };
+        assert_eq!(f.as_row(), vec![10.0, 55.0, 0.5]);
+    }
+}

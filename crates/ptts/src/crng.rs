@@ -1,0 +1,235 @@
+//! Counter-based deterministic random number generation.
+//!
+//! EpiSimdemics' output must not depend on message arrival order, which a
+//! message-driven runtime does not control. Every stochastic decision in the
+//! simulator therefore draws from a generator keyed by *what* is being
+//! decided — `(seed, entity, day, purpose)` — rather than from a shared
+//! sequential stream. Two runs with the same seed produce identical epidemic
+//! trajectories on any thread count.
+//!
+//! The generator hashes its key with a SplitMix64-style finalizer and then
+//! iterates SplitMix64 from the hashed state. SplitMix64 passes BigCrush and
+//! is more than adequate for Monte-Carlo use; it is *not* cryptographic.
+
+use rand::{Error, RngCore, SeedableRng};
+
+/// Distinguishes independent random decisions made for the same entity on
+/// the same day. Keying by purpose means adding a new stochastic decision
+/// never perturbs existing streams.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(u64)]
+pub enum Purpose {
+    /// Health-state transition draws (which successor state).
+    Transition = 1,
+    /// Dwell-time draws (how long to stay in the new state).
+    Dwell = 2,
+    /// Schedule perturbation (which locations to visit today).
+    Schedule = 3,
+    /// Transmission draws at a location.
+    Infection = 4,
+    /// Intervention compliance draws (e.g. does this person vaccinate).
+    Compliance = 5,
+    /// Population-synthesis draws.
+    Synthesis = 6,
+}
+
+#[inline]
+fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// A deterministic counter-based RNG keyed by an arbitrary tuple of `u64`s.
+///
+/// Implements [`rand::RngCore`] so it can drive any `rand` sampler.
+///
+/// ```
+/// use ptts::crng::{CounterRng, Purpose};
+/// use rand::Rng;
+///
+/// let mut a = CounterRng::for_entity(42, 7, 3, Purpose::Transition);
+/// let mut b = CounterRng::for_entity(42, 7, 3, Purpose::Transition);
+/// assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+///
+/// // A different purpose yields an independent stream.
+/// let mut c = CounterRng::for_entity(42, 7, 3, Purpose::Dwell);
+/// assert_ne!(a.gen::<u64>(), c.gen::<u64>());
+/// ```
+#[derive(Debug, Clone)]
+pub struct CounterRng {
+    state: u64,
+}
+
+impl CounterRng {
+    /// Key the stream with an arbitrary sequence of components.
+    pub fn from_key(parts: &[u64]) -> Self {
+        // Fold components through the SplitMix64 finalizer; the running
+        // state absorbs each part so that permuted keys diverge.
+        let mut state = 0x243F_6A88_85A3_08D3u64; // pi fractional bits
+        for &p in parts {
+            state ^= p.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            splitmix64(&mut state);
+        }
+        CounterRng { state }
+    }
+
+    /// The common four-component key used throughout the simulator.
+    pub fn for_entity(seed: u64, entity: u64, day: u64, purpose: Purpose) -> Self {
+        Self::from_key(&[seed, entity, day, purpose as u64])
+    }
+
+    /// Draw a uniform `f64` in `[0, 1)`.
+    #[inline]
+    pub fn uniform_f64(&mut self) -> f64 {
+        // 53 high bits → uniform double in [0,1).
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+
+    /// Draw a uniform integer in `[0, n)`. `n` must be non-zero.
+    ///
+    /// Uses Lemire's multiply-shift rejection method, which is unbiased.
+    #[inline]
+    pub fn uniform_u64(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "uniform_u64 requires n > 0");
+        loop {
+            let x = self.next_u64();
+            let m = (x as u128) * (n as u128);
+            let lo = m as u64;
+            if lo >= n || lo >= n.wrapping_neg() % n {
+                return (m >> 64) as u64;
+            }
+        }
+    }
+
+    /// Bernoulli draw with probability `p` (clamped to `[0,1]`).
+    #[inline]
+    pub fn bernoulli(&mut self, p: f64) -> bool {
+        self.uniform_f64() < p
+    }
+}
+
+impl RngCore for CounterRng {
+    #[inline]
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        let mut chunks = dest.chunks_exact_mut(8);
+        for chunk in &mut chunks {
+            chunk.copy_from_slice(&self.next_u64().to_le_bytes());
+        }
+        let rem = chunks.into_remainder();
+        if !rem.is_empty() {
+            let bytes = self.next_u64().to_le_bytes();
+            rem.copy_from_slice(&bytes[..rem.len()]);
+        }
+    }
+
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl SeedableRng for CounterRng {
+    type Seed = [u8; 8];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        CounterRng::from_key(&[u64::from_le_bytes(seed)])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn same_key_same_stream() {
+        let mut a = CounterRng::from_key(&[1, 2, 3]);
+        let mut b = CounterRng::from_key(&[1, 2, 3]);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn permuted_key_diverges() {
+        let mut a = CounterRng::from_key(&[1, 2, 3]);
+        let mut b = CounterRng::from_key(&[3, 2, 1]);
+        assert_ne!(a.next_u64(), b.next_u64());
+    }
+
+    #[test]
+    fn adjacent_entities_uncorrelated() {
+        // Crude correlation check: means of adjacent-entity streams differ
+        // and each is near 0.5.
+        for entity in 0..4u64 {
+            let mut rng = CounterRng::for_entity(9, entity, 0, Purpose::Transition);
+            let mean: f64 = (0..4096).map(|_| rng.uniform_f64()).sum::<f64>() / 4096.0;
+            assert!((mean - 0.5).abs() < 0.03, "mean {mean} too far from 0.5");
+        }
+    }
+
+    #[test]
+    fn uniform_u64_in_range_and_covers() {
+        let mut rng = CounterRng::from_key(&[7]);
+        let mut seen = [false; 10];
+        for _ in 0..1000 {
+            let v = rng.uniform_u64(10);
+            assert!(v < 10);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues should appear");
+    }
+
+    #[test]
+    fn uniform_f64_bounds() {
+        let mut rng = CounterRng::from_key(&[11]);
+        for _ in 0..10_000 {
+            let v = rng.uniform_f64();
+            assert!((0.0..1.0).contains(&v));
+        }
+    }
+
+    #[test]
+    fn fill_bytes_matches_next_u64() {
+        let mut a = CounterRng::from_key(&[5]);
+        let mut b = CounterRng::from_key(&[5]);
+        let mut buf = [0u8; 16];
+        a.fill_bytes(&mut buf);
+        assert_eq!(&buf[..8], &b.next_u64().to_le_bytes());
+        assert_eq!(&buf[8..], &b.next_u64().to_le_bytes());
+    }
+
+    #[test]
+    fn fill_bytes_partial_tail() {
+        let mut a = CounterRng::from_key(&[5]);
+        let mut buf = [0u8; 11];
+        a.fill_bytes(&mut buf); // must not panic on a non-multiple-of-8 buffer
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn bernoulli_extremes() {
+        let mut rng = CounterRng::from_key(&[13]);
+        assert!(!rng.bernoulli(0.0));
+        assert!(rng.bernoulli(1.0));
+    }
+
+    #[test]
+    fn works_as_rngcore() {
+        let mut rng = CounterRng::from_key(&[17]);
+        let x: f64 = rng.gen_range(0.0..10.0);
+        assert!((0.0..10.0).contains(&x));
+    }
+}

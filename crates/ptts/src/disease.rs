@@ -1,0 +1,188 @@
+//! Ready-made disease models.
+//!
+//! The evaluation in the paper simulates an influenza-like illness over
+//! 120–180 daily iterations ("three to four months of simulated time",
+//! §II-B). [`flu_model`] reproduces the canonical EpiSimdemics H1N1-style
+//! model: susceptible → latent → infectious (symptomatic or asymptomatic)
+//! → recovered, with a vaccinated treatment that shortens and attenuates
+//! the infectious period.
+
+use crate::model::{DwellDist, Ptts, PttsBuilder, TreatmentId};
+
+
+/// Treatment id for vaccinated persons in [`flu_model`].
+pub const TREATMENT_VACCINATED: TreatmentId = TreatmentId(1);
+
+/// An influenza-like PTTS with a default and a vaccinated treatment.
+///
+/// States:
+///
+/// | state          | ι (infectivity) | s (susceptibility) | dwell        |
+/// |----------------|-----------------|--------------------|--------------|
+/// | `susceptible`  | 0.0             | 1.0                | forever      |
+/// | `latent`       | 0.0             | 0.0                | uniform 1–3 d|
+/// | `incubating`   | 0.25            | 0.0                | fixed 1 d    |
+/// | `symptomatic`  | 1.0             | 0.0                | uniform 3–6 d|
+/// | `asymptomatic` | 0.5             | 0.0                | uniform 3–6 d|
+/// | `recovered`    | 0.0             | 0.0                | forever      |
+///
+/// Under the default treatment, 67% of incubating persons become
+/// symptomatic; under [`TREATMENT_VACCINATED`], only 20% do (vaccination
+/// mostly converts courses to the milder asymptomatic track).
+pub fn flu_model() -> Ptts {
+    PttsBuilder::new("flu")
+        .treatments(2)
+        .state("susceptible", 0.0, 1.0, DwellDist::Forever)
+        .state("latent", 0.0, 0.0, DwellDist::Uniform(1, 3))
+        .state("incubating", 0.25, 0.0, DwellDist::Fixed(1))
+        .state("symptomatic", 1.0, 0.0, DwellDist::Uniform(3, 6))
+        .state("asymptomatic", 0.5, 0.0, DwellDist::Uniform(3, 6))
+        .state("recovered", 0.0, 0.0, DwellDist::Forever)
+        .transition("latent", TreatmentId::DEFAULT, &[("incubating", 1.0)])
+        .transition(
+            "incubating",
+            TreatmentId::DEFAULT,
+            &[("symptomatic", 0.67), ("asymptomatic", 0.33)],
+        )
+        .transition(
+            "incubating",
+            TREATMENT_VACCINATED,
+            &[("symptomatic", 0.20), ("asymptomatic", 0.80)],
+        )
+        .transition("symptomatic", TreatmentId::DEFAULT, &[("recovered", 1.0)])
+        .transition("asymptomatic", TreatmentId::DEFAULT, &[("recovered", 1.0)])
+        .start("susceptible")
+        .exposed("latent")
+        .build()
+        .expect("built-in flu model must validate")
+}
+
+/// An SEIRS model with waning immunity: recovered persons drift back to
+/// susceptible with a geometric dwell of mean `waning_days`, producing
+/// *endemic* dynamics (reinfection and a persistent infection level) rather
+/// than a single epidemic wave.
+///
+/// Caveats for consumers: the simulator's `infected_now` counts every
+/// person with a running dwell timer, which here includes the
+/// waning-immunity compartment — read the susceptible series for endemic
+/// analyses. On reinfection a person's transmission-tree provenance
+/// (`infected_on`/`infected_by`) is overwritten by the latest infection.
+pub fn seirs_model(waning_days: f64) -> Ptts {
+    let waning_p = (1.0 / waning_days.max(1.0)).clamp(1e-6, 1.0);
+    PttsBuilder::new("seirs")
+        .state("susceptible", 0.0, 1.0, DwellDist::Forever)
+        .state("latent", 0.0, 0.0, DwellDist::Uniform(1, 3))
+        .state("infectious", 1.0, 0.0, DwellDist::Uniform(3, 6))
+        .state("waning", 0.0, 0.0, DwellDist::Geometric(waning_p))
+        .transition("latent", TreatmentId::DEFAULT, &[("infectious", 1.0)])
+        .transition("infectious", TreatmentId::DEFAULT, &[("waning", 1.0)])
+        .transition("waning", TreatmentId::DEFAULT, &[("susceptible", 1.0)])
+        .start("susceptible")
+        .exposed("latent")
+        .build()
+        .expect("built-in SEIRS model must validate")
+}
+
+/// A minimal SIR model, useful in unit tests and as a DSL example: one
+/// infectious state with a geometric dwell (mean `1/gamma` days).
+pub fn sir_model(gamma: f64) -> Ptts {
+    PttsBuilder::new("sir")
+        .state("susceptible", 0.0, 1.0, DwellDist::Forever)
+        .state("infectious", 1.0, 0.0, DwellDist::Geometric(gamma))
+        .state("recovered", 0.0, 0.0, DwellDist::Forever)
+        .transition("infectious", TreatmentId::DEFAULT, &[("recovered", 1.0)])
+        .start("susceptible")
+        .exposed("infectious")
+        .build()
+        .expect("built-in SIR model must validate")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::HealthTracker;
+
+    #[test]
+    fn flu_states_present() {
+        let m = flu_model();
+        for s in [
+            "susceptible",
+            "latent",
+            "incubating",
+            "symptomatic",
+            "asymptomatic",
+            "recovered",
+        ] {
+            assert!(m.state_by_name(s).is_some(), "missing state {s}");
+        }
+        assert_eq!(m.n_treatments(), 2);
+    }
+
+    #[test]
+    fn flu_has_latent_period() {
+        // The core algorithm exploits the latent period to process a whole
+        // day in parallel (§II-B); the exposed state must be non-infectious.
+        let m = flu_model();
+        assert_eq!(m.infectivity(m.exposed_state()), 0.0);
+    }
+
+    #[test]
+    fn vaccination_reduces_symptomatic_fraction() {
+        let m = flu_model();
+        let inc = m.state_by_name("incubating").unwrap();
+        let sym = m.state_by_name("symptomatic").unwrap();
+        let frac = |t: TreatmentId| {
+            m.table(inc, t)
+                .unwrap()
+                .edges()
+                .iter()
+                .find(|&&(s, _)| s == sym)
+                .map(|&(_, p)| p)
+                .unwrap_or(0.0)
+        };
+        assert!(frac(TREATMENT_VACCINATED) < frac(TreatmentId::DEFAULT));
+    }
+
+    #[test]
+    fn full_course_terminates() {
+        let m = flu_model();
+        for entity in 0..50u64 {
+            let mut h = HealthTracker::new(&m);
+            h.infect(&m, 99, entity, 0);
+            let mut day = 1;
+            while h.days_remaining != u32::MAX {
+                h.advance(&m, 99, entity, day);
+                day += 1;
+                assert!(day < 100, "course must terminate");
+            }
+            assert_eq!(m.state(h.state).name, "recovered");
+            // Latent 1-3 + incubating 1 + infectious 3-6 = 5..=10 days.
+            assert!((5..=10).contains(&(day - 1)), "course length {}", day - 1);
+        }
+    }
+
+    #[test]
+    fn seirs_cycles_back_to_susceptible() {
+        let m = seirs_model(30.0);
+        assert!(m.validate().is_ok());
+        let mut h = HealthTracker::new(&m);
+        h.infect(&m, 3, 9, 0);
+        let mut day = 1u64;
+        // Walk until the person returns to susceptible (waning elapsed).
+        while m.state(h.state).name != "susceptible" {
+            h.advance(&m, 3, 9, day);
+            day += 1;
+            assert!(day < 2000, "waning must eventually return to susceptible");
+        }
+        // And they can be infected again.
+        assert!(h.infect(&m, 3, 9, day));
+        assert_eq!(m.state(h.state).name, "latent");
+    }
+
+    #[test]
+    fn sir_model_validates() {
+        let m = sir_model(0.3);
+        assert!(m.validate().is_ok());
+        assert!(m.is_infectious(m.exposed_state()));
+    }
+}

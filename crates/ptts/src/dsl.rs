@@ -1,0 +1,460 @@
+//! A small domain-specific language for disease models and interventions.
+//!
+//! The paper notes that "EpiSimdemics has a domain-specific language for
+//! specifying complex interventions and behavior, such as vaccinations,
+//! school closures, and anxiety levels" (§II-A, citing \[6\]). This module
+//! implements a line-oriented text format covering the same ground:
+//!
+//! ```text
+//! # influenza-like illness
+//! disease flu
+//! treatments 2
+//! state susceptible  inf=0.0  sus=1.0  dwell=forever
+//! state latent       inf=0.0  sus=0.0  dwell=uniform(1,3)
+//! state incubating   inf=0.25 sus=0.0  dwell=fixed(1)
+//! state symptomatic  inf=1.0  sus=0.0  dwell=uniform(3,6)
+//! state recovered    inf=0.0  sus=0.0  dwell=forever
+//! trans latent      t0: incubating 1.0
+//! trans incubating  t0: symptomatic 0.67, recovered 0.33
+//! trans incubating  t1: symptomatic 0.20, recovered 0.80
+//! trans symptomatic t0: recovered 1.0
+//! start susceptible
+//! exposed latent
+//!
+//! intervention vaccinate  when day 5          fraction 0.3 treatment 1 efficacy 0.2
+//! intervention close      when prevalence 0.01 kind 3 duration 14
+//! intervention distance   when newcases 100    compliance 0.5 factor 0.5 duration 21
+//! ```
+
+use crate::intervention::{Action, Intervention, Trigger};
+use crate::model::{DwellDist, Ptts, PttsBuilder, TreatmentId};
+use std::fmt;
+
+/// A parse error with its 1-based line number.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseError {
+    /// 1-based line of the offending input.
+    pub line: usize,
+    /// Explanation.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Simulation parameters a scenario file may set with the `sim` directive
+/// (`sim days=120 r=0.0001 seed=42 initial=10`). All fields optional;
+/// consumers fall back to their own defaults.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct SimParams {
+    /// Days to simulate.
+    pub days: Option<u32>,
+    /// Transmissibility per minute of contact.
+    pub r: Option<f64>,
+    /// Master seed.
+    pub seed: Option<u64>,
+    /// Initially infected count.
+    pub initial_infections: Option<u32>,
+}
+
+/// Result of parsing a scenario file: the disease model plus interventions.
+#[derive(Debug, Clone)]
+pub struct Scenario {
+    /// The parsed PTTS.
+    pub ptts: Ptts,
+    /// Interventions in file order.
+    pub interventions: Vec<Intervention>,
+    /// Optional simulation parameters.
+    pub sim: SimParams,
+}
+
+/// Parse a scenario from DSL text.
+pub fn parse(input: &str) -> Result<Scenario, ParseError> {
+    let mut name: Option<String> = None;
+    let mut treatments: u16 = 1;
+    type StateLine = (String, f64, f64, DwellDist);
+    type TransLine = (String, u16, Vec<(String, f64)>);
+    let mut states: Vec<StateLine> = Vec::new();
+    let mut transitions: Vec<TransLine> = Vec::new();
+    let mut start: Option<String> = None;
+    let mut exposed: Option<String> = None;
+    let mut interventions = Vec::new();
+    let mut sim = SimParams::default();
+
+    for (idx, raw) in input.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let err = |msg: String| ParseError {
+            line: lineno,
+            message: msg,
+        };
+        let mut words = line.split_whitespace();
+        match words.next().unwrap() {
+            "disease" => {
+                name = Some(
+                    words
+                        .next()
+                        .ok_or_else(|| err("expected: disease <name>".into()))?
+                        .to_string(),
+                );
+            }
+            "treatments" => {
+                treatments = parse_num(words.next(), "treatments", lineno)?;
+            }
+            "state" => {
+                let sname = words
+                    .next()
+                    .ok_or_else(|| err("expected: state <name> ...".into()))?
+                    .to_string();
+                let (mut inf, mut sus, mut dwell) = (None, None, None);
+                for w in words {
+                    if let Some(v) = w.strip_prefix("inf=") {
+                        inf = Some(parse_num::<f64>(Some(v), "inf", lineno)?);
+                    } else if let Some(v) = w.strip_prefix("sus=") {
+                        sus = Some(parse_num::<f64>(Some(v), "sus", lineno)?);
+                    } else if let Some(v) = w.strip_prefix("dwell=") {
+                        dwell = Some(parse_dwell(v, lineno)?);
+                    } else {
+                        return Err(err(format!("unknown state attribute `{w}`")));
+                    }
+                }
+                states.push((
+                    sname,
+                    inf.ok_or_else(|| err("state missing inf=".into()))?,
+                    sus.ok_or_else(|| err("state missing sus=".into()))?,
+                    dwell.ok_or_else(|| err("state missing dwell=".into()))?,
+                ));
+            }
+            "trans" => {
+                let from = words
+                    .next()
+                    .ok_or_else(|| err("expected: trans <state> tN: ...".into()))?
+                    .to_string();
+                let tspec = words
+                    .next()
+                    .ok_or_else(|| err("expected treatment spec `tN:`".into()))?;
+                let t: u16 = tspec
+                    .strip_prefix('t')
+                    .and_then(|s| s.strip_suffix(':'))
+                    .and_then(|s| s.parse().ok())
+                    .ok_or_else(|| err(format!("bad treatment spec `{tspec}` (want tN:)")))?;
+                let rest: String = words.collect::<Vec<_>>().join(" ");
+                let mut edges = Vec::new();
+                for part in rest.split(',') {
+                    let mut it = part.split_whitespace();
+                    let target = it
+                        .next()
+                        .ok_or_else(|| err("empty transition edge".into()))?
+                        .to_string();
+                    let p: f64 = parse_num(it.next(), "edge probability", lineno)?;
+                    edges.push((target, p));
+                }
+                if edges.is_empty() {
+                    return Err(err("transition with no edges".into()));
+                }
+                transitions.push((from, t, edges));
+            }
+            "start" => {
+                start = Some(
+                    words
+                        .next()
+                        .ok_or_else(|| err("expected: start <state>".into()))?
+                        .to_string(),
+                )
+            }
+            "exposed" => {
+                exposed = Some(
+                    words
+                        .next()
+                        .ok_or_else(|| err("expected: exposed <state>".into()))?
+                        .to_string(),
+                )
+            }
+            "intervention" => {
+                interventions.push(parse_intervention(line, lineno)?);
+            }
+            "sim" => {
+                for w in words {
+                    if let Some(v) = w.strip_prefix("days=") {
+                        sim.days = Some(parse_num(Some(v), "days", lineno)?);
+                    } else if let Some(v) = w.strip_prefix("r=") {
+                        sim.r = Some(parse_num(Some(v), "r", lineno)?);
+                    } else if let Some(v) = w.strip_prefix("seed=") {
+                        sim.seed = Some(parse_num(Some(v), "seed", lineno)?);
+                    } else if let Some(v) = w.strip_prefix("initial=") {
+                        sim.initial_infections =
+                            Some(parse_num(Some(v), "initial", lineno)?);
+                    } else {
+                        return Err(err(format!("unknown sim attribute `{w}`")));
+                    }
+                }
+            }
+            other => return Err(err(format!("unknown directive `{other}`"))),
+        }
+    }
+
+    let mut b = PttsBuilder::new(name.unwrap_or_else(|| "unnamed".into())).treatments(treatments);
+    for (n, inf, sus, dwell) in states {
+        b = b.state(&n, inf, sus, dwell);
+    }
+    for (from, t, edges) in &transitions {
+        let edge_refs: Vec<(&str, f64)> = edges.iter().map(|(n, p)| (n.as_str(), *p)).collect();
+        b = b.transition(from, TreatmentId(*t), &edge_refs);
+    }
+    if let Some(s) = &start {
+        b = b.start(s);
+    }
+    if let Some(e) = &exposed {
+        b = b.exposed(e);
+    }
+    let ptts = b.build().map_err(|m| ParseError {
+        line: 0,
+        message: format!("model validation failed: {m}"),
+    })?;
+    Ok(Scenario {
+        ptts,
+        interventions,
+        sim,
+    })
+}
+
+fn parse_num<T: std::str::FromStr>(
+    word: Option<&str>,
+    what: &str,
+    line: usize,
+) -> Result<T, ParseError> {
+    word.and_then(|w| w.parse().ok()).ok_or_else(|| ParseError {
+        line,
+        message: format!("expected a number for {what}"),
+    })
+}
+
+fn parse_dwell(spec: &str, line: usize) -> Result<DwellDist, ParseError> {
+    let err = |m: String| ParseError { line, message: m };
+    if spec == "forever" {
+        return Ok(DwellDist::Forever);
+    }
+    let (kind, args) = spec
+        .split_once('(')
+        .and_then(|(k, rest)| rest.strip_suffix(')').map(|a| (k, a)))
+        .ok_or_else(|| err(format!("bad dwell spec `{spec}`")))?;
+    let nums: Vec<&str> = args.split(',').map(str::trim).collect();
+    match (kind, nums.as_slice()) {
+        ("fixed", [n]) => Ok(DwellDist::Fixed(parse_num(Some(n), "dwell", line)?)),
+        ("uniform", [lo, hi]) => Ok(DwellDist::Uniform(
+            parse_num(Some(lo), "dwell lo", line)?,
+            parse_num(Some(hi), "dwell hi", line)?,
+        )),
+        ("geometric", [p]) => Ok(DwellDist::Geometric(parse_num(Some(p), "dwell p", line)?)),
+        _ => Err(err(format!("bad dwell spec `{spec}`"))),
+    }
+}
+
+fn parse_intervention(line: &str, lineno: usize) -> Result<Intervention, ParseError> {
+    let err = |m: String| ParseError {
+        line: lineno,
+        message: m,
+    };
+    let words: Vec<&str> = line.split_whitespace().collect();
+    // words[0] == "intervention"
+    let kind = *words.get(1).ok_or_else(|| err("missing intervention kind".into()))?;
+    // key-value pairs after the kind; `when <trigger> <value>` is special.
+    let mut kv = std::collections::HashMap::new();
+    let mut trigger = None;
+    let mut i = 2;
+    while i < words.len() {
+        if words[i] == "when" {
+            let tkind = *words
+                .get(i + 1)
+                .ok_or_else(|| err("`when` needs a trigger kind".into()))?;
+            let tval = *words
+                .get(i + 2)
+                .ok_or_else(|| err("trigger needs a value".into()))?;
+            trigger = Some(match tkind {
+                "day" => Trigger::Day(parse_num(Some(tval), "day", lineno)?),
+                "prevalence" => {
+                    Trigger::PrevalenceAbove(parse_num(Some(tval), "prevalence", lineno)?)
+                }
+                "newcases" => Trigger::NewCasesAbove(parse_num(Some(tval), "newcases", lineno)?),
+                "attackrate" => {
+                    Trigger::AttackRateAbove(parse_num(Some(tval), "attackrate", lineno)?)
+                }
+                other => return Err(err(format!("unknown trigger `{other}`"))),
+            });
+            i += 3;
+        } else {
+            let key = words[i];
+            let val = *words
+                .get(i + 1)
+                .ok_or_else(|| err(format!("`{key}` needs a value")))?;
+            kv.insert(key, val);
+            i += 2;
+        }
+    }
+    let trigger = trigger.ok_or_else(|| err("intervention missing `when` clause".into()))?;
+    let get_f64 = |k: &str| -> Result<f64, ParseError> {
+        parse_num(kv.get(k).copied(), k, lineno)
+    };
+    let action = match kind {
+        "vaccinate" => Action::Vaccinate {
+            fraction: get_f64("fraction")?,
+            treatment: TreatmentId(parse_num(kv.get("treatment").copied(), "treatment", lineno)?),
+            efficacy_factor: get_f64("efficacy")?,
+        },
+        "close" => Action::CloseKind {
+            kind: parse_num(kv.get("kind").copied(), "kind", lineno)?,
+            duration: parse_num(kv.get("duration").copied(), "duration", lineno)?,
+        },
+        "distance" => Action::SocialDistance {
+            compliance: get_f64("compliance")?,
+            factor: get_f64("factor")?,
+            duration: parse_num(kv.get("duration").copied(), "duration", lineno)?,
+        },
+        other => return Err(err(format!("unknown intervention kind `{other}`"))),
+    };
+    Ok(Intervention { trigger, action })
+}
+
+/// The built-in flu scenario as DSL text — also serves as format
+/// documentation and round-trip test fixture.
+pub const FLU_DSL: &str = r#"
+# influenza-like illness matching ptts::disease::flu_model
+disease flu
+treatments 2
+state susceptible  inf=0.0  sus=1.0  dwell=forever
+state latent       inf=0.0  sus=0.0  dwell=uniform(1,3)
+state incubating   inf=0.25 sus=0.0  dwell=fixed(1)
+state symptomatic  inf=1.0  sus=0.0  dwell=uniform(3,6)
+state asymptomatic inf=0.5  sus=0.0  dwell=uniform(3,6)
+state recovered    inf=0.0  sus=0.0  dwell=forever
+trans latent       t0: incubating 1.0
+trans incubating   t0: symptomatic 0.67, asymptomatic 0.33
+trans incubating   t1: symptomatic 0.20, asymptomatic 0.80
+trans symptomatic  t0: recovered 1.0
+trans asymptomatic t0: recovered 1.0
+start susceptible
+exposed latent
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::disease::flu_model;
+
+    #[test]
+    fn parses_builtin_flu_dsl() {
+        let s = parse(FLU_DSL).expect("FLU_DSL must parse");
+        assert_eq!(s.ptts.name(), "flu");
+        assert_eq!(s.ptts.n_states(), flu_model().n_states());
+        assert_eq!(s.ptts.n_treatments(), 2);
+        assert!(s.interventions.is_empty());
+    }
+
+    #[test]
+    fn dsl_matches_programmatic_model() {
+        let parsed = parse(FLU_DSL).unwrap().ptts;
+        let built = flu_model();
+        for name in ["susceptible", "latent", "incubating", "symptomatic"] {
+            let p = parsed.state_by_name(name).unwrap();
+            let b = built.state_by_name(name).unwrap();
+            assert_eq!(parsed.state(p).infectivity, built.state(b).infectivity);
+            assert_eq!(parsed.state(p).dwell, built.state(b).dwell);
+        }
+    }
+
+    #[test]
+    fn parses_interventions() {
+        let text = format!(
+            "{FLU_DSL}\n\
+             intervention vaccinate when day 5 fraction 0.3 treatment 1 efficacy 0.2\n\
+             intervention close when prevalence 0.01 kind 3 duration 14\n\
+             intervention distance when newcases 100 compliance 0.5 factor 0.5 duration 21\n"
+        );
+        let s = parse(&text).unwrap();
+        assert_eq!(s.interventions.len(), 3);
+        assert_eq!(s.interventions[0].trigger, Trigger::Day(5));
+        assert!(matches!(
+            s.interventions[1].action,
+            Action::CloseKind { kind: 3, duration: 14 }
+        ));
+        assert!(matches!(
+            s.interventions[2].trigger,
+            Trigger::NewCasesAbove(100)
+        ));
+    }
+
+    #[test]
+    fn sim_directive_parsed() {
+        let text = format!("{FLU_DSL}\nsim days=90 r=0.0002 seed=7 initial=12\n");
+        let s = parse(&text).unwrap();
+        assert_eq!(s.sim.days, Some(90));
+        assert_eq!(s.sim.r, Some(0.0002));
+        assert_eq!(s.sim.seed, Some(7));
+        assert_eq!(s.sim.initial_infections, Some(12));
+        // Absent directive leaves everything None.
+        let bare = parse(FLU_DSL).unwrap();
+        assert_eq!(bare.sim, SimParams::default());
+    }
+
+    #[test]
+    fn sim_directive_rejects_unknown_attrs() {
+        let text = format!("{FLU_DSL}\nsim warp=9\n");
+        let e = parse(&text).unwrap_err();
+        assert!(e.message.contains("warp"));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let text = "# leading comment\n\ndisease d # trailing comment\n\
+                    state a inf=0 sus=1 dwell=forever\n\
+                    state b inf=1 sus=0 dwell=fixed(2)\n\
+                    trans b t0: c 1.0\n\
+                    state c inf=0 sus=0 dwell=forever\n\
+                    start a\nexposed b\n";
+        assert!(parse(text).is_ok());
+    }
+
+    #[test]
+    fn error_reports_line_number() {
+        let text = "disease d\nstate a inf=zero sus=1 dwell=forever\n";
+        let e = parse(text).unwrap_err();
+        assert_eq!(e.line, 2);
+        assert!(e.message.contains("inf"));
+    }
+
+    #[test]
+    fn unknown_directive_rejected() {
+        let e = parse("frobnicate 3\n").unwrap_err();
+        assert!(e.message.contains("frobnicate"));
+    }
+
+    #[test]
+    fn bad_dwell_rejected() {
+        let e = parse("state a inf=0 sus=1 dwell=weird(1)\n").unwrap_err();
+        assert!(e.message.contains("dwell"));
+    }
+
+    #[test]
+    fn missing_when_rejected() {
+        let text = format!("{FLU_DSL}\nintervention close kind 1 duration 5\n");
+        let e = parse(&text).unwrap_err();
+        assert!(e.message.contains("when"));
+    }
+
+    #[test]
+    fn validation_errors_surface() {
+        // Non-absorbing state without transitions fails model validation.
+        let text = "disease d\nstate a inf=0 sus=1 dwell=forever\n\
+                    state b inf=1 sus=0 dwell=fixed(2)\nstart a\nexposed b\n";
+        let e = parse(text).unwrap_err();
+        assert!(e.message.contains("validation"));
+    }
+}

@@ -1,0 +1,452 @@
+//! Public-policy interventions.
+//!
+//! EpiSimdemics was used during the 2009 H1N1 response to run
+//! course-of-action analyses "to estimate the impact of closing schools and
+//! shutting down workplaces" (§I). This module implements the intervention
+//! machinery: *triggers* (when does a policy activate) and *actions* (what
+//! it does), evaluated once per simulated day against global epidemic
+//! observables.
+//!
+//! Location kinds are referenced by their numeric id so this crate stays
+//! independent of the population-synthesis crate; `synthpop::LocationKind`
+//! uses matching discriminants.
+
+use crate::crng::{CounterRng, Purpose};
+use crate::model::TreatmentId;
+use serde::{Deserialize, Serialize};
+
+
+/// Maximum number of distinct location kinds an intervention can target.
+pub const MAX_LOCATION_KINDS: usize = 8;
+
+/// When an intervention activates.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Trigger {
+    /// On a fixed simulation day.
+    Day(u32),
+    /// When prevalence (currently-infected fraction) first exceeds this.
+    PrevalenceAbove(f64),
+    /// When the day's new-infection count first exceeds this.
+    NewCasesAbove(u64),
+    /// When cumulative infections first exceed this fraction of the
+    /// population (attack rate).
+    AttackRateAbove(f64),
+}
+
+/// What an intervention does while active.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Action {
+    /// Vaccinate a random `fraction` of the still-susceptible population,
+    /// switching them to `treatment` and scaling their susceptibility by
+    /// `efficacy_factor` (0 = perfect vaccine, 1 = no protection).
+    /// Applied once, on the activation day.
+    Vaccinate {
+        fraction: f64,
+        treatment: TreatmentId,
+        efficacy_factor: f64,
+    },
+    /// Close all locations of the given kind for `duration` days; visits to
+    /// closed locations are dropped.
+    CloseKind { kind: u8, duration: u32 },
+    /// Social distancing: a `compliance` fraction of contacts have their
+    /// effective transmissibility scaled by `factor` for `duration` days.
+    /// Modeled as a global scale `1 − compliance·(1 − factor)` on `r`.
+    SocialDistance {
+        compliance: f64,
+        factor: f64,
+        duration: u32,
+    },
+}
+
+/// A trigger–action pair. Each intervention fires at most once.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Intervention {
+    /// Activation condition.
+    pub trigger: Trigger,
+    /// Behaviour while active.
+    pub action: Action,
+}
+
+/// Global epidemic observables an intervention trigger can test, supplied
+/// by the simulator each day.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct DayObservables {
+    /// Simulation day (0-based).
+    pub day: u32,
+    /// Currently infected (non-susceptible, non-removed) count.
+    pub infected_now: u64,
+    /// New infections recorded yesterday.
+    pub new_cases: u64,
+    /// Cumulative infections so far.
+    pub cumulative: u64,
+    /// Total population.
+    pub population: u64,
+}
+
+impl DayObservables {
+    fn prevalence(&self) -> f64 {
+        if self.population == 0 {
+            0.0
+        } else {
+            self.infected_now as f64 / self.population as f64
+        }
+    }
+
+    fn attack_rate(&self) -> f64 {
+        if self.population == 0 {
+            0.0
+        } else {
+            self.cumulative as f64 / self.population as f64
+        }
+    }
+}
+
+/// A one-shot vaccination order produced on an activation day.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct VaccinationOrder {
+    /// Fraction of susceptibles to vaccinate (per-person compliance draw).
+    pub fraction: f64,
+    /// Treatment to assign.
+    pub treatment: TreatmentId,
+    /// Susceptibility multiplier for vaccinated persons.
+    pub efficacy_factor: f64,
+}
+
+impl VaccinationOrder {
+    /// Decide, deterministically, whether `person` complies with this
+    /// order issued on `day`.
+    pub fn applies_to(&self, seed: u64, person: u64, day: u64) -> bool {
+        CounterRng::for_entity(seed, person, day, Purpose::Compliance).bernoulli(self.fraction)
+    }
+}
+
+/// The effects in force on a given day, consumed by the simulator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ActiveEffects {
+    /// `closed_kinds[k]` — locations of kind `k` accept no visits today.
+    pub closed_kinds: [bool; MAX_LOCATION_KINDS],
+    /// Multiplier on the disease transmissibility `r` (≤ 1).
+    pub r_scale: f64,
+    /// Vaccination orders activating today (applied once).
+    pub vaccinations: Vec<VaccinationOrder>,
+}
+
+impl Default for ActiveEffects {
+    fn default() -> Self {
+        ActiveEffects {
+            closed_kinds: [false; MAX_LOCATION_KINDS],
+            r_scale: 1.0,
+            vaccinations: Vec::new(),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct ActiveWindow {
+    action: Action,
+    /// Day the action stops applying (exclusive).
+    end_day: u32,
+    /// Index of the intervention this window came from (for snapshots).
+    source: u32,
+}
+
+/// A set of interventions plus their runtime activation state.
+#[derive(Debug, Clone, Default)]
+pub struct InterventionSet {
+    interventions: Vec<Intervention>,
+    fired: Vec<bool>,
+    active: Vec<ActiveWindow>,
+}
+
+impl InterventionSet {
+    /// Build from a list of interventions.
+    pub fn new(interventions: Vec<Intervention>) -> Self {
+        let fired = vec![false; interventions.len()];
+        InterventionSet {
+            interventions,
+            fired,
+            active: Vec::new(),
+        }
+    }
+
+    /// No interventions at all.
+    pub fn none() -> Self {
+        Self::new(Vec::new())
+    }
+
+    /// The configured interventions.
+    pub fn interventions(&self) -> &[Intervention] {
+        &self.interventions
+    }
+
+    /// Evaluate triggers for `obs.day` and return the effects in force.
+    /// Must be called exactly once per day, in day order.
+    pub fn evaluate(&mut self, obs: &DayObservables) -> ActiveEffects {
+        // Fire newly-triggered interventions.
+        for i in 0..self.interventions.len() {
+            if self.fired[i] {
+                continue;
+            }
+            let iv = self.interventions[i];
+            let fire = match iv.trigger {
+                Trigger::Day(d) => obs.day >= d,
+                Trigger::PrevalenceAbove(p) => obs.prevalence() > p,
+                Trigger::NewCasesAbove(n) => obs.new_cases > n,
+                Trigger::AttackRateAbove(a) => obs.attack_rate() > a,
+            };
+            if fire {
+                self.fired[i] = true;
+                let duration = match iv.action {
+                    Action::Vaccinate { .. } => 1, // one-shot
+                    Action::CloseKind { duration, .. }
+                    | Action::SocialDistance { duration, .. } => duration,
+                };
+                self.active.push(ActiveWindow {
+                    action: iv.action,
+                    end_day: obs.day.saturating_add(duration.max(1)),
+                    source: i as u32,
+                });
+            }
+        }
+        // Collect effects from active windows; drop expired ones.
+        let mut effects = ActiveEffects::default();
+        let day = obs.day;
+        self.active.retain(|w| w.end_day > day);
+        for w in &self.active {
+            match w.action {
+                Action::Vaccinate {
+                    fraction,
+                    treatment,
+                    efficacy_factor,
+                } => {
+                    // Only on the activation day (duration 1 ⇒ end_day-1).
+                    if day + 1 == w.end_day {
+                        effects.vaccinations.push(VaccinationOrder {
+                            fraction: fraction.clamp(0.0, 1.0),
+                            treatment,
+                            efficacy_factor: efficacy_factor.clamp(0.0, 1.0),
+                        });
+                    }
+                }
+                Action::CloseKind { kind, .. } => {
+                    if (kind as usize) < MAX_LOCATION_KINDS {
+                        effects.closed_kinds[kind as usize] = true;
+                    }
+                }
+                Action::SocialDistance {
+                    compliance, factor, ..
+                } => {
+                    let scale = 1.0 - compliance.clamp(0.0, 1.0) * (1.0 - factor.clamp(0.0, 1.0));
+                    effects.r_scale *= scale;
+                }
+            }
+        }
+        effects
+    }
+}
+
+/// Serializable activation state of an [`InterventionSet`] — which
+/// interventions have fired and which windows are still open — for
+/// checkpoint/restart.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct InterventionSnapshot {
+    /// Fired flag per configured intervention.
+    pub fired: Vec<bool>,
+    /// Open windows as `(intervention index, end_day)`.
+    pub active: Vec<(u32, u32)>,
+}
+
+impl InterventionSet {
+    /// Capture the activation state.
+    pub fn snapshot(&self) -> InterventionSnapshot {
+        InterventionSnapshot {
+            fired: self.fired.clone(),
+            active: self.active.iter().map(|w| (w.source, w.end_day)).collect(),
+        }
+    }
+
+    /// Rebuild a set from its configuration plus a snapshot.
+    ///
+    /// # Panics
+    /// Panics if the snapshot does not match the configuration's length or
+    /// references an out-of-range intervention.
+    pub fn restore(interventions: Vec<Intervention>, snap: &InterventionSnapshot) -> Self {
+        assert_eq!(
+            interventions.len(),
+            snap.fired.len(),
+            "snapshot does not match the intervention list"
+        );
+        let active = snap
+            .active
+            .iter()
+            .map(|&(source, end_day)| ActiveWindow {
+                action: interventions[source as usize].action,
+                end_day,
+                source,
+            })
+            .collect();
+        InterventionSet {
+            interventions,
+            fired: snap.fired.clone(),
+            active,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn obs(day: u32, infected: u64, new_cases: u64, cumulative: u64) -> DayObservables {
+        DayObservables {
+            day,
+            infected_now: infected,
+            new_cases,
+            cumulative,
+            population: 1000,
+        }
+    }
+
+    #[test]
+    fn day_trigger_fires_once() {
+        let mut set = InterventionSet::new(vec![Intervention {
+            trigger: Trigger::Day(3),
+            action: Action::Vaccinate {
+                fraction: 0.5,
+                treatment: TreatmentId(1),
+                efficacy_factor: 0.3,
+            },
+        }]);
+        assert!(set.evaluate(&obs(0, 0, 0, 0)).vaccinations.is_empty());
+        assert!(set.evaluate(&obs(2, 0, 0, 0)).vaccinations.is_empty());
+        let e3 = set.evaluate(&obs(3, 0, 0, 0));
+        assert_eq!(e3.vaccinations.len(), 1);
+        assert_eq!(e3.vaccinations[0].fraction, 0.5);
+        // Fires only once.
+        assert!(set.evaluate(&obs(4, 0, 0, 0)).vaccinations.is_empty());
+    }
+
+    #[test]
+    fn closure_lasts_for_duration() {
+        let mut set = InterventionSet::new(vec![Intervention {
+            trigger: Trigger::PrevalenceAbove(0.01),
+            action: Action::CloseKind { kind: 2, duration: 3 },
+        }]);
+        assert!(!set.evaluate(&obs(0, 5, 0, 5)).closed_kinds[2]); // 0.5% ≤ 1%
+        assert!(set.evaluate(&obs(1, 20, 0, 20)).closed_kinds[2]); // 2% > 1%
+        assert!(set.evaluate(&obs(2, 20, 0, 40)).closed_kinds[2]);
+        assert!(set.evaluate(&obs(3, 20, 0, 60)).closed_kinds[2]);
+        assert!(!set.evaluate(&obs(4, 20, 0, 80)).closed_kinds[2]); // expired
+    }
+
+    #[test]
+    fn distancing_scales_r() {
+        let mut set = InterventionSet::new(vec![Intervention {
+            trigger: Trigger::NewCasesAbove(10),
+            action: Action::SocialDistance {
+                compliance: 0.5,
+                factor: 0.4,
+                duration: 2,
+            },
+        }]);
+        assert_eq!(set.evaluate(&obs(0, 0, 10, 10)).r_scale, 1.0); // not strictly above
+        let e = set.evaluate(&obs(1, 0, 11, 21));
+        // 1 − 0.5·(1 − 0.4) = 0.7
+        assert!((e.r_scale - 0.7).abs() < 1e-12);
+        assert!((set.evaluate(&obs(2, 0, 0, 21)).r_scale - 0.7).abs() < 1e-12);
+        assert_eq!(set.evaluate(&obs(3, 0, 0, 21)).r_scale, 1.0);
+    }
+
+    #[test]
+    fn attack_rate_trigger() {
+        let mut set = InterventionSet::new(vec![Intervention {
+            trigger: Trigger::AttackRateAbove(0.1),
+            action: Action::CloseKind { kind: 0, duration: 1 },
+        }]);
+        assert!(!set.evaluate(&obs(0, 0, 0, 100)).closed_kinds[0]); // exactly 10%
+        assert!(set.evaluate(&obs(1, 0, 0, 101)).closed_kinds[0]);
+    }
+
+    #[test]
+    fn multiple_distancing_effects_compose() {
+        let mut set = InterventionSet::new(vec![
+            Intervention {
+                trigger: Trigger::Day(0),
+                action: Action::SocialDistance {
+                    compliance: 1.0,
+                    factor: 0.5,
+                    duration: 5,
+                },
+            },
+            Intervention {
+                trigger: Trigger::Day(0),
+                action: Action::SocialDistance {
+                    compliance: 1.0,
+                    factor: 0.5,
+                    duration: 5,
+                },
+            },
+        ]);
+        let e = set.evaluate(&obs(0, 0, 0, 0));
+        assert!((e.r_scale - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn vaccination_compliance_is_deterministic_and_near_fraction() {
+        let order = VaccinationOrder {
+            fraction: 0.3,
+            treatment: TreatmentId(1),
+            efficacy_factor: 0.2,
+        };
+        let n = 20_000u64;
+        let count = (0..n).filter(|&p| order.applies_to(5, p, 10)).count();
+        let frac = count as f64 / n as f64;
+        assert!((frac - 0.3).abs() < 0.01, "{frac}");
+        // Determinism.
+        assert_eq!(order.applies_to(5, 123, 10), order.applies_to(5, 123, 10));
+    }
+
+    #[test]
+    fn snapshot_restore_round_trip() {
+        let ivs = vec![
+            Intervention {
+                trigger: Trigger::Day(1),
+                action: Action::CloseKind { kind: 2, duration: 10 },
+            },
+            Intervention {
+                trigger: Trigger::Day(100),
+                action: Action::SocialDistance {
+                    compliance: 1.0,
+                    factor: 0.5,
+                    duration: 5,
+                },
+            },
+        ];
+        let mut set = InterventionSet::new(ivs.clone());
+        set.evaluate(&obs(0, 0, 0, 0));
+        set.evaluate(&obs(1, 0, 0, 0)); // fires the closure
+        let snap = set.snapshot();
+        assert_eq!(snap.fired, vec![true, false]);
+        assert_eq!(snap.active.len(), 1);
+        // Restore must behave identically for the remaining days.
+        let mut restored = InterventionSet::restore(ivs, &snap);
+        for day in 2..15 {
+            let a = set.evaluate(&obs(day, 0, 0, 0));
+            let b = restored.evaluate(&obs(day, 0, 0, 0));
+            assert_eq!(a, b, "day {day}");
+        }
+    }
+
+    #[test]
+    fn out_of_range_kind_is_ignored() {
+        let mut set = InterventionSet::new(vec![Intervention {
+            trigger: Trigger::Day(0),
+            action: Action::CloseKind {
+                kind: MAX_LOCATION_KINDS as u8,
+                duration: 5,
+            },
+        }]);
+        let e = set.evaluate(&obs(0, 0, 0, 0));
+        assert!(e.closed_kinds.iter().all(|&c| !c));
+    }
+}

@@ -1,0 +1,35 @@
+//! # ptts — disease dynamics for EpiSimdemics-rs
+//!
+//! This crate implements the *health-state* side of the EpiSimdemics
+//! contagion simulator described in Yeom et al., *Overcoming the Scalability
+//! Challenges of Epidemic Simulations on Blue Waters* (IPDPS 2014):
+//!
+//! * [`model`] — the **probabilistic timed transition system** (PTTS): a
+//!   finite state machine whose states carry a *dwell time* distribution and
+//!   whose transitions are probabilistic and selected by the *treatment* a
+//!   person has received (§II-A of the paper).
+//! * [`disease`] — ready-made disease models (an influenza-like illness used
+//!   throughout the evaluation).
+//! * [`transmission`] — the pairwise transmission function of
+//!   Barrett et al. (SC'08), `p = 1 − (1 − r·s_i·ι_j)^τ`, and its combined
+//!   per-susceptible form.
+//! * [`dsl`] — a small domain-specific language for specifying diseases and
+//!   interventions in text form (the paper cites a DSL for "complex
+//!   interventions and behavior" \[6\]).
+//! * [`intervention`] — public-policy interventions (vaccination, school
+//!   closure, social distancing) with triggers.
+//! * [`crng`] — a counter-based deterministic RNG so that simulation output
+//!   is bit-reproducible regardless of parallel message interleaving.
+
+pub mod crng;
+pub mod disease;
+pub mod dsl;
+pub mod intervention;
+pub mod model;
+pub mod transmission;
+
+pub use crng::CounterRng;
+pub use disease::{flu_model, seirs_model, sir_model};
+pub use intervention::{Action, Intervention, InterventionSet, Trigger};
+pub use model::{DwellDist, HealthTracker, Ptts, PttsBuilder, StateId, TreatmentId};
+pub use transmission::{combined_infection_prob, infection_prob};

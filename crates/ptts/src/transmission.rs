@@ -1,0 +1,186 @@
+//! The EpiSimdemics transmission function.
+//!
+//! EpiSimdemics (and Perumalla & Seal's comparator, which "uses the same
+//! disease model and transmission function", §VI) computes the probability
+//! that susceptible person *i* is infected by infectious person *j* after
+//! being co-located for a contact duration τ as
+//!
+//! ```text
+//! p_ij = 1 − (1 − r · s_i · ι_j)^τ
+//! ```
+//!
+//! where `r` is the per-unit-time transmissibility of the disease, `s_i` the
+//! susceptibility of *i*'s health state and `ι_j` the infectivity of *j*'s
+//! state (Barrett et al., SC'08). Over a day at one location, the combined
+//! escape probability multiplies across all infectious contacts.
+
+/// Probability that one susceptible–infectious contact of `tau` time units
+/// transmits. All inputs are clamped to valid ranges; `tau` is in the same
+/// unit `r` is expressed per (we use minutes).
+#[inline]
+pub fn infection_prob(r: f64, susceptibility: f64, infectivity: f64, tau: f64) -> f64 {
+    let per_unit = (r * susceptibility * infectivity).clamp(0.0, 1.0);
+    if per_unit == 0.0 || tau <= 0.0 {
+        return 0.0;
+    }
+    if per_unit >= 1.0 {
+        return 1.0;
+    }
+    // 1 − (1−q)^τ via ln1p/exp for numerical robustness at small q·τ.
+    1.0 - (tau * (-per_unit).ln_1p()).exp()
+}
+
+/// Combined infection probability for a susceptible exposed to several
+/// infectious contacts: `1 − Π_j (1 − p_j)`.
+///
+/// `contacts` yields `(infectivity_j, tau_j)` pairs.
+#[inline]
+pub fn combined_infection_prob<I>(r: f64, susceptibility: f64, contacts: I) -> f64
+where
+    I: IntoIterator<Item = (f64, f64)>,
+{
+    // Accumulate log escape probability to avoid underflow with many
+    // contacts.
+    let mut log_escape = 0.0f64;
+    for (inf, tau) in contacts {
+        let p = infection_prob(r, susceptibility, inf, tau);
+        if p >= 1.0 {
+            return 1.0;
+        }
+        log_escape += (-p).ln_1p();
+    }
+    1.0 - log_escape.exp()
+}
+
+/// Given the combined probability and the per-contact probabilities, select
+/// which contact is credited as the infector, proportionally to each
+/// contact's hazard. `u` is a uniform draw in `[0,1)`. Returns the index of
+/// the selected contact, or `None` if `probs` is empty or all-zero.
+pub fn select_infector(probs: &[f64], u: f64) -> Option<usize> {
+    // A certain contact (p = 1) has infinite hazard and wins outright.
+    if let Some(i) = probs.iter().position(|&p| p >= 1.0) {
+        return Some(i);
+    }
+    let total: f64 = probs.iter().map(|&p| hazard(p)).sum();
+    if total <= 0.0 {
+        return None;
+    }
+    let target = u.clamp(0.0, 1.0 - f64::EPSILON) * total;
+    let mut acc = 0.0;
+    for (i, &p) in probs.iter().enumerate() {
+        acc += hazard(p);
+        if target < acc {
+            return Some(i);
+        }
+    }
+    Some(probs.len() - 1)
+}
+
+/// Convert an infection probability to a cumulative hazard, the correct
+/// weight when attributing an infection among competing contacts.
+#[inline]
+fn hazard(p: f64) -> f64 {
+    if p >= 1.0 {
+        f64::INFINITY
+    } else {
+        -(-p).ln_1p()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_inputs_give_zero() {
+        assert_eq!(infection_prob(0.0, 1.0, 1.0, 60.0), 0.0);
+        assert_eq!(infection_prob(0.01, 0.0, 1.0, 60.0), 0.0);
+        assert_eq!(infection_prob(0.01, 1.0, 0.0, 60.0), 0.0);
+        assert_eq!(infection_prob(0.01, 1.0, 1.0, 0.0), 0.0);
+    }
+
+    #[test]
+    fn probability_bounds() {
+        for &r in &[1e-6, 1e-3, 0.1, 0.9, 2.0] {
+            for &tau in &[0.1, 1.0, 60.0, 1440.0] {
+                let p = infection_prob(r, 1.0, 1.0, tau);
+                assert!((0.0..=1.0).contains(&p), "p={p} r={r} tau={tau}");
+            }
+        }
+    }
+
+    #[test]
+    fn monotone_in_duration_and_rate() {
+        let p1 = infection_prob(0.001, 1.0, 1.0, 30.0);
+        let p2 = infection_prob(0.001, 1.0, 1.0, 60.0);
+        let p3 = infection_prob(0.002, 1.0, 1.0, 30.0);
+        assert!(p2 > p1);
+        assert!(p3 > p1);
+    }
+
+    #[test]
+    fn matches_closed_form() {
+        // p = 1 − (1−q)^τ
+        let q: f64 = 0.01 * 0.8 * 0.5;
+        let tau = 45.0;
+        let expected = 1.0 - (1.0 - q).powf(tau);
+        let got = infection_prob(0.01, 0.8, 0.5, tau);
+        assert!((got - expected).abs() < 1e-12, "{got} vs {expected}");
+    }
+
+    #[test]
+    fn combined_equals_product_of_escapes() {
+        let contacts = [(1.0, 30.0), (0.5, 60.0), (0.25, 120.0)];
+        let r = 0.002;
+        let escape: f64 = contacts
+            .iter()
+            .map(|&(inf, tau)| 1.0 - infection_prob(r, 1.0, inf, tau))
+            .product();
+        let got = combined_infection_prob(r, 1.0, contacts.iter().copied());
+        assert!((got - (1.0 - escape)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn combined_empty_is_zero() {
+        assert_eq!(combined_infection_prob(0.01, 1.0, std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn combined_exceeds_any_single() {
+        let r = 0.001;
+        let single = infection_prob(r, 1.0, 1.0, 60.0);
+        let both = combined_infection_prob(r, 1.0, [(1.0, 60.0), (1.0, 60.0)]);
+        assert!(both > single);
+        assert!(both < 2.0 * single); // sub-additive
+    }
+
+    #[test]
+    fn saturating_rate_caps_at_one() {
+        assert_eq!(infection_prob(2.0, 1.0, 1.0, 5.0), 1.0);
+        assert_eq!(combined_infection_prob(2.0, 1.0, [(1.0, 5.0)]), 1.0);
+    }
+
+    #[test]
+    fn infector_selection_weighted() {
+        // Contact 1 has ~3x the hazard of contact 0; over a sweep of u the
+        // selection frequency should reflect that.
+        let probs = [0.1, 0.28];
+        let n = 10_000;
+        let ones = (0..n)
+            .filter(|&i| select_infector(&probs, i as f64 / n as f64) == Some(1))
+            .count();
+        let frac = ones as f64 / n as f64;
+        let h0 = -(1.0f64 - probs[0]).ln();
+        let h1 = -(1.0f64 - probs[1]).ln();
+        let expected = h1 / (h0 + h1);
+        assert!((frac - expected).abs() < 0.01, "{frac} vs {expected}");
+    }
+
+    #[test]
+    fn infector_selection_edge_cases() {
+        assert_eq!(select_infector(&[], 0.5), None);
+        assert_eq!(select_infector(&[0.0, 0.0], 0.5), None);
+        assert_eq!(select_infector(&[0.0, 0.4], 0.99), Some(1));
+        assert_eq!(select_infector(&[1.0, 0.4], 0.0), Some(0)); // certain contact wins
+    }
+}

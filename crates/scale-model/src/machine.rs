@@ -1,0 +1,169 @@
+//! Machine constants for a Cray XE6 (Gemini interconnect) and the runtime
+//! options whose effect §IV quantifies.
+
+use serde::{Deserialize, Serialize};
+
+/// Termination-detection flavour (§IV-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SyncKind {
+    /// Completion detection scoped to the module: one up-down sweep of a
+    /// reduction tree per phase.
+    CompletionDetection,
+    /// Quiescence detection: requires application-wide quiescence — charged
+    /// several tree sweeps per phase (Charm++ QD iterates until two
+    /// consecutive idle waves agree).
+    QuiescenceDetection,
+}
+
+/// Tunable machine constants. Defaults approximate Blue Waters' XE6 nodes
+/// (AMD Interlagos, Gemini torus).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineModel {
+    /// CPU nanoseconds to process one person-visit on the person side
+    /// (health update amortized in). Calibrated.
+    pub person_visit_ns: f64,
+    /// Scale factor from `load-model` location units (ns at
+    /// `LoadUnits::default`) to this machine's nanoseconds. Calibrated.
+    pub location_unit_scale: f64,
+    /// CPU overhead to send or receive one fine-grained message without a
+    /// comm thread (allocation + serialization + injection).
+    pub msg_overhead_ns: f64,
+    /// Fraction of `msg_overhead_ns` remaining on the worker when a
+    /// dedicated communication thread offloads injection (§IV-A).
+    pub comm_thread_factor: f64,
+    /// Fraction of `msg_overhead_ns` paid for intra-process (shared-memory)
+    /// delivery.
+    pub intra_factor: f64,
+    /// Per-network-packet overhead (Gemini small-message latency ≈ 1.5 µs).
+    pub packet_overhead_ns: f64,
+    /// Per-direction injection bandwidth, bytes/second (Gemini ≈ 6 GB/s).
+    pub bandwidth_bytes_per_s: f64,
+    /// Per-hop latency of the synchronization tree.
+    pub hop_latency_ns: f64,
+    /// Tree sweeps per QD round relative to CD's single sweep.
+    pub qd_sweeps: f64,
+    /// Fixed per-day overhead (iteration bookkeeping), ns.
+    pub per_day_fixed_ns: f64,
+}
+
+impl Default for MachineModel {
+    fn default() -> Self {
+        MachineModel {
+            person_visit_ns: 900.0,
+            location_unit_scale: 1.0,
+            msg_overhead_ns: 450.0,
+            comm_thread_factor: 0.4,
+            intra_factor: 0.15,
+            packet_overhead_ns: 650.0,
+            bandwidth_bytes_per_s: 6.0e9,
+            hop_latency_ns: 1500.0,
+            qd_sweeps: 4.0,
+            per_day_fixed_ns: 50_000.0,
+        }
+    }
+}
+
+/// The §IV optimization switches, as the model sees them.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RuntimeOptions {
+    /// Message aggregation batch size (1 = no aggregation).
+    pub aggregation_batch: u32,
+    /// Dedicated communication threads (§IV-A SMP mode).
+    pub comm_thread: bool,
+    /// PEs per SMP process (sends within a process are shared-memory).
+    pub pes_per_process: u32,
+    /// Synchronization mechanism.
+    pub sync: SyncKind,
+    /// TRAM 2D topological routing: aggregation lanes drop to O(√P) at the
+    /// cost of an extra hop for off-row/off-column destinations.
+    pub tram: bool,
+}
+
+impl RuntimeOptions {
+    /// All §IV optimizations on (the paper's tuned configuration).
+    pub fn optimized() -> Self {
+        RuntimeOptions {
+            aggregation_batch: 64,
+            comm_thread: true,
+            pes_per_process: 8,
+            sync: SyncKind::CompletionDetection,
+            tram: false,
+        }
+    }
+
+    /// The optimized configuration with TRAM routing on top.
+    pub fn optimized_tram() -> Self {
+        RuntimeOptions {
+            tram: true,
+            ..Self::optimized()
+        }
+    }
+
+    /// The "RR no-opt" baseline of Figure 12.
+    pub fn no_opt() -> Self {
+        RuntimeOptions {
+            aggregation_batch: 1,
+            comm_thread: false,
+            pes_per_process: 1,
+            sync: SyncKind::QuiescenceDetection,
+            tram: false,
+        }
+    }
+}
+
+impl MachineModel {
+    /// Synchronization cost for one phase barrier over `p` participants.
+    pub fn sync_ns(&self, p: u32, sync: SyncKind) -> f64 {
+        let depth = (p.max(2) as f64).log2().ceil();
+        let sweeps = match sync {
+            SyncKind::CompletionDetection => 2.0, // up + down
+            SyncKind::QuiescenceDetection => 2.0 * self.qd_sweeps,
+        };
+        depth * self.hop_latency_ns * sweeps
+    }
+
+    /// Worker-side cost of sending one remote message.
+    pub fn remote_send_ns(&self, opts: &RuntimeOptions) -> f64 {
+        if opts.comm_thread {
+            self.msg_overhead_ns * self.comm_thread_factor
+        } else {
+            self.msg_overhead_ns
+        }
+    }
+
+    /// Worker-side cost of one intra-process message.
+    pub fn intra_send_ns(&self) -> f64 {
+        self.msg_overhead_ns * self.intra_factor
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sync_grows_logarithmically() {
+        let m = MachineModel::default();
+        let s1k = m.sync_ns(1024, SyncKind::CompletionDetection);
+        let s1m = m.sync_ns(1 << 20, SyncKind::CompletionDetection);
+        assert!((s1m / s1k - 2.0).abs() < 1e-9, "log2 scaling");
+    }
+
+    #[test]
+    fn qd_costs_more_than_cd() {
+        let m = MachineModel::default();
+        assert!(
+            m.sync_ns(4096, SyncKind::QuiescenceDetection)
+                > 2.0 * m.sync_ns(4096, SyncKind::CompletionDetection)
+        );
+    }
+
+    #[test]
+    fn comm_thread_cuts_send_cost() {
+        let m = MachineModel::default();
+        let opt = RuntimeOptions::optimized();
+        let noopt = RuntimeOptions::no_opt();
+        assert!(m.remote_send_ns(&opt) < 0.5 * m.remote_send_ns(&noopt));
+        assert!(m.intra_send_ns() < m.remote_send_ns(&noopt));
+    }
+}

@@ -1,0 +1,259 @@
+//! The per-day time model and strong-scaling projection.
+//!
+//! One simulated day costs (§II-B's structure):
+//!
+//! ```text
+//! T_day = T_person + T_location + T_sync + T_fixed
+//! T_person  = max_p [ visits_p·c_visit + sends_p ]      (phase 1)
+//! T_location= max_p [ load_p·scale + recv_p + comm_p ]  (phase 3)
+//! T_sync    = 3 × sync(P)                               (phases 2, 4, 6)
+//! ```
+//!
+//! where `sends_p`/`recv_p` charge per-message CPU overhead (reduced by the
+//! comm thread and by shared-memory delivery) and `comm_p` charges network
+//! packets after aggregation plus bytes over the injection bandwidth. Every
+//! `max_p` is over real per-partition sums — the §III-B `Lmax` phenomenon
+//! enters the projection through exactly the quantity the paper analyzes.
+
+use crate::inputs::{PartitionInputs, VISIT_BYTES};
+use crate::machine::{MachineModel, RuntimeOptions};
+
+/// Projected time for one simulated day, with its breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DayProjection {
+    /// Total seconds per simulated day.
+    pub seconds: f64,
+    /// Person-phase compute + send component (max over partitions).
+    pub person_s: f64,
+    /// Location-phase compute + receive component.
+    pub location_s: f64,
+    /// Network component (packets + bytes) of the bottleneck partition.
+    pub network_s: f64,
+    /// Synchronization component.
+    pub sync_s: f64,
+}
+
+/// Project one day's execution time.
+pub fn project_day(
+    inputs: &PartitionInputs,
+    machine: &MachineModel,
+    opts: &RuntimeOptions,
+) -> DayProjection {
+    let k = inputs.k.max(1);
+    let remote_send = machine.remote_send_ns(opts);
+    let intra_send = machine.intra_send_ns();
+    let batch = opts.aggregation_batch.max(1) as f64;
+    // With pes_per_process > 1, a fraction of "remote" partitions actually
+    // share a process; approximate that fraction as (p−1)/k capped at 1.
+    let share = ((opts.pes_per_process.saturating_sub(1)) as f64 / k as f64).min(1.0);
+
+    let mut person_max = 0.0f64;
+    let mut location_max = 0.0f64;
+    let mut network_max = 0.0f64;
+    for p in 0..k as usize {
+        // Person phase: compute + message injection.
+        let visits = inputs.person_visits[p] as f64;
+        let remote = inputs.remote_out[p] as f64;
+        let local = inputs.local[p] as f64;
+        let remote_eff = remote * (1.0 - share);
+        let intra_eff = remote * share;
+        let person_ns = visits * machine.person_visit_ns
+            + remote_eff * remote_send
+            + intra_eff * intra_send
+            + local * intra_send * 0.5;
+        person_max = person_max.max(person_ns);
+
+        // Network: packets after aggregation (at least one per destination
+        // lane) plus bytes over the injection bandwidth.
+        // TRAM caps lanes at the 2D grid's row+column peers (O(√P)) but
+        // roughly half the messages take a second hop (forwarded bytes and
+        // a relay handling cost).
+        let tram_lanes = 2.0 * ((k as f64).sqrt().ceil() - 1.0);
+        let (lanes, hop_factor) = if opts.tram {
+            ((inputs.fanout[p] as f64).min(tram_lanes.max(1.0)), 1.5)
+        } else {
+            (inputs.fanout[p] as f64, 1.0)
+        };
+        let packets = if remote_eff > 0.0 {
+            (remote_eff / batch).ceil().max(lanes.max(1.0))
+        } else {
+            0.0
+        };
+        let bytes = remote_eff * VISIT_BYTES as f64 * hop_factor;
+        let network_ns = packets * hop_factor * machine.packet_overhead_ns
+            + bytes / machine.bandwidth_bytes_per_s * 1e9;
+        network_max = network_max.max(network_ns);
+
+        // Location phase: DES compute + receive overhead for inbound
+        // remote messages.
+        let recv = inputs.remote_in[p] as f64 * (1.0 - share);
+        let location_ns = inputs.location_load[p] as f64 * machine.location_unit_scale
+            + recv * remote_send;
+        location_max = location_max.max(location_ns);
+    }
+    let sync_ns = 3.0 * machine.sync_ns(k, opts.sync);
+    let total_ns =
+        person_max + location_max + network_max + sync_ns + machine.per_day_fixed_ns;
+    DayProjection {
+        seconds: total_ns / 1e9,
+        person_s: person_max / 1e9,
+        location_s: location_max / 1e9,
+        network_s: network_max / 1e9,
+        sync_s: sync_ns / 1e9,
+    }
+}
+
+/// One strong-scaling point: `(core_modules, seconds_per_day)` plus the
+/// speedup/efficiency bookkeeping of the paper's headline numbers.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ScalingPoint {
+    /// Core-modules (partitions).
+    pub k: u32,
+    /// Seconds per simulated day.
+    pub seconds: f64,
+    /// Speedup relative to a supplied 1-core baseline.
+    pub speedup: f64,
+    /// Parallel efficiency (`speedup / k`).
+    pub efficiency: f64,
+}
+
+/// Assemble a scaling point given the single-core baseline time.
+pub fn strong_scaling_point(
+    k: u32,
+    projection: &DayProjection,
+    baseline_seconds: f64,
+) -> ScalingPoint {
+    let speedup = if projection.seconds > 0.0 {
+        baseline_seconds / projection.seconds
+    } else {
+        0.0
+    };
+    ScalingPoint {
+        k,
+        seconds: projection.seconds,
+        speedup,
+        efficiency: speedup / k.max(1) as f64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use episim_core::distribution::{DataDistribution, Strategy};
+    use load_model::{LoadUnits, PiecewiseModel};
+    use synthpop::{Population, PopulationConfig};
+
+    fn inputs(strategy: Strategy, k: u32) -> PartitionInputs {
+        let pop = Population::generate(&PopulationConfig::small("T", 6000, 3));
+        let dist = DataDistribution::build(&pop, strategy, k, 1);
+        crate::inputs_from_distribution(
+            &dist,
+            &PiecewiseModel::paper_constants(),
+            LoadUnits::default(),
+        )
+    }
+
+    #[test]
+    fn more_partitions_faster_until_saturation() {
+        let m = MachineModel::default();
+        let opts = RuntimeOptions::optimized();
+        let t1 = project_day(&inputs(Strategy::RoundRobin, 1), &m, &opts).seconds;
+        let t8 = project_day(&inputs(Strategy::RoundRobin, 8), &m, &opts).seconds;
+        let t64 = project_day(&inputs(Strategy::RoundRobin, 64), &m, &opts).seconds;
+        assert!(t8 < t1, "t8 {t8} vs t1 {t1}");
+        assert!(t64 < t8, "t64 {t64} vs t8 {t8}");
+        // Far from linear at 64 on a 6k-person toy (communication floor).
+        assert!(t1 / t64 < 64.0);
+    }
+
+    #[test]
+    fn optimizations_help() {
+        // The §IV claim: opts collectively cut execution time (Figure 12
+        // shows ≈ 40% for RR on CA).
+        let m = MachineModel::default();
+        let i = inputs(Strategy::RoundRobin, 32);
+        let opt = project_day(&i, &m, &RuntimeOptions::optimized()).seconds;
+        let noopt = project_day(&i, &m, &RuntimeOptions::no_opt()).seconds;
+        assert!(
+            opt < 0.8 * noopt,
+            "optimized {opt} vs no-opt {noopt}"
+        );
+    }
+
+    #[test]
+    fn gp_beats_rr_at_scale() {
+        let m = MachineModel::default();
+        let opts = RuntimeOptions::optimized();
+        let rr = project_day(&inputs(Strategy::RoundRobin, 64), &m, &opts);
+        let gp = project_day(&inputs(Strategy::GraphPartitionSplit, 64), &m, &opts);
+        assert!(
+            gp.seconds < rr.seconds,
+            "GP-splitLoc {} vs RR {}",
+            gp.seconds,
+            rr.seconds
+        );
+    }
+
+    #[test]
+    fn tram_helps_when_fanout_dominates() {
+        // RR at high k: every partition talks to ~k−1 others, so the lane
+        // floor (one packet per destination) dominates; TRAM's O(√k) lanes
+        // must win despite the extra hop.
+        let m = MachineModel::default();
+        let i = inputs(Strategy::RoundRobin, 256);
+        let plain = project_day(&i, &m, &RuntimeOptions::optimized());
+        let tram = project_day(&i, &m, &RuntimeOptions::optimized_tram());
+        assert!(
+            tram.network_s < plain.network_s,
+            "TRAM {} vs plain {}",
+            tram.network_s,
+            plain.network_s
+        );
+    }
+
+    #[test]
+    fn tram_costs_when_fanout_is_small() {
+        // At tiny k the fanout is already below 2√k; TRAM only adds hops.
+        let m = MachineModel::default();
+        let i = inputs(Strategy::GraphPartition, 4);
+        let plain = project_day(&i, &m, &RuntimeOptions::optimized());
+        let tram = project_day(&i, &m, &RuntimeOptions::optimized_tram());
+        assert!(tram.network_s >= plain.network_s);
+    }
+
+    #[test]
+    fn sync_dominates_at_extreme_scale() {
+        // With tiny per-partition work the log-P sync floor shows up.
+        let m = MachineModel::default();
+        let opts = RuntimeOptions::optimized();
+        let i = inputs(Strategy::RoundRobin, 256);
+        let proj = project_day(&i, &m, &opts);
+        assert!(proj.sync_s > 0.0);
+        assert!(proj.seconds >= proj.sync_s);
+    }
+
+    #[test]
+    fn scaling_point_math() {
+        let proj = DayProjection {
+            seconds: 0.5,
+            person_s: 0.2,
+            location_s: 0.2,
+            network_s: 0.05,
+            sync_s: 0.05,
+        };
+        let pt = strong_scaling_point(100, &proj, 25.0);
+        assert!((pt.speedup - 50.0).abs() < 1e-12);
+        assert!((pt.efficiency - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn breakdown_sums_close_to_total() {
+        let m = MachineModel::default();
+        let opts = RuntimeOptions::optimized();
+        let i = inputs(Strategy::GraphPartition, 16);
+        let p = project_day(&i, &m, &opts);
+        let parts = p.person_s + p.location_s + p.network_s + p.sync_s;
+        assert!(p.seconds >= parts);
+        assert!(p.seconds - parts < 1e-3, "fixed overhead only");
+    }
+}

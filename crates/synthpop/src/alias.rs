@@ -1,0 +1,172 @@
+//! Walker alias tables: O(1) sampling from a fixed discrete distribution.
+//!
+//! The generator draws hundreds of millions of weighted location choices at
+//! full scale; the alias method makes each draw two table lookups instead of
+//! a binary search over cumulative weights.
+
+use rand::RngCore;
+
+/// An alias table over `n` outcomes with fixed weights.
+#[derive(Debug, Clone)]
+pub struct AliasTable {
+    /// Acceptance probability of the primary outcome in each bucket,
+    /// pre-scaled to u64 range for a branch-cheap comparison.
+    prob: Vec<u64>,
+    /// Alias outcome used when the primary is rejected.
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (not necessarily normalized).
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty, longer than `u32::MAX`, contains a
+    /// negative/NaN weight, or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        let n = weights.len();
+        assert!(n > 0, "alias table needs at least one outcome");
+        assert!(n <= u32::MAX as usize, "too many outcomes");
+        let total: f64 = weights
+            .iter()
+            .map(|&w| {
+                assert!(w >= 0.0 && w.is_finite(), "weights must be finite and ≥ 0");
+                w
+            })
+            .sum();
+        assert!(total > 0.0, "total weight must be positive");
+
+        // Scale so the average bucket holds probability exactly 1.
+        let scale = n as f64 / total;
+        let mut scaled: Vec<f64> = weights.iter().map(|&w| w * scale).collect();
+        let mut prob = vec![0u64; n];
+        let mut alias = vec![0u32; n];
+
+        // Classic two-worklist construction (Vose's method).
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in scaled.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(&s), Some(&l)) = (small.last(), large.last()) {
+            small.pop();
+            let ps = scaled[s as usize];
+            prob[s as usize] = to_fixed(ps);
+            alias[s as usize] = l;
+            scaled[l as usize] = (scaled[l as usize] + ps) - 1.0;
+            if scaled[l as usize] < 1.0 {
+                large.pop();
+                small.push(l);
+            }
+        }
+        for &i in small.iter().chain(large.iter()) {
+            prob[i as usize] = u64::MAX; // always accept
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// Whether the table is empty (never true post-construction).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+
+    /// Draw an outcome index.
+    #[inline]
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> u32 {
+        let n = self.prob.len() as u64;
+        let r = rng.next_u64();
+        // Bucket from the high bits (mod bias negligible vs n ≤ 2^32), accept
+        // from a second draw.
+        let bucket = (r % n) as usize;
+        if rng.next_u64() <= self.prob[bucket] {
+            bucket as u32
+        } else {
+            self.alias[bucket]
+        }
+    }
+}
+
+#[inline]
+fn to_fixed(p: f64) -> u64 {
+    (p.clamp(0.0, 1.0) * u64::MAX as f64) as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptts::CounterRng;
+
+    fn empirical(weights: &[f64], draws: usize) -> Vec<f64> {
+        let t = AliasTable::new(weights);
+        let mut rng = CounterRng::from_key(&[42]);
+        let mut counts = vec![0usize; weights.len()];
+        for _ in 0..draws {
+            counts[t.sample(&mut rng) as usize] += 1;
+        }
+        counts.iter().map(|&c| c as f64 / draws as f64).collect()
+    }
+
+    #[test]
+    fn uniform_weights_sample_uniformly() {
+        let freqs = empirical(&[1.0; 8], 200_000);
+        for f in freqs {
+            assert!((f - 0.125).abs() < 0.01, "{f}");
+        }
+    }
+
+    #[test]
+    fn skewed_weights_respected() {
+        let freqs = empirical(&[1.0, 2.0, 7.0], 300_000);
+        assert!((freqs[0] - 0.1).abs() < 0.01);
+        assert!((freqs[1] - 0.2).abs() < 0.01);
+        assert!((freqs[2] - 0.7).abs() < 0.01);
+    }
+
+    #[test]
+    fn zero_weight_never_sampled() {
+        let freqs = empirical(&[0.0, 1.0, 0.0, 1.0], 100_000);
+        assert_eq!(freqs[0], 0.0);
+        assert_eq!(freqs[2], 0.0);
+    }
+
+    #[test]
+    fn single_outcome() {
+        let t = AliasTable::new(&[3.5]);
+        let mut rng = CounterRng::from_key(&[1]);
+        for _ in 0..100 {
+            assert_eq!(t.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    fn heavy_tailed_weights() {
+        // Pareto-ish weights: the head must dominate but the tail must
+        // still appear.
+        let weights: Vec<f64> = (1..=1000).map(|i| 1.0 / (i as f64).powi(2)).collect();
+        let freqs = empirical(&weights, 500_000);
+        assert!(freqs[0] > 0.55 && freqs[0] < 0.67, "{}", freqs[0]);
+        assert!(freqs[1] > 0.10 && freqs[1] < 0.20, "{}", freqs[1]);
+        let tail: f64 = freqs[100..].iter().sum();
+        assert!(tail > 0.0, "tail outcomes should occasionally appear");
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_all_zero() {
+        AliasTable::new(&[0.0, 0.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn rejects_empty() {
+        AliasTable::new(&[]);
+    }
+}

@@ -1,0 +1,140 @@
+//! Log-binned histograms, matching the paper's distribution plots.
+//!
+//! Figures 3(c), 3(d) and 7 plot degree / load distributions with
+//! logarithmic bins ("bin 10^k..."). [`LogHistogram`] reproduces that
+//! binning with a configurable number of bins per decade.
+
+/// A histogram with logarithmically spaced bins.
+#[derive(Debug, Clone)]
+pub struct LogHistogram {
+    bins_per_decade: u32,
+    /// counts[i] covers [edge(i), edge(i+1)).
+    counts: Vec<u64>,
+    /// Values < 1 (including 0) land in a dedicated underflow bucket.
+    underflow: u64,
+    total: u64,
+}
+
+impl LogHistogram {
+    /// Create a histogram with `bins_per_decade` bins per factor of 10.
+    pub fn new(bins_per_decade: u32) -> Self {
+        assert!(bins_per_decade > 0);
+        LogHistogram {
+            bins_per_decade,
+            counts: Vec::new(),
+            underflow: 0,
+            total: 0,
+        }
+    }
+
+    /// Lower edge of bin `i`.
+    pub fn edge(&self, i: usize) -> f64 {
+        10f64.powf(i as f64 / self.bins_per_decade as f64)
+    }
+
+    /// Add one observation.
+    pub fn add(&mut self, value: f64) {
+        self.total += 1;
+        if value < 1.0 || value.is_nan() || !value.is_finite() {
+            self.underflow += 1;
+            return;
+        }
+        let bin = (value.log10() * self.bins_per_decade as f64).floor() as usize;
+        if self.counts.len() <= bin {
+            self.counts.resize(bin + 1, 0);
+        }
+        self.counts[bin] += 1;
+    }
+
+    /// Add many observations.
+    pub fn extend(&mut self, values: impl IntoIterator<Item = f64>) {
+        for v in values {
+            self.add(v);
+        }
+    }
+
+    /// Count of observations below 1.
+    pub fn underflow(&self) -> u64 {
+        self.underflow
+    }
+
+    /// Total observations.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Non-empty rows as `(bin_lo, bin_hi, count)`.
+    pub fn rows(&self) -> Vec<(f64, f64, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|&(_, &c)| c > 0)
+            .map(|(i, &c)| (self.edge(i), self.edge(i + 1), c))
+            .collect()
+    }
+
+    /// Render as aligned text, one row per non-empty bin — used by the
+    /// figure-regeneration binaries.
+    pub fn render(&self, label: &str) -> String {
+        let mut out = format!("# {label}: {} observations\n# bin_lo\tbin_hi\tcount\n", self.total);
+        if self.underflow > 0 {
+            out.push_str(&format!("0\t1\t{}\n", self.underflow));
+        }
+        for (lo, hi, c) in self.rows() {
+            out.push_str(&format!("{lo:.3}\t{hi:.3}\t{c}\n"));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn values_land_in_expected_bins() {
+        let mut h = LogHistogram::new(1);
+        h.extend([1.0, 5.0, 9.99, 10.0, 99.0, 100.0]);
+        let rows = h.rows();
+        assert_eq!(rows.len(), 3);
+        assert_eq!(rows[0], (1.0, 10.0, 3));
+        assert_eq!(rows[1].2, 2);
+        assert_eq!(rows[2].2, 1);
+    }
+
+    #[test]
+    fn underflow_handles_zero_and_negative() {
+        let mut h = LogHistogram::new(2);
+        h.extend([0.0, -3.0, 0.5, f64::NAN, 2.0]);
+        assert_eq!(h.underflow(), 4);
+        assert_eq!(h.total(), 5);
+        assert_eq!(h.rows().len(), 1);
+    }
+
+    #[test]
+    fn finer_binning() {
+        let mut h = LogHistogram::new(4);
+        h.add(1.0);
+        h.add(1.9); // 10^(1/4) ≈ 1.78, so 1.9 is bin 1
+        let rows = h.rows();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn counts_conserved() {
+        let mut h = LogHistogram::new(3);
+        h.extend((1..1000).map(|i| i as f64));
+        let binned: u64 = h.rows().iter().map(|r| r.2).sum();
+        assert_eq!(binned + h.underflow(), h.total());
+        assert_eq!(h.total(), 999);
+    }
+
+    #[test]
+    fn render_contains_rows() {
+        let mut h = LogHistogram::new(1);
+        h.extend([1.0, 20.0]);
+        let text = h.render("test");
+        assert!(text.contains("# test"));
+        assert!(text.lines().count() >= 4);
+    }
+}

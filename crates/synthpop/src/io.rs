@@ -1,0 +1,298 @@
+//! A compact binary format for generated populations.
+//!
+//! Generating the larger states takes seconds and is deterministic, but
+//! sweeping experiments re-use the same population many times; this format
+//! lets harnesses cache them on disk. Layout (little-endian throughout):
+//!
+//! ```text
+//! magic "EPOP" | version u32 | seed u64
+//! code: len u16 + utf-8 bytes
+//! n_people u32 | n_locations u32 | n_visits u64
+//! locations:  (kind u8, n_sublocations u16, weight f32) × n_locations
+//! people:     (home u32, anchor u32)                    × n_people
+//!             anchor = u32::MAX encodes "none"
+//! offsets:    u32 × (n_people + 1)
+//! visits:     (person u32, location u32, sublocation u16,
+//!              start u16, duration u16)                 × n_visits
+//! ```
+
+use crate::generator::{Location, LocationKind, Person, Population, Visit};
+use crate::{LocationId, PersonId, SublocationId};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use std::fmt;
+
+const MAGIC: &[u8; 4] = b"EPOP";
+const VERSION: u32 = 1;
+
+/// Decoding failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// Wrong magic bytes (not a population file).
+    BadMagic,
+    /// Unsupported format version.
+    BadVersion(u32),
+    /// The buffer ended before the declared contents.
+    Truncated,
+    /// A field held an out-of-range value.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::BadMagic => write!(f, "not an EPOP population file"),
+            DecodeError::BadVersion(v) => write!(f, "unsupported EPOP version {v}"),
+            DecodeError::Truncated => write!(f, "population file truncated"),
+            DecodeError::Corrupt(what) => write!(f, "corrupt population file: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+/// Serialize a population.
+pub fn encode(pop: &Population) -> Bytes {
+    let mut buf = BytesMut::with_capacity(
+        64 + pop.locations.len() * 7 + pop.people.len() * 8
+            + pop.person_offsets.len() * 4
+            + pop.visits.len() * 14,
+    );
+    buf.put_slice(MAGIC);
+    buf.put_u32_le(VERSION);
+    buf.put_u64_le(pop.seed);
+    let code = pop.code.as_bytes();
+    buf.put_u16_le(code.len() as u16);
+    buf.put_slice(code);
+    buf.put_u32_le(pop.people.len() as u32);
+    buf.put_u32_le(pop.locations.len() as u32);
+    buf.put_u64_le(pop.visits.len() as u64);
+    for l in &pop.locations {
+        buf.put_u8(l.kind as u8);
+        buf.put_u16_le(l.n_sublocations);
+        buf.put_f32_le(l.weight);
+    }
+    for p in &pop.people {
+        buf.put_u32_le(p.home.0);
+        buf.put_u32_le(p.anchor.map(|a| a.0).unwrap_or(u32::MAX));
+    }
+    for &o in &pop.person_offsets {
+        buf.put_u32_le(o);
+    }
+    for v in &pop.visits {
+        buf.put_u32_le(v.person.0);
+        buf.put_u32_le(v.location.0);
+        buf.put_u16_le(v.sublocation.0);
+        buf.put_u16_le(v.start_min);
+        buf.put_u16_le(v.duration_min);
+    }
+    buf.freeze()
+}
+
+fn need(buf: &impl Buf, n: usize) -> Result<(), DecodeError> {
+    if buf.remaining() < n {
+        Err(DecodeError::Truncated)
+    } else {
+        Ok(())
+    }
+}
+
+fn kind_from(b: u8) -> Result<LocationKind, DecodeError> {
+    LocationKind::ALL
+        .into_iter()
+        .find(|&k| k as u8 == b)
+        .ok_or(DecodeError::Corrupt("location kind"))
+}
+
+/// Deserialize a population.
+pub fn decode(mut buf: &[u8]) -> Result<Population, DecodeError> {
+    need(&buf, 4)?;
+    let mut magic = [0u8; 4];
+    buf.copy_to_slice(&mut magic);
+    if &magic != MAGIC {
+        return Err(DecodeError::BadMagic);
+    }
+    need(&buf, 4 + 8 + 2)?;
+    let version = buf.get_u32_le();
+    if version != VERSION {
+        return Err(DecodeError::BadVersion(version));
+    }
+    let seed = buf.get_u64_le();
+    let code_len = buf.get_u16_le() as usize;
+    need(&buf, code_len)?;
+    let mut code_bytes = vec![0u8; code_len];
+    buf.copy_to_slice(&mut code_bytes);
+    let code =
+        String::from_utf8(code_bytes).map_err(|_| DecodeError::Corrupt("code not utf-8"))?;
+    need(&buf, 4 + 4 + 8)?;
+    let n_people = buf.get_u32_le() as usize;
+    let n_locations = buf.get_u32_le() as usize;
+    let n_visits = buf.get_u64_le() as usize;
+
+    need(&buf, n_locations * 7)?;
+    let mut locations = Vec::with_capacity(n_locations);
+    for _ in 0..n_locations {
+        let kind = kind_from(buf.get_u8())?;
+        let n_sublocations = buf.get_u16_le().max(1);
+        let weight = buf.get_f32_le();
+        locations.push(Location {
+            kind,
+            n_sublocations,
+            weight,
+        });
+    }
+    need(&buf, n_people * 8)?;
+    let mut people = Vec::with_capacity(n_people);
+    for _ in 0..n_people {
+        let home = buf.get_u32_le();
+        let anchor = buf.get_u32_le();
+        if home as usize >= n_locations {
+            return Err(DecodeError::Corrupt("home out of range"));
+        }
+        if anchor != u32::MAX && anchor as usize >= n_locations {
+            return Err(DecodeError::Corrupt("anchor out of range"));
+        }
+        people.push(Person {
+            home: LocationId(home),
+            anchor: (anchor != u32::MAX).then_some(LocationId(anchor)),
+        });
+    }
+    need(&buf, (n_people + 1) * 4)?;
+    let mut person_offsets = Vec::with_capacity(n_people + 1);
+    for _ in 0..=n_people {
+        person_offsets.push(buf.get_u32_le());
+    }
+    if person_offsets.first() != Some(&0)
+        || person_offsets.last().copied() != Some(n_visits as u32)
+        || person_offsets.windows(2).any(|w| w[0] > w[1])
+    {
+        return Err(DecodeError::Corrupt("person offsets"));
+    }
+    need(&buf, n_visits * 14)?;
+    let mut visits = Vec::with_capacity(n_visits);
+    for _ in 0..n_visits {
+        let person = buf.get_u32_le();
+        let location = buf.get_u32_le();
+        let sublocation = buf.get_u16_le();
+        let start_min = buf.get_u16_le();
+        let duration_min = buf.get_u16_le();
+        if person as usize >= n_people || location as usize >= n_locations {
+            return Err(DecodeError::Corrupt("visit endpoint out of range"));
+        }
+        visits.push(Visit {
+            person: PersonId(person),
+            location: LocationId(location),
+            sublocation: SublocationId(sublocation),
+            start_min,
+            duration_min,
+        });
+    }
+    Ok(Population {
+        code,
+        seed,
+        people,
+        locations,
+        visits,
+        person_offsets,
+    })
+}
+
+/// Write a population to a file.
+pub fn save(pop: &Population, path: &std::path::Path) -> std::io::Result<()> {
+    std::fs::write(path, encode(pop))
+}
+
+/// Read a population from a file.
+pub fn load(path: &std::path::Path) -> std::io::Result<Population> {
+    let data = std::fs::read(path)?;
+    decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::PopulationConfig;
+
+    fn pop() -> Population {
+        Population::generate(&PopulationConfig::small("IO", 800, 13))
+    }
+
+    #[test]
+    fn round_trip_is_identity() {
+        let p = pop();
+        let bytes = encode(&p);
+        let q = decode(&bytes).unwrap();
+        assert_eq!(p.code, q.code);
+        assert_eq!(p.seed, q.seed);
+        assert_eq!(p.people, q.people);
+        assert_eq!(p.locations, q.locations);
+        assert_eq!(p.visits, q.visits);
+        assert_eq!(p.person_offsets, q.person_offsets);
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let p = pop();
+        let dir = std::env::temp_dir().join("episim-io-test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("pop.epop");
+        save(&p, &path).unwrap();
+        let q = load(&path).unwrap();
+        assert_eq!(p.visits, q.visits);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        assert_eq!(decode(b"NOPE").err(), Some(DecodeError::BadMagic));
+        assert_eq!(decode(b"EP").err(), Some(DecodeError::Truncated));
+        let mut data = encode(&pop()).to_vec();
+        data[0] = b'X';
+        assert_eq!(decode(&data).err(), Some(DecodeError::BadMagic));
+    }
+
+    #[test]
+    fn rejects_bad_version() {
+        let mut data = encode(&pop()).to_vec();
+        data[4] = 99;
+        assert!(matches!(decode(&data), Err(DecodeError::BadVersion(_))));
+    }
+
+    #[test]
+    fn rejects_truncation_anywhere() {
+        let data = encode(&pop()).to_vec();
+        // Chop at a sample of byte positions: never panic, always a clean
+        // error.
+        for cut in [0usize, 3, 8, 20, data.len() / 2, data.len() - 1] {
+            let r = decode(&data[..cut]);
+            assert!(r.is_err(), "cut at {cut} decoded successfully");
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_range_references() {
+        let p = pop();
+        let mut data = encode(&p).to_vec();
+        // Overwrite the first visit's location id with a huge value. The
+        // visit array starts after header + locations + people + offsets.
+        let code_len = p.code.len();
+        let header = 4 + 4 + 8 + 2 + code_len + 4 + 4 + 8;
+        let fixed = header + p.locations.len() * 7 + p.people.len() * 8
+            + (p.people.len() + 1) * 4;
+        data[fixed + 4..fixed + 8].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert_eq!(
+            decode(&data).err(),
+            Some(DecodeError::Corrupt("visit endpoint out of range"))
+        );
+    }
+
+    #[test]
+    fn encoded_size_is_compact() {
+        let p = pop();
+        let bytes = encode(&p);
+        // ~14 bytes per visit dominates; ensure no accidental bloat.
+        let budget = 200 + p.locations.len() * 7 + p.people.len() * 8
+            + (p.people.len() + 1) * 4
+            + p.visits.len() * 14;
+        assert!(bytes.len() <= budget, "{} > {budget}", bytes.len());
+    }
+}

@@ -1,0 +1,203 @@
+//! Bounded power-law (Pareto) sampling and exponent estimation.
+//!
+//! §III-B of the paper models the location degree distribution as
+//! `f = D · c · d^(−β)` with β > 1 — the heavy-tailed structure responsible
+//! for the scalability ceiling. This module provides the sampler the
+//! generator uses to produce that structure and an estimator used by tests
+//! to verify the generated graphs actually exhibit it.
+
+use rand::RngCore;
+
+/// A continuous bounded Pareto distribution on `[xmin, xmax]` with shape
+/// `alpha` (density ∝ x^(−alpha−1) — i.e. a degree exponent β = alpha + 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BoundedPareto {
+    /// Shape parameter (> 0).
+    pub alpha: f64,
+    /// Lower bound (> 0).
+    pub xmin: f64,
+    /// Upper bound (> xmin).
+    pub xmax: f64,
+}
+
+impl BoundedPareto {
+    /// Create a sampler.
+    ///
+    /// # Panics
+    /// Panics unless `alpha > 0` and `0 < xmin < xmax`.
+    pub fn new(alpha: f64, xmin: f64, xmax: f64) -> Self {
+        assert!(alpha > 0.0, "alpha must be positive");
+        assert!(xmin > 0.0 && xmax > xmin, "need 0 < xmin < xmax");
+        BoundedPareto { alpha, xmin, xmax }
+    }
+
+    /// Inverse-CDF sample from a uniform `u ∈ [0,1)`.
+    #[inline]
+    pub fn inv_cdf(&self, u: f64) -> f64 {
+        // F(x) = (1 − (xmin/x)^α) / (1 − (xmin/xmax)^α)
+        let a = self.alpha;
+        let hmin = self.xmin.powf(-a);
+        let hmax = self.xmax.powf(-a);
+        let h = hmin - u * (hmin - hmax);
+        h.powf(-1.0 / a)
+    }
+
+    /// Draw one sample.
+    #[inline]
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let u = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.inv_cdf(u)
+    }
+
+    /// Mean of the bounded Pareto.
+    pub fn mean(&self) -> f64 {
+        let a = self.alpha;
+        let (l, h) = (self.xmin, self.xmax);
+        if (a - 1.0).abs() < 1e-12 {
+            // α = 1 limit: mean = ln(h/l) · l·h/(h−l)
+            (h / l).ln() * l * h / (h - l)
+        } else {
+            let num = l.powf(a) / (1.0 - (l / h).powf(a));
+            num * (a / (a - 1.0)) * (1.0 / l.powf(a - 1.0) - 1.0 / h.powf(a - 1.0))
+        }
+    }
+}
+
+/// Maximum-likelihood estimate of the (unbounded) power-law exponent β for
+/// samples ≥ `xmin`: `β = 1 + n / Σ ln(x_i / xmin)` (Clauset et al. 2009).
+///
+/// Returns `None` if fewer than 2 samples exceed `xmin`.
+pub fn estimate_exponent(samples: impl IntoIterator<Item = f64>, xmin: f64) -> Option<f64> {
+    let mut n = 0usize;
+    let mut sum_log = 0.0f64;
+    for x in samples {
+        if x >= xmin && x.is_finite() {
+            n += 1;
+            sum_log += (x / xmin).ln();
+        }
+    }
+    if n < 2 || sum_log <= 0.0 {
+        return None;
+    }
+    Some(1.0 + n as f64 / sum_log)
+}
+
+/// A clipped-normal sampler for near-constant degrees (the person side:
+/// "avg = 5.5, σ = 2.6 ... no significant variance", §III-A). Uses
+/// Box–Muller over the supplied RNG and clips to `[lo, hi]`.
+#[derive(Debug, Clone, Copy)]
+pub struct ClippedNormal {
+    /// Mean.
+    pub mean: f64,
+    /// Standard deviation before clipping.
+    pub sd: f64,
+    /// Inclusive lower clip.
+    pub lo: f64,
+    /// Inclusive upper clip.
+    pub hi: f64,
+}
+
+impl ClippedNormal {
+    /// Draw one sample.
+    pub fn sample<R: RngCore>(&self, rng: &mut R) -> f64 {
+        let u1 = (((rng.next_u64() >> 11) as f64) + 0.5) * (1.0 / (1u64 << 53) as f64);
+        let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        let z = (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos();
+        (self.mean + self.sd * z).clamp(self.lo, self.hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ptts::CounterRng;
+
+    #[test]
+    fn samples_within_bounds() {
+        let d = BoundedPareto::new(1.0, 1.0, 1000.0);
+        let mut rng = CounterRng::from_key(&[1]);
+        for _ in 0..10_000 {
+            let x = d.sample(&mut rng);
+            assert!((1.0..=1000.0).contains(&x), "{x}");
+        }
+    }
+
+    #[test]
+    fn inv_cdf_monotone() {
+        let d = BoundedPareto::new(1.5, 2.0, 500.0);
+        let mut prev = 0.0;
+        for i in 0..100 {
+            let x = d.inv_cdf(i as f64 / 100.0);
+            assert!(x >= prev);
+            prev = x;
+        }
+        assert!((d.inv_cdf(0.0) - 2.0).abs() < 1e-9);
+        assert!((d.inv_cdf(1.0 - 1e-15) - 500.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn empirical_mean_matches_analytic() {
+        let d = BoundedPareto::new(1.2, 1.0, 10_000.0);
+        let mut rng = CounterRng::from_key(&[2]);
+        let n = 200_000;
+        let mean: f64 = (0..n).map(|_| d.sample(&mut rng)).sum::<f64>() / n as f64;
+        let expected = d.mean();
+        assert!(
+            (mean - expected).abs() / expected < 0.05,
+            "empirical {mean} vs analytic {expected}"
+        );
+    }
+
+    #[test]
+    fn exponent_recovered_by_mle() {
+        // Sample with α = 1.0 (β = 2.0) and recover the exponent.
+        let d = BoundedPareto::new(1.0, 1.0, 1e9);
+        let mut rng = CounterRng::from_key(&[3]);
+        let samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        let beta = estimate_exponent(samples, 1.0).unwrap();
+        assert!((beta - 2.0).abs() < 0.05, "estimated β = {beta}");
+    }
+
+    #[test]
+    fn estimator_edge_cases() {
+        assert!(estimate_exponent(std::iter::empty(), 1.0).is_none());
+        assert!(estimate_exponent([5.0], 1.0).is_none());
+        assert!(estimate_exponent([1.0, 1.0], 1.0).is_none()); // sum_log = 0
+    }
+
+    #[test]
+    fn heavy_tail_actually_heavy() {
+        // With β = 2 the max of 100k samples should dwarf the mean.
+        let d = BoundedPareto::new(1.0, 1.0, 1e7);
+        let mut rng = CounterRng::from_key(&[4]);
+        let samples: Vec<f64> = (0..100_000).map(|_| d.sample(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let max = samples.iter().cloned().fold(0.0, f64::max);
+        assert!(max > 50.0 * mean, "max {max} mean {mean}");
+    }
+
+    #[test]
+    fn clipped_normal_stays_clipped_and_centered() {
+        let d = ClippedNormal {
+            mean: 5.5,
+            sd: 2.6,
+            lo: 1.0,
+            hi: 15.0,
+        };
+        let mut rng = CounterRng::from_key(&[5]);
+        let n = 50_000;
+        let samples: Vec<f64> = (0..n).map(|_| d.sample(&mut rng)).collect();
+        assert!(samples.iter().all(|&x| (1.0..=15.0).contains(&x)));
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        assert!((mean - 5.5).abs() < 0.1, "mean {mean}");
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        let sd = var.sqrt();
+        assert!((sd - 2.6).abs() < 0.3, "sd {sd} (clipping shrinks it a bit)");
+    }
+
+    #[test]
+    #[should_panic(expected = "xmin")]
+    fn rejects_bad_bounds() {
+        BoundedPareto::new(1.0, 5.0, 5.0);
+    }
+}

@@ -1,0 +1,220 @@
+//! The Table I catalog: population data of the 48 contiguous US states + DC.
+//!
+//! The eight rows the paper prints (US, CA, NY, MI, NC, IA, AR, WY) use the
+//! paper's exact numbers from the 2009 American Community Survey-derived
+//! synthetic population. The remaining states (needed for Figure 5, which
+//! plots all "48 contiguous states and DC") are derived from their 2009
+//! census population estimates scaled by the US-wide people→location and
+//! people→visit ratios observed in Table I.
+
+/// One state's synthetic-population sizes (full scale, as in Table I).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct UsState {
+    /// Two-letter postal code (`"DC"` for the District of Columbia).
+    pub code: &'static str,
+    /// Daily visit count (person–location edges).
+    pub visits: u64,
+    /// Number of person nodes.
+    pub people: u64,
+    /// Number of location nodes.
+    pub locations: u64,
+    /// Whether the row is verbatim from Table I (vs derived from census
+    /// population estimates).
+    pub exact: bool,
+}
+
+/// Visits per person in the US row of Table I (1,541,367,574 / 280,397,680).
+pub const US_VISITS_PER_PERSON: f64 = 5.497_078;
+/// People per location in the US row of Table I (280,397,680 / 71,705,723).
+pub const US_PEOPLE_PER_LOCATION: f64 = 3.910_395;
+
+const fn exact(code: &'static str, visits: u64, people: u64, locations: u64) -> UsState {
+    UsState {
+        code,
+        visits,
+        people,
+        locations,
+        exact: true,
+    }
+}
+
+/// Derive a row from a 2009 census population estimate. Table I's synthetic
+/// populations cover ≈ 93.2% of the census count (280.4M of ~301M for the
+/// contiguous US), so we apply that coverage factor, then the US-wide
+/// ratios.
+const CENSUS_COVERAGE: f64 = 0.932;
+
+fn derived(code: &'static str, census_pop_thousands: u64) -> UsState {
+    let people = (census_pop_thousands as f64 * 1000.0 * CENSUS_COVERAGE) as u64;
+    UsState {
+        code,
+        visits: (people as f64 * US_VISITS_PER_PERSON) as u64,
+        people,
+        locations: (people as f64 / US_PEOPLE_PER_LOCATION) as u64,
+        exact: false,
+    }
+}
+
+/// The eight rows printed in Table I (including the aggregate US row).
+pub const TABLE_I_STATES: [UsState; 8] = [
+    exact("US", 1_541_367_574, 280_397_680, 71_705_723),
+    exact("CA", 183_858_275, 33_588_339, 7_178_611),
+    exact("NY", 98_350_857, 17_910_467, 4_719_921),
+    exact("MI", 52_534_554, 9_541_140, 2_490_068),
+    exact("NC", 47_130_620, 8_541_564, 2_289_167),
+    exact("IA", 15_280_731, 2_766_716, 748_239),
+    exact("AR", 14_803_256, 2_685_280, 739_507),
+    exact("WY", 2_756_411, 499_514, 144_369),
+];
+
+/// 2009 census population estimates (thousands) for the states not in
+/// Table I. 41 states + DC; together with Table I's 7 individual states
+/// this covers the 48 contiguous states and DC used in Figure 5.
+const DERIVED_POPS: [(&str, u64); 42] = [
+    ("AL", 4_710), ("AZ", 6_595), ("CO", 5_025), ("CT", 3_518),
+    ("DC", 600), ("DE", 885), ("FL", 18_538), ("GA", 9_829),
+    ("ID", 1_546), ("IL", 12_910), ("IN", 6_423), ("KS", 2_819),
+    ("KY", 4_314), ("LA", 4_492), ("MA", 6_594), ("MD", 5_699),
+    ("ME", 1_318), ("MN", 5_266), ("MO", 5_988), ("MS", 2_952),
+    ("MT", 975), ("ND", 647), ("NE", 1_797), ("NH", 1_325),
+    ("NJ", 8_708), ("NM", 2_010), ("NV", 2_643), ("OH", 11_543),
+    ("OK", 3_687), ("OR", 3_826), ("PA", 12_605), ("RI", 1_053),
+    ("SC", 4_561), ("SD", 812), ("TN", 6_296), ("TX", 24_782),
+    ("UT", 2_785), ("VA", 7_883), ("VT", 622), ("WA", 6_664),
+    ("WI", 5_655), ("WV", 1_820),
+];
+
+/// All 49 regions of Figure 5 (48 contiguous states + DC), largest first.
+/// Does not include the aggregate `US` row.
+pub fn all_states() -> Vec<UsState> {
+    let mut v: Vec<UsState> = TABLE_I_STATES[1..].to_vec();
+    v.extend(DERIVED_POPS.iter().map(|&(code, pop)| derived(code, pop)));
+    v.sort_by(|a, b| b.people.cmp(&a.people).then(a.code.cmp(b.code)));
+    v
+}
+
+/// Static accessor mirror of [`all_states`] for doc examples.
+pub const ALL_STATES: fn() -> Vec<UsState> = all_states;
+
+/// Look up a region by postal code (case-insensitive). `"US"` returns the
+/// aggregate row.
+pub fn by_code(code: &str) -> Option<UsState> {
+    let upper = code.to_ascii_uppercase();
+    TABLE_I_STATES
+        .iter()
+        .copied()
+        .find(|s| s.code == upper)
+        .or_else(|| all_states().into_iter().find(|s| s.code == upper))
+}
+
+impl UsState {
+    /// Scale every count by `scale` (e.g. `1e-3` for a laptop-sized
+    /// reproduction), keeping at least 1 of each.
+    pub fn scaled(&self, scale: f64) -> ScaledCounts {
+        ScaledCounts {
+            code: self.code,
+            people: ((self.people as f64 * scale).round() as u64).max(1),
+            locations: ((self.locations as f64 * scale).round() as u64).max(1),
+            visits: ((self.visits as f64 * scale).round() as u64).max(1),
+        }
+    }
+
+    /// Average visits per person at full scale.
+    pub fn visits_per_person(&self) -> f64 {
+        self.visits as f64 / self.people as f64
+    }
+
+    /// Average visits per location at full scale (the paper's location
+    /// average degree of ≈ 21.5).
+    pub fn visits_per_location(&self) -> f64 {
+        self.visits as f64 / self.locations as f64
+    }
+}
+
+/// Target sizes after scaling.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaledCounts {
+    /// Region code.
+    pub code: &'static str,
+    /// Scaled person count.
+    pub people: u64,
+    /// Scaled location count.
+    pub locations: u64,
+    /// Scaled visit count.
+    pub visits: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_i_rows_match_paper() {
+        let ca = by_code("ca").unwrap();
+        assert_eq!(ca.people, 33_588_339);
+        assert_eq!(ca.locations, 7_178_611);
+        assert_eq!(ca.visits, 183_858_275);
+        assert!(ca.exact);
+        let wy = by_code("WY").unwrap();
+        assert_eq!(wy.people, 499_514);
+    }
+
+    #[test]
+    fn forty_nine_regions() {
+        let all = all_states();
+        assert_eq!(all.len(), 49, "48 contiguous states + DC");
+        assert!(all.iter().all(|s| s.code != "US"));
+        assert!(all.iter().all(|s| s.code != "AK" && s.code != "HI"));
+        // No duplicates.
+        let mut codes: Vec<_> = all.iter().map(|s| s.code).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), 49);
+    }
+
+    #[test]
+    fn us_ratios_match_table() {
+        let us = TABLE_I_STATES[0];
+        assert!((us.visits_per_person() - US_VISITS_PER_PERSON).abs() < 1e-4);
+        assert!(
+            (us.people as f64 / us.locations as f64 - US_PEOPLE_PER_LOCATION).abs() < 1e-4
+        );
+        // Paper: "average degree of 5.5 for person nodes and 21.5 for
+        // location nodes".
+        assert!((us.visits_per_person() - 5.5).abs() < 0.1);
+        assert!((us.visits_per_location() - 21.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn derived_rows_have_plausible_ratios() {
+        for s in all_states().iter().filter(|s| !s.exact) {
+            assert!((s.visits_per_person() - 5.5).abs() < 0.1, "{}", s.code);
+            assert!(s.people > 100_000, "{} too small", s.code);
+        }
+    }
+
+    #[test]
+    fn state_sum_close_to_us_total() {
+        let total: u64 = all_states().iter().map(|s| s.people).sum();
+        let us = TABLE_I_STATES[0].people;
+        let ratio = total as f64 / us as f64;
+        assert!((0.97..1.03).contains(&ratio), "sum/US = {ratio}");
+    }
+
+    #[test]
+    fn scaling_rounds_and_floors() {
+        let wy = by_code("WY").unwrap();
+        let s = wy.scaled(1e-3);
+        assert_eq!(s.people, 500);
+        assert_eq!(s.locations, 144);
+        let tiny = wy.scaled(1e-9);
+        assert_eq!(tiny.people, 1);
+        assert_eq!(tiny.locations, 1);
+    }
+
+    #[test]
+    fn unknown_code_is_none() {
+        assert!(by_code("ZZ").is_none());
+        assert!(by_code("AK").is_none(), "Alaska is not contiguous");
+    }
+}

@@ -1,0 +1,67 @@
+//! Quickstart: simulate a flu outbreak over a synthetic town and print the
+//! epidemic curve.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use episimdemics::core::distribution::{DataDistribution, Strategy};
+use episimdemics::core::simulator::{SimConfig, Simulator};
+use episimdemics::chare_rt::RuntimeConfig;
+use episimdemics::ptts::flu_model;
+use episimdemics::synthpop::{Population, PopulationConfig};
+
+fn main() {
+    // 1. Generate a synthetic population: a 20,000-person town with the
+    //    paper's degree structure (people average 5.5 visits/day; location
+    //    popularity is heavy-tailed).
+    let pop = Population::generate(&PopulationConfig::small("town", 20_000, 42));
+    println!(
+        "population: {} people, {} locations, {} visits/day",
+        pop.n_people(),
+        pop.n_locations(),
+        pop.n_visits()
+    );
+
+    // 2. Distribute the person–location graph over 4 partitions with
+    //    heavy-location splitting + multi-constraint graph partitioning
+    //    (the paper's GP-splitLoc configuration).
+    let dist = DataDistribution::build(&pop, Strategy::GraphPartitionSplit, 4, 42);
+    println!(
+        "distribution: {} ({} locations after splitLoc, {:.1}% of visits remote)",
+        dist.strategy.label(),
+        dist.pop.n_locations(),
+        100.0 * dist.remote_visit_fraction()
+    );
+
+    // 3. Run 120 simulated days of an influenza-like illness on the
+    //    message-driven runtime (4 worker threads).
+    let cfg = SimConfig {
+        days: 120,
+        r: 0.0001,
+        seed: 42,
+        initial_infections: 10,
+        ..Default::default()
+    };
+    let run = Simulator::new(&dist, flu_model(), cfg, RuntimeConfig::threaded(4)).run();
+
+    // 4. Report.
+    let curve = &run.curve;
+    println!("\nday  new  infected  susceptible");
+    for d in curve.days.iter().step_by(5) {
+        println!(
+            "{:>3}  {:>4}  {:>8}  {:>11}",
+            d.day, d.new_infections, d.infected_now, d.susceptible
+        );
+    }
+    println!(
+        "\nattack rate {:.1}% ({} of {} ever infected), peak day {:?}, {} days simulated",
+        100.0 * curve.attack_rate(),
+        curve.total_infections(),
+        curve.population,
+        curve.peak_day(),
+        curve.days.len()
+    );
+    let totals = run.perf.iter().map(|p| p.person_phase.totals().sent_total()).sum::<u64>();
+    println!("visit messages over the run: {totals}");
+}

@@ -1,0 +1,25 @@
+//! # episimdemics — meta-crate
+//!
+//! Re-exports the whole EpiSimdemics-rs workspace behind one dependency, so
+//! downstream users (and the `examples/`) can write
+//! `use episimdemics::prelude::*;`.
+//!
+//! The workspace reproduces Yeom et al., *Overcoming the Scalability
+//! Challenges of Epidemic Simulations on Blue Waters* (IPDPS 2014). See
+//! `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use chare_rt;
+pub use episim_core as core;
+pub use graph_part;
+pub use load_model;
+pub use ptts;
+pub use scale_model;
+pub use synthpop;
+
+/// The names most programs need.
+pub mod prelude {
+    pub use episim_core::prelude::*;
+    pub use ptts::{flu_model, Ptts};
+    pub use synthpop::{Population, PopulationConfig, UsState};
+}

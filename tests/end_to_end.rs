@@ -1,0 +1,208 @@
+//! End-to-end integration: the full paper pipeline — generate a synthetic
+//! state, preprocess, partition, simulate on the message-driven runtime,
+//! and project to scale — exercised across crate boundaries.
+
+use episimdemics::chare_rt::RuntimeConfig;
+use episimdemics::core::distribution::{DataDistribution, Strategy};
+use episimdemics::core::seq::run_sequential;
+use episimdemics::core::simulator::{SimConfig, Simulator};
+use episimdemics::load_model::{LoadUnits, PiecewiseModel};
+use episimdemics::ptts::flu_model;
+use episimdemics::scale_model::{
+    inputs_from_distribution, project_day, MachineModel, RuntimeOptions,
+};
+use episimdemics::synthpop::{Population, PopulationConfig};
+
+fn pop() -> Population {
+    Population::generate(&PopulationConfig::small("E2E", 2500, 77))
+}
+
+fn cfg() -> SimConfig {
+    SimConfig {
+        days: 30,
+        r: 0.0012,
+        seed: 77,
+        initial_infections: 8,
+        ..Default::default()
+    }
+}
+
+#[test]
+fn full_pipeline_all_strategies_all_engines() {
+    let pop = pop();
+    let ptts = flu_model();
+    let oracle = run_sequential(&pop, &ptts, &cfg());
+    assert!(oracle.total_infections() > 20, "outbreak must take off");
+    for strategy in Strategy::ALL {
+        for k in [1u32, 3, 8] {
+            let dist = DataDistribution::build(&pop, strategy, k, 77);
+            let run = Simulator::new(
+                &dist,
+                flu_model(),
+                cfg(),
+                RuntimeConfig::sequential(k.min(4)),
+            )
+            .run();
+            assert_eq!(
+                run.curve, oracle,
+                "{strategy:?} k={k} diverged from the oracle"
+            );
+        }
+    }
+    // Threaded spot check.
+    let dist = DataDistribution::build(&pop, Strategy::GraphPartitionSplit, 4, 77);
+    let run = Simulator::new(&dist, flu_model(), cfg(), RuntimeConfig::threaded(4)).run();
+    assert_eq!(run.curve, oracle);
+}
+
+#[test]
+fn no_opt_runtime_same_epidemic_more_packets() {
+    let pop = pop();
+    let dist = DataDistribution::build(&pop, Strategy::RoundRobin, 4, 77);
+    let opt = Simulator::new(
+        &dist,
+        flu_model(),
+        cfg(),
+        RuntimeConfig::sequential(4),
+    )
+    .run();
+    let noopt = Simulator::new(
+        &dist,
+        flu_model(),
+        cfg(),
+        RuntimeConfig::sequential(4).no_opt(),
+    )
+    .run();
+    assert_eq!(opt.curve, noopt.curve, "§IV optimizations must not change results");
+    let packets_opt: u64 = opt
+        .perf
+        .iter()
+        .map(|p| p.person_phase.totals().network_packets)
+        .sum();
+    let packets_noopt: u64 = noopt
+        .perf
+        .iter()
+        .map(|p| p.person_phase.totals().network_packets)
+        .sum();
+    assert!(
+        packets_noopt > 5 * packets_opt.max(1),
+        "aggregation should collapse packets: {packets_opt} vs {packets_noopt}"
+    );
+}
+
+#[test]
+fn projection_pipeline_prefers_paper_winner() {
+    // The whole point of the paper: at scale, GP-splitLoc wins.
+    let pop = Population::generate(&PopulationConfig::small("proj", 20_000, 3));
+    let machine = MachineModel::default();
+    let opts = RuntimeOptions::optimized();
+    let model = PiecewiseModel::paper_constants();
+    let mut secs = std::collections::HashMap::new();
+    for strategy in Strategy::ALL {
+        let dist = DataDistribution::build(&pop, strategy, 128, 3);
+        let inputs = inputs_from_distribution(&dist, &model, LoadUnits::default());
+        secs.insert(strategy.label(), project_day(&inputs, &machine, &opts).seconds);
+    }
+    let gp_split = secs["GP-splitLoc"];
+    assert!(gp_split <= secs["RR"], "GP-splitLoc {gp_split} vs RR {}", secs["RR"]);
+    assert!(
+        gp_split <= secs["GP"],
+        "GP-splitLoc {gp_split} vs GP {}",
+        secs["GP"]
+    );
+}
+
+#[test]
+fn tram_routing_does_not_change_epidemic() {
+    let pop = pop();
+    let dist = DataDistribution::build(&pop, Strategy::RoundRobin, 9, 77);
+    let mut rt = RuntimeConfig::sequential(9);
+    rt.smp.pes_per_process = 1;
+    let plain = Simulator::new(&dist, flu_model(), cfg(), rt).run();
+    let mut rt_tram = rt;
+    rt_tram.aggregation.tram_2d = true;
+    let tram = Simulator::new(&dist, flu_model(), cfg(), rt_tram).run();
+    assert_eq!(plain.curve, tram.curve);
+    // TRAM relays some visits via intermediate PEs.
+    let forwarded: u64 = tram
+        .perf
+        .iter()
+        .map(|p| p.person_phase.totals().forwarded)
+        .sum();
+    assert!(forwarded > 0, "expected TRAM relays on a 3x3 grid");
+}
+
+#[test]
+fn epidemic_conservation_laws() {
+    let pop = pop();
+    let ptts = flu_model();
+    let curve = run_sequential(&pop, &ptts, &cfg());
+    let population = curve.population;
+    let mut prev_cumulative = curve.seeds;
+    for d in &curve.days {
+        // Susceptible at day start + everyone ever infected before today
+        // must equal the population.
+        assert_eq!(
+            d.susceptible + prev_cumulative,
+            population,
+            "conservation violated at day {}",
+            d.day
+        );
+        assert_eq!(d.cumulative, prev_cumulative + d.new_infections);
+        assert!(d.symptomatic <= d.infected_now);
+        prev_cumulative = d.cumulative;
+    }
+}
+
+#[test]
+fn seirs_produces_endemic_dynamics() {
+    // With waning immunity the disease persists instead of burning out —
+    // and the parallel simulator still matches the oracle exactly.
+    use episimdemics::ptts::seirs_model;
+    let pop = pop();
+    let cfg = SimConfig {
+        days: 120,
+        r: 0.0012,
+        seed: 77,
+        initial_infections: 8,
+        stop_when_extinct: true,
+        ..Default::default()
+    };
+    let oracle = run_sequential(&pop, &seirs_model(20.0), &cfg);
+    // Endemic: still producing infections in the final month.
+    let late: u64 = oracle
+        .days
+        .iter()
+        .rev()
+        .take(30)
+        .map(|d| d.new_infections)
+        .sum();
+    assert!(late > 0, "SEIRS should persist (late infections = {late})");
+    assert_eq!(oracle.days.len(), 120, "no extinction under waning immunity");
+    // Reinfection actually happens: cumulative exceeds the population.
+    assert!(
+        oracle.total_infections() > oracle.population,
+        "cumulative {} should exceed population {} via reinfection",
+        oracle.total_infections(),
+        oracle.population
+    );
+    let dist = DataDistribution::build(&pop, Strategy::GraphPartitionSplit, 4, 77);
+    let parallel =
+        Simulator::new(&dist, seirs_model(20.0), cfg, RuntimeConfig::sequential(4)).run();
+    assert_eq!(parallel.curve, oracle);
+}
+
+#[test]
+fn larger_k_never_changes_epidemiology_only_performance() {
+    let pop = pop();
+    let mut last_series = None;
+    for k in [2u32, 5, 16] {
+        let dist = DataDistribution::build(&pop, Strategy::GraphPartition, k, 1);
+        let run = Simulator::new(&dist, flu_model(), cfg(), RuntimeConfig::sequential(2)).run();
+        let series = run.curve.new_infection_series();
+        if let Some(prev) = &last_series {
+            assert_eq!(prev, &series, "k={k}");
+        }
+        last_series = Some(series);
+    }
+}

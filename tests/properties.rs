@@ -1,0 +1,157 @@
+//! Property-based tests over the core invariants, with `proptest` driving
+//! population shapes, seeds, partition counts and strategies.
+
+use episimdemics::chare_rt::RuntimeConfig;
+use episimdemics::core::distribution::{DataDistribution, Strategy as DistStrategy};
+use episimdemics::core::seq::run_sequential;
+use episimdemics::core::simulator::{SimConfig, Simulator};
+use episimdemics::core::splitloc::{split_heavy_locations, SplitConfig};
+use episimdemics::graph_part::{kway_partition, PartitionConfig, PartitionQuality};
+use episimdemics::load_model::fit::{fit_linear, fit_piecewise};
+use episimdemics::ptts::flu_model;
+use episimdemics::ptts::model::HealthTracker;
+use episimdemics::synthpop::{Population, PopulationConfig};
+use proptest::prelude::*;
+
+fn arb_pop() -> impl Strategy<Value = Population> {
+    (300u32..1200, 0u64..1000).prop_map(|(n, seed)| {
+        Population::generate(&PopulationConfig::small("P", n, seed))
+    })
+}
+
+fn arb_strategy() -> impl Strategy<Value = DistStrategy> {
+    prop_oneof![
+        Just(DistStrategy::RoundRobin),
+        Just(DistStrategy::GraphPartition),
+        Just(DistStrategy::RoundRobinSplit),
+        Just(DistStrategy::GraphPartitionSplit),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// The flagship property: the parallel simulator equals the sequential
+    /// oracle for any population, seed, distribution strategy and PE count.
+    #[test]
+    fn parallel_equals_oracle(
+        pop in arb_pop(),
+        strategy in arb_strategy(),
+        k in 1u32..6,
+        pes in 1u32..4,
+        sim_seed in 0u64..500,
+    ) {
+        let cfg = SimConfig {
+            days: 12,
+            r: 0.0015,
+            seed: sim_seed,
+            initial_infections: 4,
+            ..Default::default()
+        };
+        let oracle = run_sequential(&pop, &flu_model(), &cfg);
+        let dist = DataDistribution::build(&pop, strategy, k, sim_seed);
+        let run = Simulator::new(&dist, flu_model(), cfg, RuntimeConfig::sequential(pes)).run();
+        prop_assert_eq!(run.curve, oracle);
+    }
+
+    /// splitLoc conserves visits, people and interaction cohorts for any
+    /// threshold.
+    #[test]
+    fn splitloc_conserves(pop in arb_pop(), threshold in 10u32..200) {
+        let res = split_heavy_locations(&pop, &SplitConfig {
+            max_partitions: 64,
+            threshold_override: Some(threshold),
+        });
+        prop_assert_eq!(res.pop.visits.len(), pop.visits.len());
+        prop_assert_eq!(res.pop.people.len(), pop.people.len());
+        // Degrees after split never exceed the original maximum.
+        let deg = |p: &Population| {
+            let mut d = vec![0u32; p.locations.len()];
+            for v in &p.visits { d[v.location.0 as usize] += 1; }
+            d
+        };
+        let dmax_before = deg(&pop).into_iter().max().unwrap_or(0);
+        let dmax_after = deg(&res.pop).into_iter().max().unwrap_or(0);
+        prop_assert!(dmax_after <= dmax_before);
+        // Every visit's sublocation stays within its location's rooms.
+        for v in &res.pop.visits {
+            prop_assert!(
+                v.sublocation.0 < res.pop.locations[v.location.0 as usize].n_sublocations
+            );
+        }
+    }
+
+    /// The partitioner always returns a valid assignment whose max load is
+    /// at least the heaviest vertex (a sanity floor) and whose speedup
+    /// bound never exceeds the Ltot/lmax ceiling.
+    #[test]
+    fn partitioner_bounds(pop in arb_pop(), k in 2u32..32) {
+        let (g, _) = episimdemics::core::build_workload_graph(
+            &pop,
+            &episimdemics::load_model::PiecewiseModel::paper_constants(),
+            episimdemics::load_model::LoadUnits::default(),
+        );
+        let part = kway_partition(&g, &PartitionConfig::new(k));
+        prop_assert!(part.validate().is_ok());
+        let q = PartitionQuality::compute(&g, &part);
+        for c in 0..2 {
+            let lmax_vertex = (0..g.n()).map(|v| g.vwgt(v, c)).max().unwrap_or(0);
+            prop_assert!(q.max_load(c) >= lmax_vertex);
+            let sub = q.speedup_upper_bound(c);
+            let ceiling = q.total_load(c) as f64 / lmax_vertex.max(1) as f64;
+            prop_assert!(sub <= ceiling + 1e-9);
+        }
+    }
+
+    /// Health trajectories terminate and are reproducible for any entity.
+    #[test]
+    fn ptts_trajectories_terminate(seed in 0u64..10_000, entity in 0u64..10_000) {
+        let m = flu_model();
+        let mut h = HealthTracker::new(&m);
+        h.infect(&m, seed, entity, 0);
+        let mut day = 1u64;
+        while h.days_remaining != u32::MAX {
+            h.advance(&m, seed, entity, day);
+            day += 1;
+            prop_assert!(day < 200, "flu course must terminate");
+        }
+        prop_assert_eq!(m.state(h.state).name.as_str(), "recovered");
+    }
+
+    /// Piecewise fitting never panics and reproduces a clean linear signal
+    /// on arbitrary grids.
+    #[test]
+    fn piecewise_fit_on_linear_data(
+        a in -100.0f64..100.0,
+        b in 0.1f64..10.0,
+        n in 6usize..100,
+    ) {
+        let pts: Vec<(f64, f64)> = (0..n).map(|i| {
+            let x = i as f64;
+            (x, a + b * x)
+        }).collect();
+        let m = fit_piecewise(&pts, 1.0).unwrap();
+        let lin = fit_linear(&pts).unwrap();
+        prop_assert!((lin.b - b).abs() < 1e-6);
+        // The piecewise model on a linear signal predicts within noise.
+        for &(x, y) in &pts {
+            prop_assert!((m.eval(x).max(0.0) - y.max(0.0)).abs() < 1e-3 * (1.0 + y.abs()));
+        }
+    }
+
+    /// Generated populations always satisfy their structural contract.
+    #[test]
+    fn population_contract(pop in arb_pop()) {
+        prop_assert_eq!(pop.person_offsets.len(), pop.people.len() + 1);
+        for (pid, vs) in pop.iter_people() {
+            prop_assert!(!vs.is_empty());
+            let mut cursor = 0u16;
+            for v in vs {
+                prop_assert_eq!(v.person, pid);
+                prop_assert_eq!(v.start_min, cursor);
+                cursor = v.end_min();
+            }
+            prop_assert_eq!(cursor, synthpop::MINUTES_PER_DAY);
+        }
+    }
+}
