@@ -3,7 +3,7 @@
 //! crossover), the transmission function, and the counter-based RNG.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use episim_core::kernel::{simulate_location_day, InfectivityClasses};
+use episim_core::kernel::{simulate_location_day, InfectivityClasses, KernelScratch};
 use episim_core::messages::VisitMsg;
 use ptts::crng::{CounterRng, Purpose};
 use ptts::transmission::{combined_infection_prob, infection_prob};
@@ -24,7 +24,11 @@ fn make_visits(ptts: &Ptts, n: usize, infectious_frac: f64, rooms: u16) -> Vec<V
                 sublocation: (rng.uniform_u64(rooms as u64)) as u16,
                 start_min: start,
                 end_min: (start + dur).min(1439),
-                state: if rng.bernoulli(infectious_frac) { sym } else { sus },
+                state: if rng.bernoulli(infectious_frac) {
+                    sym
+                } else {
+                    sus
+                },
                 sus_scale: 1.0,
             }
         })
@@ -39,11 +43,19 @@ fn bench_location_des(c: &mut Criterion) {
         let visits = make_visits(&ptts, n, 0.05, ((n / 25).max(1)) as u16);
         group.bench_with_input(BenchmarkId::new("visits", n), &visits, |b, v| {
             let mut out = Vec::new();
+            let mut scratch = KernelScratch::new();
             b.iter(|| {
                 let mut work = v.clone();
                 out.clear();
                 black_box(simulate_location_day(
-                    &mut work, &ptts, &classes, 0.0008, 1, 0, &mut out,
+                    &mut work,
+                    &ptts,
+                    &classes,
+                    0.0008,
+                    1,
+                    0,
+                    &mut scratch,
+                    &mut out,
                 ))
             });
         });
@@ -55,9 +67,17 @@ fn bench_transmission(c: &mut Criterion) {
     c.bench_function("infection_prob", |b| {
         b.iter(|| black_box(infection_prob(black_box(0.001), 0.9, 0.8, 120.0)))
     });
-    let contacts: Vec<(f64, f64)> = (0..32).map(|i| (0.5 + (i % 2) as f64 * 0.5, 60.0)).collect();
+    let contacts: Vec<(f64, f64)> = (0..32)
+        .map(|i| (0.5 + (i % 2) as f64 * 0.5, 60.0))
+        .collect();
     c.bench_function("combined_infection_prob_32", |b| {
-        b.iter(|| black_box(combined_infection_prob(0.001, 1.0, contacts.iter().copied())))
+        b.iter(|| {
+            black_box(combined_infection_prob(
+                0.001,
+                1.0,
+                contacts.iter().copied(),
+            ))
+        })
     });
 }
 

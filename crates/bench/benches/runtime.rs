@@ -2,9 +2,7 @@
 //! message throughput, aggregation on/off (the Figure 12 ablation at
 //! library level), and phase/completion-detection overhead.
 
-use chare_rt::{
-    AggregationConfig, Chare, ChareId, Ctx, Message, Runtime, RuntimeConfig,
-};
+use chare_rt::{AggregationConfig, Chare, ChareId, Ctx, Message, Runtime, RuntimeConfig};
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
 
@@ -65,16 +63,16 @@ fn bench_aggregation(c: &mut Criterion) {
             AggregationConfig {
                 enabled: true,
                 max_batch: 64,
-            tram_2d: false,
-        },
+                tram_2d: false,
+            },
         ),
         (
             "no_aggregation",
             AggregationConfig {
                 enabled: false,
                 max_batch: 1,
-            tram_2d: false,
-        },
+                tram_2d: false,
+            },
         ),
     ] {
         group.bench_with_input(BenchmarkId::from_parameter(label), &agg, |b, &agg| {

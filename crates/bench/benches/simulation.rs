@@ -64,11 +64,7 @@ fn bench_generation(c: &mut Criterion) {
     group.sample_size(10);
     for &n in &[5_000u32, 50_000] {
         group.bench_with_input(BenchmarkId::new("people", n), &n, |b, &n| {
-            b.iter(|| {
-                black_box(Population::generate(&PopulationConfig::small(
-                    "gen", n, 42,
-                )))
-            });
+            b.iter(|| black_box(Population::generate(&PopulationConfig::small("gen", n, 42))));
         });
     }
     group.finish();

@@ -217,8 +217,13 @@ fn main() {
         for k in [4u32, 16, 64, 256, 1024] {
             let dist = DataDistribution::build(&pop, Strategy::GraphPartition, k, 9);
             let t0 = std::time::Instant::now();
-            let run = Simulator::new(&dist, flu_model(), cfg.clone(), RuntimeConfig::sequential(4))
-                .run();
+            let run = Simulator::new(
+                &dist,
+                flu_model(),
+                cfg.clone(),
+                RuntimeConfig::sequential(4),
+            )
+            .run();
             let wall_ms = t0.elapsed().as_secs_f64() * 1e3;
             let msgs: u64 = run
                 .perf
@@ -229,7 +234,8 @@ fn main() {
                 .perf
                 .iter()
                 .map(|p| {
-                    (p.person_phase.totals().busy_ns + p.location_phase.totals().busy_ns) / 1_000_000
+                    (p.person_phase.totals().busy_ns + p.location_phase.totals().busy_ns)
+                        / 1_000_000
                 })
                 .sum();
             rows.push(vec![

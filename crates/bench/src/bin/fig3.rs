@@ -9,7 +9,7 @@
 //! (d) static load distribution per location, log-binned.
 
 use bench::{fnum, gen_state, print_table, FIGURE_STATES};
-use episim_core::kernel::{simulate_location_day, InfectivityClasses};
+use episim_core::kernel::{simulate_location_day, InfectivityClasses, KernelScratch};
 use episim_core::messages::VisitMsg;
 use load_model::fit::{fit_multilinear, fit_piecewise, mape, r_squared};
 use load_model::{LoadUnits, PiecewiseModel};
@@ -27,7 +27,11 @@ fn location_buffers(pop: &Population, infectious_frac: f64) -> Vec<Vec<VisitMsg>
     let mut buffers: Vec<Vec<VisitMsg>> = vec![Vec::new(); pop.locations.len()];
     for v in &pop.visits {
         let mut rng = CounterRng::for_entity(7, v.person.0 as u64, 0, Purpose::Synthesis);
-        let state = if rng.bernoulli(infectious_frac) { sym } else { start };
+        let state = if rng.bernoulli(infectious_frac) {
+            sym
+        } else {
+            start
+        };
         buffers[v.location.0 as usize].push(VisitMsg {
             person: v.person.0,
             location: v.location.0,
@@ -53,6 +57,7 @@ fn main() {
     let mut dyn_rows: Vec<Vec<f64>> = Vec::new();
     let mut dyn_ys: Vec<f64> = Vec::new();
     let mut out = Vec::new();
+    let mut scratch = KernelScratch::new();
     for (l, buf) in buffers.iter().enumerate() {
         if buf.is_empty() {
             continue;
@@ -67,8 +72,16 @@ fn main() {
             let mut work = buf.clone();
             out.clear();
             let t0 = Instant::now();
-            features =
-                simulate_location_day(&mut work, &ptts, &classes, 0.0008, 3, 0, &mut out);
+            features = simulate_location_day(
+                &mut work,
+                &ptts,
+                &classes,
+                0.0008,
+                3,
+                0,
+                &mut scratch,
+                &mut out,
+            );
             best = best.min(t0.elapsed().as_nanos() as f64);
         }
         let _ = l;
@@ -108,7 +121,11 @@ fn main() {
         let (x, y) = sorted[idx];
         rows.push(vec![fnum(x), fnum(y), fnum(model.eval(x))]);
     }
-    print_table("predicted vs observed (ns)", &["events", "observed", "predicted"], &rows);
+    print_table(
+        "predicted vs observed (ns)",
+        &["events", "observed", "predicted"],
+        &rows,
+    );
 
     // ---- (b) dynamic model.
     if let Some(w) = fit_multilinear(&dyn_rows, &dyn_ys) {
@@ -138,15 +155,18 @@ fn main() {
             deg_hist.add(g.unique_visitors(&pop, LocationId(l)) as f64);
         }
         let mut load_hist = LogHistogram::new(1);
-        let loads = episim_core::workload::location_static_loads(
-            &pop,
-            &load_model,
-            LoadUnits::default(),
-        );
+        let loads =
+            episim_core::workload::location_static_loads(&pop, &load_model, LoadUnits::default());
         for &l in &loads {
             load_hist.add(l as f64 / 1000.0); // µs bins
         }
-        println!("{}", deg_hist.render(&format!("(c) {code} in-degree (unique visitors)")));
-        println!("{}", load_hist.render(&format!("(d) {code} static load (µs)")));
+        println!(
+            "{}",
+            deg_hist.render(&format!("(c) {code} in-degree (unique visitors)"))
+        );
+        println!(
+            "{}",
+            load_hist.render(&format!("(d) {code} static load (µs)"))
+        );
     }
 }

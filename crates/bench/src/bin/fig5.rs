@@ -28,10 +28,7 @@ fn main() {
     let mut after_pts = Vec::new();
     for st in all_states() {
         let counts = st.scaled(scale());
-        let pop = Population::generate(&PopulationConfig::from_counts(
-            counts,
-            state_seed(st.code),
-        ));
+        let pop = Population::generate(&PopulationConfig::from_counts(counts, state_seed(st.code)));
         let d = pop.n_locations() as f64;
         let loads = location_static_loads(&pop, &model, units);
         let split = split_heavy_locations(&pop, &split_cfg);

@@ -43,8 +43,14 @@ fn main() {
             },
             split.n_split
         );
-        println!("{}", deg_hist.render(&format!("(a) {code} degree after split")));
-        println!("{}", load_hist.render(&format!("(b) {code} load (µs) after split")));
+        println!(
+            "{}",
+            deg_hist.render(&format!("(a) {code} degree after split"))
+        );
+        println!(
+            "{}",
+            load_hist.render(&format!("(b) {code} load (µs) after split"))
+        );
     }
     println!("paper: dmax falls by avg 54× (min 12×, max 341×) at full scale,");
     println!("while D grows by at most 5.25%.");

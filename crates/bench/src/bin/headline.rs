@@ -13,9 +13,7 @@
 use bench::{calibrated_machine, clamp_k, fnum, gen_state, print_table};
 use episim_core::distribution::{DataDistribution, Strategy};
 use load_model::{LoadUnits, PiecewiseModel};
-use scale_model::{
-    inputs_from_distribution, project_day, strong_scaling_point, RuntimeOptions,
-};
+use scale_model::{inputs_from_distribution, project_day, strong_scaling_point, RuntimeOptions};
 
 fn main() {
     println!("== Headline: US strong scaling, GP-splitLoc ==\n");
@@ -53,7 +51,13 @@ fn main() {
     }
     print_table(
         "projected strong scaling (US, GP-splitLoc, all §IV optimizations)",
-        &["requested_P", "effective_P", "s/day", "speedup", "efficiency"],
+        &[
+            "requested_P",
+            "effective_P",
+            "s/day",
+            "speedup",
+            "efficiency",
+        ],
         &rows,
     );
     println!("paper (full-scale data, Blue Waters):");

@@ -1,0 +1,349 @@
+//! Hot-path perf-regression harness: runs the real threaded simulator on a
+//! fixed workload, measures wall time per day, ns per DES event, and (with
+//! the `alloc-count` feature) allocator traffic per day, then writes a
+//! machine-readable `BENCH_hotpath.json` next to the repo root.
+//!
+//! Environment knobs (all optional):
+//!   HOTPATH_STATE    state code for the workload        (default "CA")
+//!   HOTPATH_DAYS     days to simulate                   (default 20)
+//!   HOTPATH_PES      PEs for the threaded runtime       (default 4)
+//!   HOTPATH_SEED     master simulation seed             (default 42)
+//!   HOTPATH_OUT      output JSON path                   (default BENCH_hotpath.json)
+//!   HOTPATH_COMPARE  path to a previous output; embeds its summary as
+//!                    "baseline" and adds a "comparison" section
+//!   EPISIM_SCALE     population scale                   (default 1e-3)
+//!
+//! The JSON schema ("hotpath-v1") is documented in EXPERIMENTS.md under
+//! "Performance methodology".
+
+use bench::{gen_state, scale, state_seed};
+use chare_rt::RuntimeConfig;
+use episim_core::distribution::{DataDistribution, Strategy};
+use episim_core::simulator::{Carry, SimConfig, Simulator};
+use ptts::flu_model;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+/// Counting wrapper around the system allocator. Only the allocation count
+/// and requested bytes are tracked (relaxed atomics), so the measurement
+/// overhead is a few nanoseconds per call — negligible against the malloc
+/// it wraps.
+#[cfg(feature = "alloc-count")]
+mod alloc_count {
+    use std::alloc::{GlobalAlloc, Layout, System};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    pub static ALLOCS: AtomicU64 = AtomicU64::new(0);
+    pub static BYTES: AtomicU64 = AtomicU64::new(0);
+
+    pub struct CountingAlloc;
+
+    unsafe impl GlobalAlloc for CountingAlloc {
+        unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc(layout)
+        }
+
+        unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
+            System.alloc_zeroed(layout)
+        }
+
+        unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+            BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
+            System.realloc(ptr, layout, new_size)
+        }
+
+        unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+            System.dealloc(ptr, layout)
+        }
+    }
+
+    #[global_allocator]
+    static GLOBAL: CountingAlloc = CountingAlloc;
+
+    pub fn snapshot() -> (u64, u64) {
+        (
+            ALLOCS.load(Ordering::Relaxed),
+            BYTES.load(Ordering::Relaxed),
+        )
+    }
+}
+
+#[cfg(not(feature = "alloc-count"))]
+mod alloc_count {
+    pub fn snapshot() -> (u64, u64) {
+        (0, 0)
+    }
+}
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Clone, Default)]
+struct DayRow {
+    day: u32,
+    wall_s: f64,
+    events: u64,
+    visits: u64,
+    infects: u64,
+    allocs: u64,
+    alloc_bytes: u64,
+    person_busy_ns: u64,
+    location_busy_ns: u64,
+    apply_busy_ns: u64,
+}
+
+#[derive(Clone, Default)]
+struct Summary {
+    wall_s_total: f64,
+    s_per_day_mean: f64,
+    s_per_day_median: f64,
+    events_total: u64,
+    ns_per_event: f64,
+    allocs_total: u64,
+    allocs_per_day_mean: f64,
+    alloc_bytes_per_day_mean: f64,
+}
+
+/// FNV-1a over every field of the epidemic curve; bit-identical output
+/// across kernel versions is the determinism contract of record.
+fn curve_hash(days: &[episim_core::output::DayStats]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for d in days {
+        mix(d.day as u64);
+        mix(d.new_infections);
+        mix(d.infected_now);
+        mix(d.susceptible);
+        mix(d.symptomatic);
+        mix(d.cumulative);
+        mix(d.visits);
+        mix(d.events);
+        mix(d.interactions);
+        mix(d.infects_sent);
+        for &k in &d.infections_by_kind {
+            mix(k);
+        }
+    }
+    h
+}
+
+/// Pull `"key": <number>` out of a flat JSON document by string search —
+/// enough to read our own output back without a JSON parser in-tree.
+fn json_number(doc: &str, key: &str) -> Option<f64> {
+    let pat = format!("\"{key}\":");
+    let at = doc.find(&pat)? + pat.len();
+    let rest = doc[at..].trim_start();
+    let end = rest
+        .find(|c: char| !(c.is_ascii_digit() || c == '.' || c == '-' || c == 'e' || c == '+'))
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
+fn json_string(doc: &str, key: &str) -> Option<String> {
+    let pat = format!("\"{key}\": \"");
+    let at = doc.find(&pat)? + pat.len();
+    let end = doc[at..].find('"')?;
+    Some(doc[at..at + end].to_string())
+}
+
+fn main() {
+    let state: String = env_or("HOTPATH_STATE", "CA".to_string());
+    let days: u32 = env_or("HOTPATH_DAYS", 20);
+    let pes: u32 = env_or("HOTPATH_PES", 4);
+    let seed: u64 = env_or("HOTPATH_SEED", 42);
+    let out_path: String = env_or("HOTPATH_OUT", "BENCH_hotpath.json".to_string());
+    let compare: Option<String> = std::env::var("HOTPATH_COMPARE")
+        .ok()
+        .filter(|s| !s.is_empty());
+    let alloc_counted = cfg!(feature = "alloc-count");
+
+    eprintln!("hotpath: generating {state} at scale {} ...", scale());
+    let pop = gen_state(&state);
+    let dist =
+        DataDistribution::build(&pop, Strategy::GraphPartitionSplit, pes, state_seed(&state));
+    let cfg = SimConfig {
+        days,
+        seed,
+        stop_when_extinct: false,
+        ..SimConfig::default()
+    };
+    let seeds = cfg.initial_infections.min(pop.n_people()) as u64;
+    let mut carry = Carry::new(cfg.interventions.clone(), seeds);
+    let mut sim = Simulator::new(&dist, flu_model(), cfg, RuntimeConfig::threaded(pes));
+
+    eprintln!(
+        "hotpath: {} people, {} locations, {} visits/day; {} days on {} PEs (alloc-count: {})",
+        pop.n_people(),
+        pop.n_locations(),
+        pop.n_visits(),
+        days,
+        pes,
+        alloc_counted
+    );
+
+    // Drive the simulator one day at a time so wall time and allocator
+    // deltas attribute to individual days.
+    let mut rows: Vec<DayRow> = Vec::with_capacity(days as usize);
+    let mut curve_days = Vec::with_capacity(days as usize);
+    let t_run = Instant::now();
+    for day in 0..days {
+        let (a0, b0) = alloc_count::snapshot();
+        let t0 = Instant::now();
+        let (stats, perf, _extinct) = sim.run_days(day, day + 1, &mut carry);
+        let wall = t0.elapsed().as_secs_f64();
+        let (a1, b1) = alloc_count::snapshot();
+        let st = &stats[0];
+        let pf = &perf[0];
+        rows.push(DayRow {
+            day,
+            wall_s: wall,
+            events: st.events,
+            visits: st.visits,
+            infects: st.infects_sent,
+            allocs: a1 - a0,
+            alloc_bytes: b1 - b0,
+            person_busy_ns: pf.person_phase.totals().busy_ns,
+            location_busy_ns: pf.location_phase.totals().busy_ns,
+            apply_busy_ns: pf.apply_phase.totals().busy_ns,
+        });
+        curve_days.extend(stats);
+    }
+    let wall_total = t_run.elapsed().as_secs_f64();
+    let hash = curve_hash(&curve_days);
+    let total_infections: u64 = seeds + curve_days.iter().map(|d| d.new_infections).sum::<u64>();
+
+    // Skip day 0 in the summary: it pays one-time warmup (buffer growth,
+    // thread spin-up) that steady-state days do not.
+    let measured: &[DayRow] = if rows.len() > 1 { &rows[1..] } else { &rows };
+    let mut walls: Vec<f64> = measured.iter().map(|r| r.wall_s).collect();
+    walls.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let events_total: u64 = measured.iter().map(|r| r.events).sum();
+    let allocs_total: u64 = measured.iter().map(|r| r.allocs).sum();
+    let bytes_total: u64 = measured.iter().map(|r| r.alloc_bytes).sum();
+    let n = measured.len().max(1) as f64;
+    let summary = Summary {
+        wall_s_total: wall_total,
+        s_per_day_mean: measured.iter().map(|r| r.wall_s).sum::<f64>() / n,
+        s_per_day_median: walls[walls.len() / 2],
+        events_total,
+        ns_per_event: if events_total > 0 {
+            measured.iter().map(|r| r.wall_s).sum::<f64>() * 1e9 / events_total as f64
+        } else {
+            0.0
+        },
+        allocs_total,
+        allocs_per_day_mean: allocs_total as f64 / n,
+        alloc_bytes_per_day_mean: bytes_total as f64 / n,
+    };
+
+    // Assemble the JSON by hand (no JSON serializer in-tree).
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": \"hotpath-v1\",\n");
+    let _ = writeln!(
+        j,
+        "  \"config\": {{\"state\": \"{state}\", \"scale\": {}, \"days\": {days}, \"pes\": {pes}, \"seed\": {seed}, \"people\": {}, \"locations\": {}, \"visits_per_day\": {}, \"alloc_count\": {alloc_counted}}},",
+        scale(),
+        pop.n_people(),
+        pop.n_locations(),
+        pop.n_visits()
+    );
+    let _ = writeln!(
+        j,
+        "  \"determinism\": {{\"curve_hash\": \"{hash:016x}\", \"total_infections\": {total_infections}}},"
+    );
+    j.push_str("  \"days\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {{\"day\": {}, \"wall_s\": {:.6}, \"events\": {}, \"visits\": {}, \"infects\": {}, \"allocs\": {}, \"alloc_bytes\": {}, \"person_busy_ns\": {}, \"location_busy_ns\": {}, \"apply_busy_ns\": {}}}{}",
+            r.day,
+            r.wall_s,
+            r.events,
+            r.visits,
+            r.infects,
+            r.allocs,
+            r.alloc_bytes,
+            r.person_busy_ns,
+            r.location_busy_ns,
+            r.apply_busy_ns,
+            if i + 1 < rows.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n");
+    let summary_json = |s: &Summary| {
+        format!(
+            "{{\"wall_s_total\": {:.6}, \"s_per_day_mean\": {:.6}, \"s_per_day_median\": {:.6}, \"events_total\": {}, \"ns_per_event\": {:.2}, \"allocs_total\": {}, \"allocs_per_day_mean\": {:.1}, \"alloc_bytes_per_day_mean\": {:.1}}}",
+            s.wall_s_total,
+            s.s_per_day_mean,
+            s.s_per_day_median,
+            s.events_total,
+            s.ns_per_event,
+            s.allocs_total,
+            s.allocs_per_day_mean,
+            s.alloc_bytes_per_day_mean
+        )
+    };
+    let _ = write!(j, "  \"summary\": {}", summary_json(&summary));
+
+    if let Some(path) = compare {
+        match std::fs::read_to_string(&path) {
+            Ok(doc) => {
+                let base_mean = json_number(&doc, "s_per_day_mean").unwrap_or(0.0);
+                let base_median = json_number(&doc, "s_per_day_median").unwrap_or(0.0);
+                let base_nspe = json_number(&doc, "ns_per_event").unwrap_or(0.0);
+                let base_allocs = json_number(&doc, "allocs_per_day_mean").unwrap_or(0.0);
+                let base_hash = json_string(&doc, "curve_hash").unwrap_or_default();
+                let speedup_mean = if summary.s_per_day_mean > 0.0 {
+                    base_mean / summary.s_per_day_mean
+                } else {
+                    0.0
+                };
+                let speedup_median = if summary.s_per_day_median > 0.0 {
+                    base_median / summary.s_per_day_median
+                } else {
+                    0.0
+                };
+                let alloc_reduction = if summary.allocs_per_day_mean > 0.0 {
+                    base_allocs / summary.allocs_per_day_mean
+                } else {
+                    0.0
+                };
+                let identical = base_hash == format!("{hash:016x}");
+                let _ = write!(
+                    j,
+                    ",\n  \"baseline\": {{\"path\": \"{path}\", \"s_per_day_mean\": {base_mean:.6}, \"s_per_day_median\": {base_median:.6}, \"ns_per_event\": {base_nspe:.2}, \"allocs_per_day_mean\": {base_allocs:.1}, \"curve_hash\": \"{base_hash}\"}},\n  \"comparison\": {{\"s_per_day_speedup_mean\": {speedup_mean:.3}, \"s_per_day_speedup_median\": {speedup_median:.3}, \"alloc_reduction_factor\": {alloc_reduction:.1}, \"curve_identical\": {identical}}}"
+                );
+                eprintln!(
+                    "hotpath: vs baseline — speedup {speedup_mean:.3}x (median {speedup_median:.3}x), alloc reduction {alloc_reduction:.1}x, curve identical: {identical}"
+                );
+            }
+            Err(e) => eprintln!("hotpath: cannot read baseline {path}: {e}"),
+        }
+    }
+    j.push_str("\n}\n");
+    std::fs::write(&out_path, &j).expect("write output json");
+
+    println!(
+        "hotpath: {} | {:.3} s/day mean ({:.3} median) | {:.1} ns/event | {} allocs/day | curve {hash:016x}",
+        state,
+        summary.s_per_day_mean,
+        summary.s_per_day_median,
+        summary.ns_per_event,
+        summary.allocs_per_day_mean as u64
+    );
+    println!("hotpath: wrote {out_path}");
+}

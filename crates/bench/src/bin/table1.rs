@@ -10,7 +10,10 @@ use synthpop::state::by_code;
 use synthpop::BipartiteGraph;
 
 fn main() {
-    println!("== Table I: population data (reproduction scale {}) ==\n", scale());
+    println!(
+        "== Table I: population data (reproduction scale {}) ==\n",
+        scale()
+    );
     let mut rows = Vec::new();
     let mut codes = vec!["US"];
     codes.extend(FIGURE_STATES);

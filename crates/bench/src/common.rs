@@ -136,11 +136,7 @@ pub fn speedup_bound_report(strategy: Strategy, title: &str) {
         row.insert(1, ceiling_cell);
         rows.push(row);
     }
-    print_table(
-        "Sub = Ltot/Lmax of the location phase",
-        &header_refs,
-        &rows,
-    );
+    print_table("Sub = Ltot/Lmax of the location phase", &header_refs, &rows);
 }
 
 /// Render an aligned table to stdout.

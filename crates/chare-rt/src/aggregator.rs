@@ -30,6 +30,32 @@ pub struct Packet<M> {
     pub bytes: u64,
 }
 
+/// What a [`Aggregator::push`] emitted, if anything.
+///
+/// With aggregation enabled a push that fills a lane yields a batched
+/// [`Packet`]; with aggregation disabled every push yields a [`Flush::Single`]
+/// carrying the message by value — **no** one-element envelope `Vec` is
+/// allocated on that path.
+#[derive(Debug)]
+pub enum Flush<M> {
+    /// A batched packet bound for `Packet::dst_pe`.
+    Packet(Packet<M>),
+    /// One message emitted immediately (aggregation disabled).
+    Single {
+        /// Destination PE index.
+        dst_pe: u32,
+        /// Destination chare.
+        to: ChareId,
+        /// Payload.
+        msg: M,
+        /// Payload bytes.
+        bytes: u64,
+    },
+}
+
+/// Upper bound on recycled envelope `Vec`s kept per aggregator.
+const POOL_CAP: usize = 64;
+
 /// Per-source-PE aggregation buffers, one lane per destination PE.
 #[derive(Debug)]
 pub struct Aggregator<M> {
@@ -40,6 +66,9 @@ pub struct Aggregator<M> {
     dirty: Vec<u32>,
     /// Number of packets emitted so far.
     packets: u64,
+    /// Drained packet `Vec`s returned by receivers, reused for new lanes so
+    /// the steady state allocates nothing per packet.
+    pool: Vec<Vec<Envelope<M>>>,
 }
 
 impl<M: Message> Aggregator<M> {
@@ -51,18 +80,34 @@ impl<M: Message> Aggregator<M> {
             lane_bytes: vec![0; n_pes as usize],
             dirty: Vec::new(),
             packets: 0,
+            pool: Vec::new(),
         }
     }
 
-    /// Enqueue a remote message. Returns a packet if this push filled the
+    /// Return a drained packet's envelope `Vec` so a future lane can reuse
+    /// its capacity (bounded; excess capacity is simply dropped).
+    pub fn recycle(&mut self, mut envelopes: Vec<Envelope<M>>) {
+        if self.pool.len() < POOL_CAP && envelopes.capacity() > 0 {
+            envelopes.clear();
+            self.pool.push(envelopes);
+        }
+    }
+
+    /// A fresh lane backing store, pooled when possible.
+    fn fresh_lane(&mut self) -> Vec<Envelope<M>> {
+        self.pool.pop().unwrap_or_default()
+    }
+
+    /// Enqueue a remote message. Returns a flush if this push filled the
     /// lane (or immediately, when aggregation is disabled).
-    pub fn push(&mut self, dst_pe: u32, to: ChareId, msg: M) -> Option<Packet<M>> {
+    pub fn push(&mut self, dst_pe: u32, to: ChareId, msg: M) -> Option<Flush<M>> {
         let bytes = msg.size_bytes() as u64;
         if !self.cfg.enabled {
             self.packets += 1;
-            return Some(Packet {
+            return Some(Flush::Single {
                 dst_pe,
-                envelopes: vec![Envelope { to, msg }],
+                to,
+                msg,
                 bytes,
             });
         }
@@ -73,18 +118,18 @@ impl<M: Message> Aggregator<M> {
         lane.push(Envelope { to, msg });
         self.lane_bytes[dst_pe as usize] += bytes;
         if lane.len() as u32 >= self.cfg.max_batch.max(1) {
-            return self.flush_lane(dst_pe);
+            return self.flush_lane(dst_pe).map(Flush::Packet);
         }
         None
     }
 
     /// Flush one destination lane, if non-empty.
     pub fn flush_lane(&mut self, dst_pe: u32) -> Option<Packet<M>> {
-        let lane = &mut self.lanes[dst_pe as usize];
-        if lane.is_empty() {
+        if self.lanes[dst_pe as usize].is_empty() {
             return None;
         }
-        let envelopes = std::mem::take(lane);
+        let replacement = self.fresh_lane();
+        let envelopes = std::mem::replace(&mut self.lanes[dst_pe as usize], replacement);
         let bytes = std::mem::take(&mut self.lane_bytes[dst_pe as usize]);
         self.dirty.retain(|&d| d != dst_pe);
         self.packets += 1;
@@ -100,11 +145,11 @@ impl<M: Message> Aggregator<M> {
         let dirty = std::mem::take(&mut self.dirty);
         let mut out = Vec::with_capacity(dirty.len());
         for d in dirty {
-            let lane = &mut self.lanes[d as usize];
-            if lane.is_empty() {
+            if self.lanes[d as usize].is_empty() {
                 continue;
             }
-            let envelopes = std::mem::take(lane);
+            let replacement = self.fresh_lane();
+            let envelopes = std::mem::replace(&mut self.lanes[d as usize], replacement);
             let bytes = std::mem::take(&mut self.lane_bytes[d as usize]);
             self.packets += 1;
             out.push(Packet {
@@ -134,7 +179,9 @@ mod tests {
     impl Message for u32 {}
 
     fn cfg(enabled: bool, max_batch: u32) -> AggregationConfig {
-        AggregationConfig { enabled, max_batch,
+        AggregationConfig {
+            enabled,
+            max_batch,
             tram_2d: false,
         }
     }
@@ -142,9 +189,20 @@ mod tests {
     #[test]
     fn disabled_aggregation_emits_immediately() {
         let mut a = Aggregator::new(4, cfg(false, 64));
-        let p = a.push(2, ChareId(9), 7u32).expect("immediate packet");
-        assert_eq!(p.dst_pe, 2);
-        assert_eq!(p.envelopes.len(), 1);
+        match a.push(2, ChareId(9), 7u32).expect("immediate flush") {
+            Flush::Single {
+                dst_pe,
+                to,
+                msg,
+                bytes,
+            } => {
+                assert_eq!(dst_pe, 2);
+                assert_eq!(to, ChareId(9));
+                assert_eq!(msg, 7);
+                assert_eq!(bytes, 4);
+            }
+            Flush::Packet(_) => panic!("disabled path must not allocate a packet"),
+        }
         assert_eq!(a.packets(), 1);
         assert!(a.is_empty());
     }
@@ -154,11 +212,39 @@ mod tests {
         let mut a = Aggregator::new(2, cfg(true, 3));
         assert!(a.push(1, ChareId(0), 1u32).is_none());
         assert!(a.push(1, ChareId(1), 2).is_none());
-        let p = a.push(1, ChareId(2), 3).expect("third push flushes");
+        let p = match a.push(1, ChareId(2), 3).expect("third push flushes") {
+            Flush::Packet(p) => p,
+            Flush::Single { .. } => panic!("enabled path batches"),
+        };
         assert_eq!(p.envelopes.len(), 3);
         assert_eq!(p.bytes, 12);
         assert_eq!(a.packets(), 1);
         assert!(a.is_empty());
+    }
+
+    #[test]
+    fn recycled_capacity_is_reused() {
+        let mut a = Aggregator::new(1, cfg(true, 8));
+        for i in 0..4u32 {
+            a.push(0, ChareId(i), i);
+        }
+        let mut p = a.flush_all().pop().expect("dirty lane flushes");
+        assert!(p.envelopes.capacity() >= 4);
+        p.envelopes.clear();
+        let ptr = p.envelopes.as_ptr();
+        a.recycle(p.envelopes);
+        // The next flush installs the pooled buffer as the lane's new
+        // backing store, so the round after that returns the same
+        // allocation.
+        for round in 0..2 {
+            for i in 0..4u32 {
+                a.push(0, ChareId(i), i);
+            }
+            let p = a.flush_all().pop().expect("dirty lane flushes");
+            if round == 1 {
+                assert_eq!(p.envelopes.as_ptr(), ptr, "pooled buffer reused");
+            }
+        }
     }
 
     #[test]

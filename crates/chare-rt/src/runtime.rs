@@ -123,9 +123,9 @@ mod tests {
             }
         }
 
-    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
-        self
-    }
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
     }
 
     fn build(cfg: RuntimeConfig) -> Runtime<Hop> {
@@ -253,13 +253,19 @@ mod tests {
         impl Chare<Hop> for Spray {
             fn receive(&mut self, _m: Hop, ctx: &mut Ctx<'_, Hop>) {
                 for _ in 0..self.0 {
-                    ctx.send(ChareId(1), Hop { remaining: 0, payload: 1 });
+                    ctx.send(
+                        ChareId(1),
+                        Hop {
+                            remaining: 0,
+                            payload: 1,
+                        },
+                    );
                 }
             }
 
-    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
-        self
-    }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
         }
         struct Count(u64);
         impl Chare<Hop> for Count {
@@ -268,9 +274,9 @@ mod tests {
                 ctx.contribute(1, 1);
             }
 
-    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
-        self
-    }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
         }
         let mut cfg = RuntimeConfig::sequential(16);
         cfg.smp.pes_per_process = 1;
@@ -278,7 +284,13 @@ mod tests {
         let mut rt: Runtime<Hop> = Runtime::new(cfg);
         rt.add_chare(ChareId(0), 0, Box::new(Spray(100)));
         rt.add_chare(ChareId(1), 15, Box::new(Count(0)));
-        let stats = rt.run_phase(vec![(ChareId(0), Hop { remaining: 0, payload: 0 })]);
+        let stats = rt.run_phase(vec![(
+            ChareId(0),
+            Hop {
+                remaining: 0,
+                payload: 0,
+            },
+        )]);
         assert_eq!(stats.reduction(1), 100, "all messages delivered");
         assert_eq!(stats.per_pe[3].forwarded, 100, "PE 3 relays the diagonal");
     }

@@ -7,7 +7,7 @@
 //! simulated PEs on one core and read off per-PE compute times and message
 //! counts.
 
-use crate::aggregator::{Aggregator, Envelope};
+use crate::aggregator::{Aggregator, Envelope, Flush, Packet};
 use crate::chare::{Chare, ChareId, Ctx, Message, Sender};
 use crate::config::RuntimeConfig;
 use crate::stats::{PeStats, PhaseStats, ReductionSlots};
@@ -50,7 +50,9 @@ impl<M: Message> SeqEngine<M> {
             chares: Vec::new(),
             pe_of: Vec::new(),
             queues: (0..n).map(|_| VecDeque::new()).collect(),
-            aggregators: (0..n).map(|_| Aggregator::new(cfg.n_pes, cfg.aggregation)).collect(),
+            aggregators: (0..n)
+                .map(|_| Aggregator::new(cfg.n_pes, cfg.aggregation))
+                .collect(),
             stats: vec![PeStats::default(); n],
             reductions: vec![ReductionSlots::default(); n],
             out: OutBuf { items: Vec::new() },
@@ -91,9 +93,8 @@ impl<M: Message> SeqEngine<M> {
             } else {
                 dst_pe
             };
-            if let Some(packet) = self.aggregators[src_pe as usize].push(hop, to, msg) {
-                st.network_packets += 1;
-                self.queues[packet.dst_pe as usize].extend(packet.envelopes);
+            if let Some(flush) = self.aggregators[src_pe as usize].push(hop, to, msg) {
+                self.deliver(src_pe, flush);
             }
         }
     }
@@ -103,10 +104,28 @@ impl<M: Message> SeqEngine<M> {
         let dst_pe = self.pe_of[to.0 as usize];
         let hop = self.grid.next_hop(via_pe, dst_pe);
         self.stats[via_pe as usize].forwarded += 1;
-        if let Some(packet) = self.aggregators[via_pe as usize].push(hop, to, msg) {
-            self.stats[via_pe as usize].network_packets += 1;
-            self.queues[packet.dst_pe as usize].extend(packet.envelopes);
+        if let Some(flush) = self.aggregators[via_pe as usize].push(hop, to, msg) {
+            self.deliver(via_pe, flush);
         }
+    }
+
+    /// Move a flush from `src_pe` into the destination queue, recycling the
+    /// drained packet `Vec` back into the sender's aggregator pool.
+    fn deliver(&mut self, src_pe: u32, flush: Flush<M>) {
+        self.stats[src_pe as usize].network_packets += 1;
+        match flush {
+            Flush::Packet(packet) => self.deliver_packet(src_pe, packet),
+            Flush::Single {
+                dst_pe, to, msg, ..
+            } => {
+                self.queues[dst_pe as usize].push_back(Envelope { to, msg });
+            }
+        }
+    }
+
+    fn deliver_packet(&mut self, src_pe: u32, mut packet: Packet<M>) {
+        self.queues[packet.dst_pe as usize].extend(packet.envelopes.drain(..));
+        self.aggregators[src_pe as usize].recycle(packet.envelopes);
     }
 
     fn process_one(&mut self, pe: u32, env: Envelope<M>) {
@@ -134,11 +153,12 @@ impl<M: Message> SeqEngine<M> {
         let st = &mut self.stats[pe as usize];
         st.busy_ns += elapsed;
         st.processed += 1;
-        // Route what the chare sent.
-        let items = std::mem::take(&mut self.out.items);
-        for (to, msg) in items {
+        // Route what the chare sent (drain-and-restore keeps capacity).
+        let mut items = std::mem::take(&mut self.out.items);
+        for (to, msg) in items.drain(..) {
             self.route(pe, to, msg);
         }
+        self.out.items = items;
     }
 
     /// Run one phase to completion: inject, then drain round-robin until no
@@ -176,7 +196,7 @@ impl<M: Message> SeqEngine<M> {
                     let packets = self.aggregators[pe].flush_all();
                     for packet in packets {
                         self.stats[pe].network_packets += 1;
-                        self.queues[packet.dst_pe as usize].extend(packet.envelopes);
+                        self.deliver_packet(pe as u32, packet);
                         flushed_any = true;
                     }
                 }
@@ -206,9 +226,7 @@ impl<M: Message> SeqEngine<M> {
 
     /// Immutable access to a chare (between phases) for result extraction.
     pub fn chare(&self, id: ChareId) -> Option<&dyn Chare<M>> {
-        self.chares
-            .get(id.0 as usize)
-            .and_then(|c| c.as_deref())
+        self.chares.get(id.0 as usize).and_then(|c| c.as_deref())
     }
 
     /// Number of PEs.
@@ -241,9 +259,9 @@ mod tests {
             }
         }
 
-    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
-        self
-    }
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
     }
 
     fn ring_engine(n_chares: u32, n_pes: u32) -> SeqEngine<Token> {
@@ -305,9 +323,9 @@ mod tests {
                 }
             }
 
-    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
-        self
-    }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
         }
         let mut eng = SeqEngine::new(RuntimeConfig::sequential(2));
         eng.add_chare(ChareId(0), 0, Box::new(SelfLooper));
@@ -332,17 +350,17 @@ mod tests {
                 }
             }
 
-    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
-        self
-    }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
         }
         struct Sink;
         impl Chare<Token> for Sink {
             fn receive(&mut self, _m: Token, _c: &mut Ctx<'_, Token>) {}
 
-    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
-        self
-    }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
         }
         let run = |agg: AggregationConfig| {
             let mut cfg = RuntimeConfig::sequential(2);
@@ -411,9 +429,9 @@ mod tests {
                 std::hint::black_box(acc);
             }
 
-    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
-        self
-    }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
         }
         let mut eng = SeqEngine::new(RuntimeConfig::sequential(1));
         eng.add_chare(ChareId(0), 0, Box::new(Spin));

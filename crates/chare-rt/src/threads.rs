@@ -12,7 +12,7 @@
 //!    phase done, workers observe the flag, report their counters, and
 //!    block awaiting the next `PhaseStart`.
 
-use crate::aggregator::{Aggregator, Envelope, Packet};
+use crate::aggregator::{Aggregator, Envelope, Flush, Packet};
 use crate::chare::{Chare, ChareId, Ctx, Message, Sender};
 use crate::completion::CompletionDetector;
 use crate::config::RuntimeConfig;
@@ -72,24 +72,26 @@ impl<M: Message> Worker<M> {
         if dst_pe == self.pe {
             self.stats.sent_self += 1;
             self.local_q.push_back(Envelope { to, msg });
-        } else if self.cfg.smp.same_process(self.pe, dst_pe) {
+            return;
+        }
+        self.cd.produce(self.pe, 1);
+        let hop = if self.cfg.smp.same_process(self.pe, dst_pe) {
+            // Intra-process traffic batches through the aggregation lanes
+            // too: one channel send per packet instead of per message. The
+            // flush is not a network packet (shared memory, §IV-A).
             self.stats.sent_intra += 1;
-            self.cd.produce(self.pe, 1);
-            let _ = self.txs[dst_pe as usize].send(Item::Direct(Envelope { to, msg }));
+            dst_pe
         } else {
             self.stats.sent_remote += 1;
             self.stats.remote_bytes += msg.size_bytes() as u64;
-            self.cd.produce(self.pe, 1);
-            let hop = if self.cfg.aggregation.tram_2d {
+            if self.cfg.aggregation.tram_2d {
                 self.grid.next_hop(self.pe, dst_pe)
             } else {
                 dst_pe
-            };
-            if let Some(packet) = self.agg.push(hop, to, msg) {
-                self.stats.network_packets += 1;
-                let dst = packet.dst_pe as usize;
-                let _ = self.txs[dst].send(Item::Packet(packet));
             }
+        };
+        if let Some(flush) = self.agg.push(hop, to, msg) {
+            self.emit(flush);
         }
     }
 
@@ -99,11 +101,33 @@ impl<M: Message> Worker<M> {
         let hop = self.grid.next_hop(self.pe, dst_pe);
         self.stats.forwarded += 1;
         self.cd.produce(self.pe, 1);
-        if let Some(packet) = self.agg.push(hop, to, msg) {
-            self.stats.network_packets += 1;
-            let dst = packet.dst_pe as usize;
-            let _ = self.txs[dst].send(Item::Packet(packet));
+        if let Some(flush) = self.agg.push(hop, to, msg) {
+            self.emit(flush);
         }
+    }
+
+    /// Dispatch whatever the aggregator handed back. Only cross-process
+    /// flushes count as network packets.
+    fn emit(&mut self, flush: Flush<M>) {
+        match flush {
+            Flush::Packet(packet) => self.send_packet(packet),
+            Flush::Single {
+                dst_pe, to, msg, ..
+            } => {
+                if !self.cfg.smp.same_process(self.pe, dst_pe) {
+                    self.stats.network_packets += 1;
+                }
+                let _ = self.txs[dst_pe as usize].send(Item::Direct(Envelope { to, msg }));
+            }
+        }
+    }
+
+    fn send_packet(&mut self, packet: Packet<M>) {
+        if !self.cfg.smp.same_process(self.pe, packet.dst_pe) {
+            self.stats.network_packets += 1;
+        }
+        let dst = packet.dst_pe as usize;
+        let _ = self.txs[dst].send(Item::Packet(packet));
     }
 
     fn execute(&mut self, env: Envelope<M>) {
@@ -126,10 +150,12 @@ impl<M: Message> Worker<M> {
         }
         self.stats.busy_ns += start.elapsed().as_nanos() as u64;
         self.stats.processed += 1;
-        let items = std::mem::take(&mut self.out.items);
-        for (to, msg) in items {
+        // Drain-and-restore keeps the outbox capacity across receives.
+        let mut items = std::mem::take(&mut self.out.items);
+        for (to, msg) in items.drain(..) {
             self.route(to, msg);
         }
+        self.out.items = items;
     }
 
     /// Process one inbound item; returns `false` for control items that end
@@ -141,11 +167,13 @@ impl<M: Message> Worker<M> {
                 self.cd.consume(self.pe, 1);
                 true
             }
-            Item::Packet(packet) => {
+            Item::Packet(mut packet) => {
                 let n = packet.envelopes.len() as u64;
-                for env in packet.envelopes {
+                for env in packet.envelopes.drain(..) {
                     self.execute(env);
                 }
+                // The drained Vec feeds this PE's own lanes.
+                self.agg.recycle(packet.envelopes);
                 self.cd.consume(self.pe, n);
                 true
             }
@@ -182,9 +210,7 @@ impl<M: Message> Worker<M> {
             let packets = self.agg.flush_all();
             if !packets.is_empty() {
                 for packet in packets {
-                    self.stats.network_packets += 1;
-                    let dst = packet.dst_pe as usize;
-                    let _ = self.txs[dst].send(Item::Packet(packet));
+                    self.send_packet(packet);
                 }
                 continue;
             }
@@ -259,8 +285,7 @@ impl<M: Message> Worker<M> {
             let packets = self.agg.flush_all();
             if !packets.is_empty() {
                 for packet in packets {
-                    self.stats.network_packets += 1;
-                    let _ = self.txs[packet.dst_pe as usize].send(Item::Packet(packet));
+                    self.send_packet(packet);
                 }
                 continue;
             }
@@ -420,11 +445,7 @@ impl<M: Message> ThreadEngine<M> {
     /// Stop the workers and collect all chares.
     pub fn into_chares(mut self) -> Vec<(ChareId, Box<dyn Chare<M>>)> {
         if !self.started {
-            return self
-                .pending
-                .into_iter()
-                .map(|(id, _, c)| (id, c))
-                .collect();
+            return self.pending.into_iter().map(|(id, _, c)| (id, c)).collect();
         }
         for tx in &self.txs {
             let _ = tx.send(Item::Shutdown);
@@ -465,9 +486,9 @@ mod tests {
             }
         }
 
-    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
-        self
-    }
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
     }
 
     fn ring(n_chares: u32, n_pes: u32) -> ThreadEngine<Token> {
@@ -532,9 +553,9 @@ mod tests {
                 }
             }
 
-    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
-        self
-    }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
         }
         impl Chare<M2> for Leaf {
             fn receive(&mut self, msg: M2, ctx: &mut Ctx<'_, M2>) {
@@ -543,9 +564,9 @@ mod tests {
                 }
             }
 
-    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
-        self
-    }
+            fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+                self
+            }
         }
         let mut eng = ThreadEngine::new(RuntimeConfig::threaded(4));
         let n = 100u32;

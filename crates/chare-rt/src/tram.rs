@@ -124,7 +124,7 @@ mod tests {
     #[test]
     fn diagonal_goes_via_row_corner() {
         let g = Grid2D::new(16); // 4×4: pe = 4·row + col
-        // 0 (0,0) → 15 (3,3): first to (0,3) = 3.
+                                 // 0 (0,0) → 15 (3,3): first to (0,3) = 3.
         assert_eq!(g.next_hop(0, 15), 3);
         assert_eq!(g.next_hop(3, 15), 15);
         assert_eq!(g.hops(0, 15), 2);

@@ -82,10 +82,7 @@ fn run_storm(cfg: RuntimeConfig, n_chares: u32, hops: u32, seeds: &[u64]) -> (u6
         .map(|&s| {
             (
                 ChareId((s % n_chares as u64) as u32),
-                Storm {
-                    hops,
-                    value: s,
-                },
+                Storm { hops, value: s },
             )
         })
         .collect();

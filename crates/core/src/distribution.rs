@@ -175,8 +175,7 @@ impl DataDistribution {
             .visits
             .iter()
             .filter(|v| {
-                self.person_part[v.person.0 as usize]
-                    != self.location_part[v.location.0 as usize]
+                self.person_part[v.person.0 as usize] != self.location_part[v.location.0 as usize]
             })
             .count();
         remote as f64 / self.pop.visits.len() as f64

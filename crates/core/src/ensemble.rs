@@ -186,11 +186,8 @@ mod tests {
         let ensemble = run_ensemble(&dist, &flu_model(), &cfg, 6, 2);
         assert_eq!(ensemble.runs.len(), 6);
         // Different seeds → (generically) different totals.
-        let totals: std::collections::BTreeSet<u64> = ensemble
-            .runs
-            .iter()
-            .map(|r| r.total_infections())
-            .collect();
+        let totals: std::collections::BTreeSet<u64> =
+            ensemble.runs.iter().map(|r| r.total_infections()).collect();
         assert!(totals.len() > 1, "all replicates identical");
         // Bands are ordered quantiles.
         for b in &ensemble.bands {
@@ -217,8 +214,6 @@ mod tests {
         // With r = 0.0012 on this town most replicates take off.
         assert!(p >= 0.5, "takeoff probability {p}");
         // Attack-rate quantiles are monotone.
-        assert!(
-            ensemble.attack_rate_quantile(0.1) <= ensemble.attack_rate_quantile(0.9)
-        );
+        assert!(ensemble.attack_rate_quantile(0.1) <= ensemble.attack_rate_quantile(0.9));
     }
 }

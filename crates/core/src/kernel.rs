@@ -18,6 +18,109 @@ use ptts::crng::{CounterRng, Purpose};
 use ptts::transmission::select_infector;
 use ptts::Ptts;
 
+/// Reusable working memory for [`simulate_location_day`]. One instance per
+/// owner (LocationManager chare or sequential driver) serves every location
+/// and every day: all buffers grow to the high-water mark once and are then
+/// recycled, so the steady-state DES sweep performs no heap allocation.
+#[derive(Debug, Default)]
+pub struct KernelScratch {
+    /// Event list: `(key, visit index)` with `key = t << 1 | is_arrive`,
+    /// so departs order before arrives at equal times.
+    events: Vec<(u32, u32)>,
+    /// Counting-sort output buffer (same layout as `events`).
+    sorted: Vec<(u32, u32)>,
+    /// Counting-sort bucket offsets, indexed by event key.
+    buckets: Vec<u32>,
+    /// ∫ count_c dt per infectivity class.
+    cit: Vec<f64>,
+    /// Infectious currently present, per class.
+    present: Vec<u32>,
+    /// Per-visit susceptible sweep state for the current sublocation.
+    sus_meta: Vec<SusMeta>,
+    /// Snapshot arena: `cit` captured at each susceptible arrival, stored
+    /// flat with stride `classes.n()` (replaces a per-arrival `Vec` clone).
+    snap_arena: Vec<f64>,
+    /// Infector-attribution candidates `(visit index, p_j)`.
+    cands: Vec<(u32, f64)>,
+    /// Candidate probabilities, parallel to `cands`.
+    probs: Vec<f64>,
+}
+
+impl KernelScratch {
+    /// Fresh scratch; buffers are grown lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// Per-visit sweep state of a susceptible currently inside the sublocation.
+#[derive(Debug, Clone, Copy)]
+struct SusMeta {
+    /// Offset of the arrival `cit` snapshot in `snap_arena`
+    /// (`u32::MAX` = not a tracked susceptible).
+    snap_off: u32,
+    /// Infectious present at the moment of arrival.
+    present_at_arrive: u32,
+    /// Cumulative infectious arrivals seen before this arrival.
+    arrivals_at_arrive: u64,
+}
+
+impl SusMeta {
+    const NONE: SusMeta = SusMeta {
+        snap_off: u32::MAX,
+        present_at_arrive: 0,
+        arrivals_at_arrive: 0,
+    };
+}
+
+/// A location's day buffer with visits grouped by sublocation at insert
+/// time. Groups are kept sorted by sublocation id, so the per-day kernel
+/// only has to order *within* each group (by start then person) instead of
+/// sorting the whole buffer on a three-field key. Group vectors persist
+/// across days ([`VisitBuffer::clear`] keeps capacity), so steady-state
+/// inserts never allocate.
+#[derive(Debug, Clone, Default)]
+pub struct VisitBuffer {
+    /// `(sublocation, visits)`, ordered by sublocation id.
+    groups: Vec<(u16, Vec<VisitMsg>)>,
+    /// Total visits across groups.
+    len: usize,
+}
+
+impl VisitBuffer {
+    /// Empty buffer.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Insert one visit into its sublocation's group.
+    pub fn push(&mut self, v: VisitMsg) {
+        self.len += 1;
+        match self.groups.binary_search_by_key(&v.sublocation, |g| g.0) {
+            Ok(i) => self.groups[i].1.push(v),
+            Err(i) => self.groups.insert(i, (v.sublocation, vec![v])),
+        }
+    }
+
+    /// Total buffered visits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the buffer holds no visits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Drop all visits but keep every group's allocation for the next day.
+    pub fn clear(&mut self) {
+        for (_, g) in &mut self.groups {
+            g.clear();
+        }
+        self.len = 0;
+    }
+}
+
 /// Features the dynamic load model consumes (Figure 3b), accumulated per
 /// location per day.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
@@ -75,12 +178,14 @@ impl InfectivityClasses {
     }
 }
 
-/// Run one location's DES for one day over its visit messages.
+/// Run one location's DES for one day over a flat visit slice.
 ///
 /// `visits` is the day's buffer (any order — it is sorted internally, so
 /// results are independent of message arrival order). Returns the infect
 /// messages and the load-model features. `r_eff` is the effective
-/// per-minute transmissibility.
+/// per-minute transmissibility. `scratch` supplies all working memory; a
+/// reused instance makes the sweep allocation-free in steady state.
+#[allow(clippy::too_many_arguments)]
 pub fn simulate_location_day(
     visits: &mut [VisitMsg],
     ptts: &Ptts,
@@ -88,6 +193,7 @@ pub fn simulate_location_day(
     r_eff: f64,
     seed: u64,
     day: u32,
+    scratch: &mut KernelScratch,
     out: &mut Vec<InfectMsg>,
 ) -> LocationDayFeatures {
     let mut features = LocationDayFeatures {
@@ -97,8 +203,9 @@ pub fn simulate_location_day(
     if visits.is_empty() {
         return features;
     }
-    // Deterministic order: by sublocation, then start, then person.
-    visits.sort_unstable_by_key(|v| (v.sublocation, v.start_min, v.person));
+    // Deterministic order: by sublocation, then start, then person — one
+    // u64 key (16+16+32 bits) so the sort compares single integers.
+    visits.sort_unstable_by_key(visit_key);
 
     let mut lo = 0usize;
     while lo < visits.len() {
@@ -114,6 +221,7 @@ pub fn simulate_location_day(
             r_eff,
             seed,
             day,
+            scratch,
             out,
             &mut features,
         );
@@ -122,7 +230,52 @@ pub fn simulate_location_day(
     features
 }
 
-/// Sweep events of one sublocation.
+/// Run one location's DES for one day over a pre-grouped [`VisitBuffer`].
+///
+/// Semantically identical to [`simulate_location_day`] on the same visits:
+/// the buffer already holds groups in ascending sublocation order, so only
+/// the (start, person) order within each group remains to be established.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_location_day_grouped(
+    buf: &mut VisitBuffer,
+    ptts: &Ptts,
+    classes: &InfectivityClasses,
+    r_eff: f64,
+    seed: u64,
+    day: u32,
+    scratch: &mut KernelScratch,
+    out: &mut Vec<InfectMsg>,
+) -> LocationDayFeatures {
+    let mut features = LocationDayFeatures {
+        events: 2 * buf.len as u64,
+        ..Default::default()
+    };
+    for (_, group) in &mut buf.groups {
+        if group.is_empty() {
+            continue;
+        }
+        group.sort_unstable_by_key(|v| ((v.start_min as u64) << 32) | v.person as u64);
+        simulate_sublocation(
+            group,
+            ptts,
+            classes,
+            r_eff,
+            seed,
+            day,
+            scratch,
+            out,
+            &mut features,
+        );
+    }
+    features
+}
+
+#[inline]
+fn visit_key(v: &VisitMsg) -> u64 {
+    ((v.sublocation as u64) << 48) | ((v.start_min as u64) << 32) | v.person as u64
+}
+
+/// Sweep events of one sublocation (visits already in canonical order).
 #[allow(clippy::too_many_arguments)]
 fn simulate_sublocation(
     visits: &[VisitMsg],
@@ -131,62 +284,133 @@ fn simulate_sublocation(
     r_eff: f64,
     seed: u64,
     day: u32,
+    scratch: &mut KernelScratch,
     out: &mut Vec<InfectMsg>,
     features: &mut LocationDayFeatures,
 ) {
     let ncls = classes.n();
-    // Event list: (time, is_depart, visit index). Departs before arrives at
-    // equal times so zero-overlap pairs don't interact.
-    let mut events: Vec<(u16, bool, u32)> = Vec::with_capacity(visits.len() * 2);
+    let KernelScratch {
+        events,
+        sorted,
+        buckets,
+        cit,
+        present,
+        sus_meta,
+        snap_arena,
+        cands,
+        probs,
+    } = scratch;
+
+    // Event list: key = t << 1 | is_arrive, so at equal times departs sort
+    // before arrives and zero-overlap pairs don't interact. Pushed in visit
+    // order, which is the tie-break the sorts below preserve.
+    events.clear();
+    let mut max_key = 0u32;
     for (i, v) in visits.iter().enumerate() {
         if v.end_min <= v.start_min {
             continue;
         }
-        events.push((v.start_min, false, i as u32));
-        events.push((v.end_min, true, i as u32));
+        let arrive = ((v.start_min as u32) << 1) | 1;
+        let depart = (v.end_min as u32) << 1;
+        events.push((arrive, i as u32));
+        events.push((depart, i as u32));
+        max_key = max_key.max(depart).max(arrive);
     }
-    events.sort_unstable_by_key(|&(t, is_depart, i)| (t, !is_depart, i));
+    // Order events by key with push-order tie-break. Counting sort is O(n +
+    // buckets) and branch-free, but zeroing the bucket array dominates for
+    // sparse sublocations — fall back to a comparison sort on the identical
+    // total order (key, then push index = visit index) when buckets would
+    // outnumber events 4:1.
+    let nbuckets = max_key as usize + 1;
+    let ordered: &[(u32, u32)] = if events.is_empty() {
+        events
+    } else if nbuckets <= 4 * events.len() {
+        buckets.clear();
+        buckets.resize(nbuckets, 0);
+        for &(k, _) in events.iter() {
+            buckets[k as usize] += 1;
+        }
+        let mut acc = 0u32;
+        for b in buckets.iter_mut() {
+            let c = *b;
+            *b = acc;
+            acc += c;
+        }
+        sorted.clear();
+        sorted.resize(events.len(), (0, 0));
+        for &(k, vi) in events.iter() {
+            let slot = &mut buckets[k as usize];
+            sorted[*slot as usize] = (k, vi);
+            *slot += 1;
+        }
+        sorted
+    } else {
+        // Arrive and depart keys of one visit differ, and within one key
+        // class visit indices are unique, so (key, vi) reproduces the
+        // stable counting order exactly.
+        events.sort_unstable_by_key(|&(k, vi)| ((k as u64) << 32) | vi as u64);
+        events
+    };
 
     // Sweep state.
-    let mut cit = vec![0.0f64; ncls]; // ∫ count_c dt per class
-    let mut present = vec![0u32; ncls]; // infectious currently present, per class
+    cit.clear();
+    cit.resize(ncls, 0.0);
+    present.clear();
+    present.resize(ncls, 0);
+    sus_meta.clear();
+    sus_meta.resize(visits.len(), SusMeta::NONE);
+    snap_arena.clear();
     let mut arrivals = 0u64; // cumulative infectious arrivals (all classes)
     let mut last_t = 0u16;
-    let mut sus_state: Vec<Option<SusSnapshot>> = vec![None; visits.len()];
 
-    for &(t, is_depart, vi) in &events {
+    for &(key, vi) in ordered {
+        let t = (key >> 1) as u16;
+        let is_arrive = key & 1 == 1;
         // Advance integrals to t.
         let dt = (t - last_t) as f64;
         if dt > 0.0 {
-            for (citc, &pres) in cit.iter_mut().zip(&present) {
+            for (citc, &pres) in cit.iter_mut().zip(present.iter()) {
                 *citc += pres as f64 * dt;
             }
             last_t = t;
         }
         let v = &visits[vi as usize];
         let v_class = classes.class(v.state);
-        let susceptible = ptts.is_susceptible(v.state) && v.sus_scale > 0.0;
-        if !is_depart {
-            // Arrive.
-            if susceptible {
-                sus_state[vi as usize] = Some(SusSnapshot {
-                    cit_at_arrive: cit.clone(),
+        if is_arrive {
+            if ptts.is_susceptible(v.state) && v.sus_scale > 0.0 {
+                sus_meta[vi as usize] = SusMeta {
+                    snap_off: snap_arena.len() as u32,
                     present_at_arrive: present.iter().sum(),
                     arrivals_at_arrive: arrivals,
-                });
+                };
+                snap_arena.extend_from_slice(cit);
             }
             if let Some(c) = v_class {
                 present[c] += 1;
                 arrivals += 1;
             }
         } else {
-            // Depart.
             if let Some(c) = v_class {
                 present[c] -= 1;
             }
-            if let Some(snapshot) = sus_state[vi as usize].take() {
+            let meta = std::mem::replace(&mut sus_meta[vi as usize], SusMeta::NONE);
+            if meta.snap_off != u32::MAX {
+                let off = meta.snap_off as usize;
                 resolve_susceptible(
-                    v, &snapshot, &cit, arrivals, visits, ptts, classes, r_eff, seed, day, out,
+                    v,
+                    &meta,
+                    &snap_arena[off..off + ncls],
+                    cit,
+                    arrivals,
+                    visits,
+                    ptts,
+                    classes,
+                    r_eff,
+                    seed,
+                    day,
+                    cands,
+                    probs,
+                    out,
                     features,
                 );
             }
@@ -195,11 +419,13 @@ fn simulate_sublocation(
 }
 
 /// At a susceptible's departure: compute exposure, draw infection, and if
-/// infected, attribute an infector.
+/// infected, attribute an infector. `cit_at_arrive` is the arena slice
+/// captured at arrival; `cands`/`probs` are reused scratch vectors.
 #[allow(clippy::too_many_arguments)]
 fn resolve_susceptible(
     v: &VisitMsg,
-    snapshot: &SusSnapshot,
+    meta: &SusMeta,
+    cit_at_arrive: &[f64],
     cit: &[f64],
     arrivals_now: u64,
     visits: &[VisitMsg],
@@ -208,6 +434,8 @@ fn resolve_susceptible(
     r_eff: f64,
     seed: u64,
     day: u32,
+    cands: &mut Vec<(u32, f64)>,
+    probs: &mut Vec<f64>,
     out: &mut Vec<InfectMsg>,
     features: &mut LocationDayFeatures,
 ) {
@@ -215,8 +443,7 @@ fn resolve_susceptible(
     // Interaction count: infectious present at arrival + infectious
     // arrivals during the stay (exact count of overlapping intervals,
     // minus self if this visit is also infectious).
-    let mut encounters =
-        snapshot.present_at_arrive as u64 + (arrivals_now - snapshot.arrivals_at_arrive);
+    let mut encounters = meta.present_at_arrive as u64 + (arrivals_now - meta.arrivals_at_arrive);
     let self_class = classes.class(v.state);
     if self_class.is_some() {
         encounters = encounters.saturating_sub(1);
@@ -230,7 +457,7 @@ fn resolve_susceptible(
     let mut log_escape = 0.0f64;
     #[allow(clippy::needless_range_loop)] // c indexes three parallel arrays
     for c in 0..classes.n() {
-        let mut tau = cit[c] - snapshot.cit_at_arrive[c];
+        let mut tau = cit[c] - cit_at_arrive[c];
         if Some(c) == self_class {
             // Exclude self-exposure.
             tau -= (v.end_min - v.start_min) as f64;
@@ -259,7 +486,7 @@ fn resolve_susceptible(
     }
     // Attribute an infector: pairwise pass over overlapping infectious
     // visits in this sublocation (visits slice is the sublocation group).
-    let mut cands: Vec<(u32, f64)> = Vec::new();
+    cands.clear();
     for (j, w) in visits.iter().enumerate() {
         if w.person == v.person && w.start_min == v.start_min {
             continue;
@@ -278,8 +505,9 @@ fn resolve_susceptible(
     let infector = if cands.is_empty() {
         u32::MAX
     } else {
-        let probs: Vec<f64> = cands.iter().map(|&(_, p)| p).collect();
-        match select_infector(&probs, rng.uniform_f64()) {
+        probs.clear();
+        probs.extend(cands.iter().map(|&(_, p)| p));
+        match select_infector(probs, rng.uniform_f64()) {
             Some(i) => visits[cands[i].0 as usize].person,
             None => u32::MAX,
         }
@@ -289,14 +517,6 @@ fn resolve_susceptible(
         time_min: v.start_min,
         infector,
     });
-}
-
-/// Snapshot of the sweep state at a susceptible's arrival.
-#[derive(Clone)]
-struct SusSnapshot {
-    cit_at_arrive: Vec<f64>,
-    present_at_arrive: u32,
-    arrivals_at_arrive: u64,
 }
 
 #[cfg(test)]
@@ -321,7 +541,8 @@ mod tests {
         let ptts = flu_model();
         let classes = InfectivityClasses::new(&ptts);
         let mut out = Vec::new();
-        let f = simulate_location_day(visits, &ptts, &classes, r, 42, 0, &mut out);
+        let mut scratch = KernelScratch::new();
+        let f = simulate_location_day(visits, &ptts, &classes, r, 42, 0, &mut scratch, &mut out);
         (out, f)
     }
 
@@ -350,10 +571,7 @@ mod tests {
     #[test]
     fn no_transmission_without_infectious() {
         let p = flu_model();
-        let mut vs = vec![
-            visit(1, sus(&p), 0, 100, 0),
-            visit(2, sus(&p), 50, 150, 0),
-        ];
+        let mut vs = vec![visit(1, sus(&p), 0, 100, 0), visit(2, sus(&p), 50, 150, 0)];
         let (out, f) = run(&mut vs, 1.0);
         assert!(out.is_empty());
         assert_eq!(f.events, 4);
@@ -363,10 +581,7 @@ mod tests {
     #[test]
     fn certain_transmission_with_r_one() {
         let p = flu_model();
-        let mut vs = vec![
-            visit(1, sus(&p), 0, 600, 0),
-            visit(2, sym(&p), 0, 600, 0),
-        ];
+        let mut vs = vec![visit(1, sus(&p), 0, 600, 0), visit(2, sym(&p), 0, 600, 0)];
         let (out, f) = run(&mut vs, 1.0);
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].person, 1);
@@ -430,7 +645,8 @@ mod tests {
                 visit(1_000_000, sym(&p), 0, tau, 0),
             ];
             let mut out = Vec::new();
-            simulate_location_day(&mut vs, &p, &classes, r, 7, 3, &mut out);
+            let mut scratch = KernelScratch::new();
+            simulate_location_day(&mut vs, &p, &classes, r, 7, 3, &mut scratch, &mut out);
             infected += out.len();
         }
         let expected = 1.0 - (1.0f64 - r).powf(tau as f64);
@@ -472,7 +688,8 @@ mod tests {
                     visit(9_999_999, sym(&p), 0, 200, 0),
                 ];
                 let mut out = Vec::new();
-                simulate_location_day(&mut vs, &p, &classes, 0.003, 11, 1, &mut out);
+                let mut scratch = KernelScratch::new();
+                simulate_location_day(&mut vs, &p, &classes, 0.003, 11, 1, &mut scratch, &mut out);
                 infected += out.len();
             }
             infected
@@ -498,7 +715,8 @@ mod tests {
                     vs.push(visit(1_000_000 + j, sym(&p), 0, 100, 0));
                 }
                 let mut out = Vec::new();
-                simulate_location_day(&mut vs, &p, &classes, 0.002, 13, 2, &mut out);
+                let mut scratch = KernelScratch::new();
+                simulate_location_day(&mut vs, &p, &classes, 0.002, 13, 2, &mut scratch, &mut out);
                 infected += out.len();
             }
             infected
@@ -516,11 +734,12 @@ mod tests {
         for person in 0..4000u32 {
             let mut vs = vec![
                 visit(person, sus(&p), 0, 400, 0),
-                visit(77, sym(&p), 0, 400, 0),  // full overlap
+                visit(77, sym(&p), 0, 400, 0),   // full overlap
                 visit(88, sym(&p), 380, 400, 0), // 20 minutes
             ];
             let mut out = Vec::new();
-            simulate_location_day(&mut vs, &p, &classes, 0.01, 17, 5, &mut out);
+            let mut scratch = KernelScratch::new();
+            simulate_location_day(&mut vs, &p, &classes, 0.01, 17, 5, &mut scratch, &mut out);
             for i in out {
                 *by_infector.entry(i.infector).or_insert(0u32) += 1;
             }

@@ -7,8 +7,10 @@
 //! handle the computation and communication of all location or person
 //! objects assigned to them."
 
-use crate::kernel::{simulate_location_day, InfectivityClasses, LocationDayFeatures};
-use crate::messages::{slots, SimMsg, SharedRef, VisitMsg};
+use crate::kernel::{
+    simulate_location_day, InfectivityClasses, KernelScratch, LocationDayFeatures,
+};
+use crate::messages::{slots, SharedRef, SimMsg, VisitMsg};
 use crate::person::{person_day, PersonSlot};
 use chare_rt::{Chare, ChareId, Ctx};
 use ptts::model::StateId;
@@ -61,7 +63,12 @@ impl PersonManager {
         &self.persons
     }
 
-    fn begin_day(&mut self, day: u32, effects: &crate::messages::DayEffects, ctx: &mut Ctx<'_, SimMsg>) {
+    fn begin_day(
+        &mut self,
+        day: u32,
+        effects: &crate::messages::DayEffects,
+        ctx: &mut Ctx<'_, SimMsg>,
+    ) {
         let shared = self.shared.clone();
         let mut symptomatic = 0u64;
         let mut infected_now = 0u64;
@@ -128,9 +135,15 @@ pub struct LocationManager {
     shared: SharedRef,
     /// Global location ids owned, ordered by local slot.
     locations: Vec<u32>,
-    /// Per-location visit buffer for the current day.
+    /// Per-location visit buffer for the current day. Kept flat (the kernel
+    /// sorts by a packed sublocation/start/person key): insert-time grouping
+    /// via [`crate::kernel::VisitBuffer`] was measured slower end-to-end,
+    /// because it adds a binary search per received visit on the
+    /// message-receive path — see EXPERIMENTS.md "Performance methodology".
     buffers: Vec<Vec<VisitMsg>>,
     classes: InfectivityClasses,
+    /// DES working memory reused across locations and days.
+    scratch: KernelScratch,
     /// Accumulated per-location features of the most recent day (exposed
     /// for load-model calibration).
     pub last_features: Vec<LocationDayFeatures>,
@@ -151,6 +164,7 @@ impl LocationManager {
             locations: location_ids,
             buffers: vec![Vec::new(); n],
             classes,
+            scratch: KernelScratch::new(),
             last_features: vec![LocationDayFeatures::default(); n],
             feature_totals: vec![LocationDayFeatures::default(); n],
             infect_buf: Vec::new(),
@@ -177,14 +191,14 @@ impl LocationManager {
                 r_eff,
                 shared.seed,
                 day,
+                &mut self.scratch,
                 &mut self.infect_buf,
             );
             self.buffers[li].clear();
             events += features.events;
             interactions += features.interactions;
             infects_sent += self.infect_buf.len() as u64;
-            let kind =
-                shared.pop.locations[self.locations[li] as usize].kind as usize;
+            let kind = shared.pop.locations[self.locations[li] as usize].kind as usize;
             by_kind[kind] += self.infect_buf.len() as u64;
             self.last_features[li] = features;
             let tot = &mut self.feature_totals[li];

@@ -198,16 +198,7 @@ mod tests {
             vaccinations: Vec::new(),
         };
         let mut out = Vec::new();
-        person_day(
-            &mut slot,
-            &pop,
-            &ptts,
-            &effects,
-            None,
-            1,
-            0,
-            &mut out,
-        );
+        person_day(&mut slot, &pop, &ptts, &effects, None, 1, 0, &mut out);
         assert!(out
             .iter()
             .all(|m| pop.locations[m.location as usize].kind != LocationKind::School));

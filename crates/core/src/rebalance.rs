@@ -111,7 +111,9 @@ fn repartition(dist: &DataDistribution, measured: &[u64], seed: u64) -> DataDist
     let graph = b.build();
     let part = kway_partition(
         &graph,
-        &PartitionConfig::new(dist.k).with_seed(seed).with_ubfactor(1.10),
+        &PartitionConfig::new(dist.k)
+            .with_seed(seed)
+            .with_ubfactor(1.10),
     );
     let mut new_dist = dist.clone();
     new_dist.person_part = part.assignment[..n_people as usize].to_vec();
@@ -141,13 +143,8 @@ pub fn run_with_rebalancing(
 
     while day < cfg.days {
         let end = (day + rb.epoch_days.max(1)).min(cfg.days);
-        let mut sim = Simulator::with_states(
-            &current,
-            ptts.clone(),
-            cfg.clone(),
-            rt_cfg,
-            states.take(),
-        );
+        let mut sim =
+            Simulator::with_states(&current, ptts.clone(), cfg.clone(), rt_cfg, states.take());
         let (day_stats, perf, extinct) = sim.run_days(day, end, &mut carry);
         let simulated = day_stats.len() as u32;
         all_days.extend(day_stats);
@@ -296,7 +293,10 @@ mod tests {
         );
         assert_eq!(rb.epochs.len(), 1);
         assert_eq!(rb.run.curve.days.len(), 5);
-        assert!(!rb.epochs[0].repartitioned, "final epoch never repartitions");
+        assert!(
+            !rb.epochs[0].repartitioned,
+            "final epoch never repartitions"
+        );
     }
 
     #[test]

@@ -6,7 +6,7 @@
 //! this oracle must produce *bit-identical* epidemic curves; the
 //! integration tests assert exactly that.
 
-use crate::kernel::{simulate_location_day, InfectivityClasses};
+use crate::kernel::{simulate_location_day, InfectivityClasses, KernelScratch};
 use crate::messages::{DayEffects, InfectMsg, VisitMsg};
 use crate::output::{DayStats, EpiCurve};
 use crate::person::{person_day, PersonSlot};
@@ -61,6 +61,7 @@ pub fn run_sequential_with_states(
     let mut buffers: Vec<Vec<VisitMsg>> = vec![Vec::new(); n_locations];
     let mut visit_buf: Vec<VisitMsg> = Vec::new();
     let mut infects: Vec<InfectMsg> = Vec::new();
+    let mut scratch = KernelScratch::new();
 
     for day in 0..cfg.days {
         let obs = DayObservables {
@@ -107,11 +108,19 @@ pub fn run_sequential_with_states(
         infects.clear();
         for (l, buf) in buffers.iter_mut().enumerate() {
             let before = infects.len();
-            let f = simulate_location_day(buf, ptts, &classes, r_eff, cfg.seed, day, &mut infects);
+            let f = simulate_location_day(
+                buf,
+                ptts,
+                &classes,
+                r_eff,
+                cfg.seed,
+                day,
+                &mut scratch,
+                &mut infects,
+            );
             events += f.events;
             interactions += f.interactions;
-            infections_by_kind[pop.locations[l].kind as usize] +=
-                (infects.len() - before) as u64;
+            infections_by_kind[pop.locations[l].kind as usize] += (infects.len() - before) as u64;
             buf.clear();
         }
 

@@ -345,10 +345,7 @@ impl Simulator {
         Vec<LocationDayFeatures>,
     ) {
         let population = self.shared.pop.n_people() as u64;
-        let seeds = self
-            .cfg
-            .initial_infections
-            .min(self.shared.pop.n_people()) as u64;
+        let seeds = self.cfg.initial_infections.min(self.shared.pop.n_people()) as u64;
         let mut carry = Carry::new(self.cfg.interventions.clone(), seeds);
         let days = self.cfg.days;
         let (day_stats, perf, _extinct) = self.run_days(0, days, &mut carry);
@@ -367,10 +364,7 @@ impl Simulator {
     /// Run the full simulation.
     pub fn run(mut self) -> SimRun {
         let population = self.shared.pop.n_people() as u64;
-        let seeds = self
-            .cfg
-            .initial_infections
-            .min(self.shared.pop.n_people()) as u64;
+        let seeds = self.cfg.initial_infections.min(self.shared.pop.n_people()) as u64;
         let mut carry = Carry::new(self.cfg.interventions.clone(), seeds);
         let days = self.cfg.days;
         let (day_stats, perf, _extinct) = self.run_days(0, days, &mut carry);
@@ -413,14 +407,15 @@ mod tests {
     fn epidemic_spreads_and_ends() {
         let run = run(Strategy::RoundRobin, 4, RuntimeConfig::sequential(4), 7);
         let total = run.curve.total_infections();
-        assert!(
-            total > 50,
-            "epidemic should take off (total {total})"
-        );
+        assert!(total > 50, "epidemic should take off (total {total})");
         assert!(run.curve.attack_rate() <= 1.0);
         // Daily visits roughly population × 5.5.
         let d0 = &run.curve.days[0];
-        assert!(d0.visits > 1500 * 4 && d0.visits < 1500 * 9, "{}", d0.visits);
+        assert!(
+            d0.visits > 1500 * 4 && d0.visits < 1500 * 9,
+            "{}",
+            d0.visits
+        );
         assert_eq!(d0.events, 2 * d0.visits);
     }
 

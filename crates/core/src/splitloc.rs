@@ -122,7 +122,11 @@ pub fn split_heavy_locations(pop: &Population, cfg: &SplitConfig) -> SplitResult
         let rooms = loc.n_sublocations as u32;
         for q in 1..p {
             // Rooms with s % p == q: count = floor((rooms - q - 1)/p) + 1.
-            let count = if q < rooms { (rooms - q - 1) / p + 1 } else { 0 };
+            let count = if q < rooms {
+                (rooms - q - 1) / p + 1
+            } else {
+                0
+            };
             locations.push(Location {
                 kind: loc.kind,
                 n_sublocations: count.max(1) as u16,
@@ -196,7 +200,11 @@ mod tests {
                 threshold_override: None,
             },
         );
-        assert!(res.n_split > 0, "nothing split (threshold {})", res.threshold);
+        assert!(
+            res.n_split > 0,
+            "nothing split (threshold {})",
+            res.threshold
+        );
         let after = degrees(&res.pop);
         let dmax_after = *after.iter().max().unwrap();
         assert!(

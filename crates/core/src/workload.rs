@@ -108,8 +108,11 @@ mod tests {
 
     fn setup() -> (Population, CsrGraph, WorkloadLayout) {
         let pop = Population::generate(&PopulationConfig::small("T", 2000, 9));
-        let (g, layout) =
-            build_workload_graph(&pop, &PiecewiseModel::paper_constants(), LoadUnits::default());
+        let (g, layout) = build_workload_graph(
+            &pop,
+            &PiecewiseModel::paper_constants(),
+            LoadUnits::default(),
+        );
         (pop, g, layout)
     }
 

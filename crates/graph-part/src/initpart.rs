@@ -134,8 +134,7 @@ pub fn greedy_growing(g: &CsrGraph, k: u32, seed: u64) -> Partition {
 
     for p in 0..k - 1 {
         // Pick the highest-degree unassigned vertex as seed.
-        while seed_cursor < by_degree.len() && part[by_degree[seed_cursor] as usize] != UNASSIGNED
-        {
+        while seed_cursor < by_degree.len() && part[by_degree[seed_cursor] as usize] != UNASSIGNED {
             seed_cursor += 1;
         }
         let Some(&sv) = by_degree.get(seed_cursor) else {
@@ -166,9 +165,7 @@ pub fn greedy_growing(g: &CsrGraph, k: u32, seed: u64) -> Partition {
     // by fullness keeps this O((n + k) log k) — the paper partitions into
     // up to 196,608 parts, so a linear scan per vertex would be quadratic.
     let mut leftovers: Vec<u32> = (0..n).filter(|&v| part[v as usize] == UNASSIGNED).collect();
-    leftovers.sort_by_key(|&v| {
-        std::cmp::Reverse(g.vwgts(v).iter().copied().max().unwrap_or(0))
-    });
+    leftovers.sort_by_key(|&v| std::cmp::Reverse(g.vwgts(v).iter().copied().max().unwrap_or(0)));
     // Heap of (Reverse(fullness as sortable bits), partition); entries go
     // stale after other insertions and are re-validated on pop.
     let key = |f: f64| -> u64 { (f.max(0.0) * 1e12) as u64 };

@@ -32,8 +32,10 @@ pub mod rr;
 
 pub use graph::{CsrGraph, GraphBuilder};
 pub use kway::{kway_partition, PartitionConfig};
+pub use metrics::{
+    imbalances, max_partition_cut, partition_loads, total_edge_cut, PartitionQuality,
+};
 pub use rb::recursive_bisection;
-pub use metrics::{imbalances, max_partition_cut, partition_loads, total_edge_cut, PartitionQuality};
 pub use rr::round_robin;
 
 /// A partition assignment: `assignment[v]` is the partition of vertex `v`.

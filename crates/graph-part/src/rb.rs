@@ -101,8 +101,7 @@ fn bisect(g: &CsrGraph, frac_left: f64, cfg: &PartitionConfig) -> Vec<u32> {
         return vec![0; n as usize];
     }
     let mut side = vec![1u32; n as usize];
-    let mut tracker =
-        LoadTracker::with_fractions(g, &[frac_left, (1.0 - frac_left).max(1e-9)]);
+    let mut tracker = LoadTracker::with_fractions(g, &[frac_left, (1.0 - frac_left).max(1e-9)]);
     // Everything starts on side 1.
     for v in 0..n {
         tracker.add(g, 1, v);
@@ -237,7 +236,11 @@ mod tests {
         let g = b.build();
         let p = recursive_bisection(&g, &PartitionConfig::new(4));
         let q = PartitionQuality::compute(&g, &p);
-        assert!(q.imbalance[0] < 1.4 && q.imbalance[1] < 1.4, "{:?}", q.imbalance);
+        assert!(
+            q.imbalance[0] < 1.4 && q.imbalance[1] < 1.4,
+            "{:?}",
+            q.imbalance
+        );
     }
 
     #[test]

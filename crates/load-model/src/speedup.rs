@@ -145,7 +145,10 @@ mod tests {
     fn zeta_matches_known_values() {
         // ζ(2) = π²/6 ≈ 1.6449.
         let z2 = truncated_zeta(2.0, 1_000_000);
-        assert!((z2 - std::f64::consts::PI.powi(2) / 6.0).abs() < 1e-4, "{z2}");
+        assert!(
+            (z2 - std::f64::consts::PI.powi(2) / 6.0).abs() < 1e-4,
+            "{z2}"
+        );
         // ζ(3) ≈ 1.2021.
         let z3 = truncated_zeta(3.0, 1_000_000);
         assert!((z3 - 1.2020569).abs() < 1e-4, "{z3}");

@@ -9,7 +9,6 @@
 
 use crate::model::{DwellDist, Ptts, PttsBuilder, TreatmentId};
 
-
 /// Treatment id for vaccinated persons in [`flu_model`].
 pub const TREATMENT_VACCINATED: TreatmentId = TreatmentId(1);
 

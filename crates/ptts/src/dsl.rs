@@ -190,8 +190,7 @@ pub fn parse(input: &str) -> Result<Scenario, ParseError> {
                     } else if let Some(v) = w.strip_prefix("seed=") {
                         sim.seed = Some(parse_num(Some(v), "seed", lineno)?);
                     } else if let Some(v) = w.strip_prefix("initial=") {
-                        sim.initial_infections =
-                            Some(parse_num(Some(v), "initial", lineno)?);
+                        sim.initial_infections = Some(parse_num(Some(v), "initial", lineno)?);
                     } else {
                         return Err(err(format!("unknown sim attribute `{w}`")));
                     }
@@ -265,7 +264,9 @@ fn parse_intervention(line: &str, lineno: usize) -> Result<Intervention, ParseEr
     };
     let words: Vec<&str> = line.split_whitespace().collect();
     // words[0] == "intervention"
-    let kind = *words.get(1).ok_or_else(|| err("missing intervention kind".into()))?;
+    let kind = *words
+        .get(1)
+        .ok_or_else(|| err("missing intervention kind".into()))?;
     // key-value pairs after the kind; `when <trigger> <value>` is special.
     let mut kv = std::collections::HashMap::new();
     let mut trigger = None;
@@ -300,13 +301,15 @@ fn parse_intervention(line: &str, lineno: usize) -> Result<Intervention, ParseEr
         }
     }
     let trigger = trigger.ok_or_else(|| err("intervention missing `when` clause".into()))?;
-    let get_f64 = |k: &str| -> Result<f64, ParseError> {
-        parse_num(kv.get(k).copied(), k, lineno)
-    };
+    let get_f64 = |k: &str| -> Result<f64, ParseError> { parse_num(kv.get(k).copied(), k, lineno) };
     let action = match kind {
         "vaccinate" => Action::Vaccinate {
             fraction: get_f64("fraction")?,
-            treatment: TreatmentId(parse_num(kv.get("treatment").copied(), "treatment", lineno)?),
+            treatment: TreatmentId(parse_num(
+                kv.get("treatment").copied(),
+                "treatment",
+                lineno,
+            )?),
             efficacy_factor: get_f64("efficacy")?,
         },
         "close" => Action::CloseKind {
@@ -383,7 +386,10 @@ mod tests {
         assert_eq!(s.interventions[0].trigger, Trigger::Day(5));
         assert!(matches!(
             s.interventions[1].action,
-            Action::CloseKind { kind: 3, duration: 14 }
+            Action::CloseKind {
+                kind: 3,
+                duration: 14
+            }
         ));
         assert!(matches!(
             s.interventions[2].trigger,

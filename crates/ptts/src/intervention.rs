@@ -15,7 +15,6 @@ use crate::crng::{CounterRng, Purpose};
 use crate::model::TreatmentId;
 use serde::{Deserialize, Serialize};
 
-
 /// Maximum number of distinct location kinds an intervention can target.
 pub const MAX_LOCATION_KINDS: usize = 8;
 
@@ -330,7 +329,10 @@ mod tests {
     fn closure_lasts_for_duration() {
         let mut set = InterventionSet::new(vec![Intervention {
             trigger: Trigger::PrevalenceAbove(0.01),
-            action: Action::CloseKind { kind: 2, duration: 3 },
+            action: Action::CloseKind {
+                kind: 2,
+                duration: 3,
+            },
         }]);
         assert!(!set.evaluate(&obs(0, 5, 0, 5)).closed_kinds[2]); // 0.5% ≤ 1%
         assert!(set.evaluate(&obs(1, 20, 0, 20)).closed_kinds[2]); // 2% > 1%
@@ -361,7 +363,10 @@ mod tests {
     fn attack_rate_trigger() {
         let mut set = InterventionSet::new(vec![Intervention {
             trigger: Trigger::AttackRateAbove(0.1),
-            action: Action::CloseKind { kind: 0, duration: 1 },
+            action: Action::CloseKind {
+                kind: 0,
+                duration: 1,
+            },
         }]);
         assert!(!set.evaluate(&obs(0, 0, 0, 100)).closed_kinds[0]); // exactly 10%
         assert!(set.evaluate(&obs(1, 0, 0, 101)).closed_kinds[0]);
@@ -411,7 +416,10 @@ mod tests {
         let ivs = vec![
             Intervention {
                 trigger: Trigger::Day(1),
-                action: Action::CloseKind { kind: 2, duration: 10 },
+                action: Action::CloseKind {
+                    kind: 2,
+                    duration: 10,
+                },
             },
             Intervention {
                 trigger: Trigger::Day(100),

@@ -94,7 +94,10 @@ impl TransitionTable {
     /// # Panics
     /// Panics if `edges` is empty or total probability is not positive.
     pub fn new(mut edges: Vec<(StateId, f64)>) -> Self {
-        assert!(!edges.is_empty(), "transition table needs at least one edge");
+        assert!(
+            !edges.is_empty(),
+            "transition table needs at least one edge"
+        );
         let total: f64 = edges.iter().map(|&(_, p)| p).sum();
         assert!(total > 0.0, "transition probabilities must sum to > 0");
         for e in &mut edges {
@@ -381,7 +384,9 @@ impl PttsBuilder {
     /// Finish, validating the model.
     pub fn build(self) -> Result<Ptts, String> {
         let find = |name: &Option<String>, what: &str| -> Result<StateId, String> {
-            let name = name.as_ref().ok_or_else(|| format!("{what} state not set"))?;
+            let name = name
+                .as_ref()
+                .ok_or_else(|| format!("{what} state not set"))?;
             self.states
                 .iter()
                 .position(|s| &s.name == name)
@@ -441,13 +446,8 @@ impl HealthTracker {
                 self.days_remaining = u32::MAX;
                 break;
             };
-            let mut trng = CounterRng::from_key(&[
-                seed,
-                entity,
-                day,
-                Purpose::Transition as u64,
-                hops as u64,
-            ]);
+            let mut trng =
+                CounterRng::from_key(&[seed, entity, day, Purpose::Transition as u64, hops as u64]);
             let next = table.sample(&mut trng);
             let mut drng =
                 CounterRng::from_key(&[seed, entity, day, Purpose::Dwell as u64, hops as u64]);
@@ -548,7 +548,11 @@ mod tests {
             traj
         };
         assert_eq!(run(7), run(7));
-        assert_ne!(run(7), run(8), "different seeds should (generically) differ");
+        assert_ne!(
+            run(7),
+            run(8),
+            "different seeds should (generically) differ"
+        );
     }
 
     #[test]

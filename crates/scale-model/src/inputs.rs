@@ -121,10 +121,7 @@ mod tests {
             i.remote_out.iter().sum::<u64>(),
             i.remote_in.iter().sum::<u64>()
         );
-        assert_eq!(
-            i.person_visits.iter().sum::<u64>(),
-            dist.pop.n_visits()
-        );
+        assert_eq!(i.person_visits.iter().sum::<u64>(), dist.pop.n_visits());
     }
 
     #[test]

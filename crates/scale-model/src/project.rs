@@ -87,13 +87,12 @@ pub fn project_day(
         // Location phase: DES compute + receive overhead for inbound
         // remote messages.
         let recv = inputs.remote_in[p] as f64 * (1.0 - share);
-        let location_ns = inputs.location_load[p] as f64 * machine.location_unit_scale
-            + recv * remote_send;
+        let location_ns =
+            inputs.location_load[p] as f64 * machine.location_unit_scale + recv * remote_send;
         location_max = location_max.max(location_ns);
     }
     let sync_ns = 3.0 * machine.sync_ns(k, opts.sync);
-    let total_ns =
-        person_max + location_max + network_max + sync_ns + machine.per_day_fixed_ns;
+    let total_ns = person_max + location_max + network_max + sync_ns + machine.per_day_fixed_ns;
     DayProjection {
         seconds: total_ns / 1e9,
         person_s: person_max / 1e9,
@@ -174,10 +173,7 @@ mod tests {
         let i = inputs(Strategy::RoundRobin, 32);
         let opt = project_day(&i, &m, &RuntimeOptions::optimized()).seconds;
         let noopt = project_day(&i, &m, &RuntimeOptions::no_opt()).seconds;
-        assert!(
-            opt < 0.8 * noopt,
-            "optimized {opt} vs no-opt {noopt}"
-        );
+        assert!(opt < 0.8 * noopt, "optimized {opt} vs no-opt {noopt}");
     }
 
     #[test]

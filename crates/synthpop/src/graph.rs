@@ -92,7 +92,9 @@ impl BipartiteGraph {
 
     /// Degree statistics of the location side.
     pub fn location_degree_stats(&self) -> DegreeStats {
-        DegreeStats::from_degrees((0..self.n_locations).map(|l| self.location_degree(LocationId(l))))
+        DegreeStats::from_degrees(
+            (0..self.n_locations).map(|l| self.location_degree(LocationId(l))),
+        )
     }
 
     /// Degree statistics of the person side.

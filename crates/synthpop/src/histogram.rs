@@ -76,7 +76,10 @@ impl LogHistogram {
     /// Render as aligned text, one row per non-empty bin — used by the
     /// figure-regeneration binaries.
     pub fn render(&self, label: &str) -> String {
-        let mut out = format!("# {label}: {} observations\n# bin_lo\tbin_hi\tcount\n", self.total);
+        let mut out = format!(
+            "# {label}: {} observations\n# bin_lo\tbin_hi\tcount\n",
+            self.total
+        );
         if self.underflow > 0 {
             out.push_str(&format!("0\t1\t{}\n", self.underflow));
         }

@@ -53,7 +53,8 @@ impl std::error::Error for DecodeError {}
 /// Serialize a population.
 pub fn encode(pop: &Population) -> Bytes {
     let mut buf = BytesMut::with_capacity(
-        64 + pop.locations.len() * 7 + pop.people.len() * 8
+        64 + pop.locations.len() * 7
+            + pop.people.len() * 8
             + pop.person_offsets.len() * 4
             + pop.visits.len() * 14,
     );
@@ -121,8 +122,7 @@ pub fn decode(mut buf: &[u8]) -> Result<Population, DecodeError> {
     need(&buf, code_len)?;
     let mut code_bytes = vec![0u8; code_len];
     buf.copy_to_slice(&mut code_bytes);
-    let code =
-        String::from_utf8(code_bytes).map_err(|_| DecodeError::Corrupt("code not utf-8"))?;
+    let code = String::from_utf8(code_bytes).map_err(|_| DecodeError::Corrupt("code not utf-8"))?;
     need(&buf, 4 + 4 + 8)?;
     let n_people = buf.get_u32_le() as usize;
     let n_locations = buf.get_u32_le() as usize;
@@ -276,8 +276,7 @@ mod tests {
         // visit array starts after header + locations + people + offsets.
         let code_len = p.code.len();
         let header = 4 + 4 + 8 + 2 + code_len + 4 + 4 + 8;
-        let fixed = header + p.locations.len() * 7 + p.people.len() * 8
-            + (p.people.len() + 1) * 4;
+        let fixed = header + p.locations.len() * 7 + p.people.len() * 8 + (p.people.len() + 1) * 4;
         data[fixed + 4..fixed + 8].copy_from_slice(&u32::MAX.to_le_bytes());
         assert_eq!(
             decode(&data).err(),
@@ -290,7 +289,9 @@ mod tests {
         let p = pop();
         let bytes = encode(&p);
         // ~14 bytes per visit dominates; ensure no accidental bloat.
-        let budget = 200 + p.locations.len() * 7 + p.people.len() * 8
+        let budget = 200
+            + p.locations.len() * 7
+            + p.people.len() * 8
             + (p.people.len() + 1) * 4
             + p.visits.len() * 14;
         assert!(bytes.len() <= budget, "{} > {budget}", bytes.len());

@@ -192,7 +192,10 @@ mod tests {
         assert!((mean - 5.5).abs() < 0.1, "mean {mean}");
         let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
         let sd = var.sqrt();
-        assert!((sd - 2.6).abs() < 0.3, "sd {sd} (clipping shrinks it a bit)");
+        assert!(
+            (sd - 2.6).abs() < 0.3,
+            "sd {sd} (clipping shrinks it a bit)"
+        );
     }
 
     #[test]

@@ -71,17 +71,48 @@ pub const TABLE_I_STATES: [UsState; 8] = [
 /// Table I. 41 states + DC; together with Table I's 7 individual states
 /// this covers the 48 contiguous states and DC used in Figure 5.
 const DERIVED_POPS: [(&str, u64); 42] = [
-    ("AL", 4_710), ("AZ", 6_595), ("CO", 5_025), ("CT", 3_518),
-    ("DC", 600), ("DE", 885), ("FL", 18_538), ("GA", 9_829),
-    ("ID", 1_546), ("IL", 12_910), ("IN", 6_423), ("KS", 2_819),
-    ("KY", 4_314), ("LA", 4_492), ("MA", 6_594), ("MD", 5_699),
-    ("ME", 1_318), ("MN", 5_266), ("MO", 5_988), ("MS", 2_952),
-    ("MT", 975), ("ND", 647), ("NE", 1_797), ("NH", 1_325),
-    ("NJ", 8_708), ("NM", 2_010), ("NV", 2_643), ("OH", 11_543),
-    ("OK", 3_687), ("OR", 3_826), ("PA", 12_605), ("RI", 1_053),
-    ("SC", 4_561), ("SD", 812), ("TN", 6_296), ("TX", 24_782),
-    ("UT", 2_785), ("VA", 7_883), ("VT", 622), ("WA", 6_664),
-    ("WI", 5_655), ("WV", 1_820),
+    ("AL", 4_710),
+    ("AZ", 6_595),
+    ("CO", 5_025),
+    ("CT", 3_518),
+    ("DC", 600),
+    ("DE", 885),
+    ("FL", 18_538),
+    ("GA", 9_829),
+    ("ID", 1_546),
+    ("IL", 12_910),
+    ("IN", 6_423),
+    ("KS", 2_819),
+    ("KY", 4_314),
+    ("LA", 4_492),
+    ("MA", 6_594),
+    ("MD", 5_699),
+    ("ME", 1_318),
+    ("MN", 5_266),
+    ("MO", 5_988),
+    ("MS", 2_952),
+    ("MT", 975),
+    ("ND", 647),
+    ("NE", 1_797),
+    ("NH", 1_325),
+    ("NJ", 8_708),
+    ("NM", 2_010),
+    ("NV", 2_643),
+    ("OH", 11_543),
+    ("OK", 3_687),
+    ("OR", 3_826),
+    ("PA", 12_605),
+    ("RI", 1_053),
+    ("SC", 4_561),
+    ("SD", 812),
+    ("TN", 6_296),
+    ("TX", 24_782),
+    ("UT", 2_785),
+    ("VA", 7_883),
+    ("VT", 622),
+    ("WA", 6_664),
+    ("WI", 5_655),
+    ("WV", 1_820),
 ];
 
 /// All 49 regions of Figure 5 (48 contiguous states + DC), largest first.
@@ -176,9 +207,7 @@ mod tests {
     fn us_ratios_match_table() {
         let us = TABLE_I_STATES[0];
         assert!((us.visits_per_person() - US_VISITS_PER_PERSON).abs() < 1e-4);
-        assert!(
-            (us.people as f64 / us.locations as f64 - US_PEOPLE_PER_LOCATION).abs() < 1e-4
-        );
+        assert!((us.people as f64 / us.locations as f64 - US_PEOPLE_PER_LOCATION).abs() < 1e-4);
         // Paper: "average degree of 5.5 for person nodes and 21.5 for
         // location nodes".
         assert!((us.visits_per_person() - 5.5).abs() < 0.1);

@@ -51,7 +51,11 @@ fn main() {
             e.epoch,
             e.days,
             e.imbalance,
-            if e.repartitioned { "yes" } else { "no (below threshold)" }
+            if e.repartitioned {
+                "yes"
+            } else {
+                "no (below threshold)"
+            }
         );
     }
 

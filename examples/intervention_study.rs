@@ -10,10 +10,10 @@
 //! cargo run --release --example intervention_study
 //! ```
 
+use episimdemics::chare_rt::RuntimeConfig;
 use episimdemics::core::distribution::{DataDistribution, Strategy};
 use episimdemics::core::simulator::{SimConfig, Simulator};
 use episimdemics::core::EpiCurve;
-use episimdemics::chare_rt::RuntimeConfig;
 use episimdemics::ptts::dsl;
 use episimdemics::ptts::flu_model;
 use episimdemics::ptts::intervention::{Action, Intervention, InterventionSet, Trigger};

@@ -39,7 +39,10 @@ fn main() {
     );
 
     let tree = transmission_stats(&states);
-    println!("transmission tree: {} cases, {} attributed edges", tree.cases, tree.edges);
+    println!(
+        "transmission tree: {} cases, {} attributed edges",
+        tree.cases, tree.edges
+    );
     println!(
         "mean generation interval: {:.1} days (flu model: latent 1–3 + infectious 3–6)",
         tree.mean_generation_interval
@@ -78,7 +81,10 @@ fn main() {
     }
     if tree.offspring.len() > 8 {
         let tail: u64 = tree.offspring[8..].iter().sum();
-        println!(" 8+: {tail:>7} (max {} from one person)", tree.offspring.len() - 1);
+        println!(
+            " 8+: {tail:>7} (max {} from one person)",
+            tree.offspring.len() - 1
+        );
     }
 
     // Where did transmissions come from? Attribute by the infector's most

@@ -26,7 +26,9 @@ fn main() {
         q.max_load(0),
         q.total_load(0) as f64 / 5.0
     );
-    println!("caption's optima: (cut 8, max load 8) load-first vs (cut 6, max load 10) cut-first\n");
+    println!(
+        "caption's optima: (cut 8, max load 8) load-first vs (cut 6, max load 10) cut-first\n"
+    );
 
     // ---- Part 2: the four strategies on a synthetic state.
     let pop = Population::generate(&PopulationConfig::small("state", 50_000, 99));

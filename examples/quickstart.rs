@@ -5,9 +5,9 @@
 //! cargo run --release --example quickstart
 //! ```
 
+use episimdemics::chare_rt::RuntimeConfig;
 use episimdemics::core::distribution::{DataDistribution, Strategy};
 use episimdemics::core::simulator::{SimConfig, Simulator};
-use episimdemics::chare_rt::RuntimeConfig;
 use episimdemics::ptts::flu_model;
 use episimdemics::synthpop::{Population, PopulationConfig};
 
@@ -62,6 +62,10 @@ fn main() {
         curve.peak_day(),
         curve.days.len()
     );
-    let totals = run.perf.iter().map(|p| p.person_phase.totals().sent_total()).sum::<u64>();
+    let totals = run
+        .perf
+        .iter()
+        .map(|p| p.person_phase.totals().sent_total())
+        .sum::<u64>();
     println!("visit messages over the run: {totals}");
 }

@@ -7,9 +7,9 @@
 //! cargo run --release --example strong_scaling
 //! ```
 
+use episimdemics::chare_rt::RuntimeConfig;
 use episimdemics::core::distribution::{DataDistribution, Strategy};
 use episimdemics::core::simulator::{SimConfig, Simulator};
-use episimdemics::chare_rt::RuntimeConfig;
 use episimdemics::load_model::{LoadUnits, PiecewiseModel};
 use episimdemics::ptts::flu_model;
 use episimdemics::scale_model::{
@@ -30,15 +30,27 @@ fn main() {
 
     // ---- Real runs at 1..8 PEs: identical results, measured busy time.
     println!("== real runs (sequential engine, measured busy time) ==");
-    println!("{:>4} {:>12} {:>14} {:>12}", "PEs", "total_inf", "max_busy_ms", "imbalance");
+    println!(
+        "{:>4} {:>12} {:>14} {:>12}",
+        "PEs", "total_inf", "max_busy_ms", "imbalance"
+    );
     let mut baseline: Option<(Vec<u64>, f64)> = None;
     let mut calibration_run = None;
     for pes in [1u32, 2, 4, 8] {
         let dist = DataDistribution::build(&pop, Strategy::GraphPartitionSplit, pes, 5);
-        let run = Simulator::new(&dist, flu_model(), cfg.clone(), RuntimeConfig::sequential(pes))
-            .run();
+        let run = Simulator::new(
+            &dist,
+            flu_model(),
+            cfg.clone(),
+            RuntimeConfig::sequential(pes),
+        )
+        .run();
         let series = run.curve.new_infection_series();
-        let max_busy: u64 = run.perf.iter().map(|p| p.location_phase.max_busy_ns()).sum();
+        let max_busy: u64 = run
+            .perf
+            .iter()
+            .map(|p| p.location_phase.max_busy_ns())
+            .sum();
         let tot_busy: u64 = run
             .perf
             .iter()
@@ -54,10 +66,9 @@ fn main() {
         );
         match &baseline {
             None => baseline = Some((series, max_busy as f64)),
-            Some((base_series, _)) => assert_eq!(
-                base_series, &series,
-                "results must not depend on PE count"
-            ),
+            Some((base_series, _)) => {
+                assert_eq!(base_series, &series, "results must not depend on PE count")
+            }
         }
         if pes == 2 {
             calibration_run = Some(run);
@@ -77,7 +88,10 @@ fn main() {
         .map(|c| c.apply_to(MachineModel::default()))
         .unwrap_or_default();
     println!("== projection to a Cray-XE6-like machine (calibrated) ==");
-    println!("{:>8} {:>12} {:>10} {:>12}", "P", "s/day", "speedup", "efficiency");
+    println!(
+        "{:>8} {:>12} {:>10} {:>12}",
+        "P", "s/day", "speedup", "efficiency"
+    );
     let opts = RuntimeOptions::optimized();
     let mut base_s = 0.0;
     for p in [1u32, 16, 64, 256, 1024, 4096] {

@@ -1,0 +1,13 @@
+//! Offline shim for `serde`: the trait names, plus no-op derive macros
+//! behind the `derive` feature. The workspace's model types carry serde
+//! derives for downstream interoperability but never serialize through
+//! serde in-tree, so empty expansions are sufficient.
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};

@@ -59,13 +59,7 @@ fn full_pipeline_all_strategies_all_engines() {
 fn no_opt_runtime_same_epidemic_more_packets() {
     let pop = pop();
     let dist = DataDistribution::build(&pop, Strategy::RoundRobin, 4, 77);
-    let opt = Simulator::new(
-        &dist,
-        flu_model(),
-        cfg(),
-        RuntimeConfig::sequential(4),
-    )
-    .run();
+    let opt = Simulator::new(&dist, flu_model(), cfg(), RuntimeConfig::sequential(4)).run();
     let noopt = Simulator::new(
         &dist,
         flu_model(),
@@ -73,7 +67,10 @@ fn no_opt_runtime_same_epidemic_more_packets() {
         RuntimeConfig::sequential(4).no_opt(),
     )
     .run();
-    assert_eq!(opt.curve, noopt.curve, "§IV optimizations must not change results");
+    assert_eq!(
+        opt.curve, noopt.curve,
+        "§IV optimizations must not change results"
+    );
     let packets_opt: u64 = opt
         .perf
         .iter()
@@ -101,10 +98,17 @@ fn projection_pipeline_prefers_paper_winner() {
     for strategy in Strategy::ALL {
         let dist = DataDistribution::build(&pop, strategy, 128, 3);
         let inputs = inputs_from_distribution(&dist, &model, LoadUnits::default());
-        secs.insert(strategy.label(), project_day(&inputs, &machine, &opts).seconds);
+        secs.insert(
+            strategy.label(),
+            project_day(&inputs, &machine, &opts).seconds,
+        );
     }
     let gp_split = secs["GP-splitLoc"];
-    assert!(gp_split <= secs["RR"], "GP-splitLoc {gp_split} vs RR {}", secs["RR"]);
+    assert!(
+        gp_split <= secs["RR"],
+        "GP-splitLoc {gp_split} vs RR {}",
+        secs["RR"]
+    );
     assert!(
         gp_split <= secs["GP"],
         "GP-splitLoc {gp_split} vs GP {}",
@@ -178,7 +182,11 @@ fn seirs_produces_endemic_dynamics() {
         .map(|d| d.new_infections)
         .sum();
     assert!(late > 0, "SEIRS should persist (late infections = {late})");
-    assert_eq!(oracle.days.len(), 120, "no extinction under waning immunity");
+    assert_eq!(
+        oracle.days.len(),
+        120,
+        "no extinction under waning immunity"
+    );
     // Reinfection actually happens: cumulative exceeds the population.
     assert!(
         oracle.total_infections() > oracle.population,
@@ -205,4 +213,30 @@ fn larger_k_never_changes_epidemiology_only_performance() {
         }
         last_series = Some(series);
     }
+}
+
+/// Pins the exact epidemic produced by (pop seed 77, sim seed 77, 30 days)
+/// against hard-coded values captured from the pre-scratch-kernel
+/// implementation. The location kernel's CRNG draws are keyed purely by
+/// (seed, person, day, purpose, start_min), so any refactor of the event
+/// sweep, visit ordering, or buffer management must reproduce this curve
+/// bit-for-bit — a change here means the determinism contract broke, not
+/// that the test needs updating.
+#[test]
+fn epidemic_curve_pinned_across_kernel_versions() {
+    let oracle = run_sequential(&pop(), &flu_model(), &cfg());
+    let days: Vec<u64> = oracle.days.iter().map(|d| d.new_infections).collect();
+    assert_eq!(oracle.total_infections(), 2499);
+    assert_eq!(oracle.days.iter().map(|d| d.events).sum::<u64>(), 736_480);
+    assert_eq!(
+        oracle.days.iter().map(|d| d.infects_sent).sum::<u64>(),
+        2965
+    );
+    assert_eq!(
+        days,
+        vec![
+            2, 11, 27, 47, 89, 150, 229, 406, 484, 468, 320, 145, 74, 22, 8, 5, 2, 1, 0, 0, 1, 0,
+            0, 0, 0, 0, 0
+        ]
+    );
 }

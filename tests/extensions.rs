@@ -55,7 +55,8 @@ fn checkpoint_through_a_rebalanced_run() {
     let pop = pop();
     let dist_a = DataDistribution::build(&pop, Strategy::RoundRobin, 4, 99);
     let dist_b = DataDistribution::build(&pop, Strategy::GraphPartition, 4, 99);
-    let straight = Simulator::new(&dist_a, flu_model(), cfg(20), RuntimeConfig::sequential(2)).run();
+    let straight =
+        Simulator::new(&dist_a, flu_model(), cfg(20), RuntimeConfig::sequential(2)).run();
 
     let mut carry = Carry::new(cfg(20).interventions.clone(), 7);
     let mut sim = Simulator::new(&dist_a, flu_model(), cfg(20), RuntimeConfig::sequential(2));
@@ -91,8 +92,13 @@ fn rebalanced_seirs_with_interventions_matches_plain() {
     let mut c = cfg(40);
     c.interventions = interventions;
     let dist = DataDistribution::build(&pop, Strategy::GraphPartition, 5, 99);
-    let plain = Simulator::new(&dist, seirs_model(15.0), c.clone(), RuntimeConfig::sequential(2))
-        .run();
+    let plain = Simulator::new(
+        &dist,
+        seirs_model(15.0),
+        c.clone(),
+        RuntimeConfig::sequential(2),
+    )
+    .run();
     let rb = run_with_rebalancing(
         &dist,
         seirs_model(15.0),
@@ -149,9 +155,8 @@ fn vaccination_shows_up_in_the_transmission_tree() {
     assert_eq!(t_base.cases, curve_base.total_infections());
     assert_eq!(t_vax.cases, curve_vax.total_infections());
     // Mean offspring over all cases ~ attack-rate ordering.
-    let mean_r = |t: &episimdemics::core::tree::TransmissionStats| {
-        t.edges as f64 / t.cases.max(1) as f64
-    };
+    let mean_r =
+        |t: &episimdemics::core::tree::TransmissionStats| t.edges as f64 / t.cases.max(1) as f64;
     assert!(mean_r(&t_vax) <= mean_r(&t_base) + 0.05);
 }
 
@@ -166,7 +171,8 @@ fn venue_attribution_consistent_in_parallel_runs() {
     // splitLoc must not change which venue kind transmissions attribute to:
     // split pieces inherit the original kind.
     let plain = DataDistribution::build(&pop, Strategy::RoundRobin, 4, 99);
-    let run_plain = Simulator::new(&plain, flu_model(), cfg(25), RuntimeConfig::sequential(4)).run();
+    let run_plain =
+        Simulator::new(&plain, flu_model(), cfg(25), RuntimeConfig::sequential(4)).run();
     let sum_kinds = |r: &episimdemics::core::simulator::SimRun| -> [u64; 5] {
         let mut acc = [0u64; 5];
         for d in &r.curve.days {

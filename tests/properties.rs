@@ -3,20 +3,206 @@
 
 use episimdemics::chare_rt::RuntimeConfig;
 use episimdemics::core::distribution::{DataDistribution, Strategy as DistStrategy};
+use episimdemics::core::kernel::{
+    simulate_location_day, simulate_location_day_grouped, InfectivityClasses, KernelScratch,
+    VisitBuffer,
+};
+use episimdemics::core::messages::{InfectMsg, VisitMsg};
 use episimdemics::core::seq::run_sequential;
 use episimdemics::core::simulator::{SimConfig, Simulator};
 use episimdemics::core::splitloc::{split_heavy_locations, SplitConfig};
 use episimdemics::graph_part::{kway_partition, PartitionConfig, PartitionQuality};
 use episimdemics::load_model::fit::{fit_linear, fit_piecewise};
+use episimdemics::ptts::crng::{CounterRng, Purpose};
 use episimdemics::ptts::flu_model;
-use episimdemics::ptts::model::HealthTracker;
+use episimdemics::ptts::model::{HealthTracker, StateId};
+use episimdemics::ptts::transmission::select_infector;
+use episimdemics::ptts::Ptts;
 use episimdemics::synthpop::{Population, PopulationConfig};
 use proptest::prelude::*;
 
 fn arb_pop() -> impl Strategy<Value = Population> {
-    (300u32..1200, 0u64..1000).prop_map(|(n, seed)| {
-        Population::generate(&PopulationConfig::small("P", n, seed))
+    (300u32..1200, 0u64..1000)
+        .prop_map(|(n, seed)| Population::generate(&PopulationConfig::small("P", n, seed)))
+}
+
+/// Arbitrary one-location visit buffers: mixed states, sublocations, time
+/// windows (including zero-duration stays) and susceptibility scales. The
+/// canonical kernel order is `(sublocation, start, person)`, so those keys
+/// are kept unique — duplicates would make the unstable sorts ambiguous.
+fn arb_visits() -> impl Strategy<Value = Vec<VisitMsg>> {
+    collection::vec(
+        (0u32..12, 0u16..5, 0u16..1200, 0u16..240, 0u32..1000),
+        1..40,
+    )
+    .prop_map(|raw| {
+        let n_states = flu_model().n_states() as u32;
+        let mut seen = std::collections::HashSet::new();
+        let mut visits = Vec::new();
+        for (person, sublocation, start_min, dur, mix) in raw {
+            if !seen.insert((sublocation, start_min, person)) {
+                continue;
+            }
+            visits.push(VisitMsg {
+                person,
+                location: 0,
+                sublocation,
+                start_min,
+                end_min: start_min + dur,
+                state: StateId((mix % n_states) as u16),
+                sus_scale: match (mix / n_states) % 3 {
+                    0 => 0.0,
+                    1 => 0.5,
+                    _ => 1.0,
+                },
+            });
+        }
+        visits
     })
+}
+
+/// Deterministic Fisher–Yates driven by a splitmix-style stream (the
+/// proptest shim has no `prop_shuffle`).
+fn shuffle<T>(items: &mut [T], seed: u64) {
+    let mut s = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for i in (1..items.len()).rev() {
+        s = s
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        items.swap(i, (s >> 33) as usize % (i + 1));
+    }
+}
+
+/// A deliberately naive O(n²) reference for the location DES: per-class
+/// exposure integrals computed as pairwise interval overlaps, fresh
+/// allocations everywhere, plain comparison sorts. Emits the same
+/// `InfectMsg` stream the scratch kernel must produce (the CRNG keys every
+/// draw by `(seed, person, day, start_min)`, so only the resolution order —
+/// sublocation ascending, then departure time, then canonical index —
+/// matters for the stream).
+fn naive_location_day(
+    visits: &[VisitMsg],
+    ptts: &Ptts,
+    r_eff: f64,
+    seed: u64,
+    day: u32,
+) -> (Vec<InfectMsg>, u64, f64) {
+    // Rebuild the dense infectivity classes from the public PTTS API.
+    let mut class_of_state = vec![usize::MAX; ptts.n_states()];
+    let mut iota: Vec<f64> = Vec::new();
+    for (s, slot) in class_of_state.iter_mut().enumerate() {
+        let inf = ptts.infectivity(StateId(s as u16));
+        if inf > 0.0 {
+            *slot = iota
+                .iter()
+                .position(|&x| (x - inf).abs() < 1e-12)
+                .unwrap_or_else(|| {
+                    iota.push(inf);
+                    iota.len() - 1
+                });
+        }
+    }
+    let class = |st: StateId| {
+        let c = class_of_state[st.0 as usize];
+        (c != usize::MAX).then_some(c)
+    };
+
+    let mut sorted = visits.to_vec();
+    sorted.sort_by_key(|v| {
+        ((v.sublocation as u64) << 48) | ((v.start_min as u64) << 32) | v.person as u64
+    });
+    let mut out = Vec::new();
+    let mut interactions = 0u64;
+    let mut sum_recip = 0.0f64;
+    let mut lo = 0usize;
+    while lo < sorted.len() {
+        let mut hi = lo + 1;
+        while hi < sorted.len() && sorted[hi].sublocation == sorted[lo].sublocation {
+            hi += 1;
+        }
+        let group = &sorted[lo..hi];
+        // Susceptibles resolve at their departure events.
+        let mut order: Vec<usize> = (0..group.len()).collect();
+        order.sort_by_key(|&i| ((group[i].end_min as u64) << 32) | i as u64);
+        for &i in &order {
+            let v = &group[i];
+            if v.end_min <= v.start_min || !ptts.is_susceptible(v.state) || v.sus_scale <= 0.0 {
+                continue;
+            }
+            let s_i = ptts.susceptibility(v.state) * v.sus_scale as f64;
+            let mut tau = vec![0.0f64; iota.len()];
+            let mut encounters = 0u64;
+            for (j, w) in group.iter().enumerate() {
+                if j == i || w.end_min <= w.start_min {
+                    continue;
+                }
+                let Some(c) = class(w.state) else { continue };
+                let ov =
+                    (v.end_min.min(w.end_min) as i32 - v.start_min.max(w.start_min) as i32).max(0);
+                if ov > 0 {
+                    tau[c] += ov as f64;
+                    encounters += 1;
+                }
+            }
+            interactions += encounters;
+            if encounters > 0 {
+                sum_recip += 1.0 / encounters as f64;
+            }
+            let mut log_escape = 0.0f64;
+            for (c, &t) in tau.iter().enumerate() {
+                if t <= 0.0 {
+                    continue;
+                }
+                let q = (r_eff * s_i * iota[c]).clamp(0.0, 1.0 - 1e-12);
+                if q > 0.0 {
+                    log_escape += t * (-q).ln_1p();
+                }
+            }
+            let p = 1.0 - log_escape.exp();
+            if p <= 0.0 {
+                continue;
+            }
+            let mut rng = CounterRng::from_key(&[
+                seed,
+                v.person as u64,
+                day as u64,
+                Purpose::Infection as u64,
+                v.start_min as u64,
+            ]);
+            if !rng.bernoulli(p) {
+                continue;
+            }
+            let mut cands: Vec<(u32, f64)> = Vec::new();
+            for w in group.iter() {
+                if w.person == v.person && w.start_min == v.start_min {
+                    continue;
+                }
+                let Some(c) = class(w.state) else { continue };
+                let ov = (v.end_min.min(w.end_min) as i32 - v.start_min.max(w.start_min) as i32)
+                    .max(0) as f64;
+                if ov > 0.0 {
+                    let q = (r_eff * s_i * iota[c]).clamp(0.0, 1.0 - 1e-12);
+                    cands.push((w.person, 1.0 - (ov * (-q).ln_1p()).exp()));
+                }
+            }
+            let infector = if cands.is_empty() {
+                u32::MAX
+            } else {
+                let probs: Vec<f64> = cands.iter().map(|&(_, p)| p).collect();
+                match select_infector(&probs, rng.uniform_f64()) {
+                    Some(k) => cands[k].0,
+                    None => u32::MAX,
+                }
+            };
+            out.push(InfectMsg {
+                person: v.person,
+                time_min: v.start_min,
+                infector,
+            });
+        }
+        lo = hi;
+    }
+    (out, interactions, sum_recip)
 }
 
 fn arb_strategy() -> impl Strategy<Value = DistStrategy> {
@@ -137,6 +323,93 @@ proptest! {
         for &(x, y) in &pts {
             prop_assert!((m.eval(x).max(0.0) - y.max(0.0)).abs() < 1e-3 * (1.0 + y.abs()));
         }
+    }
+
+    /// The location DES is invariant under any permutation of the visit
+    /// buffer: message arrival order must never leak into results.
+    #[test]
+    fn kernel_invariant_under_visit_permutation(
+        visits in arb_visits(),
+        shuffle_seed in 0u64..10_000,
+        r_scale in 1u32..80,
+    ) {
+        let r_eff = r_scale as f64 * 1e-4;
+        let ptts = flu_model();
+        let classes = InfectivityClasses::new(&ptts);
+        let mut scratch = KernelScratch::new();
+
+        let mut base = visits.clone();
+        let mut out_a = Vec::new();
+        let fa = simulate_location_day(
+            &mut base, &ptts, &classes, r_eff, 7, 2, &mut scratch, &mut out_a,
+        );
+        let mut shuffled = visits;
+        shuffle(&mut shuffled, shuffle_seed);
+        let mut out_b = Vec::new();
+        let fb = simulate_location_day(
+            &mut shuffled, &ptts, &classes, r_eff, 7, 2, &mut scratch, &mut out_b,
+        );
+        prop_assert_eq!(out_a, out_b);
+        prop_assert_eq!(fa, fb);
+    }
+
+    /// The insert-time-grouped kernel path is bit-identical to the flat
+    /// path on the same visits, whatever order they were pushed in.
+    #[test]
+    fn grouped_kernel_matches_flat(
+        visits in arb_visits(),
+        shuffle_seed in 0u64..10_000,
+        r_scale in 1u32..80,
+    ) {
+        let r_eff = r_scale as f64 * 1e-4;
+        let ptts = flu_model();
+        let classes = InfectivityClasses::new(&ptts);
+        let mut scratch = KernelScratch::new();
+
+        let mut flat = visits.clone();
+        let mut out_flat = Vec::new();
+        let ff = simulate_location_day(
+            &mut flat, &ptts, &classes, r_eff, 11, 4, &mut scratch, &mut out_flat,
+        );
+        let mut shuffled = visits;
+        shuffle(&mut shuffled, shuffle_seed);
+        let mut buf = VisitBuffer::new();
+        for v in shuffled {
+            buf.push(v);
+        }
+        let mut out_grouped = Vec::new();
+        let fg = simulate_location_day_grouped(
+            &mut buf, &ptts, &classes, r_eff, 11, 4, &mut scratch, &mut out_grouped,
+        );
+        prop_assert_eq!(out_flat, out_grouped);
+        prop_assert_eq!(ff, fg);
+    }
+
+    /// The scratch-buffer sweep kernel produces the exact `InfectMsg`
+    /// stream of a naive O(n²) pairwise reference — the determinism
+    /// contract the zero-allocation refactor must uphold.
+    #[test]
+    fn scratch_kernel_matches_naive_reference(
+        visits in arb_visits(),
+        kernel_seed in 0u64..100,
+        r_scale in 1u32..80,
+    ) {
+        let r_eff = r_scale as f64 * 1e-4;
+        let ptts = flu_model();
+        let classes = InfectivityClasses::new(&ptts);
+        let mut scratch = KernelScratch::new();
+
+        let mut buf = visits.clone();
+        let mut out = Vec::new();
+        let f = simulate_location_day(
+            &mut buf, &ptts, &classes, r_eff, kernel_seed, 3, &mut scratch, &mut out,
+        );
+        let (naive_out, naive_inter, naive_recip) =
+            naive_location_day(&visits, &ptts, r_eff, kernel_seed, 3);
+        prop_assert_eq!(out, naive_out);
+        prop_assert_eq!(f.interactions, naive_inter);
+        prop_assert_eq!(f.events, 2 * visits.len() as u64);
+        prop_assert!(f.sum_reciprocal_interactions.to_bits() == naive_recip.to_bits());
     }
 
     /// Generated populations always satisfy their structural contract.
