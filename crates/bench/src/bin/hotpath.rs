@@ -113,33 +113,9 @@ struct Summary {
     alloc_bytes_per_day_mean: f64,
 }
 
-/// FNV-1a over every field of the epidemic curve; bit-identical output
-/// across kernel versions is the determinism contract of record.
-fn curve_hash(days: &[episim_core::output::DayStats]) -> u64 {
-    let mut h: u64 = 0xcbf29ce484222325;
-    let mut mix = |v: u64| {
-        for b in v.to_le_bytes() {
-            h ^= b as u64;
-            h = h.wrapping_mul(0x100000001b3);
-        }
-    };
-    for d in days {
-        mix(d.day as u64);
-        mix(d.new_infections);
-        mix(d.infected_now);
-        mix(d.susceptible);
-        mix(d.symptomatic);
-        mix(d.cumulative);
-        mix(d.visits);
-        mix(d.events);
-        mix(d.interactions);
-        mix(d.infects_sent);
-        for &k in &d.infections_by_kind {
-            mix(k);
-        }
-    }
-    h
-}
+// Bit-identical output across kernel versions is the determinism contract
+// of record; the hash itself lives with the curve type.
+use episim_core::output::curve_hash;
 
 /// Pull `"key": <number>` out of a flat JSON document by string search —
 /// enough to read our own output back without a JSON parser in-tree.

@@ -9,6 +9,7 @@
 
 use crate::chare::{ChareId, Message};
 use crate::config::AggregationConfig;
+use crate::faults::FaultRng;
 
 /// An addressed message awaiting delivery.
 #[derive(Debug)]
@@ -161,6 +162,18 @@ impl<M: Message> Aggregator<M> {
         out
     }
 
+    /// Flush everything in a seeded pseudo-random lane order. The idle
+    /// flush of [`Self::flush_all`] always drains lanes in dirty order; the
+    /// DST scheduler uses this variant to make lane order itself part of
+    /// the adversarial schedule — results must not depend on it.
+    pub fn flush_all_permuted(&mut self, rng: &mut FaultRng) -> Vec<Packet<M>> {
+        for i in (1..self.dirty.len()).rev() {
+            let j = rng.below(i as u64 + 1) as usize;
+            self.dirty.swap(i, j);
+        }
+        self.flush_all()
+    }
+
     /// Whether any lane holds messages.
     pub fn is_empty(&self) -> bool {
         self.dirty.is_empty()
@@ -276,6 +289,49 @@ mod tests {
         on.flush_all();
         assert_eq!(on.packets(), 10);
         assert_eq!(off.packets(), 1000);
+    }
+
+    #[test]
+    fn permuted_flush_same_packets_any_order() {
+        let fill = |a: &mut Aggregator<u32>| {
+            for d in 0..8u32 {
+                for i in 0..3u32 {
+                    a.push(d, ChareId(d * 10 + i), i);
+                }
+            }
+        };
+        let mut plain = Aggregator::new(8, cfg(true, 100));
+        fill(&mut plain);
+        let mut want: Vec<(u32, usize)> = plain
+            .flush_all()
+            .iter()
+            .map(|p| (p.dst_pe, p.envelopes.len()))
+            .collect();
+        want.sort_unstable();
+        for seed in 0..4u64 {
+            let mut a = Aggregator::new(8, cfg(true, 100));
+            fill(&mut a);
+            let mut rng = FaultRng::new(seed);
+            let mut got: Vec<(u32, usize)> = a
+                .flush_all_permuted(&mut rng)
+                .iter()
+                .map(|p| (p.dst_pe, p.envelopes.len()))
+                .collect();
+            got.sort_unstable();
+            assert_eq!(got, want, "seed {seed}");
+            assert!(a.is_empty());
+        }
+        // The permutation is deterministic per seed.
+        let order = |seed: u64| {
+            let mut a = Aggregator::new(8, cfg(true, 100));
+            fill(&mut a);
+            let mut rng = FaultRng::new(seed);
+            a.flush_all_permuted(&mut rng)
+                .iter()
+                .map(|p| p.dst_pe)
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(order(3), order(3));
     }
 
     #[test]

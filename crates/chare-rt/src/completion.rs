@@ -194,6 +194,70 @@ mod tests {
     }
 
     #[test]
+    fn zero_message_phase_detects_once_all_idle() {
+        // A phase with no injections at all: workers report idle without
+        // ever producing; detection must fire on 0 == 0.
+        let cd = CompletionDetector::new(3);
+        assert!(!cd.try_detect(), "nobody idle yet");
+        cd.set_idle(0, true);
+        cd.set_idle(1, true);
+        assert!(!cd.try_detect(), "one PE still active");
+        cd.set_idle(2, true);
+        assert!(cd.try_detect());
+        assert_eq!(cd.total_produced(), 0);
+    }
+
+    #[test]
+    fn single_pe_self_traffic() {
+        // One PE producing for itself: every send must still be counted or
+        // the wave would fire while a self-message sits in the queue.
+        let cd = CompletionDetector::new(1);
+        cd.set_idle(0, true);
+        cd.produce(0, 3);
+        assert!(!cd.try_detect(), "3 in flight");
+        cd.consume(0, 2);
+        assert!(!cd.try_detect(), "1 in flight");
+        cd.consume(0, 1);
+        assert!(cd.try_detect());
+    }
+
+    #[test]
+    fn reset_mid_phase_discards_partial_progress() {
+        // Abort halfway (produced > consumed, some PEs idle), reset, and
+        // run a fresh balanced phase: no stale counters or idle flags may
+        // leak into the new phase's decision.
+        let cd = CompletionDetector::new(2);
+        cd.produce(0, 7);
+        cd.consume(1, 3);
+        cd.set_idle(0, true);
+        assert!(!cd.try_detect());
+        cd.reset();
+        assert_eq!((cd.total_produced(), cd.total_consumed()), (0, 0));
+        assert!(!cd.try_detect(), "reset clears idle flags");
+        cd.produce(0, 2);
+        cd.consume(1, 2);
+        cd.set_idle(0, true);
+        cd.set_idle(1, true);
+        assert!(cd.try_detect());
+    }
+
+    #[test]
+    fn unidle_after_idle_defeats_detection() {
+        // A PE that went idle and then received late work must block the
+        // wave again — idleness is a level, not an edge.
+        let cd = CompletionDetector::new(2);
+        cd.set_idle(0, true);
+        cd.set_idle(1, true);
+        assert!(cd.try_detect());
+        cd.set_idle(1, false); // woke up with a new message
+        cd.produce(1, 1);
+        assert!(!cd.try_detect());
+        cd.consume(1, 1);
+        cd.set_idle(1, true);
+        assert!(cd.try_detect());
+    }
+
+    #[test]
     fn wave_fails_if_counters_move_between_reads() {
         // Simulate by checking first snapshot manually then perturbing.
         let cd = CompletionDetector::new(1);

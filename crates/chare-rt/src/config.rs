@@ -1,5 +1,7 @@
 //! Runtime configuration: execution mode, SMP topology, aggregation.
 
+use crate::faults::FaultPlan;
+
 /// How the runtime executes PEs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum ExecMode {
@@ -9,6 +11,12 @@ pub enum ExecMode {
     Sequential,
     /// One OS thread per PE, crossbeam channels between them.
     Threads,
+    /// Deterministic-simulation-testing engine: all PEs on one thread under
+    /// a virtual-time event scheduler that replays any delivery
+    /// interleaving from [`RuntimeConfig::faults`]'s seed and injects the
+    /// plan's faults (delay, reorder, duplicate, drop, stall). Test-only by
+    /// intent; results must match the other engines exactly.
+    VirtualTime,
 }
 
 /// SMP topology (§IV-A): `n` cores per node, `k` processes per node, one
@@ -95,6 +103,16 @@ pub struct RuntimeConfig {
     pub aggregation: AggregationConfig,
     /// Termination detector.
     pub sync: SyncMode,
+    /// Fault schedule, honoured only by [`ExecMode::VirtualTime`]; the
+    /// production engines carry no fault hooks at all. Keep
+    /// [`FaultPlan::none`] elsewhere (the default).
+    pub faults: FaultPlan,
+    /// Threaded-engine phase watchdog in seconds (`0` = disabled): if
+    /// completion detection has not fired after this long, the coordinator
+    /// panics with the detector's counters instead of spinning forever — a
+    /// hung conformance run becomes a diagnosable failure, not a CI
+    /// timeout.
+    pub watchdog_secs: u16,
 }
 
 impl RuntimeConfig {
@@ -110,6 +128,8 @@ impl RuntimeConfig {
             },
             aggregation: AggregationConfig::default(),
             sync: SyncMode::CompletionDetection,
+            faults: FaultPlan::none(0),
+            watchdog_secs: 0,
         }
     }
 
@@ -117,6 +137,17 @@ impl RuntimeConfig {
     pub fn threaded(n_pes: u32) -> Self {
         RuntimeConfig {
             mode: ExecMode::Threads,
+            ..Self::sequential(n_pes)
+        }
+    }
+
+    /// A deterministic-simulation-testing runtime: `n_pes` virtual PEs on
+    /// one thread, message delivery scheduled in virtual time under
+    /// `plan`'s seeded fault schedule.
+    pub fn dst(n_pes: u32, plan: FaultPlan) -> Self {
+        RuntimeConfig {
+            mode: ExecMode::VirtualTime,
+            faults: plan,
             ..Self::sequential(n_pes)
         }
     }

@@ -1,0 +1,342 @@
+//! Deterministic fault injection for the virtual-time scheduler.
+//!
+//! Charm++-family codes validate their communication layer by proving the
+//! application outcome is invariant under message delivery timing: the
+//! runtime promises exactly-once delivery and phase completion, and nothing
+//! else — not ordering, not latency, not which aggregation lane flushes
+//! first. This module supplies the adversary for that contract: a
+//! [`FaultPlan`] replayable from a `u64` seed that perturbs the
+//! [`crate::vt::VtEngine`] transport with
+//!
+//! * **delay / reordering** — extra per-packet latency, which reorders
+//!   deliveries across aggregation lanes and TRAM hops,
+//! * **duplicate delivery** — a packet arrives twice; the transport's
+//!   take-once slab must suppress the second copy,
+//! * **bounded drop with redelivery** — the first attempt is lost on the
+//!   wire and a retransmission lands later (observationally an extreme
+//!   delay, but it exercises the loss-accounting path),
+//! * **drop without redelivery** — the negative control: a *non-conformant*
+//!   transport that the conformance suite must catch,
+//! * **PE stall/slowdown** — a destination PE stops draining for a window
+//!   of virtual time, which is exactly the schedule that would expose an
+//!   early-firing completion detector.
+//!
+//! The hook is generic ([`FaultHook`]) with a zero-sized no-op
+//! implementation ([`NoFaults`]): engines instantiated with `NoFaults`
+//! monomorphize every hook call to nothing, so the fault machinery costs
+//! zero in fault-free builds, and the production engines
+//! ([`crate::seq::SeqEngine`], [`crate::threads::ThreadEngine`]) never
+//! reference it at all.
+
+/// SplitMix64: a tiny, high-quality, seedable generator. Every fault
+/// decision derives from this stream, so a `(seed, plan)` pair replays the
+/// exact same perturbed schedule.
+#[derive(Debug, Clone)]
+pub struct FaultRng {
+    state: u64,
+}
+
+impl FaultRng {
+    /// Seeded stream.
+    pub fn new(seed: u64) -> Self {
+        FaultRng {
+            state: seed ^ 0x9E3779B97F4A7C15,
+        }
+    }
+
+    /// Next raw 64-bit value.
+    #[inline]
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `[0, n)` (`0` when `n == 0`).
+    #[inline]
+    pub fn below(&mut self, n: u64) -> u64 {
+        if n == 0 {
+            0
+        } else {
+            self.next_u64() % n
+        }
+    }
+
+    /// Bernoulli draw with probability `permille / 1000`.
+    #[inline]
+    pub fn chance(&mut self, permille: u16) -> bool {
+        match permille {
+            0 => false,
+            p if p >= 1000 => true,
+            p => self.below(1000) < p as u64,
+        }
+    }
+}
+
+/// A seeded, replayable fault schedule. All fields are plain integers so
+/// the plan stays `Copy + Eq` and can ride inside
+/// [`crate::config::RuntimeConfig`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FaultPlan {
+    /// Seed of the fault decision stream (independent of the application
+    /// seed — the same simulation can be replayed under many schedules).
+    pub seed: u64,
+    /// Chance (‰) that a packet picks up extra latency.
+    pub delay_permille: u16,
+    /// Maximum extra latency, in virtual ticks.
+    pub max_delay: u32,
+    /// Chance (‰) that a packet is delivered twice.
+    pub dup_permille: u16,
+    /// Chance (‰) that a packet's first transmission is dropped.
+    pub drop_permille: u16,
+    /// Whether dropped packets are retransmitted. `false` turns the plan
+    /// into the negative control: messages are irrecoverably lost and the
+    /// conformance suite must notice.
+    pub redeliver: bool,
+    /// Chance (‰) that a packet arrival stalls its destination PE.
+    pub stall_permille: u16,
+    /// Length of an injected stall, in virtual ticks.
+    pub stall_ticks: u32,
+}
+
+impl FaultPlan {
+    /// No faults: the pure virtual-time scheduler (still a distinct
+    /// interleaving from the round-robin sequential engine).
+    pub const fn none(seed: u64) -> Self {
+        FaultPlan {
+            seed,
+            delay_permille: 0,
+            max_delay: 0,
+            dup_permille: 0,
+            drop_permille: 0,
+            redeliver: true,
+            stall_permille: 0,
+            stall_ticks: 0,
+        }
+    }
+
+    /// Heavy random latency: reorders deliveries across aggregation lanes.
+    pub const fn reorder(seed: u64) -> Self {
+        FaultPlan {
+            delay_permille: 1000,
+            max_delay: 2_000,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Frequent duplicate deliveries (plus mild jitter so the duplicate
+    /// sometimes arrives *before* the original).
+    pub const fn duplicates(seed: u64) -> Self {
+        FaultPlan {
+            dup_permille: 300,
+            delay_permille: 500,
+            max_delay: 200,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Frequent first-transmission drops, always redelivered.
+    pub const fn drops(seed: u64) -> Self {
+        FaultPlan {
+            drop_permille: 300,
+            redeliver: true,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Destination-PE stalls: long windows where a PE drains nothing.
+    pub const fn stalls(seed: u64) -> Self {
+        FaultPlan {
+            stall_permille: 50,
+            stall_ticks: 5_000,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Everything at once.
+    pub const fn chaos(seed: u64) -> Self {
+        FaultPlan {
+            delay_permille: 800,
+            max_delay: 1_000,
+            dup_permille: 150,
+            drop_permille: 150,
+            redeliver: true,
+            stall_permille: 30,
+            stall_ticks: 2_000,
+            ..Self::none(seed)
+        }
+    }
+
+    /// The negative control: every packet's first (and only) transmission
+    /// is dropped and never redelivered. A conformance suite that does not
+    /// fail under this plan is not testing anything.
+    pub const fn lossy(seed: u64) -> Self {
+        FaultPlan {
+            drop_permille: 1000,
+            redeliver: false,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Whether the plan preserves exactly-once delivery (every benign plan
+    /// does; only drop-without-redelivery violates it).
+    pub const fn is_benign(&self) -> bool {
+        self.drop_permille == 0 || self.redeliver
+    }
+
+    /// The benign plan grid the conformance suites sweep.
+    pub const GRID: [FaultPlan; 6] = [
+        FaultPlan::none(0),
+        FaultPlan::reorder(0),
+        FaultPlan::duplicates(0),
+        FaultPlan::drops(0),
+        FaultPlan::stalls(0),
+        FaultPlan::chaos(0),
+    ];
+
+    /// This plan re-seeded (plans in [`Self::GRID`] carry seed 0).
+    pub const fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+/// What the fault layer decided for one packet transmission.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PacketFate {
+    /// Extra latency in virtual ticks.
+    pub extra_delay: u64,
+    /// Deliver a second copy (at an independently jittered time).
+    pub duplicate: bool,
+    /// Lose the first transmission.
+    pub drop: bool,
+    /// If dropped, retransmit (arriving after a retransmission timeout).
+    pub redeliver: bool,
+    /// Stall the destination PE for this many ticks upon scheduling.
+    pub stall_ticks: u64,
+}
+
+/// The per-packet decision hook consulted by the virtual-time scheduler's
+/// send path. Implementations must be deterministic functions of their own
+/// state so a seed replays the schedule.
+pub trait FaultHook {
+    /// Decide the fate of one packet from `src` to `dst`.
+    fn packet_fate(&mut self, src_pe: u32, dst_pe: u32) -> PacketFate;
+}
+
+/// The zero-cost hook: no faults, no state, every call inlines to a
+/// constant. An engine instantiated with `NoFaults` carries no fault
+/// machinery in its compiled send/receive path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoFaults;
+
+impl FaultHook for NoFaults {
+    #[inline(always)]
+    fn packet_fate(&mut self, _src_pe: u32, _dst_pe: u32) -> PacketFate {
+        PacketFate::default()
+    }
+}
+
+/// A [`FaultHook`] driven by a [`FaultPlan`] and its seeded stream.
+#[derive(Debug, Clone)]
+pub struct PlanFaults {
+    plan: FaultPlan,
+    rng: FaultRng,
+}
+
+impl PlanFaults {
+    /// Hook replaying `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        PlanFaults {
+            rng: FaultRng::new(plan.seed),
+            plan,
+        }
+    }
+
+    /// The plan in force.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+}
+
+impl FaultHook for PlanFaults {
+    fn packet_fate(&mut self, _src_pe: u32, _dst_pe: u32) -> PacketFate {
+        let p = &self.plan;
+        let mut fate = PacketFate {
+            redeliver: p.redeliver,
+            ..PacketFate::default()
+        };
+        if p.delay_permille > 0 && self.rng.chance(p.delay_permille) {
+            fate.extra_delay = self.rng.below(p.max_delay as u64 + 1);
+        }
+        if p.dup_permille > 0 && self.rng.chance(p.dup_permille) {
+            fate.duplicate = true;
+        }
+        if p.drop_permille > 0 && self.rng.chance(p.drop_permille) {
+            fate.drop = true;
+        }
+        if p.stall_permille > 0 && self.rng.chance(p.stall_permille) {
+            fate.stall_ticks = p.stall_ticks as u64;
+        }
+        fate
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = FaultRng::new(7);
+        let mut b = FaultRng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = FaultRng::new(8);
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut r = FaultRng::new(1);
+        assert!(!(0..1000).any(|_| r.chance(0)));
+        assert!((0..1000).all(|_| r.chance(1000)));
+        // A mid probability hits roughly its rate.
+        let hits = (0..10_000).filter(|_| r.chance(250)).count();
+        assert!((2000..3000).contains(&hits), "hits {hits}");
+    }
+
+    #[test]
+    fn plan_replays_identically() {
+        let mut a = PlanFaults::new(FaultPlan::chaos(42));
+        let mut b = PlanFaults::new(FaultPlan::chaos(42));
+        for i in 0..500u32 {
+            assert_eq!(a.packet_fate(i % 4, i % 7), b.packet_fate(i % 4, i % 7));
+        }
+    }
+
+    #[test]
+    fn grid_plans_are_benign_and_lossy_is_not() {
+        for plan in FaultPlan::GRID {
+            assert!(plan.is_benign(), "{plan:?}");
+        }
+        assert!(!FaultPlan::lossy(1).is_benign());
+    }
+
+    #[test]
+    fn no_faults_is_inert() {
+        let fate = NoFaults.packet_fate(0, 1);
+        assert_eq!(fate, PacketFate::default());
+        assert_eq!(std::mem::size_of::<NoFaults>(), 0);
+    }
+
+    #[test]
+    fn with_seed_reseeds() {
+        let p = FaultPlan::reorder(0).with_seed(99);
+        assert_eq!(p.seed, 99);
+        assert_eq!(p.delay_permille, 1000);
+    }
+}

@@ -22,28 +22,35 @@
 //!   flushed on a size threshold or on idle — the application-aware
 //!   aggregation of §IV-C (and the TRAM footnote).
 //!
-//! Two interchangeable engines run the same application code: a
+//! Three interchangeable engines run the same application code: a
 //! deterministic sequential engine ([`seq`]) that simulates any number of
 //! PEs on one thread (and measures per-PE busy time, which the
-//! `scale-model` crate consumes), and a threaded engine ([`threads`]) using
-//! real OS threads with crossbeam channels. Applications built on
-//! [`runtime::Runtime`] produce identical results under either engine; the
-//! property tests in `episim-core` rely on that.
+//! `scale-model` crate consumes), a threaded engine ([`threads`]) using
+//! real OS threads with crossbeam channels, and a virtual-time
+//! deterministic-simulation-testing engine ([`vt`]) that replays arbitrary
+//! delivery interleavings from a seed and injects transport faults
+//! ([`faults`]). Applications built on [`runtime::Runtime`] produce
+//! identical results under every engine and every benign fault plan; the
+//! conformance suites in this crate and in `episim-core` rely on that.
 
 pub mod aggregator;
 pub mod chare;
 pub mod completion;
 pub mod config;
+pub mod faults;
 pub mod runtime;
 pub mod seq;
 pub mod stats;
 pub mod threads;
 pub mod tram;
+pub mod vt;
 
 pub use chare::{Chare, ChareId, Ctx, Message};
 pub use config::{AggregationConfig, ExecMode, RuntimeConfig, SmpConfig};
+pub use faults::{FaultHook, FaultPlan, FaultRng, NoFaults, PacketFate, PlanFaults};
 pub use runtime::Runtime;
 pub use stats::{PeStats, PhaseStats};
+pub use vt::VtEngine;
 
 /// A processing element: one scheduler queue, analogous to one Charm++
 /// worker thread / core.

@@ -5,10 +5,12 @@ use crate::config::{ExecMode, RuntimeConfig};
 use crate::seq::SeqEngine;
 use crate::stats::PhaseStats;
 use crate::threads::ThreadEngine;
+use crate::vt::VtEngine;
 
 enum Engine<M: Message> {
     Seq(SeqEngine<M>),
     Threads(ThreadEngine<M>),
+    Vt(Box<VtEngine<M>>),
 }
 
 /// A message-driven runtime hosting one chare array across `n_pes`
@@ -51,6 +53,7 @@ impl<M: Message> Runtime<M> {
         let engine = match cfg.mode {
             ExecMode::Sequential => Engine::Seq(SeqEngine::new(cfg)),
             ExecMode::Threads => Engine::Threads(ThreadEngine::new(cfg)),
+            ExecMode::VirtualTime => Engine::Vt(Box::new(VtEngine::new(cfg))),
         };
         Runtime { engine, cfg }
     }
@@ -66,6 +69,7 @@ impl<M: Message> Runtime<M> {
         match &mut self.engine {
             Engine::Seq(e) => e.add_chare(id, pe, chare),
             Engine::Threads(e) => e.add_chare(id, pe, chare),
+            Engine::Vt(e) => e.add_chare(id, pe, chare),
         }
     }
 
@@ -75,6 +79,7 @@ impl<M: Message> Runtime<M> {
         match &mut self.engine {
             Engine::Seq(e) => e.run_phase(injections),
             Engine::Threads(e) => e.run_phase(injections),
+            Engine::Vt(e) => e.run_phase(injections),
         }
     }
 
@@ -87,6 +92,7 @@ impl<M: Message> Runtime<M> {
                 v
             }
             Engine::Threads(e) => e.into_chares(),
+            Engine::Vt(e) => e.into_chares(),
         }
     }
 }

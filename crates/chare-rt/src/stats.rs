@@ -65,6 +65,15 @@ pub struct PeStats {
     pub processed: u64,
     /// Nanoseconds spent inside `Chare::receive`.
     pub busy_ns: u64,
+    /// Packets whose first transmission was dropped by fault injection
+    /// (counted at the sender; nonzero only under the DST engine).
+    pub faults_dropped: u64,
+    /// Duplicate packet arrivals suppressed by the transport's take-once
+    /// delivery (counted at the receiver; DST engine only).
+    pub faults_dup_suppressed: u64,
+    /// Messages irrecoverably lost — nonzero only under a non-benign fault
+    /// plan (drop without redelivery); any benign run must end with zero.
+    pub lost: u64,
 }
 
 impl PeStats {
@@ -83,6 +92,9 @@ impl PeStats {
         self.forwarded += o.forwarded;
         self.processed += o.processed;
         self.busy_ns += o.busy_ns;
+        self.faults_dropped += o.faults_dropped;
+        self.faults_dup_suppressed += o.faults_dup_suppressed;
+        self.lost += o.lost;
     }
 }
 

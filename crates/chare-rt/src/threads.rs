@@ -422,11 +422,26 @@ impl<M: Message> ThreadEngine<M> {
             self.cd.produce(pe, 1);
             let _ = self.txs[pe as usize].send(Item::Direct(Envelope { to, msg }));
         }
-        // Detection loop.
+        // Detection loop, with an optional wall-clock watchdog so a hung
+        // phase in a conformance run fails with the detector's counters
+        // instead of spinning until the CI timeout.
+        let deadline = (self.cfg.watchdog_secs > 0).then(|| {
+            std::time::Instant::now() + Duration::from_secs(self.cfg.watchdog_secs as u64)
+        });
         loop {
             if self.cd.try_detect() {
                 self.cd.mark_done();
                 break;
+            }
+            if let Some(d) = deadline {
+                assert!(
+                    std::time::Instant::now() < d,
+                    "phase watchdog ({}s) expired before completion detection fired \
+                     (produced {}, consumed {})",
+                    self.cfg.watchdog_secs,
+                    self.cd.total_produced(),
+                    self.cd.total_consumed()
+                );
             }
             std::thread::sleep(Duration::from_micros(100));
         }

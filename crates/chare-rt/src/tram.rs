@@ -145,4 +145,55 @@ mod tests {
         assert_eq!(g.next_hop(0, 0), 0);
         assert_eq!(g.hops(0, 0), 0);
     }
+
+    #[test]
+    fn ragged_corner_falls_back_to_direct() {
+        // p = 7 → 3 columns, rows (0,1,2),(3,4,5),(6): routing 6 → 5 would
+        // want intermediate (row 2, col 2) = pe 8, which does not exist.
+        let g = Grid2D::new(7);
+        assert_eq!(g.cols(), 3);
+        assert_eq!(g.next_hop(6, 5), 5, "missing corner must go direct");
+        assert_eq!(g.hops(6, 5), 1);
+        // The reverse direction has a real corner: 5 (row 1, col 2) → 6
+        // (row 2, col 0) goes via (row 1, col 0) = pe 3.
+        assert_eq!(g.next_hop(5, 6), 3);
+        assert_eq!(g.hops(5, 6), 2);
+    }
+
+    #[test]
+    fn ragged_grids_route_all_pairs_within_bounds() {
+        // Ragged sizes around square and rectangular breakpoints: every
+        // intermediate hop must exist and every route lands in ≤ 2 hops
+        // (routing_terminates_for_all_pairs covers a sample; this pins the
+        // raggedest cases near each breakpoint explicitly).
+        for p in [5u32, 6, 7, 8, 10, 12, 13, 15, 21, 26, 37, 50, 65, 99] {
+            let g = Grid2D::new(p);
+            let rows = p.div_ceil(g.cols());
+            assert!(g.cols() * rows >= p, "grid must cover all PEs");
+            for src in 0..p {
+                let mut lanes = std::collections::BTreeSet::new();
+                for dst in 0..p {
+                    if src == dst {
+                        continue;
+                    }
+                    let hop = g.next_hop(src, dst);
+                    assert!(hop < p, "p={p}: {src}→{dst} via missing {hop}");
+                    lanes.insert(hop);
+                    assert!(g.hops(src, dst) <= 2);
+                }
+                // The O(√p) lane promise holds exactly for sources whose
+                // row is complete (their row corner always exists); only
+                // sources in the ragged last row may degrade toward direct
+                // sends.
+                let row_complete = (src / g.cols() + 1) * g.cols() <= p;
+                if row_complete {
+                    assert!(
+                        lanes.len() as u32 <= g.max_lanes(),
+                        "p={p} src={src}: {} lanes exceeds √p bound",
+                        lanes.len()
+                    );
+                }
+            }
+        }
+    }
 }

@@ -1,0 +1,623 @@
+//! The virtual-time deterministic-simulation-testing (DST) engine.
+//!
+//! A third engine behind [`crate::runtime::Runtime`]: all PEs simulated on
+//! one thread, but — unlike [`crate::seq::SeqEngine`]'s strict round-robin
+//! — message delivery is driven by a virtual-time event heap whose order is
+//! a deterministic function of a `u64` fault seed. Any interleaving of
+//! packet delivery the threaded engine could exhibit (and many it is
+//! unlikely to) can be replayed exactly, and the [`crate::faults`] hook in
+//! the send path injects delay, reordering across aggregation lanes,
+//! duplicate delivery, bounded drop-with-redelivery, and PE stalls.
+//!
+//! The engine doubles as a harness for the §IV-B completion-detection
+//! contract: it drives a real [`CompletionDetector`] with the same
+//! produce/consume/idle protocol the threaded workers use and asserts, on
+//! every event,
+//!
+//! * **no early signal** — if `try_detect()` returns `true` while any
+//!   payload is still in flight, the detector (or our counting) is broken;
+//! * **bounded liveness** — virtual time may not exceed the budget accrued
+//!   from scheduled packets (a runaway stall/retransmit loop trips it), and
+//!   once the transport drains the detector *must* fire (unless the plan
+//!   deliberately lost messages, in which case it must *not* fire and the
+//!   loss is surfaced in [`PeStats::lost`]).
+//!
+//! Transport reliability is modelled with a take-once payload slab: every
+//! packet's payload is stored once and taken by the first arrival; a
+//! duplicate arrival finds it gone and is suppressed (exactly-once delivery
+//! from an at-least-once wire). A drop without redelivery leaves the
+//! payload stranded — counted as lost at phase end, never silently eaten.
+
+use crate::aggregator::{Aggregator, Envelope, Flush};
+use crate::chare::{Chare, ChareId, Ctx, Message, Sender};
+use crate::completion::CompletionDetector;
+use crate::config::RuntimeConfig;
+use crate::faults::{FaultHook, FaultRng, PlanFaults};
+use crate::stats::{PeStats, PhaseStats, ReductionSlots};
+use crate::tram::Grid2D;
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+use std::time::Instant;
+
+/// Virtual ticks for an intra-process hop (shared-memory handoff).
+const LAT_INTRA: u64 = 1;
+/// Virtual ticks for an inter-process hop (network packet).
+const LAT_REMOTE: u64 = 8;
+/// Virtual ticks from a dropped transmission to its retransmission.
+const LAT_RETRANSMIT: u64 = 64;
+/// Slack added per packet to the virtual-time watchdog budget.
+const WATCHDOG_SLACK: u64 = 16;
+
+/// One scheduled packet arrival. Payloads live in the slab, so events stay
+/// `Copy`-sized and the heap order — `(at, seq)`, with `seq` unique — is
+/// total and deterministic.
+#[derive(Debug, PartialEq, Eq, PartialOrd, Ord)]
+struct Event {
+    at: u64,
+    seq: u64,
+    dst_pe: u32,
+    pkt: u32,
+}
+
+struct OutBuf<M> {
+    items: Vec<(ChareId, M)>,
+}
+
+impl<M: Message> Sender<M> for OutBuf<M> {
+    fn send(&mut self, to: ChareId, msg: M) {
+        self.items.push((to, msg));
+    }
+}
+
+/// The DST engine. `H` decides per-packet fates; the default
+/// [`PlanFaults`] replays [`RuntimeConfig::faults`], while
+/// [`crate::faults::NoFaults`] yields a pure virtual-time scheduler with
+/// every hook call compiled away.
+pub struct VtEngine<M: Message, H: FaultHook = PlanFaults> {
+    cfg: RuntimeConfig,
+    hook: H,
+    /// Deterministic stream for schedule-shaping choices the hook does not
+    /// make (duplicate jitter, idle-flush lane order).
+    order_rng: FaultRng,
+    chares: Vec<Option<Box<dyn Chare<M>>>>,
+    pe_of: Vec<u32>,
+    heap: BinaryHeap<Reverse<Event>>,
+    /// Take-once payload slab: `Some` = in flight, `None` = delivered.
+    slab: Vec<Option<(u32, Vec<Envelope<M>>)>>,
+    /// Envelopes currently in the slab (produced, not yet consumed).
+    in_flight: u64,
+    now: u64,
+    next_seq: u64,
+    /// Virtual-time budget accrued from scheduled packets (watchdog).
+    deadline: u64,
+    stall_until: Vec<u64>,
+    aggregators: Vec<Aggregator<M>>,
+    stats: Vec<PeStats>,
+    reductions: Vec<ReductionSlots>,
+    out: OutBuf<M>,
+    local_q: VecDeque<Envelope<M>>,
+    grid: Grid2D,
+    cd: CompletionDetector,
+}
+
+impl<M: Message> VtEngine<M, PlanFaults> {
+    /// Engine replaying `cfg.faults`.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        Self::with_hook(cfg, PlanFaults::new(cfg.faults))
+    }
+}
+
+impl<M: Message, H: FaultHook> VtEngine<M, H> {
+    /// Engine with an explicit fault hook.
+    pub fn with_hook(cfg: RuntimeConfig, hook: H) -> Self {
+        let n = cfg.n_pes as usize;
+        VtEngine {
+            hook,
+            order_rng: FaultRng::new(cfg.faults.seed ^ 0xD57C0FFEE),
+            chares: Vec::new(),
+            pe_of: Vec::new(),
+            heap: BinaryHeap::new(),
+            slab: Vec::new(),
+            in_flight: 0,
+            now: 0,
+            next_seq: 0,
+            deadline: 0,
+            stall_until: vec![0; n],
+            aggregators: (0..n)
+                .map(|_| Aggregator::new(cfg.n_pes, cfg.aggregation))
+                .collect(),
+            stats: vec![PeStats::default(); n],
+            reductions: vec![ReductionSlots::default(); n],
+            out: OutBuf { items: Vec::new() },
+            local_q: VecDeque::new(),
+            grid: Grid2D::new(cfg.n_pes),
+            cd: CompletionDetector::new(cfg.n_pes),
+            cfg,
+        }
+    }
+
+    /// Register a chare on a PE. Ids must be dense from 0.
+    pub fn add_chare(&mut self, id: ChareId, pe: u32, chare: Box<dyn Chare<M>>) {
+        assert!(pe < self.cfg.n_pes, "pe {pe} out of range");
+        let idx = id.0 as usize;
+        if self.chares.len() <= idx {
+            self.chares.resize_with(idx + 1, || None);
+            self.pe_of.resize(idx + 1, u32::MAX);
+        }
+        assert!(self.chares[idx].is_none(), "duplicate chare id {idx}");
+        self.chares[idx] = Some(chare);
+        self.pe_of[idx] = pe;
+    }
+
+    fn schedule(&mut self, at: u64, dst_pe: u32, pkt: u32) {
+        // Arrivals scheduled while the destination is stalled land no
+        // earlier than the stall's end.
+        let at = at.max(self.stall_until[dst_pe as usize]);
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Reverse(Event {
+            at,
+            seq,
+            dst_pe,
+            pkt,
+        }));
+    }
+
+    /// Ship one packet from `src` to `dst`, consulting the fault hook.
+    fn send_packet(&mut self, src: u32, dst: u32, envelopes: Vec<Envelope<M>>) {
+        let same_proc = self.cfg.smp.same_process(src, dst);
+        if !same_proc {
+            self.stats[src as usize].network_packets += 1;
+        }
+        let fate = self.hook.packet_fate(src, dst);
+        if fate.stall_ticks > 0 {
+            let s = &mut self.stall_until[dst as usize];
+            *s = (*s).max(self.now) + fate.stall_ticks;
+        }
+        let base = if same_proc { LAT_INTRA } else { LAT_REMOTE };
+        let t0 = self.now + base + fate.extra_delay;
+        // Watchdog budget: the latest arrival this send can generate is the
+        // duplicate's jittered copy (< base + 2·(base + retransmit)) or the
+        // retransmission (t0 + retransmit), on top of any stall this packet
+        // opens. Each send accrues that allowance, so virtual time beyond
+        // the budget means the schedule is feeding on itself.
+        self.deadline = self
+            .deadline
+            .max(self.now)
+            .saturating_add(fate.extra_delay + fate.stall_ticks + 3 * (base + LAT_RETRANSMIT))
+            .saturating_add(WATCHDOG_SLACK);
+        self.in_flight += envelopes.len() as u64;
+        let pkt = self.slab.len() as u32;
+        self.slab.push(Some((src, envelopes)));
+        if fate.drop {
+            self.stats[src as usize].faults_dropped += 1;
+            if fate.redeliver {
+                self.schedule(t0 + LAT_RETRANSMIT, dst, pkt);
+            }
+            // No redelivery: the payload stays stranded in the slab and is
+            // reported as lost at phase end.
+            return;
+        }
+        self.schedule(t0, dst, pkt);
+        if fate.duplicate {
+            // Independent jitter, so the copy may overtake the original.
+            let jitter = self.order_rng.below(2 * (base + LAT_RETRANSMIT));
+            self.schedule(self.now + base + jitter, dst, pkt);
+        }
+    }
+
+    fn emit(&mut self, src: u32, flush: Flush<M>) {
+        match flush {
+            Flush::Packet(p) => self.send_packet(src, p.dst_pe, p.envelopes),
+            Flush::Single {
+                dst_pe, to, msg, ..
+            } => self.send_packet(src, dst_pe, vec![Envelope { to, msg }]),
+        }
+    }
+
+    /// Route one outgoing message from a chare running on `src`.
+    fn route(&mut self, src: u32, to: ChareId, msg: M) {
+        let dst = self.pe_of[to.0 as usize];
+        debug_assert_ne!(dst, u32::MAX, "send to unregistered chare {}", to.0);
+        if dst == src {
+            self.stats[src as usize].sent_self += 1;
+            self.local_q.push_back(Envelope { to, msg });
+            return;
+        }
+        self.cd.produce(src, 1);
+        let hop = if self.cfg.smp.same_process(src, dst) {
+            self.stats[src as usize].sent_intra += 1;
+            dst
+        } else {
+            let st = &mut self.stats[src as usize];
+            st.sent_remote += 1;
+            st.remote_bytes += msg.size_bytes() as u64;
+            if self.cfg.aggregation.tram_2d {
+                self.grid.next_hop(src, dst)
+            } else {
+                dst
+            }
+        };
+        if let Some(flush) = self.aggregators[src as usize].push(hop, to, msg) {
+            self.emit(src, flush);
+        }
+    }
+
+    /// Execute one envelope owned by `pe` (no TRAM relay check here).
+    fn run_chare(&mut self, pe: u32, env: Envelope<M>) {
+        let idx = env.to.0 as usize;
+        let mut chare = self.chares[idx]
+            .take()
+            .unwrap_or_else(|| panic!("message for unregistered chare {idx}"));
+        let start = Instant::now();
+        {
+            let mut ctx = Ctx {
+                sender: &mut self.out,
+                reductions: &mut self.reductions[pe as usize],
+                self_id: env.to,
+            };
+            chare.receive(env.msg, &mut ctx);
+        }
+        let elapsed = start.elapsed().as_nanos() as u64;
+        self.chares[idx] = Some(chare);
+        let st = &mut self.stats[pe as usize];
+        st.busy_ns += elapsed;
+        st.processed += 1;
+        let mut items = std::mem::take(&mut self.out.items);
+        for (to, msg) in items.drain(..) {
+            self.route(pe, to, msg);
+        }
+        self.out.items = items;
+    }
+
+    /// Handle one arriving envelope at `pe`: relay it (TRAM intermediate
+    /// hop) or execute it plus everything it self-enqueues.
+    fn handle_envelope(&mut self, pe: u32, env: Envelope<M>) {
+        if self.pe_of[env.to.0 as usize] != pe {
+            debug_assert!(self.cfg.aggregation.tram_2d);
+            self.stats[pe as usize].forwarded += 1;
+            self.cd.produce(pe, 1);
+            let dst = self.pe_of[env.to.0 as usize];
+            let hop = self.grid.next_hop(pe, dst);
+            if let Some(flush) = self.aggregators[pe as usize].push(hop, env.to, env.msg) {
+                self.emit(pe, flush);
+            }
+            return;
+        }
+        self.run_chare(pe, env);
+        while let Some(e) = self.local_q.pop_front() {
+            self.run_chare(pe, e);
+        }
+    }
+
+    /// Pop and process one event. Returns `false` when the heap is empty.
+    fn step(&mut self) -> bool {
+        let Some(Reverse(ev)) = self.heap.pop() else {
+            return false;
+        };
+        debug_assert!(ev.at >= self.now, "virtual time went backwards");
+        self.now = ev.at;
+        assert!(
+            self.now <= self.deadline,
+            "virtual-time watchdog: t={} exceeds budget {} — runaway stall/retransmit schedule",
+            self.now,
+            self.deadline
+        );
+        let pe = ev.dst_pe;
+        match self.slab[ev.pkt as usize].take() {
+            None => {
+                // The payload was already taken: this arrival is the
+                // duplicate (or the late original the duplicate overtook).
+                self.stats[pe as usize].faults_dup_suppressed += 1;
+            }
+            Some((_src, mut envelopes)) => {
+                self.in_flight -= envelopes.len() as u64;
+                self.cd.set_idle(pe, false);
+                let n = envelopes.len() as u64;
+                for env in envelopes.drain(..) {
+                    self.handle_envelope(pe, env);
+                }
+                self.cd.consume(pe, n);
+                self.aggregators[pe as usize].recycle(envelopes);
+                let idle = self.aggregators[pe as usize].is_empty();
+                self.cd.set_idle(pe, idle);
+            }
+        }
+        // §IV-B contract, checked on every event: the detector may only
+        // signal when nothing is in flight and no lane holds a message.
+        if self.cd.try_detect() {
+            assert_eq!(
+                self.in_flight, 0,
+                "completion detection signalled early: {} envelope(s) still in flight at t={}",
+                self.in_flight, self.now
+            );
+        }
+        true
+    }
+
+    /// Flush every dirty aggregation lane in a seeded order (reordering
+    /// across lanes is itself a fault surface). Returns whether anything
+    /// was flushed.
+    fn idle_flush(&mut self) -> bool {
+        let mut flushed = false;
+        let mut order: Vec<u32> = (0..self.cfg.n_pes).collect();
+        // Fisher–Yates with the engine's deterministic stream.
+        for i in (1..order.len()).rev() {
+            let j = self.order_rng.below(i as u64 + 1) as usize;
+            order.swap(i, j);
+        }
+        for pe in order {
+            let packets = self.aggregators[pe as usize].flush_all_permuted(&mut self.order_rng);
+            for packet in packets {
+                self.send_packet(pe, packet.dst_pe, packet.envelopes);
+                flushed = true;
+            }
+            if self.aggregators[pe as usize].is_empty() {
+                self.cd.set_idle(pe, true);
+            }
+        }
+        flushed
+    }
+
+    /// Run one phase to completion under the fault schedule.
+    pub fn run_phase(&mut self, injections: Vec<(ChareId, M)>) -> PhaseStats {
+        for s in &mut self.stats {
+            *s = PeStats::default();
+        }
+        for r in &mut self.reductions {
+            r.clear();
+        }
+        self.cd.reset();
+        self.now = 0;
+        self.deadline = WATCHDOG_SLACK;
+        self.next_seq = 0;
+        self.slab.clear();
+        self.in_flight = 0;
+        self.stall_until.iter_mut().for_each(|s| *s = 0);
+        // All PEs start drained and flushed.
+        for pe in 0..self.cfg.n_pes {
+            self.cd.set_idle(pe, true);
+        }
+        for (to, msg) in injections {
+            let pe = self.pe_of[to.0 as usize];
+            // Injections are produced by the coordinator (as in the
+            // threaded engine) and ride the faulty transport like any
+            // other packet.
+            self.cd.produce(pe, 1);
+            self.send_packet(pe, pe, vec![Envelope { to, msg }]);
+        }
+        loop {
+            while self.step() {}
+            if !self.idle_flush() {
+                break;
+            }
+        }
+        // Quiescence: heap empty, all lanes flushed. Account any payloads a
+        // non-benign plan stranded in the slab.
+        let mut lost = 0u64;
+        for (src, envelopes) in self.slab.drain(..).flatten() {
+            let n = envelopes.len() as u64;
+            self.stats[src as usize].lost += n;
+            lost += n;
+        }
+        self.in_flight = 0;
+        if lost == 0 {
+            // Bounded liveness: with nothing lost, the detector must fire
+            // the moment the transport drains.
+            assert!(
+                self.cd.try_detect(),
+                "completion detection failed to fire at quiescence \
+                 (produced {}, consumed {})",
+                self.cd.total_produced(),
+                self.cd.total_consumed()
+            );
+            debug_assert_eq!(self.cd.total_produced(), self.cd.total_consumed());
+        } else {
+            // Messages were lost: produced > consumed, so the detector must
+            // *not* report completion — the phase ends only because the
+            // lossy transport is out of packets, and the loss is visible in
+            // the stats.
+            assert!(
+                !self.cd.try_detect(),
+                "completion detection fired despite {lost} lost message(s)"
+            );
+        }
+        let mut reductions = ReductionSlots::default();
+        for r in &self.reductions {
+            reductions.merge(r);
+        }
+        PhaseStats {
+            per_pe: self.stats.clone(),
+            reductions,
+        }
+    }
+
+    /// Tear down, returning all chares (sorted by id).
+    pub fn into_chares(self) -> Vec<(ChareId, Box<dyn Chare<M>>)> {
+        self.chares
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (ChareId(i as u32), c)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::RuntimeConfig;
+    use crate::faults::{FaultPlan, NoFaults};
+
+    struct Relay {
+        next: ChareId,
+        seen: u64,
+    }
+
+    #[derive(Debug)]
+    struct Token(u64);
+    impl Message for Token {}
+
+    impl Chare<Token> for Relay {
+        fn receive(&mut self, msg: Token, ctx: &mut Ctx<'_, Token>) {
+            self.seen += 1;
+            ctx.contribute(0, 1);
+            if msg.0 > 0 {
+                ctx.send(self.next, Token(msg.0 - 1));
+            }
+        }
+
+        fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+            self
+        }
+    }
+
+    fn ring(n_chares: u32, cfg: RuntimeConfig) -> VtEngine<Token> {
+        let mut eng = VtEngine::new(cfg);
+        for i in 0..n_chares {
+            eng.add_chare(
+                ChareId(i),
+                i % cfg.n_pes,
+                Box::new(Relay {
+                    next: ChareId((i + 1) % n_chares),
+                    seen: 0,
+                }),
+            );
+        }
+        eng
+    }
+
+    #[test]
+    fn token_ring_completes_fault_free() {
+        let mut eng = ring(8, RuntimeConfig::dst(4, FaultPlan::none(1)));
+        let stats = eng.run_phase(vec![(ChareId(0), Token(100))]);
+        assert_eq!(stats.reduction(0), 101);
+        assert_eq!(stats.totals().processed, 101);
+        assert_eq!(stats.totals().lost, 0);
+    }
+
+    #[test]
+    fn every_grid_plan_preserves_the_outcome() {
+        let reference = {
+            let mut eng = ring(8, RuntimeConfig::dst(4, FaultPlan::none(0)));
+            eng.run_phase(vec![(ChareId(0), Token(200))]).reduction(0)
+        };
+        for plan in FaultPlan::GRID {
+            for seed in [1u64, 2, 3] {
+                let cfg = RuntimeConfig::dst(4, plan.with_seed(seed));
+                let mut eng = ring(8, cfg);
+                let stats = eng.run_phase(vec![(ChareId(0), Token(200))]);
+                assert_eq!(stats.reduction(0), reference, "{plan:?} seed {seed}");
+                assert_eq!(stats.totals().lost, 0, "{plan:?} seed {seed}");
+            }
+        }
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_not_applied() {
+        let mut plan = FaultPlan::duplicates(9);
+        plan.dup_permille = 1000; // duplicate every packet
+        let mut eng = ring(6, RuntimeConfig::dst(3, plan));
+        let stats = eng.run_phase(vec![(ChareId(0), Token(50))]);
+        assert_eq!(stats.reduction(0), 51, "duplicates must not re-execute");
+        assert!(stats.totals().faults_dup_suppressed > 0);
+    }
+
+    #[test]
+    fn drops_with_redelivery_lose_nothing() {
+        let mut plan = FaultPlan::drops(3);
+        plan.drop_permille = 1000; // every first transmission lost
+        let mut eng = ring(6, RuntimeConfig::dst(3, plan));
+        let stats = eng.run_phase(vec![(ChareId(0), Token(50))]);
+        assert_eq!(stats.reduction(0), 51);
+        assert!(stats.totals().faults_dropped > 0);
+        assert_eq!(stats.totals().lost, 0);
+    }
+
+    #[test]
+    fn lossy_plan_loses_messages_and_reports_them() {
+        let mut eng = ring(6, RuntimeConfig::dst(3, FaultPlan::lossy(5)));
+        let stats = eng.run_phase(vec![(ChareId(0), Token(50))]);
+        // Even the injection is dropped: nothing executes, everything is
+        // accounted as lost rather than silently vanishing.
+        assert_eq!(stats.reduction(0), 0);
+        assert!(stats.totals().lost > 0);
+    }
+
+    #[test]
+    fn stalls_delay_but_never_break_completion() {
+        let mut plan = FaultPlan::stalls(11);
+        plan.stall_permille = 300;
+        let mut eng = ring(8, RuntimeConfig::dst(4, plan));
+        for round in 0..3 {
+            let stats = eng.run_phase(vec![(ChareId(0), Token(80))]);
+            assert_eq!(stats.reduction(0), 81, "round {round}");
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule_different_seed_different_schedule() {
+        let run = |seed: u64| {
+            let cfg = RuntimeConfig::dst(4, FaultPlan::chaos(seed));
+            let mut eng = ring(8, cfg);
+            let s = eng.run_phase(vec![(ChareId(0), Token(120))]);
+            (
+                s.reduction(0),
+                s.totals().faults_dropped,
+                s.totals().faults_dup_suppressed,
+            )
+        };
+        let a = run(7);
+        let b = run(7);
+        assert_eq!(a, b, "same seed must replay the identical schedule");
+        // Outcomes agree across seeds; the fault schedule itself differs.
+        let c = run(8);
+        assert_eq!(a.0, c.0);
+    }
+
+    #[test]
+    fn no_faults_hook_is_a_pure_virtual_time_scheduler() {
+        let cfg = RuntimeConfig::dst(4, FaultPlan::none(0));
+        let mut eng: VtEngine<Token, NoFaults> = VtEngine::with_hook(cfg, NoFaults);
+        for i in 0..8u32 {
+            eng.add_chare(
+                ChareId(i),
+                i % 4,
+                Box::new(Relay {
+                    next: ChareId((i + 1) % 8),
+                    seen: 0,
+                }),
+            );
+        }
+        let stats = eng.run_phase(vec![(ChareId(0), Token(40))]);
+        assert_eq!(stats.reduction(0), 41);
+        assert_eq!(stats.totals().faults_dropped, 0);
+        assert_eq!(stats.totals().faults_dup_suppressed, 0);
+    }
+
+    #[test]
+    fn tram_routing_survives_chaos() {
+        let mut cfg = RuntimeConfig::dst(16, FaultPlan::chaos(21));
+        cfg.smp.pes_per_process = 1;
+        cfg.aggregation.tram_2d = true;
+        let mut eng = ring(16, cfg);
+        let stats = eng.run_phase(vec![(ChareId(0), Token(300))]);
+        assert_eq!(stats.reduction(0), 301);
+        assert_eq!(stats.totals().lost, 0);
+    }
+
+    #[test]
+    fn empty_phase_terminates_immediately() {
+        let mut eng = ring(4, RuntimeConfig::dst(2, FaultPlan::chaos(1)));
+        let stats = eng.run_phase(vec![]);
+        assert_eq!(stats.totals().processed, 0);
+    }
+
+    #[test]
+    fn chares_survive_phases_and_return() {
+        let mut eng = ring(5, RuntimeConfig::dst(2, FaultPlan::reorder(2)));
+        eng.run_phase(vec![(ChareId(0), Token(9))]);
+        let chares = eng.into_chares();
+        assert_eq!(chares.len(), 5);
+        assert_eq!(chares[3].0, ChareId(3));
+    }
+}

@@ -3,7 +3,8 @@
 //! identical application results for randomized message storms.
 
 use chare_rt::{
-    AggregationConfig, Chare, ChareId, Ctx, ExecMode, Message, Runtime, RuntimeConfig, SmpConfig,
+    AggregationConfig, Chare, ChareId, Ctx, ExecMode, FaultPlan, Message, Runtime, RuntimeConfig,
+    SmpConfig,
 };
 use proptest::prelude::*;
 
@@ -117,6 +118,8 @@ proptest! {
                 tram_2d: tram,
             },
             sync: Default::default(),
+            faults: FaultPlan::none(0),
+            watchdog_secs: 30,
         };
         // Reference: one sequential PE.
         let reference = run_storm(make(ExecMode::Sequential, 1), n_chares, hops, &seeds);
@@ -127,5 +130,11 @@ proptest! {
         // Threaded at a modest width (thread spawn cost bounds the sweep).
         let thr = run_storm(make(ExecMode::Threads, pes.min(3)), n_chares, hops, &seeds);
         prop_assert_eq!(thr, reference);
+        // The DST engine under a chaotic-but-benign fault plan must agree
+        // too: delivery timing is not allowed to change application results.
+        let mut dst = make(ExecMode::VirtualTime, pes);
+        dst.faults = FaultPlan::chaos(seed);
+        let vt = run_storm(dst, n_chares, hops, &seeds);
+        prop_assert_eq!(vt, reference);
     }
 }

@@ -30,6 +30,36 @@ pub struct DayStats {
     pub infections_by_kind: [u64; 5],
 }
 
+/// FNV-1a over every field of the epidemic curve, in declaration order;
+/// bit-identical output across kernel versions, runtime engines, and fault
+/// schedules is the determinism contract of record (DESIGN.md §7). The
+/// pinned baseline value lives in `results/hotpath_baseline.json`.
+pub fn curve_hash(days: &[DayStats]) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+    };
+    for d in days {
+        mix(d.day as u64);
+        mix(d.new_infections);
+        mix(d.infected_now);
+        mix(d.susceptible);
+        mix(d.symptomatic);
+        mix(d.cumulative);
+        mix(d.visits);
+        mix(d.events);
+        mix(d.interactions);
+        mix(d.infects_sent);
+        for &k in &d.infections_by_kind {
+            mix(k);
+        }
+    }
+    h
+}
+
 /// A full run's day-by-day curve.
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct EpiCurve {
@@ -67,6 +97,11 @@ impl EpiCurve {
     /// New-infection series (for quick comparisons in tests).
     pub fn new_infection_series(&self) -> Vec<u64> {
         self.days.iter().map(|d| d.new_infections).collect()
+    }
+
+    /// The curve's FNV-1a determinism hash (see [`curve_hash`]).
+    pub fn hash(&self) -> u64 {
+        curve_hash(&self.days)
     }
 
     /// Render as a TSV table, one row per day.
@@ -148,5 +183,18 @@ mod tests {
         let t = curve().to_tsv();
         assert!(t.starts_with("day\t"));
         assert_eq!(t.lines().count(), 5);
+    }
+
+    #[test]
+    fn curve_hash_is_stable_and_sensitive() {
+        let c = curve();
+        assert_eq!(c.hash(), curve_hash(&c.days));
+        assert_eq!(curve_hash(&[]), 0xcbf29ce484222325, "FNV offset basis");
+        let mut later = c.clone();
+        later.days[2].interactions += 1;
+        assert_ne!(c.hash(), later.hash(), "every field is hashed");
+        let mut reordered = c.clone();
+        reordered.days.swap(0, 1);
+        assert_ne!(c.hash(), reordered.hash(), "day order is hashed");
     }
 }

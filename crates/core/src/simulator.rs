@@ -361,6 +361,21 @@ impl Simulator {
         (run, states, features)
     }
 
+    /// Engine-agnostic entry point: build a simulator and run it to the
+    /// epidemic curve under any [`RuntimeConfig`] — sequential, threaded,
+    /// or the virtual-time DST engine with a fault plan. The conformance
+    /// suites call this once per (engine, fault plan, seed) cell and
+    /// compare [`EpiCurve::hash`] values; DESIGN.md §7 requires them to be
+    /// identical for every engine and every benign plan.
+    pub fn run_curve(
+        dist: &DataDistribution,
+        ptts: Ptts,
+        cfg: SimConfig,
+        rt_cfg: RuntimeConfig,
+    ) -> EpiCurve {
+        Simulator::new(dist, ptts, cfg, rt_cfg).run().curve
+    }
+
     /// Run the full simulation.
     pub fn run(mut self) -> SimRun {
         let population = self.shared.pop.n_people() as u64;

@@ -31,5 +31,7 @@ pub mod transmission;
 pub use crng::CounterRng;
 pub use disease::{flu_model, seirs_model, sir_model};
 pub use intervention::{Action, Intervention, InterventionSet, Trigger};
-pub use model::{DwellDist, HealthTracker, Ptts, PttsBuilder, StateId, TreatmentId};
+pub use model::{
+    DwellDist, HealthTracker, Ptts, PttsBuilder, StateId, TransitionTable, TreatmentId,
+};
 pub use transmission::{combined_infection_prob, infection_prob};

@@ -106,18 +106,27 @@ impl TransitionTable {
         TransitionTable { edges }
     }
 
-    /// Sample a successor state.
+    /// Sample a successor state. States with probability zero are never
+    /// returned.
     pub fn sample(&self, rng: &mut CounterRng) -> StateId {
         let u = rng.uniform_f64();
         let mut acc = 0.0;
         for &(s, p) in &self.edges {
             acc += p;
-            if u < acc {
+            if p > 0.0 && u < acc {
                 return s;
             }
         }
-        // Floating-point slack: fall back to the last edge.
-        self.edges.last().unwrap().0
+        // Floating-point slack (the accumulated sum can land a hair under
+        // 1.0): fall back to the last edge with positive probability — the
+        // table's tail may legitimately hold zero-probability edges, and a
+        // fallback to `edges.last()` could select an impossible transition.
+        self.edges
+            .iter()
+            .rev()
+            .find(|&&(_, p)| p > 0.0)
+            .expect("normalized table has a positive-probability edge")
+            .0
     }
 
     /// The successor states and normalized probabilities.
@@ -593,6 +602,26 @@ mod tests {
         let ones = (0..n).filter(|_| t.sample(&mut rng) == StateId(1)).count();
         let frac = ones as f64 / n as f64;
         assert!((frac - 0.8).abs() < 0.01, "frac {frac}");
+    }
+
+    #[test]
+    fn zero_probability_edges_never_sampled() {
+        // A zero-weight edge at the tail must be unreachable even through
+        // the floating-point fallback path.
+        let t = TransitionTable::new(vec![
+            (StateId(0), 0.3),
+            (StateId(1), 0.7),
+            (StateId(2), 0.0),
+        ]);
+        let mut rng = CounterRng::from_key(&[91]);
+        for _ in 0..20_000 {
+            assert_ne!(t.sample(&mut rng), StateId(2));
+        }
+        // Even when the positive mass sits before zero-weight tails only.
+        let t = TransitionTable::new(vec![(StateId(7), 1.0), (StateId(8), 0.0)]);
+        for _ in 0..1000 {
+            assert_eq!(t.sample(&mut rng), StateId(7));
+        }
     }
 
     #[test]

@@ -1,0 +1,174 @@
+//! Property tests for the PTTS health-state machinery: dwell-time samples
+//! respect their distribution's bounds, transition tables stay normalized
+//! under arbitrary positive weights, sampling never selects an impossible
+//! edge, and full trackers honour dwell times for arbitrary seeded
+//! generators.
+
+use proptest::prelude::*;
+use ptts::crng::CounterRng;
+use ptts::{DwellDist, HealthTracker, PttsBuilder, StateId, TransitionTable, TreatmentId};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn dwell_samples_respect_bounds(
+        seed in 0u64..1_000_000,
+        n in 0u32..200,
+        lo in 0u32..50,
+        span in 0u32..50,
+        p in 0.01f64..1.0,
+    ) {
+        let mut rng = CounterRng::from_key(&[seed]);
+        for _ in 0..20 {
+            // Fixed: exactly n days, floored at 1.
+            prop_assert_eq!(DwellDist::Fixed(n).sample(&mut rng), n.max(1));
+            // Uniform: inside the (sanitized) inclusive range.
+            let hi = lo + span;
+            let v = DwellDist::Uniform(lo, hi).sample(&mut rng);
+            prop_assert!(v >= lo.max(1) && v <= hi.max(1), "uniform {v} outside [{lo}, {hi}]");
+            // Geometric: at least one day, finite.
+            let g = DwellDist::Geometric(p).sample(&mut rng);
+            prop_assert!(g >= 1);
+            // Forever: the absorbing sentinel.
+            prop_assert_eq!(DwellDist::Forever.sample(&mut rng), u32::MAX);
+        }
+    }
+
+    #[test]
+    fn dwell_means_match_bounds(
+        lo in 1u32..40,
+        span in 0u32..40,
+        p in 0.01f64..1.0,
+    ) {
+        let hi = lo + span;
+        let m = DwellDist::Uniform(lo, hi).mean().unwrap();
+        prop_assert!(m >= lo as f64 && m <= hi as f64);
+        let g = DwellDist::Geometric(p).mean().unwrap();
+        prop_assert!((g - 1.0 / p).abs() < 1e-9);
+        prop_assert!(DwellDist::Forever.mean().is_none());
+    }
+
+    #[test]
+    fn transition_tables_normalize_any_positive_weights(
+        weights in collection::vec(0.0f64..10.0, 1..6),
+        extra in 0.001f64..10.0,
+        seed in 0u64..1_000_000,
+    ) {
+        // At least one strictly positive weight (the constructor's
+        // contract); the rest may be zero.
+        let mut edges: Vec<(StateId, f64)> = weights
+            .iter()
+            .enumerate()
+            .map(|(i, &w)| (StateId(i as u16), w))
+            .collect();
+        edges.push((StateId(weights.len() as u16), extra));
+        let table = TransitionTable::new(edges.clone());
+
+        // Normalization: probabilities sum to 1, each within [0, 1].
+        let sum: f64 = table.edges().iter().map(|&(_, p)| p).sum();
+        prop_assert!((sum - 1.0).abs() < 1e-9, "sum {sum}");
+        for &(_, p) in table.edges() {
+            prop_assert!((0.0..=1.0).contains(&p));
+        }
+
+        // Sampling: only positive-weight states may ever be returned.
+        let allowed: Vec<StateId> = edges
+            .iter()
+            .filter(|&&(_, w)| w > 0.0)
+            .map(|&(s, _)| s)
+            .collect();
+        let mut rng = CounterRng::from_key(&[seed, 1]);
+        for _ in 0..50 {
+            let s = table.sample(&mut rng);
+            prop_assert!(
+                allowed.contains(&s),
+                "sampled zero-probability state {}", s.0
+            );
+        }
+    }
+
+    #[test]
+    fn tracker_honours_dwell_bounds_for_arbitrary_models(
+        lo in 1u32..10,
+        span in 0u32..10,
+        seed in 0u64..1_000_000,
+        entity in 0u64..10_000,
+    ) {
+        let hi = lo + span;
+        let m = PttsBuilder::new("prop")
+            .state("s", 0.0, 1.0, DwellDist::Forever)
+            .state("i", 0.9, 0.0, DwellDist::Uniform(lo, hi))
+            .state("r", 0.0, 0.0, DwellDist::Forever)
+            .transition("i", TreatmentId::DEFAULT, &[("r", 1.0)])
+            .start("s")
+            .exposed("i")
+            .build()
+            .unwrap();
+        let mut h = HealthTracker::new(&m);
+        prop_assert!(h.infect(&m, seed, entity, 0));
+        let sampled = h.days_remaining;
+        prop_assert!(
+            sampled >= lo && sampled <= hi,
+            "sampled dwell {sampled} outside [{lo}, {hi}]"
+        );
+        // Advance day by day: the state must flip to `r` after exactly the
+        // sampled number of days, never before, never after.
+        for day in 1..=sampled + 2 {
+            h.advance(&m, seed, entity, day as u64);
+            if day < sampled {
+                prop_assert_eq!(h.state, m.exposed_state(), "left early on day {}", day);
+            } else {
+                prop_assert_eq!(
+                    h.state,
+                    m.state_by_name("r").unwrap(),
+                    "wrong state on day {}", day
+                );
+            }
+        }
+        prop_assert_eq!(h.days_remaining, u32::MAX);
+    }
+
+    #[test]
+    fn tracker_trajectories_replay_from_the_seed(
+        seed in 0u64..1_000_000,
+        entity in 0u64..10_000,
+        p_recover in 0.05f64..0.95,
+    ) {
+        // A stochastic model (geometric dwell + probabilistic branch):
+        // trajectories are a pure function of (seed, entity).
+        let build = || {
+            PttsBuilder::new("replay")
+                .state("s", 0.0, 1.0, DwellDist::Forever)
+                .state("i", 0.9, 0.0, DwellDist::Geometric(0.4))
+                .state("w", 0.2, 0.0, DwellDist::Fixed(2))
+                .state("r", 0.0, 0.0, DwellDist::Forever)
+                .transition(
+                    "i",
+                    TreatmentId::DEFAULT,
+                    &[("r", p_recover), ("w", 1.0 - p_recover)],
+                )
+                .transition("w", TreatmentId::DEFAULT, &[("r", 1.0)])
+                .start("s")
+                .exposed("i")
+                .build()
+                .unwrap()
+        };
+        let run = |m: &ptts::Ptts| {
+            let mut h = HealthTracker::new(m);
+            h.infect(m, seed, entity, 0);
+            let mut traj = vec![h.state];
+            for day in 1..40u64 {
+                h.advance(m, seed, entity, day);
+                traj.push(h.state);
+            }
+            traj
+        };
+        let m1 = build();
+        let m2 = build();
+        prop_assert_eq!(run(&m1), run(&m2));
+        // The walk always terminates in the absorbing state.
+        let last = *run(&m1).last().unwrap();
+        prop_assert_eq!(last, m1.state_by_name("r").unwrap());
+    }
+}

@@ -1,0 +1,125 @@
+//! Epidemic-level cross-engine conformance (DESIGN.md §7): the same
+//! scenario must produce the identical epidemic-curve FNV hash on the
+//! sequential engine, the threaded engine, and the virtual-time DST engine
+//! under every benign fault plan — across a grid of seeds × plans. The
+//! lossy plan is the negative control: it must be caught.
+
+use episimdemics::chare_rt::{FaultPlan, RuntimeConfig};
+use episimdemics::core::distribution::{DataDistribution, Strategy};
+use episimdemics::core::simulator::{SimConfig, Simulator};
+use episimdemics::ptts::flu_model;
+use episimdemics::synthpop::{Population, PopulationConfig};
+
+fn pop() -> Population {
+    Population::generate(&PopulationConfig::small("CONF", 1000, 19))
+}
+
+fn sim_cfg(seed: u64) -> SimConfig {
+    SimConfig {
+        days: 12,
+        r: 0.0015,
+        seed,
+        initial_infections: 6,
+        ..Default::default()
+    }
+}
+
+fn curve_hash_under(dist: &DataDistribution, seed: u64, rt: RuntimeConfig) -> u64 {
+    Simulator::run_curve(dist, flu_model(), sim_cfg(seed), rt).hash()
+}
+
+/// 8 seeds × {sequential, threaded, DST under 5 benign fault plans}: one
+/// hash per seed. Message delay, lane reordering, duplicate delivery,
+/// drop-with-redelivery, and PE stalls are all invisible to the epidemic.
+#[test]
+fn epidemic_hash_identical_across_engines_and_fault_plans() {
+    let pop = pop();
+    let dist = DataDistribution::build(&pop, Strategy::GraphPartition, 4, 19);
+    let plans: [fn(u64) -> FaultPlan; 5] = [
+        FaultPlan::reorder,
+        FaultPlan::duplicates,
+        FaultPlan::drops,
+        FaultPlan::stalls,
+        FaultPlan::chaos,
+    ];
+    let mut hashes = Vec::new();
+    for seed in 1..=8u64 {
+        let reference = curve_hash_under(&dist, seed, RuntimeConfig::sequential(4));
+        let threaded = curve_hash_under(&dist, seed, RuntimeConfig::threaded(3));
+        assert_eq!(threaded, reference, "threaded diverged at seed {seed}");
+        for (pi, plan) in plans.iter().enumerate() {
+            let rt = RuntimeConfig::dst(4, plan(seed * 1000 + pi as u64));
+            let dst = curve_hash_under(&dist, seed, rt);
+            assert_eq!(
+                dst, reference,
+                "DST engine diverged at seed {seed}, plan {pi}"
+            );
+        }
+        hashes.push(reference);
+    }
+    // The per-seed hashes themselves must differ — if they collided, the
+    // grid would be vacuous.
+    hashes.sort_unstable();
+    hashes.dedup();
+    assert_eq!(hashes.len(), 8, "seeds must produce distinct epidemics");
+}
+
+/// Negative control (EXPERIMENTS.md): a transport that drops messages
+/// without redelivery must change the epidemic hash and report the loss.
+/// If this test ever passes with `lost == 0` or equal hashes, the
+/// conformance suite has stopped testing anything.
+#[test]
+fn negative_control_lossy_transport_changes_the_epidemic() {
+    let pop = pop();
+    let dist = DataDistribution::build(&pop, Strategy::GraphPartition, 4, 19);
+    let reference =
+        Simulator::run_curve(&dist, flu_model(), sim_cfg(3), RuntimeConfig::sequential(4));
+
+    // Partial loss: drop 30% of first transmissions, never redeliver.
+    let mut plan = FaultPlan::lossy(7);
+    plan.drop_permille = 300;
+    let run = Simulator::new(&dist, flu_model(), sim_cfg(3), RuntimeConfig::dst(4, plan)).run();
+    let lost: u64 = run
+        .perf
+        .iter()
+        .map(|d| {
+            d.person_phase.totals().lost
+                + d.location_phase.totals().lost
+                + d.apply_phase.totals().lost
+        })
+        .sum();
+    assert!(lost > 0, "lossy plan must report lost messages");
+    assert_ne!(
+        run.curve.hash(),
+        reference.hash(),
+        "losing 30% of messages must change the epidemic curve"
+    );
+}
+
+/// What MAY vary across engines and benign plans: wall time, packet
+/// counts, per-PE message splits. What must NOT: the curve hash. This
+/// pins the contract's "allowed to vary" side so it stays honest.
+#[test]
+fn packet_counts_may_vary_but_curve_may_not() {
+    let pop = pop();
+    let dist = DataDistribution::build(&pop, Strategy::RoundRobin, 4, 19);
+    let mut agg_on = RuntimeConfig::dst(4, FaultPlan::reorder(5));
+    agg_on.smp.pes_per_process = 1; // every PE its own process: all remote
+    let mut agg_off = agg_on;
+    agg_off.aggregation.enabled = false;
+    let a = Simulator::new(&dist, flu_model(), sim_cfg(2), agg_on).run();
+    let b = Simulator::new(&dist, flu_model(), sim_cfg(2), agg_off).run();
+    assert_eq!(a.curve.hash(), b.curve.hash());
+    let packets = |r: &episimdemics::core::simulator::SimRun| -> u64 {
+        r.perf
+            .iter()
+            .map(|d| d.person_phase.totals().network_packets)
+            .sum()
+    };
+    assert!(
+        packets(&b) > packets(&a),
+        "aggregation must change packet counts ({} vs {})",
+        packets(&a),
+        packets(&b)
+    );
+}

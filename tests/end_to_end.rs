@@ -215,6 +215,46 @@ fn larger_k_never_changes_epidemiology_only_performance() {
     }
 }
 
+/// Seed-sweep determinism: the same scenario across 8 simulation seeds
+/// must hash identically under {sequential, threaded, threaded without
+/// aggregation} — the per-seed epidemic is a property of the seed, never
+/// of the engine or the packet schedule (DESIGN.md §7).
+#[test]
+fn seed_sweep_identical_hashes_across_engines() {
+    let pop = Population::generate(&PopulationConfig::small("SWEEP", 1000, 13));
+    let dist = DataDistribution::build(&pop, Strategy::GraphPartition, 3, 13);
+    let sim = |seed: u64| SimConfig {
+        days: 12,
+        r: 0.0015,
+        seed,
+        initial_infections: 6,
+        ..Default::default()
+    };
+    let mut thr_noagg = RuntimeConfig::threaded(3);
+    thr_noagg.aggregation.enabled = false;
+    let mut per_seed = Vec::new();
+    for seed in 1..=8u64 {
+        let reference =
+            Simulator::run_curve(&dist, flu_model(), sim(seed), RuntimeConfig::sequential(3))
+                .hash();
+        for (label, rt) in [
+            ("threaded", RuntimeConfig::threaded(3)),
+            ("threaded-noagg", thr_noagg),
+        ] {
+            let h = Simulator::run_curve(&dist, flu_model(), sim(seed), rt).hash();
+            assert_eq!(h, reference, "{label} diverged at seed {seed}");
+        }
+        per_seed.push(reference);
+    }
+    per_seed.sort_unstable();
+    per_seed.dedup();
+    assert_eq!(
+        per_seed.len(),
+        8,
+        "distinct seeds must yield distinct curves"
+    );
+}
+
 /// Pins the exact epidemic produced by (pop seed 77, sim seed 77, 30 days)
 /// against hard-coded values captured from the pre-scratch-kernel
 /// implementation. The location kernel's CRNG draws are keyed purely by
