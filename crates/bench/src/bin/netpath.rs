@@ -1,0 +1,225 @@
+//! Net-engine message-path microbenchmark: per-message cost of the
+//! intra-process path (in-memory queues, zero serialization) versus the
+//! inter-process path (batch serialization + loopback TCP + comm thread),
+//! plus a sweep over the aggregation batch size to show where the wire
+//! cost goes. Writes a machine-readable `BENCH_netpath.json` next to
+//! `BENCH_hotpath.json` (schema "netpath-v1", documented in
+//! EXPERIMENTS.md).
+//!
+//! SPMD note: the inter-process runs re-execute this very binary as their
+//! worker processes. Earlier net-runtime constructions replay standalone
+//! inside the workers (they are deliberately tiny), and each worker exits
+//! inside its target run's teardown — only the root reaches the report.
+//!
+//! Environment knobs (all optional):
+//!   NETPATH_HOPS    hops per injected message       (default 400)
+//!   NETPATH_INJECT  messages injected per phase     (default 8)
+//!   NETPATH_PHASES  timed phases per configuration  (default 3)
+//!   NETPATH_OUT     output JSON path                (default BENCH_netpath.json)
+
+use bytes::{Buf, BufMut, BytesMut};
+use chare_rt::{worker_target, Chare, ChareId, Ctx, Message, Runtime, RuntimeConfig};
+use std::fmt::Write as _;
+use std::time::Instant;
+
+#[derive(Debug, Clone, Copy)]
+struct Hop {
+    remaining: u32,
+    payload: u64,
+}
+
+impl Message for Hop {
+    fn wire_encode(&self, out: &mut BytesMut) {
+        out.put_u32_le(self.remaining);
+        out.put_u64_le(self.payload);
+    }
+
+    fn wire_decode(buf: &mut &[u8]) -> Option<Self> {
+        if buf.remaining() < 12 {
+            return None;
+        }
+        Some(Hop {
+            remaining: buf.get_u32_le(),
+            payload: buf.get_u64_le(),
+        })
+    }
+}
+
+struct Acc {
+    next: ChareId,
+    sum: u64,
+}
+
+impl Chare<Hop> for Acc {
+    fn receive(&mut self, msg: Hop, ctx: &mut Ctx<'_, Hop>) {
+        self.sum += msg.payload;
+        ctx.contribute(0, 1);
+        if msg.remaining > 0 {
+            ctx.send(
+                self.next,
+                Hop {
+                    remaining: msg.remaining - 1,
+                    payload: msg.payload.wrapping_add(1),
+                },
+            );
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+const N_CHARES: u32 = 8;
+
+fn env_or<T: std::str::FromStr>(key: &str, default: T) -> T {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+#[derive(Clone, Copy, Default)]
+struct RunResult {
+    wall_s: f64,
+    processed: u64,
+    ns_per_msg: f64,
+    remote_msgs: u64,
+    wire_frames_sent: u64,
+    wire_bytes_sent: u64,
+}
+
+/// Run `phases` timed phases of ring traffic on 2 PEs. Chares are placed
+/// alternating PE 0 / PE 1, so with one process every hop is an
+/// intra-process cross-PE send, and with two single-PE processes every hop
+/// crosses the wire — the two configurations differ *only* in the path a
+/// message takes.
+fn run_ring(cfg: RuntimeConfig, phases: u32, inject: u32, hops: u32) -> RunResult {
+    let mut rt: Runtime<Hop> = Runtime::new(cfg);
+    for i in 0..N_CHARES {
+        rt.add_chare(
+            ChareId(i),
+            i % 2,
+            Box::new(Acc {
+                next: ChareId((i + 1) % N_CHARES),
+                sum: 0,
+            }),
+        );
+    }
+    let injections = |phase: u32| -> Vec<(ChareId, Hop)> {
+        (0..inject)
+            .map(|m| {
+                (
+                    ChareId((phase + m) % N_CHARES),
+                    Hop {
+                        remaining: hops,
+                        payload: u64::from(m) + 1,
+                    },
+                )
+            })
+            .collect()
+    };
+    // One warmup phase: pays socket buffer growth and allocator warm-up.
+    rt.run_phase(injections(0));
+    let mut out = RunResult::default();
+    let t0 = Instant::now();
+    for phase in 1..=phases {
+        let stats = rt.run_phase(injections(phase));
+        let t = stats.totals();
+        out.processed += t.processed;
+        out.remote_msgs += t.sent_remote;
+        out.wire_frames_sent += t.wire_frames_sent;
+        out.wire_bytes_sent += t.wire_bytes_sent;
+    }
+    out.wall_s = t0.elapsed().as_secs_f64();
+    out.ns_per_msg = if out.processed > 0 {
+        out.wall_s * 1e9 / out.processed as f64
+    } else {
+        0.0
+    };
+    out
+}
+
+fn main() {
+    let hops: u32 = env_or("NETPATH_HOPS", 400);
+    let inject: u32 = env_or("NETPATH_INJECT", 8);
+    let phases: u32 = env_or("NETPATH_PHASES", 3);
+    let out_path: String = env_or("NETPATH_OUT", "BENCH_netpath.json".to_string());
+    let is_root = worker_target().is_none();
+
+    if is_root {
+        eprintln!(
+            "netpath: ring of {N_CHARES} chares on 2 PEs, {inject} injections × {hops} hops × {phases} phases"
+        );
+    }
+
+    // Intra-process: the standalone net engine, in-memory queues only.
+    let intra = run_ring(RuntimeConfig::net(2, 1), phases, inject, hops);
+    // Inter-process: identical topology, every hop serialized over loopback.
+    let inter = run_ring(RuntimeConfig::net(2, 2), phases, inject, hops);
+
+    // Aggregation sweep on the inter-process path: batch size trades
+    // per-frame overhead against latency.
+    let batches = [1u32, 8, 64, 256];
+    let mut sweep = Vec::new();
+    for &b in &batches {
+        let mut cfg = RuntimeConfig::net(2, 2);
+        cfg.aggregation.max_batch = b;
+        sweep.push((b, run_ring(cfg, phases, inject, hops)));
+    }
+
+    // Workers exited inside their runs; only the root reports.
+    if !is_root {
+        return;
+    }
+
+    let ratio = if intra.ns_per_msg > 0.0 {
+        inter.ns_per_msg / intra.ns_per_msg
+    } else {
+        0.0
+    };
+    let run_json = |r: &RunResult| {
+        format!(
+            "{{\"wall_s\": {:.6}, \"messages\": {}, \"ns_per_msg\": {:.1}, \"remote_msgs\": {}, \"wire_frames_sent\": {}, \"wire_bytes_sent\": {}}}",
+            r.wall_s, r.processed, r.ns_per_msg, r.remote_msgs, r.wire_frames_sent, r.wire_bytes_sent
+        )
+    };
+    let mut j = String::new();
+    j.push_str("{\n  \"schema\": \"netpath-v1\",\n");
+    let _ = writeln!(
+        j,
+        "  \"config\": {{\"chares\": {N_CHARES}, \"pes\": 2, \"hops\": {hops}, \"inject\": {inject}, \"phases\": {phases}}},"
+    );
+    let _ = writeln!(j, "  \"intra_process\": {},", run_json(&intra));
+    let _ = writeln!(j, "  \"inter_process\": {},", run_json(&inter));
+    let _ = writeln!(j, "  \"inter_over_intra\": {ratio:.2},");
+    j.push_str("  \"batch_sweep\": [\n");
+    for (i, (b, r)) in sweep.iter().enumerate() {
+        let msgs_per_frame = if r.wire_frames_sent > 0 {
+            r.remote_msgs as f64 / r.wire_frames_sent as f64
+        } else {
+            0.0
+        };
+        let _ = writeln!(
+            j,
+            "    {{\"max_batch\": {b}, \"ns_per_msg\": {:.1}, \"wire_frames_sent\": {}, \"msgs_per_frame\": {msgs_per_frame:.1}}}{}",
+            r.ns_per_msg,
+            r.wire_frames_sent,
+            if i + 1 < sweep.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ]\n}\n");
+    std::fs::write(&out_path, &j).expect("write output json");
+
+    println!(
+        "netpath: intra {:.0} ns/msg | inter {:.0} ns/msg ({ratio:.1}x) | {} wire frames for {} remote msgs",
+        intra.ns_per_msg, inter.ns_per_msg, inter.wire_frames_sent, inter.remote_msgs
+    );
+    for (b, r) in &sweep {
+        println!(
+            "netpath: batch {b:>3} → {:>6.0} ns/msg, {} frames",
+            r.ns_per_msg, r.wire_frames_sent
+        );
+    }
+    println!("netpath: wrote {out_path}");
+}

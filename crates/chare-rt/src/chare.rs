@@ -11,10 +11,36 @@ pub struct ChareId(pub u32);
 /// Application message. `size_bytes` feeds the bandwidth accounting; the
 /// default charges the in-memory size, which applications with heap payloads
 /// should override.
+///
+/// The networked engine ([`crate::net`]) additionally needs a byte codec:
+/// `wire_encode`/`wire_decode` serialize the message into the little-endian
+/// payload of a BATCH frame. The defaults panic, so in-process engines work
+/// without a codec and the net engine fails loudly on a type that lacks one.
 pub trait Message: Send + 'static {
     /// Wire size estimate in bytes.
     fn size_bytes(&self) -> usize {
         std::mem::size_of_val(self)
+    }
+
+    /// Serialize for cross-process transport (little-endian, via the
+    /// `bytes` shim). Required only by [`crate::config::ExecMode::Net`].
+    fn wire_encode(&self, _out: &mut bytes::BytesMut) {
+        panic!(
+            "{} has no wire codec; implement Message::wire_encode/wire_decode to use the net engine",
+            std::any::type_name::<Self>()
+        );
+    }
+
+    /// Deserialize one message, advancing `buf` past it. Returns `None` on
+    /// a malformed payload (the transport treats that as fatal).
+    fn wire_decode(_buf: &mut &[u8]) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        panic!(
+            "{} has no wire codec; implement Message::wire_encode/wire_decode to use the net engine",
+            std::any::type_name::<Self>()
+        );
     }
 }
 

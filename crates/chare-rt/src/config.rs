@@ -17,6 +17,40 @@ pub enum ExecMode {
     /// plan's faults (delay, reorder, duplicate, drop, stall). Test-only by
     /// intent; results must match the other engines exactly.
     VirtualTime,
+    /// Networked multi-process engine: [`NetConfig::n_procs`] OS processes
+    /// (the root plus re-executed workers), each owning a contiguous PE
+    /// range, exchanging length-prefixed frames over loopback TCP with a
+    /// dedicated comm thread per process (§IV-A made real). See
+    /// [`crate::net`].
+    Net,
+}
+
+/// Networked-engine settings, honoured only by [`ExecMode::Net`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NetConfig {
+    /// Total process count (root + workers). `1` runs the net engine's
+    /// compute loop without any sockets.
+    pub n_procs: u32,
+    /// Fault-injection knob for the conformance suite: the worker with this
+    /// rank exits abruptly when it enters phase [`NetConfig::kill_phase`].
+    /// `u32::MAX` (the default) disables the kill.
+    pub kill_rank: u32,
+    /// Phase number (1-based) at which `kill_rank` dies.
+    pub kill_phase: u32,
+    /// Deadline in milliseconds for the socket mesh to come up (worker
+    /// spawn → HELLO → PEERS → MESH_OK).
+    pub connect_timeout_ms: u32,
+}
+
+impl Default for NetConfig {
+    fn default() -> Self {
+        NetConfig {
+            n_procs: 1,
+            kill_rank: u32::MAX,
+            kill_phase: 0,
+            connect_timeout_ms: 30_000,
+        }
+    }
 }
 
 /// SMP topology (§IV-A): `n` cores per node, `k` processes per node, one
@@ -107,12 +141,14 @@ pub struct RuntimeConfig {
     /// production engines carry no fault hooks at all. Keep
     /// [`FaultPlan::none`] elsewhere (the default).
     pub faults: FaultPlan,
-    /// Threaded-engine phase watchdog in seconds (`0` = disabled): if
+    /// Threaded/net-engine phase watchdog in seconds (`0` = disabled): if
     /// completion detection has not fired after this long, the coordinator
     /// panics with the detector's counters instead of spinning forever — a
     /// hung conformance run becomes a diagnosable failure, not a CI
     /// timeout.
     pub watchdog_secs: u16,
+    /// Networked-engine settings, honoured only by [`ExecMode::Net`].
+    pub net: NetConfig,
 }
 
 impl RuntimeConfig {
@@ -130,6 +166,7 @@ impl RuntimeConfig {
             sync: SyncMode::CompletionDetection,
             faults: FaultPlan::none(0),
             watchdog_secs: 0,
+            net: NetConfig::default(),
         }
     }
 
@@ -148,6 +185,32 @@ impl RuntimeConfig {
         RuntimeConfig {
             mode: ExecMode::VirtualTime,
             faults: plan,
+            ..Self::sequential(n_pes)
+        }
+    }
+
+    /// A networked multi-process runtime: `n_pes` PEs split evenly over
+    /// `n_procs` OS processes connected by a loopback TCP mesh. PE ranges
+    /// are contiguous per process (`SmpConfig::process_of` stays the
+    /// single source of truth for PE→process mapping), and the default
+    /// 30-second watchdog turns a hung socket into a diagnosable panic.
+    pub fn net(n_pes: u32, n_procs: u32) -> Self {
+        assert!(n_procs >= 1, "need at least one process");
+        assert!(
+            n_pes.is_multiple_of(n_procs),
+            "n_pes ({n_pes}) must divide evenly over n_procs ({n_procs})"
+        );
+        RuntimeConfig {
+            mode: ExecMode::Net,
+            smp: SmpConfig {
+                pes_per_process: n_pes / n_procs,
+                comm_thread: true,
+            },
+            net: NetConfig {
+                n_procs,
+                ..NetConfig::default()
+            },
+            watchdog_secs: 30,
             ..Self::sequential(n_pes)
         }
     }
@@ -187,6 +250,24 @@ mod tests {
             comm_thread: false,
         };
         assert_eq!(smp.process_of(7), 7);
+    }
+
+    #[test]
+    fn net_config_splits_pes_contiguously() {
+        let cfg = RuntimeConfig::net(8, 4);
+        assert_eq!(cfg.mode, ExecMode::Net);
+        assert_eq!(cfg.smp.pes_per_process, 2);
+        assert_eq!(cfg.smp.process_of(3), 1);
+        assert_eq!(cfg.smp.process_of(7), 3);
+        assert_eq!(cfg.net.n_procs, 4);
+        assert_eq!(cfg.net.kill_rank, u32::MAX);
+        assert!(cfg.watchdog_secs > 0, "net mode must default to a watchdog");
+    }
+
+    #[test]
+    #[should_panic(expected = "divide evenly")]
+    fn net_config_rejects_uneven_split() {
+        let _ = RuntimeConfig::net(5, 2);
     }
 
     #[test]

@@ -22,14 +22,16 @@
 //!   flushed on a size threshold or on idle — the application-aware
 //!   aggregation of §IV-C (and the TRAM footnote).
 //!
-//! Three interchangeable engines run the same application code: a
+//! Four interchangeable engines run the same application code: a
 //! deterministic sequential engine ([`seq`]) that simulates any number of
 //! PEs on one thread (and measures per-PE busy time, which the
 //! `scale-model` crate consumes), a threaded engine ([`threads`]) using
 //! real OS threads with crossbeam channels, and a virtual-time
 //! deterministic-simulation-testing engine ([`vt`]) that replays arbitrary
 //! delivery interleavings from a seed and injects transport faults
-//! ([`faults`]). Applications built on [`runtime::Runtime`] produce
+//! ([`faults`]), and a networked multi-process engine ([`net`]) that runs
+//! one OS process per node over loopback TCP with a dedicated comm thread
+//! per process. Applications built on [`runtime::Runtime`] produce
 //! identical results under every engine and every benign fault plan; the
 //! conformance suites in this crate and in `episim-core` rely on that.
 
@@ -38,6 +40,7 @@ pub mod chare;
 pub mod completion;
 pub mod config;
 pub mod faults;
+pub mod net;
 pub mod runtime;
 pub mod seq;
 pub mod stats;
@@ -46,8 +49,9 @@ pub mod tram;
 pub mod vt;
 
 pub use chare::{Chare, ChareId, Ctx, Message};
-pub use config::{AggregationConfig, ExecMode, RuntimeConfig, SmpConfig};
+pub use config::{AggregationConfig, ExecMode, NetConfig, RuntimeConfig, SmpConfig};
 pub use faults::{FaultHook, FaultPlan, FaultRng, NoFaults, PacketFate, PlanFaults};
+pub use net::{align_to_invocation, worker_target, NetEngine};
 pub use runtime::Runtime;
 pub use stats::{PeStats, PhaseStats};
 pub use vt::VtEngine;

@@ -1,0 +1,402 @@
+//! The per-process communication thread (§IV-A's dedicated comm thread,
+//! made real). It owns every socket of the process: it drains the compute
+//! side's outbound channel onto the wire, reassembles inbound frames,
+//! deserializes BATCH payloads off the compute thread, answers
+//! completion-detection probes from the shared counters without involving
+//! compute at all, and keeps the wire counters that end up in
+//! [`crate::stats::PeStats`].
+
+use crate::chare::{ChareId, Message};
+use crate::net::transport::{write_frame, FrameBuf};
+use crate::net::wire::{self, Ctl};
+use crate::stats::{PeStats, ReductionSlots};
+use bytes::Bytes;
+use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
+use std::collections::HashMap;
+use std::net::TcpStream;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// State shared between the compute thread and its comm thread.
+#[derive(Debug, Default)]
+pub struct CommShared {
+    /// Wire envelopes this process has produced (sent) this phase.
+    /// Incremented by compute *before* the frame is handed to the comm
+    /// thread, so a probe reply can never under-count in-flight messages.
+    pub produced: AtomicU64,
+    /// Wire envelopes this process has consumed (processed) this phase.
+    pub consumed: AtomicU64,
+    /// Compute-side idle flag: queues drained, lanes flushed, inbound
+    /// empty. Maintained by compute only.
+    pub idle: AtomicBool,
+    /// The phase compute is currently in; probes for any other phase are
+    /// answered not-idle.
+    pub cur_phase: AtomicU64,
+    /// Set by compute to stop the comm thread (after the outbound channel
+    /// has been drained onto the wire).
+    pub stop: AtomicBool,
+    /// First transport failure, if any; compute checks this every loop.
+    pub failed: Mutex<Option<String>>,
+    /// Frames written to sockets.
+    pub frames_sent: AtomicU64,
+    /// Frames read from sockets.
+    pub frames_recv: AtomicU64,
+    /// Bytes written (including frame headers).
+    pub bytes_sent: AtomicU64,
+    /// Bytes read (including frame headers).
+    pub bytes_recv: AtomicU64,
+    /// Root only: latest CD reply per worker, indexed by `rank - 1`.
+    pub replies: Mutex<Vec<CdReplyState>>,
+}
+
+/// The latest completion-detection reply from one worker.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CdReplyState {
+    /// Wave this reply answered (0 = never replied).
+    pub wave: u64,
+    /// Worker's produced counter at reply time.
+    pub produced: u64,
+    /// Worker's consumed counter at reply time.
+    pub consumed: u64,
+    /// Worker's idle flag at reply time.
+    pub idle: bool,
+}
+
+impl CommShared {
+    /// Record a failure (first one wins) — every subsequent compute-side
+    /// loop iteration will see it and abort the run.
+    pub fn fail(&self, msg: String) {
+        let mut f = self.failed.lock().unwrap();
+        if f.is_none() {
+            *f = Some(msg);
+        }
+    }
+
+    /// The recorded failure, if any.
+    pub fn failure(&self) -> Option<String> {
+        self.failed.lock().unwrap().clone()
+    }
+}
+
+/// Events the comm thread hands to compute.
+#[derive(Debug)]
+pub enum Event<M: Message> {
+    /// A decoded application batch.
+    Batch {
+        /// Phase the sender stamped on the batch.
+        phase: u64,
+        /// The envelopes.
+        envelopes: Vec<(ChareId, M)>,
+    },
+    /// Root told us to enter a phase.
+    PhaseStart {
+        /// 1-based phase number.
+        phase: u64,
+        /// Topology check: chare count.
+        n_chares: u32,
+        /// Topology check: chare→PE map hash.
+        map_hash: u64,
+    },
+    /// Root's completion detection fired.
+    PhaseEnd {
+        /// The finished phase.
+        phase: u64,
+    },
+    /// Root's merged phase outcome.
+    PhaseResult {
+        /// Merged reductions.
+        reductions: ReductionSlots,
+        /// All PEs' counters.
+        per_pe: Vec<PeStats>,
+    },
+    /// A worker's end-of-phase counters (root side).
+    Stats {
+        /// Reporting worker.
+        rank: u32,
+        /// Its reduction contributions.
+        reductions: ReductionSlots,
+        /// Its `(global pe, counters)` pairs.
+        per_pe: Vec<(u32, PeStats)>,
+    },
+    /// Root is tearing down.
+    Shutdown,
+    /// A socket died or a frame failed to decode. Fatal.
+    TransportError(String),
+}
+
+/// Compute's handle on the comm thread.
+pub struct CommHandle<M: Message> {
+    /// Outbound frames: `(destination rank, kind, payload)`.
+    pub out_tx: Sender<(u32, u8, Bytes)>,
+    /// Inbound events.
+    pub in_rx: Receiver<Event<M>>,
+    /// Shared counters and flags.
+    pub shared: Arc<CommShared>,
+    /// The thread itself (joined on teardown).
+    pub join: Option<JoinHandle<()>>,
+}
+
+struct Peer {
+    sock: TcpStream,
+    buf: FrameBuf,
+    dead: bool,
+}
+
+/// Spawn the comm thread over an established socket set. `my_rank` is this
+/// process's rank (used for CD replies); `sockets` maps peer rank →
+/// connected non-blocking stream.
+pub fn spawn<M: Message>(my_rank: u32, sockets: Vec<(u32, TcpStream)>) -> CommHandle<M> {
+    let (out_tx, out_rx) = unbounded::<(u32, u8, Bytes)>();
+    let (in_tx, in_rx) = unbounded::<Event<M>>();
+    let shared = Arc::new(CommShared::default());
+    {
+        let mut replies = shared.replies.lock().unwrap();
+        let max_rank = sockets.iter().map(|(r, _)| *r).max().unwrap_or(0);
+        replies.resize_with(max_rank as usize, CdReplyState::default);
+    }
+    let shared2 = shared.clone();
+    let join = std::thread::Builder::new()
+        .name(format!("net-comm-{my_rank}"))
+        .spawn(move || comm_loop::<M>(my_rank, sockets, out_rx, in_tx, shared2))
+        .expect("spawn comm thread");
+    CommHandle {
+        out_tx,
+        in_rx,
+        shared,
+        join: Some(join),
+    }
+}
+
+fn comm_loop<M: Message>(
+    my_rank: u32,
+    sockets: Vec<(u32, TcpStream)>,
+    out_rx: Receiver<(u32, u8, Bytes)>,
+    in_tx: Sender<Event<M>>,
+    shared: Arc<CommShared>,
+) {
+    let mut peers: HashMap<u32, Peer> = sockets
+        .into_iter()
+        .map(|(rank, sock)| {
+            (
+                rank,
+                Peer {
+                    sock,
+                    buf: FrameBuf::default(),
+                    dead: false,
+                },
+            )
+        })
+        .collect();
+    let ranks: Vec<u32> = peers.keys().copied().collect();
+    let fatal = |shared: &CommShared, in_tx: &Sender<Event<M>>, msg: String| {
+        shared.fail(msg.clone());
+        let _ = in_tx.send(Event::TransportError(msg));
+    };
+    loop {
+        let mut progressed = false;
+
+        // Outbound: drain compute's frames onto the wire.
+        loop {
+            match out_rx.try_recv() {
+                Ok((dst, kind, payload)) => {
+                    progressed = true;
+                    match peers.get_mut(&dst) {
+                        Some(p) if !p.dead => match write_frame(&mut p.sock, kind, &payload) {
+                            Ok(n) => {
+                                shared.frames_sent.fetch_add(1, Ordering::SeqCst);
+                                shared.bytes_sent.fetch_add(n, Ordering::SeqCst);
+                            }
+                            Err(e) => {
+                                p.dead = true;
+                                fatal(&shared, &in_tx, format!("write to rank {dst} failed: {e}"));
+                            }
+                        },
+                        _ => fatal(&shared, &in_tx, format!("no live socket to rank {dst}")),
+                    }
+                }
+                Err(TryRecvError::Empty) => break,
+                Err(TryRecvError::Disconnected) => return,
+            }
+        }
+
+        // Inbound: poll every socket, dispatch complete frames.
+        for &rank in &ranks {
+            let polled = {
+                let p = peers.get_mut(&rank).unwrap();
+                if p.dead {
+                    continue;
+                }
+                match p.buf.poll(&mut p.sock) {
+                    Ok(polled) => polled,
+                    Err(e) => {
+                        p.dead = true;
+                        fatal(&shared, &in_tx, format!("rank {rank} disconnected: {e}"));
+                        continue;
+                    }
+                }
+            };
+            if polled.bytes > 0 {
+                progressed = true;
+                shared.bytes_recv.fetch_add(polled.bytes, Ordering::SeqCst);
+            }
+            for (kind, payload) in polled.frames {
+                shared.frames_recv.fetch_add(1, Ordering::SeqCst);
+                if dispatch::<M>(my_rank, rank, kind, &payload, &mut peers, &in_tx, &shared) {
+                    return; // SHUTDOWN delivered
+                }
+            }
+            if polled.eof {
+                // Frames that rode in ahead of the close were dispatched
+                // above. Who closed decides severity: the root losing any
+                // worker, or a worker losing the root, is fatal. A worker
+                // seeing a *peer worker* close is not — workers exit at
+                // their own pace during teardown, and the root (which has
+                // a socket to every worker) remains the liveness
+                // authority. A later send to the dead peer still fails.
+                peers.get_mut(&rank).unwrap().dead = true;
+                if my_rank == 0 || rank == 0 {
+                    fatal(
+                        &shared,
+                        &in_tx,
+                        format!("rank {rank} disconnected: peer closed the connection"),
+                    );
+                }
+            }
+        }
+
+        if shared.stop.load(Ordering::SeqCst) {
+            // Compute queued everything it wanted sent before setting
+            // `stop`; one more outbound drain pass then exit.
+            while let Ok((dst, kind, payload)) = out_rx.try_recv() {
+                if let Some(p) = peers.get_mut(&dst) {
+                    if !p.dead {
+                        let _ = write_frame(&mut p.sock, kind, &payload);
+                    }
+                }
+            }
+            return;
+        }
+        if !progressed {
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+}
+
+/// Handle one inbound frame. Returns `true` when the comm loop should exit
+/// (SHUTDOWN received).
+fn dispatch<M: Message>(
+    my_rank: u32,
+    from: u32,
+    kind_byte: u8,
+    payload: &[u8],
+    peers: &mut HashMap<u32, Peer>,
+    in_tx: &Sender<Event<M>>,
+    shared: &Arc<CommShared>,
+) -> bool {
+    use crate::net::wire::kind;
+    match kind_byte {
+        kind::BATCH => match wire::decode_batch::<M>(payload) {
+            Some((phase, _src, envelopes)) => {
+                let _ = in_tx.send(Event::Batch { phase, envelopes });
+            }
+            None => {
+                let msg = format!("malformed BATCH from rank {from}");
+                shared.fail(msg.clone());
+                let _ = in_tx.send(Event::TransportError(msg));
+            }
+        },
+        kind::CD_PROBE => {
+            // Answered here, without a compute round-trip: idle only if
+            // compute is both idle and in the probed phase.
+            if let Some(Ctl::CdProbe { phase, wave }) = Ctl::decode(kind_byte, payload) {
+                let idle = shared.idle.load(Ordering::SeqCst)
+                    && shared.cur_phase.load(Ordering::SeqCst) == phase;
+                let reply = Ctl::CdReply {
+                    rank: my_rank,
+                    wave,
+                    produced: shared.produced.load(Ordering::SeqCst),
+                    consumed: shared.consumed.load(Ordering::SeqCst),
+                    idle,
+                };
+                let (k, p) = reply.encode();
+                if let Some(peer) = peers.get_mut(&from) {
+                    match write_frame(&mut peer.sock, k, &p) {
+                        Ok(n) => {
+                            shared.frames_sent.fetch_add(1, Ordering::SeqCst);
+                            shared.bytes_sent.fetch_add(n, Ordering::SeqCst);
+                        }
+                        Err(e) => {
+                            peer.dead = true;
+                            let msg = format!("CD reply to rank {from} failed: {e}");
+                            shared.fail(msg.clone());
+                            let _ = in_tx.send(Event::TransportError(msg));
+                        }
+                    }
+                }
+            }
+        }
+        kind::CD_REPLY => {
+            if let Some(Ctl::CdReply {
+                rank,
+                wave,
+                produced,
+                consumed,
+                idle,
+            }) = Ctl::decode(kind_byte, payload)
+            {
+                let mut replies = shared.replies.lock().unwrap();
+                let idx = rank as usize - 1;
+                if idx < replies.len() && replies[idx].wave < wave {
+                    replies[idx] = CdReplyState {
+                        wave,
+                        produced,
+                        consumed,
+                        idle,
+                    };
+                }
+            }
+        }
+        _ => match Ctl::decode(kind_byte, payload) {
+            Some(Ctl::PhaseStart {
+                phase,
+                n_chares,
+                map_hash,
+            }) => {
+                let _ = in_tx.send(Event::PhaseStart {
+                    phase,
+                    n_chares,
+                    map_hash,
+                });
+            }
+            Some(Ctl::PhaseEnd { phase }) => {
+                let _ = in_tx.send(Event::PhaseEnd { phase });
+            }
+            Some(Ctl::PhaseResult { reductions, per_pe }) => {
+                let _ = in_tx.send(Event::PhaseResult { reductions, per_pe });
+            }
+            Some(Ctl::Stats {
+                rank,
+                reductions,
+                per_pe,
+            }) => {
+                let _ = in_tx.send(Event::Stats {
+                    rank,
+                    reductions,
+                    per_pe,
+                });
+            }
+            Some(Ctl::Shutdown) => {
+                let _ = in_tx.send(Event::Shutdown);
+                return true;
+            }
+            _ => {
+                let msg = format!("unexpected frame kind {kind_byte} from rank {from}");
+                shared.fail(msg.clone());
+                let _ = in_tx.send(Event::TransportError(msg));
+            }
+        },
+    }
+    false
+}

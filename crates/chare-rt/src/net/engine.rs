@@ -1,0 +1,999 @@
+//! The networked multi-process engine.
+//!
+//! One process per rank: rank 0 (the **root**) is the process the driver
+//! started; it spawns the workers (see [`crate::net::launch`]), owns phase
+//! control and cross-process completion detection, and merges stats.
+//! Every process runs the same SPMD driver code, registers the same chare
+//! array, keeps only the chares whose PE falls in its contiguous range,
+//! and executes the same compute loop: drain local queues → drain inbound
+//! batches → idle-flush aggregation lanes → report idle.
+//!
+//! Cross-process completion detection composes the local produce/consume
+//! idea of [`crate::completion`] with a wire protocol: each process keeps
+//! two counters (wire envelopes produced / consumed) plus an idle flag;
+//! the root probes all workers with CD_PROBE waves and declares the phase
+//! complete when two consecutive waves see every process idle with equal
+//! and unchanged Σproduced == Σconsumed. Producers bump `produced`
+//! *before* a frame reaches the wire and consumers bump `consumed` only
+//! *after* processing, so an in-flight batch always shows up as an
+//! imbalance.
+
+use crate::aggregator::{Aggregator, Envelope, Flush};
+use crate::chare::{Chare, ChareId, Ctx, Message, Sender};
+use crate::config::RuntimeConfig;
+use crate::net::comm::{self, CommHandle, Event};
+use crate::net::launch;
+use crate::net::wire::{self, Ctl};
+use crate::stats::{PeStats, PhaseStats, ReductionSlots};
+use crate::tram::Grid2D;
+use std::collections::VecDeque;
+use std::process::Child;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// Messages drained from one local PE's queue before moving on (same
+/// fairness quantum as the sequential engine).
+const QUANTUM: usize = 256;
+/// Exit code of a worker killed by the `kill_rank`/`kill_phase` fault
+/// knob.
+const KILL_EXIT: i32 = 17;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Role {
+    /// Rank 0 of a multi-process run: spawns workers, drives CD, merges
+    /// stats.
+    Root,
+    /// A spawned worker at its target invocation.
+    Worker,
+    /// No networking: either `n_procs == 1`, or a worker replaying an
+    /// earlier invocation of its driver to reach its target.
+    Standalone,
+}
+
+/// Why a cross-process batch left the process (feeds the
+/// `wire_flush_batch` / `wire_flush_idle` counters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum FlushCause {
+    BatchFull,
+    Idle,
+}
+
+struct OutBuf<M> {
+    items: Vec<(ChareId, M)>,
+}
+
+impl<M: Message> Sender<M> for OutBuf<M> {
+    fn send(&mut self, to: ChareId, msg: M) {
+        self.items.push((to, msg));
+    }
+}
+
+/// A queued envelope; `wire` marks cross-process origin (its processing
+/// bumps the consumed counter).
+struct Queued<M> {
+    to: ChareId,
+    msg: M,
+    wire: bool,
+}
+
+/// The networked engine (one per process; see module docs).
+pub struct NetEngine<M: Message> {
+    cfg: RuntimeConfig,
+    role: Role,
+    rank: u32,
+    /// First / one-past-last PE owned by this process.
+    pe_lo: u32,
+    pe_hi: u32,
+    chares: Vec<Option<Box<dyn Chare<M>>>>,
+    pe_of: Vec<u32>,
+    queues: Vec<VecDeque<Queued<M>>>,
+    /// Aggregation lanes keyed by destination *process rank* (TRAM lanes
+    /// mapped onto processes when `tram_2d` is set).
+    agg: Aggregator<M>,
+    grid: Grid2D,
+    stats: Vec<PeStats>,
+    reductions: ReductionSlots,
+    out: OutBuf<M>,
+    phase: u64,
+    map_hash: Option<u64>,
+    /// Batches that arrived tagged one phase ahead, held until we enter
+    /// that phase.
+    pending: Vec<(u64, Vec<(ChareId, M)>)>,
+    comm: Option<CommHandle<M>>,
+    children: Vec<Child>,
+    kill_phase: Option<u64>,
+    /// Set when PHASE_END arrives while the worker loop is draining.
+    pending_phase_end: bool,
+    shut_down: bool,
+}
+
+impl<M: Message> NetEngine<M> {
+    /// Build the engine: decide this process's role, wire the socket mesh,
+    /// spawn the comm thread.
+    pub fn new(cfg: RuntimeConfig) -> Self {
+        assert!(cfg.net.n_procs >= 1, "need at least one process");
+        assert!(
+            cfg.n_pes.is_multiple_of(cfg.net.n_procs),
+            "n_pes ({}) must divide evenly over n_procs ({})",
+            cfg.n_pes,
+            cfg.net.n_procs
+        );
+        let invocation = launch::next_invocation();
+        let (role, rank, kill_phase, wenv) = match launch::worker_env() {
+            Some(env) if env.target == invocation => {
+                (Role::Worker, env.rank, env.kill_phase, Some(env))
+            }
+            Some(env) => {
+                assert!(
+                    env.target > invocation,
+                    "worker rank {} ran past its target invocation ({invocation} > {})",
+                    env.rank,
+                    env.target
+                );
+                // Replay an earlier invocation standalone to stay in step
+                // with the driver.
+                (Role::Standalone, 0, None, None)
+            }
+            None if cfg.net.n_procs <= 1 => (Role::Standalone, 0, None, None),
+            None => (Role::Root, 0, None, None),
+        };
+        let ppp = cfg.n_pes / cfg.net.n_procs;
+        let (pe_lo, pe_hi) = match role {
+            Role::Standalone => (0, cfg.n_pes),
+            _ => (rank * ppp, (rank + 1) * ppp),
+        };
+        let (comm, children) = match role {
+            Role::Standalone => (None, Vec::new()),
+            Role::Root => {
+                let (sockets, children) = launch::spawn_mesh_root(&cfg, invocation)
+                    .unwrap_or_else(|e| panic!("net transport error during launch: {e}"));
+                (Some(comm::spawn::<M>(0, sockets)), children)
+            }
+            Role::Worker => {
+                let env = wenv.expect("worker role implies worker env");
+                let sockets = launch::connect_mesh_worker(&env, &cfg)
+                    .unwrap_or_else(|e| panic!("net transport error during mesh setup: {e}"));
+                (Some(comm::spawn::<M>(rank, sockets)), Vec::new())
+            }
+        };
+        let n_local = (pe_hi - pe_lo) as usize;
+        NetEngine {
+            cfg,
+            role,
+            rank,
+            pe_lo,
+            pe_hi,
+            chares: Vec::new(),
+            pe_of: Vec::new(),
+            queues: (0..n_local).map(|_| VecDeque::new()).collect(),
+            agg: Aggregator::new(cfg.net.n_procs, cfg.aggregation),
+            grid: Grid2D::new(cfg.net.n_procs),
+            stats: vec![PeStats::default(); n_local],
+            reductions: ReductionSlots::default(),
+            out: OutBuf { items: Vec::new() },
+            phase: 0,
+            map_hash: None,
+            pending: Vec::new(),
+            comm: None,
+            children,
+            kill_phase,
+            pending_phase_end: false,
+            shut_down: false,
+        }
+        .with_comm(comm)
+    }
+
+    fn with_comm(mut self, comm: Option<CommHandle<M>>) -> Self {
+        self.comm = comm;
+        self
+    }
+
+    /// Register a chare. Every SPMD process registers the *full* array;
+    /// only locally-owned chares are kept, the rest contribute their PE to
+    /// the routing map.
+    pub fn add_chare(&mut self, id: ChareId, pe: u32, chare: Box<dyn Chare<M>>) {
+        assert!(pe < self.cfg.n_pes, "pe {pe} out of range");
+        let idx = id.0 as usize;
+        if self.pe_of.len() <= idx {
+            self.pe_of.resize(idx + 1, u32::MAX);
+            self.chares.resize_with(idx + 1, || None);
+        }
+        assert!(self.pe_of[idx] == u32::MAX, "duplicate chare id {idx}");
+        self.pe_of[idx] = pe;
+        if pe >= self.pe_lo && pe < self.pe_hi {
+            self.chares[idx] = Some(chare);
+        }
+    }
+
+    fn is_local_pe(&self, pe: u32) -> bool {
+        pe >= self.pe_lo && pe < self.pe_hi
+    }
+
+    fn fail_if_poisoned(&self) {
+        if let Some(comm) = &self.comm {
+            if let Some(msg) = comm.shared.failure() {
+                panic!("net transport error: {msg}");
+            }
+        }
+    }
+
+    fn deadline(&self) -> Option<Instant> {
+        (self.cfg.watchdog_secs > 0)
+            .then(|| Instant::now() + Duration::from_secs(u64::from(self.cfg.watchdog_secs)))
+    }
+
+    fn check_deadline(&self, deadline: Option<Instant>, state: &str) {
+        if let Some(d) = deadline {
+            if Instant::now() > d {
+                let (p, c, idle) = self.cd_snapshot();
+                panic!(
+                    "net watchdog: rank {} stuck in phase {} ({state}) after {}s \
+                     [produced={p} consumed={c} idle={idle}]",
+                    self.rank, self.phase, self.cfg.watchdog_secs
+                );
+            }
+        }
+    }
+
+    fn cd_snapshot(&self) -> (u64, u64, bool) {
+        match &self.comm {
+            Some(comm) => (
+                comm.shared.produced.load(Ordering::SeqCst),
+                comm.shared.consumed.load(Ordering::SeqCst),
+                comm.shared.idle.load(Ordering::SeqCst),
+            ),
+            None => (0, 0, true),
+        }
+    }
+
+    fn send_ctl(&self, dst: u32, ctl: &Ctl) {
+        if let Some(comm) = &self.comm {
+            let (kind, payload) = ctl.encode();
+            let _ = comm.out_tx.send((dst, kind, payload));
+        }
+    }
+
+    fn broadcast(&self, ctl: &Ctl) {
+        for r in 1..self.cfg.net.n_procs {
+            self.send_ctl(r, ctl);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Routing and execution
+    // ------------------------------------------------------------------
+
+    fn route(&mut self, src_pe: u32, to: ChareId, msg: M) {
+        let dst_pe = self.pe_of[to.0 as usize];
+        debug_assert_ne!(dst_pe, u32::MAX, "send to unregistered chare {}", to.0);
+        let lp = (src_pe - self.pe_lo) as usize;
+        if self.role == Role::Standalone || self.is_local_pe(dst_pe) {
+            let st = &mut self.stats[lp];
+            if dst_pe == src_pe {
+                st.sent_self += 1;
+            } else {
+                st.sent_intra += 1;
+            }
+            self.queues[(dst_pe - self.pe_lo) as usize].push_back(Queued {
+                to,
+                msg,
+                wire: false,
+            });
+            return;
+        }
+        let st = &mut self.stats[lp];
+        st.sent_remote += 1;
+        st.remote_bytes += msg.size_bytes() as u64;
+        let dst_proc = self.cfg.smp.process_of(dst_pe);
+        let hop = if self.cfg.aggregation.tram_2d {
+            self.grid.next_hop(self.rank, dst_proc)
+        } else {
+            dst_proc
+        };
+        if let Some(flush) = self.agg.push(hop, to, msg) {
+            self.emit(lp, flush, FlushCause::BatchFull);
+        }
+    }
+
+    /// Relay an envelope that arrived at this process but belongs to
+    /// another (TRAM intermediate hop over the process grid).
+    fn forward(&mut self, to: ChareId, msg: M) {
+        let dst_proc = self.cfg.smp.process_of(self.pe_of[to.0 as usize]);
+        let hop = self.grid.next_hop(self.rank, dst_proc);
+        self.stats[0].forwarded += 1;
+        if let Some(flush) = self.agg.push(hop, to, msg) {
+            self.emit(0, flush, FlushCause::BatchFull);
+        }
+    }
+
+    /// Serialize a flush onto the wire. `produced` is bumped before the
+    /// frame is handed to the comm thread — the CD soundness invariant.
+    fn emit(&mut self, lp: usize, flush: Flush<M>, cause: FlushCause) {
+        let comm = self.comm.as_ref().expect("remote flush without comm");
+        let (dst_rank, payload, n_envs) = match flush {
+            Flush::Packet(packet) => {
+                let payload = wire::encode_batch(self.phase, self.rank, &packet.envelopes);
+                let n = packet.envelopes.len() as u64;
+                self.agg.recycle(packet.envelopes);
+                (packet.dst_pe, payload, n)
+            }
+            Flush::Single {
+                dst_pe, to, msg, ..
+            } => {
+                let env = [Envelope { to, msg }];
+                (dst_pe, wire::encode_batch(self.phase, self.rank, &env), 1)
+            }
+        };
+        comm.shared.produced.fetch_add(n_envs, Ordering::SeqCst);
+        let _ = comm.out_tx.send((dst_rank, wire::kind::BATCH, payload));
+        let st = &mut self.stats[lp];
+        st.network_packets += 1;
+        match cause {
+            FlushCause::BatchFull => st.wire_flush_batch += 1,
+            FlushCause::Idle => st.wire_flush_idle += 1,
+        }
+    }
+
+    /// Idle flush of every dirty lane. Returns whether anything left.
+    fn flush_idle(&mut self) -> bool {
+        if self.agg.is_empty() {
+            return false;
+        }
+        let packets = self.agg.flush_all();
+        let any = !packets.is_empty();
+        for packet in packets {
+            self.emit(0, Flush::Packet(packet), FlushCause::Idle);
+        }
+        any
+    }
+
+    fn process_one(&mut self, lp: usize, q: Queued<M>) {
+        let idx = q.to.0 as usize;
+        let dst_pe = self.pe_of[idx];
+        if !self.is_local_pe(dst_pe) {
+            // TRAM intermediate hop.
+            debug_assert!(self.cfg.aggregation.tram_2d);
+            if q.wire {
+                self.consume_one();
+            }
+            self.forward(q.to, q.msg);
+            return;
+        }
+        let mut chare = self.chares[idx]
+            .take()
+            .unwrap_or_else(|| panic!("message for unregistered chare {idx}"));
+        let start = Instant::now();
+        {
+            let mut ctx = Ctx {
+                sender: &mut self.out,
+                reductions: &mut self.reductions,
+                self_id: q.to,
+            };
+            chare.receive(q.msg, &mut ctx);
+        }
+        let elapsed = start.elapsed().as_nanos() as u64;
+        self.chares[idx] = Some(chare);
+        let st = &mut self.stats[lp];
+        st.busy_ns += elapsed;
+        st.processed += 1;
+        if q.wire {
+            self.consume_one();
+        }
+        let mut items = std::mem::take(&mut self.out.items);
+        let pe = self.pe_lo + lp as u32;
+        for (to, msg) in items.drain(..) {
+            self.route(pe, to, msg);
+        }
+        self.out.items = items;
+    }
+
+    fn consume_one(&self) {
+        if let Some(comm) = &self.comm {
+            comm.shared.consumed.fetch_add(1, Ordering::SeqCst);
+        }
+    }
+
+    fn enqueue_wire(&mut self, envelopes: Vec<(ChareId, M)>) {
+        for (to, msg) in envelopes {
+            let dst_pe = self.pe_of[to.0 as usize];
+            let lp = if self.is_local_pe(dst_pe) {
+                (dst_pe - self.pe_lo) as usize
+            } else {
+                0 // TRAM relay: park on the first local PE's queue
+            };
+            self.queues[lp].push_back(Queued {
+                to,
+                msg,
+                wire: true,
+            });
+        }
+    }
+
+    /// Drain every local queue once (quantum-bounded). Returns whether any
+    /// message was processed.
+    fn drain_queues(&mut self) -> bool {
+        let mut worked = false;
+        for lp in 0..self.queues.len() {
+            for _ in 0..QUANTUM {
+                match self.queues[lp].pop_front() {
+                    Some(q) => {
+                        self.process_one(lp, q);
+                        worked = true;
+                    }
+                    None => break,
+                }
+            }
+        }
+        worked
+    }
+
+    /// Move batches stashed for the current phase into the queues.
+    fn adopt_pending(&mut self) {
+        let phase = self.phase;
+        let mut adopted = Vec::new();
+        self.pending.retain_mut(|(p, envs)| {
+            if *p == phase {
+                adopted.push(std::mem::take(envs));
+                false
+            } else {
+                true
+            }
+        });
+        for envs in adopted {
+            self.enqueue_wire(envs);
+        }
+    }
+
+    fn inject(&mut self, injections: Vec<(ChareId, M)>) {
+        for (to, msg) in injections {
+            let dst_pe = self.pe_of[to.0 as usize];
+            debug_assert_ne!(
+                dst_pe,
+                u32::MAX,
+                "injection for unregistered chare {}",
+                to.0
+            );
+            if self.role == Role::Standalone || self.is_local_pe(dst_pe) {
+                self.queues[(dst_pe - self.pe_lo) as usize].push_back(Queued {
+                    to,
+                    msg,
+                    wire: false,
+                });
+            }
+            // Non-local injections are dropped here: the owning process's
+            // SPMD driver passes the identical list and injects them
+            // itself, so nothing is lost and nothing crosses the wire.
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Phase loop
+    // ------------------------------------------------------------------
+
+    /// Run one phase to global completion.
+    pub fn run_phase(&mut self, injections: Vec<(ChareId, M)>) -> PhaseStats {
+        self.phase += 1;
+        for s in &mut self.stats {
+            *s = PeStats::default();
+        }
+        self.reductions.clear();
+        if self.map_hash.is_none() {
+            self.map_hash = Some(wire::map_hash(&self.pe_of));
+        }
+        if let Some(comm) = &self.comm {
+            let sh = &comm.shared;
+            sh.produced.store(0, Ordering::SeqCst);
+            sh.consumed.store(0, Ordering::SeqCst);
+            sh.idle.store(false, Ordering::SeqCst);
+            sh.frames_sent.store(0, Ordering::SeqCst);
+            sh.frames_recv.store(0, Ordering::SeqCst);
+            sh.bytes_sent.store(0, Ordering::SeqCst);
+            sh.bytes_recv.store(0, Ordering::SeqCst);
+            for r in sh.replies.lock().unwrap().iter_mut() {
+                *r = comm::CdReplyState::default();
+            }
+            // Last: only now may probes for this phase be answered idle.
+            sh.cur_phase.store(self.phase, Ordering::SeqCst);
+        }
+        match self.role {
+            Role::Standalone => {
+                self.inject(injections);
+                self.standalone_loop();
+                PhaseStats {
+                    per_pe: self.stats.clone(),
+                    reductions: self.reductions.clone(),
+                }
+            }
+            Role::Root => self.root_phase(injections),
+            Role::Worker => self.worker_phase(injections),
+        }
+    }
+
+    fn standalone_loop(&mut self) {
+        loop {
+            if self.drain_queues() {
+                continue;
+            }
+            if !self.flush_idle() {
+                return;
+            }
+        }
+    }
+
+    fn root_phase(&mut self, injections: Vec<(ChareId, M)>) -> PhaseStats {
+        let deadline = self.deadline();
+        self.broadcast(&Ctl::PhaseStart {
+            phase: self.phase,
+            n_chares: self.pe_of.len() as u32,
+            map_hash: self.map_hash.unwrap(),
+        });
+        self.adopt_pending();
+        self.inject(injections);
+        self.root_compute_loop(deadline);
+        // Completion fired globally: close the phase and merge stats.
+        self.broadcast(&Ctl::PhaseEnd { phase: self.phase });
+        self.harvest_wire_counters();
+        let n_pes = self.cfg.n_pes as usize;
+        let mut per_pe = vec![PeStats::default(); n_pes];
+        for (i, st) in self.stats.iter().enumerate() {
+            per_pe[self.pe_lo as usize + i] = *st;
+        }
+        let mut reductions = self.reductions.clone();
+        let mut got = vec![false; self.cfg.net.n_procs as usize];
+        got[0] = true;
+        while got.iter().any(|g| !g) {
+            self.fail_if_poisoned();
+            self.check_deadline(deadline, "gathering worker stats");
+            let comm = self.comm.as_ref().expect("root has comm");
+            match comm.in_rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(Event::Stats {
+                    rank,
+                    reductions: r,
+                    per_pe: pp,
+                }) => {
+                    reductions.merge(&r);
+                    for (pe, st) in pp {
+                        per_pe[pe as usize] = st;
+                    }
+                    got[rank as usize] = true;
+                }
+                Ok(Event::Batch { phase, envelopes }) if phase == self.phase + 1 => {
+                    self.pending.push((phase, envelopes));
+                }
+                Ok(Event::TransportError(e)) => panic!("net transport error: {e}"),
+                Ok(other) => panic!(
+                    "net protocol error: unexpected {} while gathering stats",
+                    event_name(&other)
+                ),
+                Err(_) => {}
+            }
+        }
+        let result = PhaseStats { per_pe, reductions };
+        self.broadcast(&Ctl::PhaseResult {
+            reductions: result.reductions.clone(),
+            per_pe: result.per_pe.clone(),
+        });
+        result
+    }
+
+    /// The root's compute + CD loop: work while there is work, probe the
+    /// workers while idle, return once two consecutive waves agree the
+    /// system is quiet.
+    fn root_compute_loop(&mut self, deadline: Option<Instant>) {
+        let n_procs = self.cfg.net.n_procs;
+        let mut wave = 0u64;
+        let mut snapshot: Option<(u64, u64)> = None;
+        loop {
+            self.fail_if_poisoned();
+            self.check_deadline(deadline, "completion detection");
+            let mut worked = self.drain_queues();
+            worked |= self.drain_inbound();
+            if worked {
+                self.set_idle(false);
+                snapshot = None;
+                continue;
+            }
+            if self.flush_idle() {
+                snapshot = None;
+                continue;
+            }
+            self.set_idle(true);
+            if n_procs == 1 {
+                return;
+            }
+            // Probe wave.
+            wave += 1;
+            self.broadcast(&Ctl::CdProbe {
+                phase: self.phase,
+                wave,
+            });
+            match self.collect_wave(wave, deadline) {
+                None => {
+                    // Work arrived mid-wave; abandon it.
+                    snapshot = None;
+                    continue;
+                }
+                Some((sum_p, sum_c, all_idle)) => {
+                    let (own_p, own_c, _) = self.cd_snapshot();
+                    let totals = (sum_p + own_p, sum_c + own_c);
+                    if all_idle && totals.0 == totals.1 {
+                        if snapshot == Some(totals) {
+                            return; // two matching waves: globally quiet
+                        }
+                        snapshot = Some(totals);
+                    } else {
+                        snapshot = None;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Wait until every worker answered `wave`. Returns `None` if local
+    /// work arrived meanwhile (the wave is abandoned), else the workers'
+    /// summed counters and combined idleness.
+    fn collect_wave(&mut self, wave: u64, deadline: Option<Instant>) -> Option<(u64, u64, bool)> {
+        loop {
+            self.fail_if_poisoned();
+            self.check_deadline(deadline, "waiting for CD replies");
+            if self.drain_inbound() {
+                self.set_idle(false);
+                return None;
+            }
+            let comm = self.comm.as_ref().expect("root has comm");
+            let replies = comm.shared.replies.lock().unwrap();
+            if replies.iter().all(|r| r.wave >= wave) {
+                let sum_p = replies.iter().map(|r| r.produced).sum();
+                let sum_c = replies.iter().map(|r| r.consumed).sum();
+                let all_idle = replies.iter().all(|r| r.idle && r.wave == wave);
+                return Some((sum_p, sum_c, all_idle));
+            }
+            drop(replies);
+            std::thread::sleep(Duration::from_micros(50));
+        }
+    }
+
+    /// Drain inbound events without blocking. Returns whether any new work
+    /// was enqueued. Only valid inside a phase's main loop.
+    fn drain_inbound(&mut self) -> bool {
+        let mut worked = false;
+        while let Some(ev) = self.comm.as_ref().and_then(|c| c.in_rx.try_recv().ok()) {
+            match ev {
+                Event::Batch { phase, envelopes } => {
+                    if phase == self.phase {
+                        self.enqueue_wire(envelopes);
+                        worked = true;
+                    } else if phase == self.phase + 1 {
+                        self.pending.push((phase, envelopes));
+                    } else {
+                        panic!(
+                            "net protocol error: batch for phase {phase} while rank {} is in {}",
+                            self.rank, self.phase
+                        );
+                    }
+                }
+                Event::PhaseEnd { phase } if self.role == Role::Worker => {
+                    assert_eq!(phase, self.phase, "PHASE_END for wrong phase");
+                    // Handled by the worker loop via the flag below.
+                    self.pending_phase_end = true;
+                }
+                Event::TransportError(e) => panic!("net transport error: {e}"),
+                Event::Shutdown => panic!(
+                    "net protocol error: shutdown while rank {} is mid-phase {}",
+                    self.rank, self.phase
+                ),
+                other => panic!(
+                    "net protocol error: unexpected {} in phase {} on rank {}",
+                    event_name(&other),
+                    self.phase,
+                    self.rank
+                ),
+            }
+        }
+        worked
+    }
+
+    fn set_idle(&self, idle: bool) {
+        if let Some(comm) = &self.comm {
+            comm.shared.idle.store(idle, Ordering::SeqCst);
+        }
+    }
+
+    fn worker_phase(&mut self, injections: Vec<(ChareId, M)>) -> PhaseStats {
+        let deadline = self.deadline();
+        self.wait_phase_start(deadline);
+        if self.kill_phase == Some(self.phase) {
+            // Fault injection: die abruptly, mid-protocol, so the root's
+            // transport — not a wrong curve — reports the loss.
+            eprintln!(
+                "[net] rank {} killing itself at phase {} (fault injection)",
+                self.rank, self.phase
+            );
+            std::process::exit(KILL_EXIT);
+        }
+        self.adopt_pending();
+        self.inject(injections);
+        self.pending_phase_end = false;
+        loop {
+            self.fail_if_poisoned();
+            self.check_deadline(deadline, "worker compute loop");
+            let mut worked = self.drain_queues();
+            worked |= self.drain_inbound();
+            if self.pending_phase_end {
+                break;
+            }
+            if worked {
+                self.set_idle(false);
+                continue;
+            }
+            if self.flush_idle() {
+                continue;
+            }
+            self.set_idle(true);
+            // Block briefly for the next event; CD probes are answered by
+            // the comm thread meanwhile.
+            let comm = self.comm.as_ref().expect("worker has comm");
+            if comm
+                .in_rx
+                .recv_timeout(Duration::from_micros(200))
+                .is_ok_and(|ev| {
+                    // Re-inject into the normal path.
+                    self.requeue_event(ev);
+                    true
+                })
+            {
+                continue;
+            }
+        }
+        // Phase closed globally; report and await the merged result.
+        self.harvest_wire_counters();
+        let per_pe_local: Vec<(u32, PeStats)> = self
+            .stats
+            .iter()
+            .enumerate()
+            .map(|(i, st)| (self.pe_lo + i as u32, *st))
+            .collect();
+        self.send_ctl(
+            0,
+            &Ctl::Stats {
+                rank: self.rank,
+                reductions: self.reductions.clone(),
+                per_pe: per_pe_local,
+            },
+        );
+        self.wait_phase_result(deadline)
+    }
+
+    /// Push one blocking-received event through the same handling as
+    /// [`Self::drain_inbound`].
+    fn requeue_event(&mut self, ev: Event<M>) {
+        match ev {
+            Event::Batch { phase, envelopes } => {
+                if phase == self.phase {
+                    self.set_idle(false);
+                    self.enqueue_wire(envelopes);
+                } else if phase == self.phase + 1 {
+                    self.pending.push((phase, envelopes));
+                } else {
+                    panic!(
+                        "net protocol error: batch for phase {phase} while rank {} is in {}",
+                        self.rank, self.phase
+                    );
+                }
+            }
+            Event::PhaseEnd { phase } => {
+                assert_eq!(phase, self.phase, "PHASE_END for wrong phase");
+                self.pending_phase_end = true;
+            }
+            Event::TransportError(e) => panic!("net transport error: {e}"),
+            other => panic!(
+                "net protocol error: unexpected {} in phase {} on rank {}",
+                event_name(&other),
+                self.phase,
+                self.rank
+            ),
+        }
+    }
+
+    fn wait_phase_start(&mut self, deadline: Option<Instant>) {
+        loop {
+            // Drain queued events before honouring the failure flag (see
+            // wait_phase_result).
+            let comm = self.comm.as_ref().expect("worker has comm");
+            match comm.in_rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(Event::PhaseStart {
+                    phase,
+                    n_chares,
+                    map_hash,
+                }) => {
+                    assert_eq!(
+                        phase, self.phase,
+                        "rank {} expected phase {} but root started {phase} — SPMD drivers diverged",
+                        self.rank, self.phase
+                    );
+                    assert!(
+                        n_chares as usize == self.pe_of.len() && Some(map_hash) == self.map_hash,
+                        "rank {} built a different chare topology than the root \
+                         ({} chares, map hash {:#x} vs root's {} / {:#x}) — SPMD replay diverged",
+                        self.rank,
+                        self.pe_of.len(),
+                        self.map_hash.unwrap_or(0),
+                        n_chares,
+                        map_hash
+                    );
+                    return;
+                }
+                Ok(Event::Batch { phase, envelopes }) => {
+                    // A faster peer already entered this phase.
+                    if phase == self.phase {
+                        self.enqueue_wire(envelopes);
+                    } else if phase == self.phase + 1 {
+                        self.pending.push((phase, envelopes));
+                    } else {
+                        panic!(
+                            "net protocol error: batch for phase {phase} before PHASE_START of {}",
+                            self.phase
+                        );
+                    }
+                }
+                Ok(Event::Shutdown) => panic!(
+                    "net protocol error: root shut down while rank {} awaited phase {} — \
+                     SPMD drivers ran different phase counts",
+                    self.rank, self.phase
+                ),
+                Ok(Event::TransportError(e)) => panic!("net transport error: {e}"),
+                Ok(other) => panic!(
+                    "net protocol error: unexpected {} while awaiting PHASE_START",
+                    event_name(&other)
+                ),
+                Err(_) => {
+                    self.fail_if_poisoned();
+                    self.check_deadline(deadline, "waiting for PHASE_START");
+                }
+            }
+        }
+    }
+
+    fn wait_phase_result(&mut self, deadline: Option<Instant>) -> PhaseStats {
+        loop {
+            // Queued events outrank the failure flag: the root may close
+            // its sockets right after broadcasting PHASE_RESULT of the
+            // final phase, and that EOF must not mask a result already
+            // sitting in the channel.
+            let comm = self.comm.as_ref().expect("worker has comm");
+            match comm.in_rx.recv_timeout(Duration::from_millis(5)) {
+                Ok(Event::PhaseResult { reductions, per_pe }) => {
+                    return PhaseStats { per_pe, reductions };
+                }
+                Ok(Event::Batch { phase, envelopes }) if phase == self.phase + 1 => {
+                    self.pending.push((phase, envelopes));
+                }
+                Ok(Event::TransportError(e)) => panic!("net transport error: {e}"),
+                Ok(other) => panic!(
+                    "net protocol error: unexpected {} while awaiting PHASE_RESULT",
+                    event_name(&other)
+                ),
+                Err(_) => {
+                    self.fail_if_poisoned();
+                    self.check_deadline(deadline, "waiting for PHASE_RESULT");
+                }
+            }
+        }
+    }
+
+    /// Fold the comm thread's wire counters into the first local PE's
+    /// stats (they are per-process quantities; DESIGN.md §8 documents the
+    /// attribution).
+    fn harvest_wire_counters(&mut self) {
+        if let Some(comm) = &self.comm {
+            let sh = &comm.shared;
+            let st = &mut self.stats[0];
+            st.wire_frames_sent += sh.frames_sent.load(Ordering::SeqCst);
+            st.wire_frames_recv += sh.frames_recv.load(Ordering::SeqCst);
+            st.wire_bytes_sent += sh.bytes_sent.load(Ordering::SeqCst);
+            st.wire_bytes_recv += sh.bytes_recv.load(Ordering::SeqCst);
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Teardown
+    // ------------------------------------------------------------------
+
+    /// Orderly teardown. On the root: broadcast SHUTDOWN, reap workers.
+    /// On a worker: wait for SHUTDOWN, then **exit the process** — an SPMD
+    /// worker must never outlive its run and go on executing driver code.
+    fn teardown(&mut self) {
+        if self.shut_down {
+            return;
+        }
+        self.shut_down = true;
+        match self.role {
+            Role::Standalone => {}
+            Role::Root => {
+                if let Some(comm) = &self.comm {
+                    self.broadcast(&Ctl::Shutdown);
+                    comm.shared.stop.store(true, Ordering::SeqCst);
+                }
+                if let Some(comm) = &mut self.comm {
+                    if let Some(join) = comm.join.take() {
+                        let _ = join.join();
+                    }
+                }
+                let deadline = Instant::now() + Duration::from_secs(10);
+                for child in &mut self.children {
+                    loop {
+                        match child.try_wait() {
+                            Ok(Some(_)) => break,
+                            Ok(None) if Instant::now() > deadline => {
+                                let _ = child.kill();
+                                let _ = child.wait();
+                                break;
+                            }
+                            Ok(None) => std::thread::sleep(Duration::from_millis(2)),
+                            Err(_) => break,
+                        }
+                    }
+                }
+            }
+            Role::Worker => {
+                if std::thread::panicking() {
+                    // Let the panic surface (stderr is inherited); the
+                    // process dies with the test harness and the root sees
+                    // the EOF.
+                    if let Some(comm) = &self.comm {
+                        comm.shared.stop.store(true, Ordering::SeqCst);
+                    }
+                    return;
+                }
+                // Drain until the root's SHUTDOWN (bounded), then leave.
+                if let Some(comm) = &self.comm {
+                    let deadline = Instant::now() + Duration::from_secs(10);
+                    while Instant::now() < deadline {
+                        match comm.in_rx.recv_timeout(Duration::from_millis(10)) {
+                            Ok(Event::Shutdown) | Err(_) if comm.shared.failure().is_some() => {
+                                break
+                            }
+                            Ok(Event::Shutdown) => break,
+                            _ => {}
+                        }
+                    }
+                    comm.shared.stop.store(true, Ordering::SeqCst);
+                }
+                std::process::exit(0);
+            }
+        }
+    }
+
+    /// Tear down and return the locally-owned chares (the root's share in
+    /// a multi-process run; workers exit inside). `Simulator::dismantle`
+    /// and other full-array reclamation is therefore unsupported under the
+    /// net engine — use it only for result extraction on single-process
+    /// configurations.
+    pub fn into_chares(mut self) -> Vec<(ChareId, Box<dyn Chare<M>>)> {
+        self.teardown();
+        let chares = std::mem::take(&mut self.chares);
+        chares
+            .into_iter()
+            .enumerate()
+            .filter_map(|(i, c)| c.map(|c| (ChareId(i as u32), c)))
+            .collect()
+    }
+}
+
+impl<M: Message> Drop for NetEngine<M> {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+fn event_name<M: Message>(ev: &Event<M>) -> &'static str {
+    match ev {
+        Event::Batch { .. } => "BATCH",
+        Event::PhaseStart { .. } => "PHASE_START",
+        Event::PhaseEnd { .. } => "PHASE_END",
+        Event::PhaseResult { .. } => "PHASE_RESULT",
+        Event::Stats { .. } => "STATS",
+        Event::Shutdown => "SHUTDOWN",
+        Event::TransportError(_) => "TRANSPORT_ERROR",
+    }
+}

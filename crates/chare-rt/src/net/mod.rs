@@ -1,0 +1,38 @@
+//! The networked multi-process engine (`ExecMode::Net`).
+//!
+//! Maps the paper's Blue Waters deployment shape onto loopback TCP: one
+//! OS process per "node", each owning a contiguous PE range, a dedicated
+//! comm thread per process owning the socket set (the SMP comm-thread
+//! design of §III), per-destination-process aggregation lanes with
+//! batch + idle flushing (§IV-C), and root-coordinated cross-process
+//! completion detection (§IV-B) layered over per-process counters.
+//!
+//! Layout:
+//! - [`wire`] — frame kinds, little-endian control/batch codecs
+//! - [`transport`] — length-prefixed framing over TCP, reassembly
+//! - [`comm`] — the per-process comm thread and its shared state
+//! - [`launch`] — SPMD self-exec launcher and mesh wiring
+//! - [`engine`] — [`NetEngine`], the phase loop itself
+//!
+//! ## The SPMD contract
+//!
+//! Chares are not serializable, so worker processes are spawned by
+//! re-executing the current binary: every process runs the *same* driver
+//! code, builds the *same* chare array, and keeps only its share. The
+//! engine validates this (chare count + placement-map hash in every
+//! PHASE_START) and fails loudly on divergence. Phase results are
+//! all-reduced, so every process observes identical [`crate::stats::PhaseStats`]
+//! and inter-phase driver decisions stay in lockstep.
+//!
+//! Test drivers that must not run their expensive body in worker
+//! processes more than once use [`worker_target`] / [`align_to_invocation`]
+//! to skip unrelated work while keeping runtime-invocation counts aligned.
+
+pub mod comm;
+pub mod engine;
+pub mod launch;
+pub mod transport;
+pub mod wire;
+
+pub use engine::NetEngine;
+pub use launch::{align_to_invocation, worker_target};

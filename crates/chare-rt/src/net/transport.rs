@@ -1,0 +1,204 @@
+//! Length-prefixed framing over loopback TCP.
+//!
+//! Every frame is `[len: u32 LE][kind: u8][payload: len-1 bytes]`. The
+//! blocking helpers serve mesh setup (HELLO/PEERS handshakes, where the
+//! socket still has a read timeout); [`FrameBuf`] serves the steady state,
+//! where the comm thread polls non-blocking sockets and reassembles frames
+//! from whatever the kernel hands it.
+
+use std::io::{self, Read, Write};
+use std::net::TcpStream;
+
+/// Ceiling on a single frame, far above anything the engine emits; a
+/// length prefix beyond it means a corrupt or hostile stream.
+pub const MAX_FRAME: usize = 64 << 20;
+
+/// Write one frame; returns total bytes written (header + body).
+pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<u64> {
+    let body_len = payload
+        .len()
+        .checked_add(1)
+        .filter(|&n| n <= MAX_FRAME)
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+    w.write_all(&(body_len as u32).to_le_bytes())?;
+    w.write_all(&[kind])?;
+    w.write_all(payload)?;
+    Ok(4 + body_len as u64)
+}
+
+/// Blocking read of one frame (setup path; honours the socket's read
+/// timeout). Returns `(kind, payload, total bytes read)`.
+pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>, u64)> {
+    let mut len_buf = [0u8; 4];
+    r.read_exact(&mut len_buf)?;
+    let body_len = u32::from_le_bytes(len_buf) as usize;
+    if body_len == 0 || body_len > MAX_FRAME {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("bad frame length {body_len}"),
+        ));
+    }
+    let mut body = vec![0u8; body_len];
+    r.read_exact(&mut body)?;
+    let kind = body[0];
+    body.remove(0);
+    Ok((kind, body, 4 + body_len as u64))
+}
+
+/// What one [`FrameBuf::poll`] produced.
+#[derive(Debug, Default)]
+pub struct Polled {
+    /// Complete frames, in arrival order, as `(kind, payload)`.
+    pub frames: Vec<(u8, Vec<u8>)>,
+    /// Raw bytes read off the socket (for the wire counters).
+    pub bytes: u64,
+    /// The peer closed the connection. Frames read in the same poll are
+    /// still delivered — a peer may legitimately write its final frames
+    /// and close immediately, and those frames must not be lost.
+    pub eof: bool,
+}
+
+/// Per-socket reassembly buffer for non-blocking reads.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// Read whatever is available without blocking and return any frames
+    /// completed by it. `Err` means a corrupt stream (fatal); EOF is
+    /// reported via [`Polled::eof`] *after* the frames that preceded it.
+    pub fn poll(&mut self, sock: &mut TcpStream) -> io::Result<Polled> {
+        let mut out = Polled::default();
+        let mut chunk = [0u8; 16 * 1024];
+        loop {
+            match sock.read(&mut chunk) {
+                Ok(0) => {
+                    out.eof = true;
+                    break;
+                }
+                Ok(n) => {
+                    out.bytes += n as u64;
+                    self.buf.extend_from_slice(&chunk[..n]);
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+                Err(e) => return Err(e),
+            }
+        }
+        self.drain_complete(&mut out)?;
+        Ok(out)
+    }
+
+    fn drain_complete(&mut self, out: &mut Polled) -> io::Result<()> {
+        let mut offset = 0usize;
+        loop {
+            let rest = &self.buf[offset..];
+            if rest.len() < 4 {
+                break;
+            }
+            let body_len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            if body_len == 0 || body_len > MAX_FRAME {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad frame length {body_len}"),
+                ));
+            }
+            if rest.len() < 4 + body_len {
+                break;
+            }
+            let kind = rest[4];
+            out.frames.push((kind, rest[5..4 + body_len].to_vec()));
+            offset += 4 + body_len;
+        }
+        if offset > 0 {
+            self.buf.drain(..offset);
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn blocking_roundtrip_over_loopback() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let writer = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            write_frame(&mut s, 7, b"hello").unwrap();
+            write_frame(&mut s, 9, &[]).unwrap();
+        });
+        let (mut sock, _) = listener.accept().unwrap();
+        let (kind, payload, n) = read_frame(&mut sock).unwrap();
+        assert_eq!((kind, payload.as_slice(), n), (7, b"hello".as_slice(), 10));
+        let (kind, payload, n) = read_frame(&mut sock).unwrap();
+        assert_eq!((kind, payload.len(), n), (9, 0, 5));
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn nonblocking_reassembly_across_partial_writes() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        // Two frames written in awkward chunks, including a split header.
+        let mut stream_bytes = Vec::new();
+        write_frame(&mut stream_bytes, 1, &[0xAA; 300]).unwrap();
+        write_frame(&mut stream_bytes, 2, b"tail").unwrap();
+        let mut fb = FrameBuf::default();
+        let mut got = Vec::new();
+        for chunk in stream_bytes.chunks(7) {
+            client.write_all(chunk).unwrap();
+            client.flush().unwrap();
+            // Give loopback a moment to deliver, then poll.
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            got.extend(fb.poll(&mut server).unwrap().frames);
+        }
+        assert_eq!(got.len(), 2);
+        assert_eq!(got[0].0, 1);
+        assert_eq!(got[0].1, vec![0xAA; 300]);
+        assert_eq!(got[1], (2, b"tail".to_vec()));
+    }
+
+    #[test]
+    fn eof_is_flagged_but_final_frames_survive() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        // Peer writes its last frame and closes immediately — the frame
+        // must be delivered alongside the EOF flag, not swallowed by it.
+        write_frame(&mut client, 11, b"bye").unwrap();
+        drop(client);
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let mut fb = FrameBuf::default();
+        let polled = fb.poll(&mut server).unwrap();
+        assert!(polled.eof, "close must be visible");
+        assert_eq!(polled.frames, vec![(11, b"bye".to_vec())]);
+        // A second poll on the dead socket is pure EOF.
+        let polled = fb.poll(&mut server).unwrap();
+        assert!(polled.eof);
+        assert!(polled.frames.is_empty());
+    }
+
+    #[test]
+    fn corrupt_length_rejected() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (mut server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        client.write_all(&[0, 0, 0, 0, 0, 0, 0, 0]).unwrap(); // zero length
+        std::thread::sleep(std::time::Duration::from_millis(5));
+        let mut fb = FrameBuf::default();
+        assert!(fb.poll(&mut server).is_err());
+    }
+}

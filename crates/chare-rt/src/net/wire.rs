@@ -1,0 +1,659 @@
+//! Wire format for the networked engine: little-endian payload codecs
+//! built on the `bytes` shim. Every frame on a socket is
+//! `[len: u32][kind: u8][payload]` (the length counts the kind byte plus
+//! the payload — see [`crate::net::transport`]); this module defines what
+//! goes inside the payload for each kind. DESIGN.md §8 documents the
+//! layouts normatively.
+
+use crate::chare::{ChareId, Message};
+use crate::stats::{PeStats, ReductionSlots, REDUCTION_SLOTS};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// First field of HELLO: "EPNT" interpreted little-endian.
+pub const MAGIC: u32 = 0x544E_5045;
+/// Wire protocol version; a mismatch is a setup error, never negotiated.
+pub const VERSION: u32 = 1;
+
+/// Frame kind bytes.
+pub mod kind {
+    /// Worker → root, first frame on the root socket.
+    pub const HELLO: u8 = 1;
+    /// Root → workers: every worker's mesh listen port.
+    pub const PEERS: u8 = 2;
+    /// Worker → worker, first frame on a mesh socket.
+    pub const PEER_HELLO: u8 = 3;
+    /// Worker → root: the worker's side of the mesh is fully wired.
+    pub const MESH_OK: u8 = 4;
+    /// Root → workers: enter a phase (carries topology check values).
+    pub const PHASE_START: u8 = 5;
+    /// Aggregated application envelopes, any process → any process.
+    pub const BATCH: u8 = 6;
+    /// Root → workers: completion-detection wave probe.
+    pub const CD_PROBE: u8 = 7;
+    /// Worker → root: the worker's produce/consume/idle snapshot.
+    pub const CD_REPLY: u8 = 8;
+    /// Root → workers: completion detection fired, phase over.
+    pub const PHASE_END: u8 = 9;
+    /// Worker → root: local per-PE counters and reduction contributions.
+    pub const STATS: u8 = 10;
+    /// Root → workers: globally merged reductions and per-PE stats.
+    pub const PHASE_RESULT: u8 = 11;
+    /// Root → workers: tear down and exit.
+    pub const SHUTDOWN: u8 = 12;
+}
+
+/// A worker's introduction to the root.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Hello {
+    /// Which net-runtime construction within the process this socket
+    /// belongs to (guards against a worker connecting to the wrong run).
+    pub invocation: u64,
+    /// The worker's process rank (1-based; rank 0 is the root).
+    pub rank: u32,
+    /// Total process count the worker was configured with.
+    pub n_procs: u32,
+    /// Total PE count the worker was configured with.
+    pub n_pes: u32,
+    /// Loopback port of the worker's mesh listener.
+    pub listen_port: u16,
+}
+
+/// Every non-BATCH frame, decoded. BATCH is handled separately because its
+/// payload embeds application messages (generic in `M`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Ctl {
+    /// See [`Hello`].
+    Hello(Hello),
+    /// `(rank, mesh listen port)` for every worker.
+    Peers(Vec<(u32, u16)>),
+    /// Mesh-socket introduction.
+    PeerHello {
+        /// Invocation echo.
+        invocation: u64,
+        /// Connecting worker's rank.
+        rank: u32,
+    },
+    /// Mesh wiring complete on this worker.
+    MeshOk {
+        /// Reporting worker's rank.
+        rank: u32,
+    },
+    /// Enter `phase`; `n_chares`/`map_hash` must match on every process
+    /// (the SPMD topology check).
+    PhaseStart {
+        /// 1-based phase number.
+        phase: u64,
+        /// Registered chare count.
+        n_chares: u32,
+        /// FNV-1a over the chare→PE map.
+        map_hash: u64,
+    },
+    /// CD wave probe for `phase`.
+    CdProbe {
+        /// Phase the probe belongs to (replies for other phases are
+        /// answered not-idle).
+        phase: u64,
+        /// Wave number, strictly increasing within a phase.
+        wave: u64,
+    },
+    /// CD wave reply.
+    CdReply {
+        /// Replying worker's rank.
+        rank: u32,
+        /// Echo of the probe's wave.
+        wave: u64,
+        /// Wire envelopes produced by this process so far this phase.
+        produced: u64,
+        /// Wire envelopes consumed by this process so far this phase.
+        consumed: u64,
+        /// Whether the process was idle in the probed phase.
+        idle: bool,
+    },
+    /// Completion detection fired for `phase`.
+    PhaseEnd {
+        /// The finished phase.
+        phase: u64,
+    },
+    /// A worker's end-of-phase counters.
+    Stats {
+        /// Reporting worker's rank.
+        rank: u32,
+        /// The worker's reduction contributions.
+        reductions: ReductionSlots,
+        /// `(global pe index, counters)` for each of the worker's PEs.
+        per_pe: Vec<(u32, PeStats)>,
+    },
+    /// Globally merged phase outcome, broadcast so every process returns
+    /// identical [`crate::stats::PhaseStats`] (SPMD lockstep).
+    PhaseResult {
+        /// Merged reductions.
+        reductions: ReductionSlots,
+        /// Counters for all PEs, indexed by global PE.
+        per_pe: Vec<PeStats>,
+    },
+    /// Tear down.
+    Shutdown,
+}
+
+/// Number of `u64` fields in [`PeStats`] — the codec writes them all in
+/// declaration order, so this constant pins the layout.
+const PE_STATS_FIELDS: usize = 17;
+
+fn put_pe_stats(out: &mut BytesMut, s: &PeStats) {
+    let fields = [
+        s.sent_self,
+        s.sent_intra,
+        s.sent_remote,
+        s.network_packets,
+        s.remote_bytes,
+        s.forwarded,
+        s.processed,
+        s.busy_ns,
+        s.faults_dropped,
+        s.faults_dup_suppressed,
+        s.lost,
+        s.wire_frames_sent,
+        s.wire_frames_recv,
+        s.wire_bytes_sent,
+        s.wire_bytes_recv,
+        s.wire_flush_batch,
+        s.wire_flush_idle,
+    ];
+    debug_assert_eq!(fields.len(), PE_STATS_FIELDS);
+    for f in fields {
+        out.put_u64_le(f);
+    }
+}
+
+fn get_pe_stats(buf: &mut &[u8]) -> Option<PeStats> {
+    if buf.remaining() < PE_STATS_FIELDS * 8 {
+        return None;
+    }
+    Some(PeStats {
+        sent_self: buf.get_u64_le(),
+        sent_intra: buf.get_u64_le(),
+        sent_remote: buf.get_u64_le(),
+        network_packets: buf.get_u64_le(),
+        remote_bytes: buf.get_u64_le(),
+        forwarded: buf.get_u64_le(),
+        processed: buf.get_u64_le(),
+        busy_ns: buf.get_u64_le(),
+        faults_dropped: buf.get_u64_le(),
+        faults_dup_suppressed: buf.get_u64_le(),
+        lost: buf.get_u64_le(),
+        wire_frames_sent: buf.get_u64_le(),
+        wire_frames_recv: buf.get_u64_le(),
+        wire_bytes_sent: buf.get_u64_le(),
+        wire_bytes_recv: buf.get_u64_le(),
+        wire_flush_batch: buf.get_u64_le(),
+        wire_flush_idle: buf.get_u64_le(),
+    })
+}
+
+fn put_reductions(out: &mut BytesMut, r: &ReductionSlots) {
+    for slot in 0..REDUCTION_SLOTS {
+        out.put_u64_le(r.get(slot));
+    }
+}
+
+fn get_reductions(buf: &mut &[u8]) -> Option<ReductionSlots> {
+    if buf.remaining() < REDUCTION_SLOTS * 8 {
+        return None;
+    }
+    let mut r = ReductionSlots::default();
+    for slot in 0..REDUCTION_SLOTS {
+        r.add(slot, buf.get_u64_le());
+    }
+    Some(r)
+}
+
+impl Ctl {
+    /// Encode into `(kind byte, payload)`.
+    pub fn encode(&self) -> (u8, Bytes) {
+        let mut out = BytesMut::with_capacity(64);
+        let kind = match self {
+            Ctl::Hello(h) => {
+                out.put_u32_le(MAGIC);
+                out.put_u32_le(VERSION);
+                out.put_u64_le(h.invocation);
+                out.put_u32_le(h.rank);
+                out.put_u32_le(h.n_procs);
+                out.put_u32_le(h.n_pes);
+                out.put_u16_le(h.listen_port);
+                kind::HELLO
+            }
+            Ctl::Peers(peers) => {
+                out.put_u32_le(peers.len() as u32);
+                for (rank, port) in peers {
+                    out.put_u32_le(*rank);
+                    out.put_u16_le(*port);
+                }
+                kind::PEERS
+            }
+            Ctl::PeerHello { invocation, rank } => {
+                out.put_u64_le(*invocation);
+                out.put_u32_le(*rank);
+                kind::PEER_HELLO
+            }
+            Ctl::MeshOk { rank } => {
+                out.put_u32_le(*rank);
+                kind::MESH_OK
+            }
+            Ctl::PhaseStart {
+                phase,
+                n_chares,
+                map_hash,
+            } => {
+                out.put_u64_le(*phase);
+                out.put_u32_le(*n_chares);
+                out.put_u64_le(*map_hash);
+                kind::PHASE_START
+            }
+            Ctl::CdProbe { phase, wave } => {
+                out.put_u64_le(*phase);
+                out.put_u64_le(*wave);
+                kind::CD_PROBE
+            }
+            Ctl::CdReply {
+                rank,
+                wave,
+                produced,
+                consumed,
+                idle,
+            } => {
+                out.put_u32_le(*rank);
+                out.put_u64_le(*wave);
+                out.put_u64_le(*produced);
+                out.put_u64_le(*consumed);
+                out.put_u8(u8::from(*idle));
+                kind::CD_REPLY
+            }
+            Ctl::PhaseEnd { phase } => {
+                out.put_u64_le(*phase);
+                kind::PHASE_END
+            }
+            Ctl::Stats {
+                rank,
+                reductions,
+                per_pe,
+            } => {
+                out.put_u32_le(*rank);
+                put_reductions(&mut out, reductions);
+                out.put_u32_le(per_pe.len() as u32);
+                for (pe, st) in per_pe {
+                    out.put_u32_le(*pe);
+                    put_pe_stats(&mut out, st);
+                }
+                kind::STATS
+            }
+            Ctl::PhaseResult { reductions, per_pe } => {
+                put_reductions(&mut out, reductions);
+                out.put_u32_le(per_pe.len() as u32);
+                for st in per_pe {
+                    put_pe_stats(&mut out, st);
+                }
+                kind::PHASE_RESULT
+            }
+            Ctl::Shutdown => kind::SHUTDOWN,
+        };
+        (kind, out.freeze())
+    }
+
+    /// Decode a control frame. `None` means malformed — the transport
+    /// treats that as fatal, never skips.
+    pub fn decode(kind_byte: u8, payload: &[u8]) -> Option<Ctl> {
+        let mut buf = payload;
+        let need = |buf: &&[u8], n: usize| buf.remaining() >= n;
+        let ctl = match kind_byte {
+            kind::HELLO => {
+                if !need(&buf, 30) || buf.get_u32_le() != MAGIC || buf.get_u32_le() != VERSION {
+                    return None;
+                }
+                Ctl::Hello(Hello {
+                    invocation: buf.get_u64_le(),
+                    rank: buf.get_u32_le(),
+                    n_procs: buf.get_u32_le(),
+                    n_pes: buf.get_u32_le(),
+                    listen_port: buf.get_u16_le(),
+                })
+            }
+            kind::PEERS => {
+                if !need(&buf, 4) {
+                    return None;
+                }
+                let n = buf.get_u32_le() as usize;
+                if !need(&buf, n.checked_mul(6)?) {
+                    return None;
+                }
+                let mut peers = Vec::with_capacity(n);
+                for _ in 0..n {
+                    peers.push((buf.get_u32_le(), buf.get_u16_le()));
+                }
+                Ctl::Peers(peers)
+            }
+            kind::PEER_HELLO => {
+                if !need(&buf, 12) {
+                    return None;
+                }
+                Ctl::PeerHello {
+                    invocation: buf.get_u64_le(),
+                    rank: buf.get_u32_le(),
+                }
+            }
+            kind::MESH_OK => {
+                if !need(&buf, 4) {
+                    return None;
+                }
+                Ctl::MeshOk {
+                    rank: buf.get_u32_le(),
+                }
+            }
+            kind::PHASE_START => {
+                if !need(&buf, 20) {
+                    return None;
+                }
+                Ctl::PhaseStart {
+                    phase: buf.get_u64_le(),
+                    n_chares: buf.get_u32_le(),
+                    map_hash: buf.get_u64_le(),
+                }
+            }
+            kind::CD_PROBE => {
+                if !need(&buf, 16) {
+                    return None;
+                }
+                Ctl::CdProbe {
+                    phase: buf.get_u64_le(),
+                    wave: buf.get_u64_le(),
+                }
+            }
+            kind::CD_REPLY => {
+                if !need(&buf, 29) {
+                    return None;
+                }
+                Ctl::CdReply {
+                    rank: buf.get_u32_le(),
+                    wave: buf.get_u64_le(),
+                    produced: buf.get_u64_le(),
+                    consumed: buf.get_u64_le(),
+                    idle: buf.get_u8() != 0,
+                }
+            }
+            kind::PHASE_END => {
+                if !need(&buf, 8) {
+                    return None;
+                }
+                Ctl::PhaseEnd {
+                    phase: buf.get_u64_le(),
+                }
+            }
+            kind::STATS => {
+                if !need(&buf, 4) {
+                    return None;
+                }
+                let rank = buf.get_u32_le();
+                let reductions = get_reductions(&mut buf)?;
+                if !need(&buf, 4) {
+                    return None;
+                }
+                let n = buf.get_u32_le() as usize;
+                let mut per_pe = Vec::with_capacity(n);
+                for _ in 0..n {
+                    if !need(&buf, 4) {
+                        return None;
+                    }
+                    let pe = buf.get_u32_le();
+                    per_pe.push((pe, get_pe_stats(&mut buf)?));
+                }
+                Ctl::Stats {
+                    rank,
+                    reductions,
+                    per_pe,
+                }
+            }
+            kind::PHASE_RESULT => {
+                let reductions = get_reductions(&mut buf)?;
+                if !need(&buf, 4) {
+                    return None;
+                }
+                let n = buf.get_u32_le() as usize;
+                let mut per_pe = Vec::with_capacity(n);
+                for _ in 0..n {
+                    per_pe.push(get_pe_stats(&mut buf)?);
+                }
+                Ctl::PhaseResult { reductions, per_pe }
+            }
+            kind::SHUTDOWN => Ctl::Shutdown,
+            _ => return None,
+        };
+        if buf.remaining() != 0 {
+            return None; // trailing garbage
+        }
+        Some(ctl)
+    }
+}
+
+/// Encode a BATCH payload: `phase | src_rank | count`, then per envelope
+/// `chare | payload_len | payload` where `payload` is the application
+/// message's own [`Message::wire_encode`] output. The explicit per-envelope
+/// length lets the decoder isolate each message and verify it was fully
+/// consumed.
+pub fn encode_batch<M: Message>(
+    phase: u64,
+    src_rank: u32,
+    envelopes: &[crate::aggregator::Envelope<M>],
+) -> Bytes {
+    let mut out = BytesMut::with_capacity(16 + envelopes.len() * 32);
+    out.put_u64_le(phase);
+    out.put_u32_le(src_rank);
+    out.put_u32_le(envelopes.len() as u32);
+    let mut scratch = BytesMut::with_capacity(64);
+    for env in envelopes {
+        env.msg.wire_encode(&mut scratch);
+        let frozen = std::mem::take(&mut scratch).freeze();
+        out.put_u32_le(env.to.0);
+        out.put_u32_le(frozen.len() as u32);
+        out.put_slice(&frozen);
+    }
+    out.freeze()
+}
+
+/// Decode a BATCH payload into `(phase, src_rank, envelopes)`.
+#[allow(clippy::type_complexity)]
+pub fn decode_batch<M: Message>(payload: &[u8]) -> Option<(u64, u32, Vec<(ChareId, M)>)> {
+    let mut buf = payload;
+    if buf.remaining() < 16 {
+        return None;
+    }
+    let phase = buf.get_u64_le();
+    let src_rank = buf.get_u32_le();
+    let n = buf.get_u32_le() as usize;
+    let mut envelopes = Vec::with_capacity(n);
+    for _ in 0..n {
+        if buf.remaining() < 8 {
+            return None;
+        }
+        let to = ChareId(buf.get_u32_le());
+        let len = buf.get_u32_le() as usize;
+        if buf.remaining() < len {
+            return None;
+        }
+        let (head, tail) = buf.split_at(len);
+        let mut msg_buf = head;
+        let msg = M::wire_decode(&mut msg_buf)?;
+        if msg_buf.remaining() != 0 {
+            return None; // codec under-read its own payload
+        }
+        buf = tail;
+        envelopes.push((to, msg));
+    }
+    if buf.remaining() != 0 {
+        return None;
+    }
+    Some((phase, src_rank, envelopes))
+}
+
+/// FNV-1a over the chare→PE map; PHASE_START carries it so a worker whose
+/// SPMD replay built a different topology fails loudly instead of
+/// misrouting messages.
+pub fn map_hash(pe_of: &[u32]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    let mut mix = |v: u64| {
+        for b in v.to_le_bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    };
+    mix(pe_of.len() as u64);
+    for &pe in pe_of {
+        mix(u64::from(pe));
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(ctl: Ctl) {
+        let (kind, payload) = ctl.encode();
+        let back = Ctl::decode(kind, &payload).expect("decodes");
+        assert_eq!(back, ctl);
+    }
+
+    #[test]
+    fn control_frames_roundtrip() {
+        roundtrip(Ctl::Hello(Hello {
+            invocation: 3,
+            rank: 2,
+            n_procs: 4,
+            n_pes: 16,
+            listen_port: 45_001,
+        }));
+        roundtrip(Ctl::Peers(vec![(1, 40_001), (2, 40_002), (3, 40_003)]));
+        roundtrip(Ctl::PeerHello {
+            invocation: 9,
+            rank: 3,
+        });
+        roundtrip(Ctl::MeshOk { rank: 1 });
+        roundtrip(Ctl::PhaseStart {
+            phase: 7,
+            n_chares: 120,
+            map_hash: 0xdead_beef_cafe_f00d,
+        });
+        roundtrip(Ctl::CdProbe { phase: 7, wave: 41 });
+        roundtrip(Ctl::CdReply {
+            rank: 1,
+            wave: 41,
+            produced: 1000,
+            consumed: 998,
+            idle: true,
+        });
+        roundtrip(Ctl::PhaseEnd { phase: 7 });
+        let mut reductions = ReductionSlots::default();
+        reductions.add(0, 5);
+        reductions.add(15, 9);
+        let st = PeStats {
+            sent_remote: 11,
+            wire_bytes_sent: 2048,
+            wire_flush_idle: 3,
+            ..Default::default()
+        };
+        roundtrip(Ctl::Stats {
+            rank: 2,
+            reductions: reductions.clone(),
+            per_pe: vec![(4, st), (5, PeStats::default())],
+        });
+        roundtrip(Ctl::PhaseResult {
+            reductions,
+            per_pe: vec![st, PeStats::default(), st],
+        });
+        roundtrip(Ctl::Shutdown);
+    }
+
+    #[test]
+    fn bad_magic_and_truncation_rejected() {
+        let (kind, payload) = Ctl::Hello(Hello {
+            invocation: 0,
+            rank: 1,
+            n_procs: 2,
+            n_pes: 2,
+            listen_port: 1,
+        })
+        .encode();
+        let mut corrupt = payload.to_vec();
+        corrupt[0] ^= 0xff;
+        assert!(Ctl::decode(kind, &corrupt).is_none(), "bad magic");
+        assert!(
+            Ctl::decode(kind, &payload[..payload.len() - 1]).is_none(),
+            "truncated"
+        );
+        let mut trailing = payload.to_vec();
+        trailing.push(0);
+        assert!(Ctl::decode(kind, &trailing).is_none(), "trailing garbage");
+        assert!(Ctl::decode(200, &payload).is_none(), "unknown kind");
+    }
+
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    struct Tok(u64);
+    impl Message for Tok {
+        fn wire_encode(&self, out: &mut BytesMut) {
+            out.put_u64_le(self.0);
+        }
+
+        fn wire_decode(buf: &mut &[u8]) -> Option<Self> {
+            if buf.remaining() < 8 {
+                return None;
+            }
+            Some(Tok(buf.get_u64_le()))
+        }
+    }
+
+    #[test]
+    fn batch_roundtrip() {
+        use crate::aggregator::Envelope;
+        let envs = vec![
+            Envelope {
+                to: ChareId(3),
+                msg: Tok(10),
+            },
+            Envelope {
+                to: ChareId(7),
+                msg: Tok(u64::MAX),
+            },
+        ];
+        let payload = encode_batch(5, 2, &envs);
+        let (phase, src, back) = decode_batch::<Tok>(&payload).expect("decodes");
+        assert_eq!(phase, 5);
+        assert_eq!(src, 2);
+        assert_eq!(
+            back,
+            vec![(ChareId(3), Tok(10)), (ChareId(7), Tok(u64::MAX))]
+        );
+    }
+
+    #[test]
+    fn batch_truncation_rejected() {
+        let envs = vec![crate::aggregator::Envelope {
+            to: ChareId(1),
+            msg: Tok(1),
+        }];
+        let payload = encode_batch(1, 0, &envs);
+        for cut in 1..payload.len() {
+            assert!(
+                decode_batch::<Tok>(&payload[..cut]).is_none(),
+                "cut at {cut} must not decode"
+            );
+        }
+    }
+
+    #[test]
+    fn map_hash_sensitive_to_placement() {
+        let a = map_hash(&[0, 0, 1, 1]);
+        let b = map_hash(&[0, 1, 0, 1]);
+        let c = map_hash(&[0, 0, 1]);
+        assert_ne!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(a, map_hash(&[0, 0, 1, 1]));
+    }
+}

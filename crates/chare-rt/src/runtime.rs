@@ -2,6 +2,7 @@
 
 use crate::chare::{Chare, ChareId, Message};
 use crate::config::{ExecMode, RuntimeConfig};
+use crate::net::NetEngine;
 use crate::seq::SeqEngine;
 use crate::stats::PhaseStats;
 use crate::threads::ThreadEngine;
@@ -11,6 +12,7 @@ enum Engine<M: Message> {
     Seq(SeqEngine<M>),
     Threads(ThreadEngine<M>),
     Vt(Box<VtEngine<M>>),
+    Net(Box<NetEngine<M>>),
 }
 
 /// A message-driven runtime hosting one chare array across `n_pes`
@@ -54,6 +56,7 @@ impl<M: Message> Runtime<M> {
             ExecMode::Sequential => Engine::Seq(SeqEngine::new(cfg)),
             ExecMode::Threads => Engine::Threads(ThreadEngine::new(cfg)),
             ExecMode::VirtualTime => Engine::Vt(Box::new(VtEngine::new(cfg))),
+            ExecMode::Net => Engine::Net(Box::new(NetEngine::new(cfg))),
         };
         Runtime { engine, cfg }
     }
@@ -70,6 +73,7 @@ impl<M: Message> Runtime<M> {
             Engine::Seq(e) => e.add_chare(id, pe, chare),
             Engine::Threads(e) => e.add_chare(id, pe, chare),
             Engine::Vt(e) => e.add_chare(id, pe, chare),
+            Engine::Net(e) => e.add_chare(id, pe, chare),
         }
     }
 
@@ -80,6 +84,7 @@ impl<M: Message> Runtime<M> {
             Engine::Seq(e) => e.run_phase(injections),
             Engine::Threads(e) => e.run_phase(injections),
             Engine::Vt(e) => e.run_phase(injections),
+            Engine::Net(e) => e.run_phase(injections),
         }
     }
 
@@ -93,6 +98,11 @@ impl<M: Message> Runtime<M> {
             }
             Engine::Threads(e) => e.into_chares(),
             Engine::Vt(e) => e.into_chares(),
+            Engine::Net(e) => {
+                let mut v = e.into_chares();
+                v.sort_by_key(|(id, _)| *id);
+                v
+            }
         }
     }
 }

@@ -74,6 +74,21 @@ pub struct PeStats {
     /// Messages irrecoverably lost — nonzero only under a non-benign fault
     /// plan (drop without redelivery); any benign run must end with zero.
     pub lost: u64,
+    /// Wire frames sent by the process's comm thread (net engine only;
+    /// attributed to the process's first PE).
+    pub wire_frames_sent: u64,
+    /// Wire frames received by the comm thread (net engine only).
+    pub wire_frames_recv: u64,
+    /// Bytes written to sockets, including frame headers (net engine only).
+    pub wire_bytes_sent: u64,
+    /// Bytes read from sockets, including frame headers (net engine only).
+    pub wire_bytes_recv: u64,
+    /// Cross-process batches flushed because a lane reached
+    /// `AggregationConfig::max_batch` (net engine only).
+    pub wire_flush_batch: u64,
+    /// Cross-process batches flushed because the sending process went idle
+    /// — the §IV-C idle flush, observed on the wire (net engine only).
+    pub wire_flush_idle: u64,
 }
 
 impl PeStats {
@@ -95,6 +110,12 @@ impl PeStats {
         self.faults_dropped += o.faults_dropped;
         self.faults_dup_suppressed += o.faults_dup_suppressed;
         self.lost += o.lost;
+        self.wire_frames_sent += o.wire_frames_sent;
+        self.wire_frames_recv += o.wire_frames_recv;
+        self.wire_bytes_sent += o.wire_bytes_sent;
+        self.wire_bytes_recv += o.wire_bytes_recv;
+        self.wire_flush_batch += o.wire_flush_batch;
+        self.wire_flush_idle += o.wire_flush_idle;
     }
 }
 

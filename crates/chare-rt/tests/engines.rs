@@ -120,6 +120,7 @@ proptest! {
             sync: Default::default(),
             faults: FaultPlan::none(0),
             watchdog_secs: 30,
+            net: Default::default(),
         };
         // Reference: one sequential PE.
         let reference = run_storm(make(ExecMode::Sequential, 1), n_chares, hops, &seeds);

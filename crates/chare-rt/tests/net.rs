@@ -1,0 +1,179 @@
+//! Multi-process integration tests for the networked engine.
+//!
+//! Any test here that configures `n_procs > 1` re-executes this very test
+//! binary, filtered to the same test, to create its worker processes (see
+//! `chare_rt::net::launch`). The test body therefore runs once per
+//! process and must stay SPMD-deterministic: every process takes the same
+//! branches and builds the same chare array.
+
+use bytes::{Buf, BufMut, BytesMut};
+use chare_rt::{Chare, ChareId, Ctx, Message, Runtime, RuntimeConfig};
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Hop {
+    remaining: u32,
+    payload: u64,
+}
+
+impl Message for Hop {
+    fn wire_encode(&self, out: &mut BytesMut) {
+        out.put_u32_le(self.remaining);
+        out.put_u64_le(self.payload);
+    }
+
+    fn wire_decode(buf: &mut &[u8]) -> Option<Self> {
+        if buf.remaining() < 12 {
+            return None;
+        }
+        Some(Hop {
+            remaining: buf.get_u32_le(),
+            payload: buf.get_u64_le(),
+        })
+    }
+}
+
+/// Accumulates payloads and forwards around a ring — the same workload
+/// the in-process engine suites use, so results are directly comparable.
+struct Acc {
+    next: ChareId,
+    sum: u64,
+}
+
+impl Chare<Hop> for Acc {
+    fn receive(&mut self, msg: Hop, ctx: &mut Ctx<'_, Hop>) {
+        self.sum += msg.payload;
+        ctx.contribute(0, msg.payload);
+        if msg.remaining > 0 {
+            ctx.send(
+                self.next,
+                Hop {
+                    remaining: msg.remaining - 1,
+                    payload: msg.payload + 1,
+                },
+            );
+        }
+    }
+
+    fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
+        self
+    }
+}
+
+const N_CHARES: u32 = 12;
+
+fn build(cfg: RuntimeConfig) -> Runtime<Hop> {
+    let mut rt = Runtime::new(cfg);
+    for i in 0..N_CHARES {
+        rt.add_chare(
+            ChareId(i),
+            i % cfg.n_pes,
+            Box::new(Acc {
+                next: ChareId((i + 1) % N_CHARES),
+                sum: 0,
+            }),
+        );
+    }
+    rt
+}
+
+/// Run three phases of ring traffic and fingerprint the per-phase
+/// reductions and processed counts.
+fn run_phases(cfg: RuntimeConfig) -> Vec<(u64, u64)> {
+    let mut rt = build(cfg);
+    (0..3u32)
+        .map(|phase| {
+            let stats = rt.run_phase(vec![(
+                ChareId(phase % N_CHARES),
+                Hop {
+                    remaining: 40 + phase,
+                    payload: 1,
+                },
+            )]);
+            (stats.reduction(0), stats.totals().processed)
+        })
+        .collect()
+}
+
+#[test]
+fn net_single_process_matches_sequential() {
+    let reference = run_phases(RuntimeConfig::sequential(4));
+    assert_eq!(run_phases(RuntimeConfig::net(4, 1)), reference);
+}
+
+#[test]
+fn net_two_processes_match_sequential() {
+    let reference = run_phases(RuntimeConfig::sequential(4));
+    assert_eq!(run_phases(RuntimeConfig::net(4, 2)), reference);
+}
+
+#[test]
+fn net_four_processes_with_tram_match_sequential() {
+    let reference = run_phases(RuntimeConfig::sequential(8));
+    let mut cfg = RuntimeConfig::net(8, 4);
+    cfg.aggregation.max_batch = 4;
+    cfg.aggregation.tram_2d = true;
+    assert_eq!(run_phases(cfg), reference);
+}
+
+#[test]
+fn net_wire_counters_account_for_cross_process_traffic() {
+    let mut rt = build(RuntimeConfig::net(4, 2));
+    let stats = rt.run_phase(vec![(
+        ChareId(0),
+        Hop {
+            remaining: 60,
+            payload: 1,
+        },
+    )]);
+    let totals = stats.totals();
+    // A 12-chare ring over 4 PEs in 2 processes crosses the process
+    // boundary on every wrap, so batches must actually hit the wire —
+    // and both directions of every socket are counted somewhere.
+    assert!(totals.sent_remote > 0, "ring must cross processes");
+    assert!(totals.wire_frames_sent > 0, "batches must hit the wire");
+    assert!(totals.wire_frames_recv > 0);
+    assert!(totals.wire_bytes_sent > totals.wire_frames_sent);
+    assert!(
+        totals.wire_flush_batch + totals.wire_flush_idle > 0,
+        "every wire packet leaves through a counted flush"
+    );
+    // Chares survive teardown on the root (workers exit inside).
+    let chares = rt.into_chares();
+    assert!(!chares.is_empty());
+}
+
+#[test]
+fn net_killed_worker_surfaces_transport_error() {
+    let mut cfg = RuntimeConfig::net(4, 2);
+    cfg.net.kill_rank = 1;
+    cfg.net.kill_phase = 2;
+    let mut rt = build(cfg);
+    rt.run_phase(vec![(
+        ChareId(0),
+        Hop {
+            remaining: 20,
+            payload: 1,
+        },
+    )]);
+    // Phase 2: rank 1 kills itself on entry; the root must fail loudly
+    // with a transport error rather than hang or return a short curve.
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.run_phase(vec![(
+            ChareId(0),
+            Hop {
+                remaining: 20,
+                payload: 1,
+            },
+        )])
+    }))
+    .expect_err("losing a worker must not look like success");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("transport"),
+        "panic should name the transport, got: {msg}"
+    );
+}

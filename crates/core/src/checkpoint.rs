@@ -221,6 +221,7 @@ mod tests {
     use crate::distribution::{DataDistribution, Strategy};
     use crate::simulator::{SimConfig, Simulator};
     use chare_rt::RuntimeConfig;
+    use proptest::prelude::*;
     use ptts::flu_model;
     use ptts::intervention::{Action, Intervention, Trigger};
     use synthpop::{Population, PopulationConfig};
@@ -291,6 +292,103 @@ mod tests {
         let loaded = Checkpoint::load(&path).unwrap();
         assert_eq!(ckpt, loaded);
         std::fs::remove_file(&path).ok();
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Encode→decode is the identity on arbitrary person and
+        /// intervention state — every field survives, including the
+        /// `u32::MAX` "none" sentinels and f32 susceptibility bits.
+        #[test]
+        fn roundtrip_is_identity_on_arbitrary_state(
+            next_day in 0u32..20_000,
+            counters in (0u64..1_000_000, 0u64..1_000_000, 0u64..100_000, 0u64..100_000),
+            fired in collection::vec(any::<bool>(), 0..8),
+            active in collection::vec((0u32..50, 0u32..2_000), 0..8),
+            persons in collection::vec(
+                (any::<u32>(), 0u32..400, (0.0f32..2.0, 0u32..600, 0u32..5_000)),
+                0..64
+            ),
+        ) {
+            let states: Vec<PersonSlot> = persons
+                .iter()
+                .enumerate()
+                .map(|(id, &(packed, days, (sus, on, by)))| PersonSlot {
+                    id: id as u32,
+                    health: HealthTracker {
+                        state: StateId(packed as u16),
+                        days_remaining: days,
+                        treatment: TreatmentId((packed >> 16) as u16),
+                    },
+                    sus_scale: sus,
+                    pending: None,
+                    infected_on: (on % 3 != 0).then_some(on),
+                    infected_by: (by % 5 != 0).then_some(by),
+                })
+                .collect();
+            let ckpt = Checkpoint {
+                next_day,
+                seeds: counters.0,
+                cumulative: counters.1,
+                yesterday_new: counters.2,
+                yesterday_infected: counters.3,
+                interventions: InterventionSnapshot { fired, active },
+                states,
+            };
+            let decoded = Checkpoint::decode(&ckpt.encode()).expect("round trip");
+            prop_assert_eq!(decoded, ckpt);
+        }
+
+        /// Any corruption of the magic or version header is rejected with
+        /// the matching error — never a panic, never a silent
+        /// misinterpretation — and every strict prefix is `Truncated`.
+        #[test]
+        fn corrupted_header_and_truncation_rejected(
+            flip in any::<u8>(),
+            pos in 0usize..8,
+            cut_seed in any::<u32>(),
+        ) {
+            let ckpt = Checkpoint {
+                next_day: 3,
+                seeds: 8,
+                cumulative: 21,
+                yesterday_new: 2,
+                yesterday_infected: 5,
+                interventions: InterventionSnapshot {
+                    fired: vec![true, false],
+                    active: vec![(0, 9)],
+                },
+                states: vec![PersonSlot {
+                    id: 0,
+                    health: HealthTracker {
+                        state: StateId(1),
+                        days_remaining: 4,
+                        treatment: TreatmentId(0),
+                    },
+                    sus_scale: 1.0,
+                    pending: None,
+                    infected_on: Some(1),
+                    infected_by: None,
+                }],
+            };
+            let data = ckpt.encode();
+            let mut bad = data.to_vec();
+            bad[pos] ^= flip | 1; // guarantee at least one bit changes
+            match Checkpoint::decode(&bad) {
+                Err(CheckpointError::BadMagic) => prop_assert!(pos < 4),
+                Err(CheckpointError::BadVersion(v)) => {
+                    prop_assert!(pos >= 4);
+                    prop_assert_ne!(v, VERSION);
+                }
+                other => prop_assert!(false, "corrupt header accepted: {:?}", other),
+            }
+            let cut = cut_seed as usize % data.len();
+            prop_assert_eq!(
+                Checkpoint::decode(&data[..cut]).err(),
+                Some(CheckpointError::Truncated)
+            );
+        }
     }
 
     #[test]

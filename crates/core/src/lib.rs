@@ -33,6 +33,8 @@
 //! * [`distribution`] — the four data distributions of the evaluation:
 //!   `RR`, `GP`, `RR-splitLoc`, `GP-splitLoc`.
 //! * [`simulator`] — the parallel driver (day loop over runtime phases).
+//! * [`engine`] — engine selection (`--engine seq|threads|vt|net`) and the
+//!   block partition→PE placement.
 //! * [`rebalance`] — measurement-based dynamic load balancing between
 //!   epochs (the paper's §VII future work, implemented).
 //! * [`seq`] — a direct sequential implementation used as the correctness
@@ -46,6 +48,7 @@
 
 pub mod checkpoint;
 pub mod distribution;
+pub mod engine;
 pub mod ensemble;
 pub mod kernel;
 pub mod managers;
@@ -60,6 +63,7 @@ pub mod tree;
 pub mod workload;
 
 pub use distribution::{DataDistribution, Strategy};
+pub use engine::{pe_for_partition, EngineChoice};
 pub use output::{DayStats, EpiCurve};
 pub use rebalance::{run_with_rebalancing, RebalanceConfig, RebalanceRun};
 pub use simulator::{SimConfig, Simulator};

@@ -1,8 +1,9 @@
 //! Simulator messages and shared immutable state.
 
+use bytes::{Buf, BufMut, BytesMut};
 use chare_rt::Message;
 use ptts::intervention::VaccinationOrder;
-use ptts::model::StateId;
+use ptts::model::{StateId, TreatmentId};
 use ptts::Ptts;
 use std::sync::Arc;
 use synthpop::Population;
@@ -107,6 +108,16 @@ pub enum SimMsg {
     },
 }
 
+/// Wire tags for [`SimMsg`] variants (the first byte of the encoding;
+/// DESIGN.md §8 pins them).
+mod tag {
+    pub const BEGIN_DAY: u8 = 0;
+    pub const VISIT: u8 = 1;
+    pub const COMPUTE_DAY: u8 = 2;
+    pub const INFECT: u8 = 3;
+    pub const APPLY_DAY: u8 = 4;
+}
+
 impl Message for SimMsg {
     fn size_bytes(&self) -> usize {
         // Wire-size estimates for the bandwidth model: the hot-path
@@ -119,6 +130,126 @@ impl Message for SimMsg {
             }
             SimMsg::ComputeDay { .. } => 16,
             SimMsg::ApplyDay { .. } => 8,
+        }
+    }
+
+    fn wire_encode(&self, out: &mut BytesMut) {
+        match self {
+            SimMsg::BeginDay { day, effects } => {
+                out.put_u8(tag::BEGIN_DAY);
+                out.put_u32_le(*day);
+                out.put_u8(effects.closed_kinds);
+                out.put_f64_le(effects.r_scale);
+                out.put_u32_le(effects.vaccinations.len() as u32);
+                for v in &effects.vaccinations {
+                    out.put_f64_le(v.fraction);
+                    out.put_u16_le(v.treatment.0);
+                    out.put_f64_le(v.efficacy_factor);
+                }
+            }
+            SimMsg::Visit(v) => {
+                out.put_u8(tag::VISIT);
+                out.put_u32_le(v.person);
+                out.put_u32_le(v.location);
+                out.put_u16_le(v.sublocation);
+                out.put_u16_le(v.start_min);
+                out.put_u16_le(v.end_min);
+                out.put_u16_le(v.state.0);
+                out.put_f32_le(v.sus_scale);
+            }
+            SimMsg::ComputeDay { day, r_eff } => {
+                out.put_u8(tag::COMPUTE_DAY);
+                out.put_u32_le(*day);
+                out.put_f64_le(*r_eff);
+            }
+            SimMsg::Infect(i) => {
+                out.put_u8(tag::INFECT);
+                out.put_u32_le(i.person);
+                out.put_u16_le(i.time_min);
+                out.put_u32_le(i.infector);
+            }
+            SimMsg::ApplyDay { day } => {
+                out.put_u8(tag::APPLY_DAY);
+                out.put_u32_le(*day);
+            }
+        }
+    }
+
+    fn wire_decode(buf: &mut &[u8]) -> Option<Self> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        match buf.get_u8() {
+            tag::BEGIN_DAY => {
+                if buf.remaining() < 17 {
+                    return None;
+                }
+                let day = buf.get_u32_le();
+                let closed_kinds = buf.get_u8();
+                let r_scale = buf.get_f64_le();
+                let n = buf.get_u32_le() as usize;
+                if buf.remaining() < n.checked_mul(18)? {
+                    return None;
+                }
+                let mut vaccinations = Vec::with_capacity(n);
+                for _ in 0..n {
+                    vaccinations.push(VaccinationOrder {
+                        fraction: buf.get_f64_le(),
+                        treatment: TreatmentId(buf.get_u16_le()),
+                        efficacy_factor: buf.get_f64_le(),
+                    });
+                }
+                Some(SimMsg::BeginDay {
+                    day,
+                    effects: DayEffects {
+                        closed_kinds,
+                        r_scale,
+                        vaccinations,
+                    },
+                })
+            }
+            tag::VISIT => {
+                if buf.remaining() < 20 {
+                    return None;
+                }
+                Some(SimMsg::Visit(VisitMsg {
+                    person: buf.get_u32_le(),
+                    location: buf.get_u32_le(),
+                    sublocation: buf.get_u16_le(),
+                    start_min: buf.get_u16_le(),
+                    end_min: buf.get_u16_le(),
+                    state: StateId(buf.get_u16_le()),
+                    sus_scale: buf.get_f32_le(),
+                }))
+            }
+            tag::COMPUTE_DAY => {
+                if buf.remaining() < 12 {
+                    return None;
+                }
+                Some(SimMsg::ComputeDay {
+                    day: buf.get_u32_le(),
+                    r_eff: buf.get_f64_le(),
+                })
+            }
+            tag::INFECT => {
+                if buf.remaining() < 10 {
+                    return None;
+                }
+                Some(SimMsg::Infect(InfectMsg {
+                    person: buf.get_u32_le(),
+                    time_min: buf.get_u16_le(),
+                    infector: buf.get_u32_le(),
+                }))
+            }
+            tag::APPLY_DAY => {
+                if buf.remaining() < 4 {
+                    return None;
+                }
+                Some(SimMsg::ApplyDay {
+                    day: buf.get_u32_le(),
+                })
+            }
+            _ => None,
         }
     }
 }
@@ -189,6 +320,136 @@ mod tests {
         assert!(e.is_closed(4));
         assert!(!e.is_closed(7));
         assert!(!e.is_closed(200));
+    }
+
+    fn roundtrip(msg: &SimMsg) -> SimMsg {
+        let mut buf = BytesMut::with_capacity(64);
+        msg.wire_encode(&mut buf);
+        let frozen = buf.freeze();
+        let mut slice: &[u8] = &frozen;
+        let out = SimMsg::wire_decode(&mut slice).expect("decode");
+        assert!(slice.is_empty(), "decode consumed everything");
+        out
+    }
+
+    #[test]
+    fn wire_codec_roundtrips_every_variant() {
+        let begin = SimMsg::BeginDay {
+            day: 7,
+            effects: DayEffects {
+                closed_kinds: 0b0001_0100,
+                r_scale: 0.75,
+                vaccinations: vec![
+                    VaccinationOrder {
+                        fraction: 0.25,
+                        treatment: TreatmentId(3),
+                        efficacy_factor: 0.5,
+                    },
+                    VaccinationOrder {
+                        fraction: 1.0,
+                        treatment: TreatmentId(0),
+                        efficacy_factor: 0.125,
+                    },
+                ],
+            },
+        };
+        match roundtrip(&begin) {
+            SimMsg::BeginDay { day, effects } => {
+                assert_eq!(day, 7);
+                assert_eq!(effects.closed_kinds, 0b0001_0100);
+                assert_eq!(effects.r_scale, 0.75);
+                assert_eq!(effects.vaccinations.len(), 2);
+                assert_eq!(effects.vaccinations[0].treatment, TreatmentId(3));
+                assert_eq!(effects.vaccinations[1].efficacy_factor, 0.125);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        let visit = SimMsg::Visit(VisitMsg {
+            person: 12345,
+            location: 67890,
+            sublocation: 11,
+            start_min: 480,
+            end_min: 990,
+            state: StateId(2),
+            sus_scale: 0.625,
+        });
+        match roundtrip(&visit) {
+            SimMsg::Visit(v) => {
+                assert_eq!(v.person, 12345);
+                assert_eq!(v.location, 67890);
+                assert_eq!(v.sublocation, 11);
+                assert_eq!(v.start_min, 480);
+                assert_eq!(v.end_min, 990);
+                assert_eq!(v.state, StateId(2));
+                assert_eq!(v.sus_scale, 0.625);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        match roundtrip(&SimMsg::ComputeDay {
+            day: 3,
+            r_eff: 0.0015,
+        }) {
+            SimMsg::ComputeDay { day, r_eff } => {
+                assert_eq!(day, 3);
+                assert_eq!(r_eff, 0.0015);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        match roundtrip(&SimMsg::Infect(InfectMsg {
+            person: 99,
+            time_min: 720,
+            infector: 7,
+        })) {
+            SimMsg::Infect(i) => {
+                assert_eq!(i.person, 99);
+                assert_eq!(i.time_min, 720);
+                assert_eq!(i.infector, 7);
+            }
+            other => panic!("wrong variant: {other:?}"),
+        }
+
+        match roundtrip(&SimMsg::ApplyDay { day: 11 }) {
+            SimMsg::ApplyDay { day } => assert_eq!(day, 11),
+            other => panic!("wrong variant: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wire_decode_rejects_garbage() {
+        // Unknown tag.
+        let mut buf: &[u8] = &[200u8, 0, 0, 0, 0];
+        assert!(SimMsg::wire_decode(&mut buf).is_none());
+        // Truncated visit.
+        let mut full = BytesMut::with_capacity(64);
+        SimMsg::Visit(VisitMsg {
+            person: 1,
+            location: 2,
+            sublocation: 3,
+            start_min: 4,
+            end_min: 5,
+            state: StateId(0),
+            sus_scale: 1.0,
+        })
+        .wire_encode(&mut full);
+        let full = full.freeze();
+        let mut short: &[u8] = &full[..full.len() - 1];
+        assert!(SimMsg::wire_decode(&mut short).is_none());
+        // Empty buffer.
+        let mut empty: &[u8] = &[];
+        assert!(SimMsg::wire_decode(&mut empty).is_none());
+        // BeginDay claiming more vaccination orders than bytes present.
+        let mut lying = BytesMut::with_capacity(64);
+        lying.put_u8(0); // BEGIN_DAY
+        lying.put_u32_le(1);
+        lying.put_u8(0);
+        lying.put_f64_le(1.0);
+        lying.put_u32_le(1000); // 1000 orders, zero bytes follow
+        let lying = lying.freeze();
+        let mut slice: &[u8] = &lying;
+        assert!(SimMsg::wire_decode(&mut slice).is_none());
     }
 
     #[test]

@@ -102,9 +102,11 @@ pub struct Simulator {
 
 impl Simulator {
     /// Assemble a simulator: one PersonManager and one LocationManager
-    /// chare per partition of `dist`, mapped to PE `partition % n_pes`.
-    /// Persons start in the disease's start state with `initial_infections`
-    /// seeded deterministically.
+    /// chare per partition of `dist`, placed in contiguous blocks by
+    /// [`crate::engine::pe_for_partition`] (placement never affects the
+    /// epidemic — see the distribution tests). Persons start in the
+    /// disease's start state with `initial_infections` seeded
+    /// deterministically.
     pub fn new(
         dist: &DataDistribution,
         ptts: Ptts,
@@ -193,10 +195,11 @@ impl Simulator {
                     pm.seed_infection(local as u32);
                 }
             }
-            runtime.add_chare(ChareId(part), part % n_pes, Box::new(pm));
+            let pe = crate::engine::pe_for_partition(part, k, n_pes);
+            runtime.add_chare(ChareId(part), pe, Box::new(pm));
             let lm =
                 LocationManager::new(shared.clone(), locations_per_part[part as usize].clone());
-            runtime.add_chare(ChareId(k + part), part % n_pes, Box::new(lm));
+            runtime.add_chare(ChareId(k + part), pe, Box::new(lm));
         }
 
         Simulator {

@@ -4,11 +4,17 @@
 //! performance model (the paper's Figure 13 methodology in miniature).
 //!
 //! ```sh
-//! cargo run --release --example strong_scaling
+//! cargo run --release --example strong_scaling -- --engine seq
 //! ```
+//!
+//! `--engine {seq,threads,vt,net}` picks the runtime engine (default seq).
+//! With `net`, even PE counts run as two OS processes over loopback TCP —
+//! the worker process re-executes this example, so the flag is forwarded
+//! through `EPISIM_NET_CHILD_ARGS`.
 
 use episimdemics::chare_rt::RuntimeConfig;
 use episimdemics::core::distribution::{DataDistribution, Strategy};
+use episimdemics::core::engine::EngineChoice;
 use episimdemics::core::simulator::{SimConfig, Simulator};
 use episimdemics::load_model::{LoadUnits, PiecewiseModel};
 use episimdemics::ptts::flu_model;
@@ -17,7 +23,42 @@ use episimdemics::scale_model::{
 };
 use episimdemics::synthpop::{Population, PopulationConfig};
 
+fn engine_from_args() -> EngineChoice {
+    let args: Vec<String> = std::env::args().collect();
+    let mut engine = EngineChoice::Seq;
+    let mut i = 1;
+    while i < args.len() {
+        let value = if args[i] == "--engine" && i + 1 < args.len() {
+            i += 1;
+            Some(args[i].clone())
+        } else {
+            args[i].strip_prefix("--engine=").map(str::to_owned)
+        };
+        if let Some(v) = value {
+            engine = v.parse().unwrap_or_else(|e| panic!("{e}"));
+        }
+        i += 1;
+    }
+    engine
+}
+
+/// Engine-appropriate runtime config: the net engine splits even PE
+/// counts across two OS processes (odd counts run standalone).
+fn runtime_for(engine: EngineChoice, pes: u32) -> RuntimeConfig {
+    let n_procs = if engine == EngineChoice::Net && pes % 2 == 0 && pes > 1 {
+        2
+    } else {
+        1
+    };
+    engine.runtime_config(pes, n_procs)
+}
+
 fn main() {
+    let engine = engine_from_args();
+    if engine == EngineChoice::Net {
+        // Worker processes re-exec this binary argv-less; forward the flag.
+        std::env::set_var("EPISIM_NET_CHILD_ARGS", "--engine net");
+    }
     let pop = Population::generate(&PopulationConfig::small("scale", 10_000, 5));
     let cfg = SimConfig {
         days: 15,
@@ -29,7 +70,7 @@ fn main() {
     };
 
     // ---- Real runs at 1..8 PEs: identical results, measured busy time.
-    println!("== real runs (sequential engine, measured busy time) ==");
+    println!("== real runs ({engine:?} engine, measured busy time) ==");
     println!(
         "{:>4} {:>12} {:>14} {:>12}",
         "PEs", "total_inf", "max_busy_ms", "imbalance"
@@ -38,13 +79,7 @@ fn main() {
     let mut calibration_run = None;
     for pes in [1u32, 2, 4, 8] {
         let dist = DataDistribution::build(&pop, Strategy::GraphPartitionSplit, pes, 5);
-        let run = Simulator::new(
-            &dist,
-            flu_model(),
-            cfg.clone(),
-            RuntimeConfig::sequential(pes),
-        )
-        .run();
+        let run = Simulator::new(&dist, flu_model(), cfg.clone(), runtime_for(engine, pes)).run();
         let series = run.curve.new_infection_series();
         let max_busy: u64 = run
             .perf

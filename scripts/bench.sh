@@ -1,22 +1,27 @@
 #!/usr/bin/env bash
-# Regenerate BENCH_hotpath.json — the machine-readable perf-regression
-# record (schema "hotpath-v1", documented in EXPERIMENTS.md).
+# Regenerate the machine-readable perf records: BENCH_hotpath.json (schema
+# "hotpath-v1") and BENCH_netpath.json (schema "netpath-v1"), both
+# documented in EXPERIMENTS.md.
 #
 # Usage:
 #   scripts/bench.sh                 # measure, compare against the committed baseline
 #   HOTPATH_COMPARE= scripts/bench.sh   # measure only, no comparison section
 #
-# Knobs (all optional, forwarded to the hotpath binary):
+# Knobs (all optional, forwarded to the binaries):
 #   HOTPATH_STATE  state code to generate (default CA)
 #   HOTPATH_DAYS   simulated days         (default 20)
 #   HOTPATH_PES    PE thread count        (default 4)
 #   HOTPATH_SEED   simulation seed        (default 42)
 #   HOTPATH_OUT    output JSON path       (default BENCH_hotpath.json)
 #   EPISIM_SCALE   population scale       (default 1e-3)
+#   NETPATH_HOPS   hops per netpath message   (default 400)
+#   NETPATH_OUT    netpath output JSON path   (default BENCH_netpath.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 export HOTPATH_COMPARE="${HOTPATH_COMPARE-results/hotpath_baseline.json}"
 
 cargo build --release -p bench --bin hotpath --features alloc-count
-exec ./target/release/hotpath
+cargo build --release -p bench --bin netpath
+./target/release/hotpath
+./target/release/netpath

@@ -47,6 +47,11 @@ pub trait Buf {
     fn get_f32_le(&mut self) -> f32 {
         f32::from_bits(self.get_u32_le())
     }
+
+    /// Read a little-endian `f64`.
+    fn get_f64_le(&mut self) -> f64 {
+        f64::from_bits(self.get_u64_le())
+    }
 }
 
 impl Buf for &[u8] {
@@ -90,6 +95,11 @@ pub trait BufMut {
     /// Append a little-endian `f32`.
     fn put_f32_le(&mut self, v: f32) {
         self.put_u32_le(v.to_bits());
+    }
+
+    /// Append a little-endian `f64`.
+    fn put_f64_le(&mut self, v: f64) {
+        self.put_u64_le(v.to_bits());
     }
 }
 
@@ -179,6 +189,7 @@ mod tests {
         w.put_u32_le(70_000);
         w.put_u64_le(1 << 40);
         w.put_f32_le(1.5);
+        w.put_f64_le(-2.25e300);
         w.put_slice(b"xyz");
         let frozen = w.freeze();
         let mut r: &[u8] = &frozen;
@@ -188,6 +199,7 @@ mod tests {
         assert_eq!(r.get_u32_le(), 70_000);
         assert_eq!(r.get_u64_le(), 1 << 40);
         assert_eq!(r.get_f32_le(), 1.5);
+        assert_eq!(r.get_f64_le(), -2.25e300);
         let mut tail = [0u8; 3];
         r.copy_to_slice(&mut tail);
         assert_eq!(&tail, b"xyz");

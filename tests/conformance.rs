@@ -4,7 +4,7 @@
 //! under every benign fault plan — across a grid of seeds × plans. The
 //! lossy plan is the negative control: it must be caught.
 
-use episimdemics::chare_rt::{FaultPlan, RuntimeConfig};
+use episimdemics::chare_rt::{align_to_invocation, worker_target, FaultPlan, RuntimeConfig};
 use episimdemics::core::distribution::{DataDistribution, Strategy};
 use episimdemics::core::simulator::{SimConfig, Simulator};
 use episimdemics::ptts::flu_model;
@@ -62,6 +62,66 @@ fn epidemic_hash_identical_across_engines_and_fault_plans() {
     hashes.sort_unstable();
     hashes.dedup();
     assert_eq!(hashes.len(), 8, "seeds must produce distinct epidemics");
+}
+
+/// The net engine joins the conformance grid: 8 seeds × {1, 2, 4} worker
+/// processes, every curve hash bit-identical to the sequential engine.
+/// Worker processes re-execute this test (SPMD); they jump straight to
+/// their target invocation with [`align_to_invocation`] and never compute
+/// the sequential references.
+#[test]
+fn net_engine_matches_sequential_across_process_counts() {
+    let pop = pop();
+    let dist = DataDistribution::build(&pop, Strategy::GraphPartition, 4, 19);
+    const PROCS: [u32; 3] = [1, 2, 4];
+    if let Some(target) = worker_target() {
+        // Worker replay: invocation (seed-1)·3 + pi, mirroring the root's
+        // loop below. Run only the one net simulation this worker joins —
+        // the process exits inside the runtime teardown.
+        let seed = target / PROCS.len() as u64 + 1;
+        let n_procs = PROCS[(target % PROCS.len() as u64) as usize];
+        align_to_invocation(target);
+        curve_hash_under(&dist, seed, RuntimeConfig::net(4, n_procs));
+        return;
+    }
+    for seed in 1..=8u64 {
+        let reference = curve_hash_under(&dist, seed, RuntimeConfig::sequential(4));
+        for n_procs in PROCS {
+            let net = curve_hash_under(&dist, seed, RuntimeConfig::net(4, n_procs));
+            assert_eq!(
+                net, reference,
+                "net engine diverged at seed {seed} with {n_procs} processes"
+            );
+        }
+    }
+}
+
+/// Negative control for the net engine: killing a worker process mid-run
+/// must surface as a transport error on the root, not hang and not produce
+/// a curve. (The killed worker exits abruptly at phase entry; phase 5 is
+/// day 1's location phase.)
+#[test]
+fn net_killed_worker_is_a_transport_error() {
+    let pop = pop();
+    let dist = DataDistribution::build(&pop, Strategy::GraphPartition, 4, 19);
+    let mut rt = RuntimeConfig::net(4, 2);
+    rt.net.kill_rank = 1;
+    rt.net.kill_phase = 5;
+    // Workers re-run this same body; the doomed rank exits inside the
+    // runtime before the catch_unwind outcome matters.
+    let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        curve_hash_under(&dist, 11, rt)
+    }));
+    let err = result.expect_err("root must panic when a worker dies");
+    let msg = err
+        .downcast_ref::<String>()
+        .cloned()
+        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
+        .unwrap_or_default();
+    assert!(
+        msg.contains("transport"),
+        "expected a transport error, got: {msg:?}"
+    );
 }
 
 /// Negative control (EXPERIMENTS.md): a transport that drops messages
