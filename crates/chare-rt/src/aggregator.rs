@@ -101,6 +101,7 @@ impl<M: Message> Aggregator<M> {
 
     /// Enqueue a remote message. Returns a flush if this push filled the
     /// lane (or immediately, when aggregation is disabled).
+    #[simlint_macros::hot_path]
     pub fn push(&mut self, dst_pe: u32, to: ChareId, msg: M) -> Option<Flush<M>> {
         let bytes = msg.size_bytes() as u64;
         if !self.cfg.enabled {
@@ -125,6 +126,7 @@ impl<M: Message> Aggregator<M> {
     }
 
     /// Flush one destination lane, if non-empty.
+    #[simlint_macros::hot_path]
     pub fn flush_lane(&mut self, dst_pe: u32) -> Option<Packet<M>> {
         if self.lanes[dst_pe as usize].is_empty() {
             return None;
@@ -142,8 +144,10 @@ impl<M: Message> Aggregator<M> {
     }
 
     /// Flush everything (called when the PE runs out of local work).
+    #[simlint_macros::hot_path]
     pub fn flush_all(&mut self) -> Vec<Packet<M>> {
         let dirty = std::mem::take(&mut self.dirty);
+        // simlint: allow(R4) -- one short Vec per idle flush (not per message); sized to the dirty-lane count, amortized by batching
         let mut out = Vec::with_capacity(dirty.len());
         for d in dirty {
             if self.lanes[d as usize].is_empty() {

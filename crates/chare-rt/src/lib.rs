@@ -51,7 +51,9 @@ pub mod vt;
 pub use chare::{Chare, ChareId, Ctx, Message};
 pub use config::{AggregationConfig, ExecMode, NetConfig, RuntimeConfig, SmpConfig};
 pub use faults::{FaultHook, FaultPlan, FaultRng, NoFaults, PacketFate, PlanFaults};
-pub use net::{align_to_invocation, worker_target, NetEngine};
+pub use net::{
+    align_to_invocation, worker_target, NetEngine, TransportError, KILL_EXIT, TRANSPORT_EXIT,
+};
 pub use runtime::Runtime;
 pub use stats::{PeStats, PhaseStats};
 pub use vt::VtEngine;

@@ -9,13 +9,14 @@
 use crate::chare::{ChareId, Message};
 use crate::net::transport::{write_frame, FrameBuf};
 use crate::net::wire::{self, Ctl};
+use crate::net::TransportError;
 use crate::stats::{PeStats, ReductionSlots};
 use bytes::Bytes;
 use crossbeam::channel::{unbounded, Receiver, Sender, TryRecvError};
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::Duration;
 
@@ -38,7 +39,7 @@ pub struct CommShared {
     /// has been drained onto the wire).
     pub stop: AtomicBool,
     /// First transport failure, if any; compute checks this every loop.
-    pub failed: Mutex<Option<String>>,
+    pub failed: Mutex<Option<TransportError>>,
     /// Frames written to sockets.
     pub frames_sent: AtomicU64,
     /// Frames read from sockets.
@@ -68,16 +69,29 @@ impl CommShared {
     /// Record a failure (first one wins) — every subsequent compute-side
     /// loop iteration will see it and abort the run.
     pub fn fail(&self, msg: String) {
-        let mut f = self.failed.lock().unwrap();
+        let mut f = lock_recover(&self.failed);
         if f.is_none() {
-            *f = Some(msg);
+            *f = Some(TransportError(msg));
         }
     }
 
     /// The recorded failure, if any.
-    pub fn failure(&self) -> Option<String> {
-        self.failed.lock().unwrap().clone()
+    pub fn failure(&self) -> Option<TransportError> {
+        lock_recover(&self.failed).clone()
     }
+
+    /// The CD reply table, recovering from a poisoned lock: the flag
+    /// state is plain-old-data, so a panic elsewhere never invalidates it
+    /// and the transport must keep limping toward a clean error report.
+    pub fn replies(&self) -> MutexGuard<'_, Vec<CdReplyState>> {
+        lock_recover(&self.replies)
+    }
+}
+
+/// Lock a mutex, recovering the data from a poisoned lock instead of
+/// panicking (transport paths must never add panics of their own).
+fn lock_recover<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
 /// Events the comm thread hands to compute.
@@ -123,7 +137,7 @@ pub enum Event<M: Message> {
     /// Root is tearing down.
     Shutdown,
     /// A socket died or a frame failed to decode. Fatal.
-    TransportError(String),
+    TransportError(TransportError),
 }
 
 /// Compute's handle on the comm thread.
@@ -146,27 +160,31 @@ struct Peer {
 
 /// Spawn the comm thread over an established socket set. `my_rank` is this
 /// process's rank (used for CD replies); `sockets` maps peer rank →
-/// connected non-blocking stream.
-pub fn spawn<M: Message>(my_rank: u32, sockets: Vec<(u32, TcpStream)>) -> CommHandle<M> {
+/// connected non-blocking stream. Errors (the OS refusing a thread) are
+/// returned, not panicked, so the engine can surface them as a
+/// [`TransportError`].
+pub fn spawn<M: Message>(
+    my_rank: u32,
+    sockets: Vec<(u32, TcpStream)>,
+) -> std::io::Result<CommHandle<M>> {
     let (out_tx, out_rx) = unbounded::<(u32, u8, Bytes)>();
     let (in_tx, in_rx) = unbounded::<Event<M>>();
     let shared = Arc::new(CommShared::default());
     {
-        let mut replies = shared.replies.lock().unwrap();
+        let mut replies = shared.replies();
         let max_rank = sockets.iter().map(|(r, _)| *r).max().unwrap_or(0);
         replies.resize_with(max_rank as usize, CdReplyState::default);
     }
     let shared2 = shared.clone();
     let join = std::thread::Builder::new()
         .name(format!("net-comm-{my_rank}"))
-        .spawn(move || comm_loop::<M>(my_rank, sockets, out_rx, in_tx, shared2))
-        .expect("spawn comm thread");
-    CommHandle {
+        .spawn(move || comm_loop::<M>(my_rank, sockets, out_rx, in_tx, shared2))?;
+    Ok(CommHandle {
         out_tx,
         in_rx,
         shared,
         join: Some(join),
-    }
+    })
 }
 
 fn comm_loop<M: Message>(
@@ -176,7 +194,7 @@ fn comm_loop<M: Message>(
     in_tx: Sender<Event<M>>,
     shared: Arc<CommShared>,
 ) {
-    let mut peers: HashMap<u32, Peer> = sockets
+    let mut peers: BTreeMap<u32, Peer> = sockets
         .into_iter()
         .map(|(rank, sock)| {
             (
@@ -192,7 +210,7 @@ fn comm_loop<M: Message>(
     let ranks: Vec<u32> = peers.keys().copied().collect();
     let fatal = |shared: &CommShared, in_tx: &Sender<Event<M>>, msg: String| {
         shared.fail(msg.clone());
-        let _ = in_tx.send(Event::TransportError(msg));
+        let _ = in_tx.send(Event::TransportError(TransportError(msg)));
     };
     loop {
         let mut progressed = false;
@@ -224,7 +242,9 @@ fn comm_loop<M: Message>(
         // Inbound: poll every socket, dispatch complete frames.
         for &rank in &ranks {
             let polled = {
-                let p = peers.get_mut(&rank).unwrap();
+                let Some(p) = peers.get_mut(&rank) else {
+                    continue;
+                };
                 if p.dead {
                     continue;
                 }
@@ -255,7 +275,9 @@ fn comm_loop<M: Message>(
                 // their own pace during teardown, and the root (which has
                 // a socket to every worker) remains the liveness
                 // authority. A later send to the dead peer still fails.
-                peers.get_mut(&rank).unwrap().dead = true;
+                if let Some(p) = peers.get_mut(&rank) {
+                    p.dead = true;
+                }
                 if my_rank == 0 || rank == 0 {
                     fatal(
                         &shared,
@@ -291,7 +313,7 @@ fn dispatch<M: Message>(
     from: u32,
     kind_byte: u8,
     payload: &[u8],
-    peers: &mut HashMap<u32, Peer>,
+    peers: &mut BTreeMap<u32, Peer>,
     in_tx: &Sender<Event<M>>,
     shared: &Arc<CommShared>,
 ) -> bool {
@@ -304,7 +326,7 @@ fn dispatch<M: Message>(
             None => {
                 let msg = format!("malformed BATCH from rank {from}");
                 shared.fail(msg.clone());
-                let _ = in_tx.send(Event::TransportError(msg));
+                let _ = in_tx.send(Event::TransportError(TransportError(msg)));
             }
         },
         kind::CD_PROBE => {
@@ -331,7 +353,7 @@ fn dispatch<M: Message>(
                             peer.dead = true;
                             let msg = format!("CD reply to rank {from} failed: {e}");
                             shared.fail(msg.clone());
-                            let _ = in_tx.send(Event::TransportError(msg));
+                            let _ = in_tx.send(Event::TransportError(TransportError(msg)));
                         }
                     }
                 }
@@ -346,7 +368,7 @@ fn dispatch<M: Message>(
                 idle,
             }) = Ctl::decode(kind_byte, payload)
             {
-                let mut replies = shared.replies.lock().unwrap();
+                let mut replies = shared.replies();
                 let idx = rank as usize - 1;
                 if idx < replies.len() && replies[idx].wave < wave {
                     replies[idx] = CdReplyState {
@@ -394,7 +416,7 @@ fn dispatch<M: Message>(
             _ => {
                 let msg = format!("unexpected frame kind {kind_byte} from rank {from}");
                 shared.fail(msg.clone());
-                let _ = in_tx.send(Event::TransportError(msg));
+                let _ = in_tx.send(Event::TransportError(TransportError(msg)));
             }
         },
     }

@@ -24,6 +24,7 @@ use crate::config::RuntimeConfig;
 use crate::net::comm::{self, CommHandle, Event};
 use crate::net::launch;
 use crate::net::wire::{self, Ctl};
+use crate::net::TransportError;
 use crate::stats::{PeStats, PhaseStats, ReductionSlots};
 use crate::tram::Grid2D;
 use std::collections::VecDeque;
@@ -36,7 +37,27 @@ use std::time::{Duration, Instant};
 const QUANTUM: usize = 256;
 /// Exit code of a worker killed by the `kill_rank`/`kill_phase` fault
 /// knob.
-const KILL_EXIT: i32 = 17;
+pub const KILL_EXIT: i32 = 17;
+/// Exit code of a worker that shut down *cleanly* after a transport
+/// failure (peer loss, root abort). Distinct from 101 (a Rust panic) so
+/// the conformance harness can tell an orderly transport-failure exit
+/// from a crash.
+pub const TRANSPORT_EXIT: i32 = 16;
+
+/// Abort this process on a transport failure.
+///
+/// Role-dependent on purpose: the **root** carries the failure to the
+/// driver as a panic whose payload is a typed [`TransportError`]
+/// (harnesses `downcast_ref` it); a **worker** must not panic — its
+/// driver is a replayed SPMD copy with nobody above it to catch anything
+/// — so it logs and exits with [`TRANSPORT_EXIT`].
+fn transport_abort(role: Role, err: TransportError) -> ! {
+    eprintln!("[net] {err}");
+    if role == Role::Worker {
+        std::process::exit(TRANSPORT_EXIT);
+    }
+    std::panic::panic_any(err);
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 enum Role {
@@ -101,6 +122,9 @@ pub struct NetEngine<M: Message> {
     pending: Vec<(u64, Vec<(ChareId, M)>)>,
     comm: Option<CommHandle<M>>,
     children: Vec<Child>,
+    /// Exit codes of reaped workers, indexed `rank - 1` (root only, filled
+    /// by teardown; `None` = still running when force-killed or unknown).
+    child_exits: Vec<Option<i32>>,
     kill_phase: Option<u64>,
     /// Set when PHASE_END arrives while the worker loop is draining.
     pending_phase_end: bool,
@@ -142,18 +166,29 @@ impl<M: Message> NetEngine<M> {
             Role::Standalone => (0, cfg.n_pes),
             _ => (rank * ppp, (rank + 1) * ppp),
         };
+        let spawn_comm = |rank: u32, sockets| {
+            comm::spawn::<M>(rank, sockets).unwrap_or_else(|e| {
+                transport_abort(
+                    role,
+                    TransportError(format!("comm thread spawn failed: {e}")),
+                )
+            })
+        };
         let (comm, children) = match role {
             Role::Standalone => (None, Vec::new()),
             Role::Root => {
-                let (sockets, children) = launch::spawn_mesh_root(&cfg, invocation)
-                    .unwrap_or_else(|e| panic!("net transport error during launch: {e}"));
-                (Some(comm::spawn::<M>(0, sockets)), children)
+                let (sockets, children) =
+                    launch::spawn_mesh_root(&cfg, invocation).unwrap_or_else(|e| {
+                        transport_abort(role, TransportError(format!("launch failed: {e}")))
+                    });
+                (Some(spawn_comm(0, sockets)), children)
             }
             Role::Worker => {
                 let env = wenv.expect("worker role implies worker env");
-                let sockets = launch::connect_mesh_worker(&env, &cfg)
-                    .unwrap_or_else(|e| panic!("net transport error during mesh setup: {e}"));
-                (Some(comm::spawn::<M>(rank, sockets)), Vec::new())
+                let sockets = launch::connect_mesh_worker(&env, &cfg).unwrap_or_else(|e| {
+                    transport_abort(role, TransportError(format!("mesh setup failed: {e}")))
+                });
+                (Some(spawn_comm(rank, sockets)), Vec::new())
             }
         };
         let n_local = (pe_hi - pe_lo) as usize;
@@ -176,6 +211,7 @@ impl<M: Message> NetEngine<M> {
             pending: Vec::new(),
             comm: None,
             children,
+            child_exits: Vec::new(),
             kill_phase,
             pending_phase_end: false,
             shut_down: false,
@@ -209,21 +245,29 @@ impl<M: Message> NetEngine<M> {
         pe >= self.pe_lo && pe < self.pe_hi
     }
 
+    /// Abort with a typed [`TransportError`] (root panics with it as the
+    /// payload; a worker exits with [`TRANSPORT_EXIT`]).
+    fn transport_fail(&self, err: TransportError) -> ! {
+        transport_abort(self.role, err)
+    }
+
     fn fail_if_poisoned(&self) {
         if let Some(comm) = &self.comm {
-            if let Some(msg) = comm.shared.failure() {
-                panic!("net transport error: {msg}");
+            if let Some(err) = comm.shared.failure() {
+                self.transport_fail(err);
             }
         }
     }
 
     fn deadline(&self) -> Option<Instant> {
         (self.cfg.watchdog_secs > 0)
+            // simlint: allow(R2) -- hang watchdog arming; never feeds simulation state
             .then(|| Instant::now() + Duration::from_secs(u64::from(self.cfg.watchdog_secs)))
     }
 
     fn check_deadline(&self, deadline: Option<Instant>, state: &str) {
         if let Some(d) = deadline {
+            // simlint: allow(R2) -- hang watchdog check; aborts the run, never feeds results
             if Instant::now() > d {
                 let (p, c, idle) = self.cd_snapshot();
                 panic!(
@@ -362,7 +406,7 @@ impl<M: Message> NetEngine<M> {
         let mut chare = self.chares[idx]
             .take()
             .unwrap_or_else(|| panic!("message for unregistered chare {idx}"));
-        let start = Instant::now();
+        let start = Instant::now(); // simlint: allow(R2) -- busy_ns load metric only; load balancing consumes it between phases, DES state never does
         {
             let mut ctx = Ctx {
                 sender: &mut self.out,
@@ -489,7 +533,7 @@ impl<M: Message> NetEngine<M> {
             sh.frames_recv.store(0, Ordering::SeqCst);
             sh.bytes_sent.store(0, Ordering::SeqCst);
             sh.bytes_recv.store(0, Ordering::SeqCst);
-            for r in sh.replies.lock().unwrap().iter_mut() {
+            for r in sh.replies().iter_mut() {
                 *r = comm::CdReplyState::default();
             }
             // Last: only now may probes for this phase be answered idle.
@@ -560,7 +604,7 @@ impl<M: Message> NetEngine<M> {
                 Ok(Event::Batch { phase, envelopes }) if phase == self.phase + 1 => {
                     self.pending.push((phase, envelopes));
                 }
-                Ok(Event::TransportError(e)) => panic!("net transport error: {e}"),
+                Ok(Event::TransportError(e)) => self.transport_fail(e),
                 Ok(other) => panic!(
                     "net protocol error: unexpected {} while gathering stats",
                     event_name(&other)
@@ -641,7 +685,7 @@ impl<M: Message> NetEngine<M> {
                 return None;
             }
             let comm = self.comm.as_ref().expect("root has comm");
-            let replies = comm.shared.replies.lock().unwrap();
+            let replies = comm.shared.replies();
             if replies.iter().all(|r| r.wave >= wave) {
                 let sum_p = replies.iter().map(|r| r.produced).sum();
                 let sum_c = replies.iter().map(|r| r.consumed).sum();
@@ -677,11 +721,8 @@ impl<M: Message> NetEngine<M> {
                     // Handled by the worker loop via the flag below.
                     self.pending_phase_end = true;
                 }
-                Event::TransportError(e) => panic!("net transport error: {e}"),
-                Event::Shutdown => panic!(
-                    "net protocol error: shutdown while rank {} is mid-phase {}",
-                    self.rank, self.phase
-                ),
+                Event::TransportError(e) => self.transport_fail(e),
+                Event::Shutdown => self.shutdown_mid_run("mid-phase"),
                 other => panic!(
                     "net protocol error: unexpected {} in phase {} on rank {}",
                     event_name(&other),
@@ -691,6 +732,23 @@ impl<M: Message> NetEngine<M> {
             }
         }
         worked
+    }
+
+    /// SHUTDOWN arrived while this rank still had protocol left to run.
+    /// On a worker that means the root aborted (e.g. its transport failed
+    /// after another worker died) — exit cleanly with [`TRANSPORT_EXIT`]
+    /// rather than crash. On the root it can only be a protocol bug.
+    fn shutdown_mid_run(&self, state: &str) -> ! {
+        if self.role == Role::Worker {
+            self.transport_fail(TransportError(format!(
+                "root shut down while rank {} was {state} (phase {}) — treating as root abort",
+                self.rank, self.phase
+            )));
+        }
+        panic!(
+            "net protocol error: shutdown while rank {} is {state} (phase {})",
+            self.rank, self.phase
+        );
     }
 
     fn set_idle(&self, idle: bool) {
@@ -785,7 +843,8 @@ impl<M: Message> NetEngine<M> {
                 assert_eq!(phase, self.phase, "PHASE_END for wrong phase");
                 self.pending_phase_end = true;
             }
-            Event::TransportError(e) => panic!("net transport error: {e}"),
+            Event::TransportError(e) => self.transport_fail(e),
+            Event::Shutdown => self.shutdown_mid_run("mid-phase"),
             other => panic!(
                 "net protocol error: unexpected {} in phase {} on rank {}",
                 event_name(&other),
@@ -836,12 +895,8 @@ impl<M: Message> NetEngine<M> {
                         );
                     }
                 }
-                Ok(Event::Shutdown) => panic!(
-                    "net protocol error: root shut down while rank {} awaited phase {} — \
-                     SPMD drivers ran different phase counts",
-                    self.rank, self.phase
-                ),
-                Ok(Event::TransportError(e)) => panic!("net transport error: {e}"),
+                Ok(Event::Shutdown) => self.shutdown_mid_run("awaiting PHASE_START"),
+                Ok(Event::TransportError(e)) => self.transport_fail(e),
                 Ok(other) => panic!(
                     "net protocol error: unexpected {} while awaiting PHASE_START",
                     event_name(&other)
@@ -868,7 +923,8 @@ impl<M: Message> NetEngine<M> {
                 Ok(Event::Batch { phase, envelopes }) if phase == self.phase + 1 => {
                     self.pending.push((phase, envelopes));
                 }
-                Ok(Event::TransportError(e)) => panic!("net transport error: {e}"),
+                Ok(Event::TransportError(e)) => self.transport_fail(e),
+                Ok(Event::Shutdown) => self.shutdown_mid_run("awaiting PHASE_RESULT"),
                 Ok(other) => panic!(
                     "net protocol error: unexpected {} while awaiting PHASE_RESULT",
                     event_name(&other)
@@ -919,21 +975,23 @@ impl<M: Message> NetEngine<M> {
                         let _ = join.join();
                     }
                 }
-                let deadline = Instant::now() + Duration::from_secs(10);
-                for child in &mut self.children {
-                    loop {
+                let deadline = Instant::now() + Duration::from_secs(10); // simlint: allow(R2) -- teardown reaping timeout, after all simulation output is final
+                self.child_exits = self
+                    .children
+                    .iter_mut()
+                    .map(|child| loop {
                         match child.try_wait() {
-                            Ok(Some(_)) => break,
+                            Ok(Some(status)) => break status.code(),
+                            // simlint: allow(R2) -- teardown reaping timeout, never observed by the DES
                             Ok(None) if Instant::now() > deadline => {
                                 let _ = child.kill();
-                                let _ = child.wait();
-                                break;
+                                break child.wait().ok().and_then(|s| s.code());
                             }
                             Ok(None) => std::thread::sleep(Duration::from_millis(2)),
-                            Err(_) => break,
+                            Err(_) => break None,
                         }
-                    }
-                }
+                    })
+                    .collect();
             }
             Role::Worker => {
                 if std::thread::panicking() {
@@ -947,7 +1005,9 @@ impl<M: Message> NetEngine<M> {
                 }
                 // Drain until the root's SHUTDOWN (bounded), then leave.
                 if let Some(comm) = &self.comm {
+                    // simlint: allow(R2) -- bounded teardown drain, post-simulation
                     let deadline = Instant::now() + Duration::from_secs(10);
+                    // simlint: allow(R2) -- bounded teardown drain, post-simulation
                     while Instant::now() < deadline {
                         match comm.in_rx.recv_timeout(Duration::from_millis(10)) {
                             Ok(Event::Shutdown) | Err(_) if comm.shared.failure().is_some() => {
@@ -977,6 +1037,16 @@ impl<M: Message> NetEngine<M> {
             .enumerate()
             .filter_map(|(i, c)| c.map(|c| (ChareId(i as u32), c)))
             .collect()
+    }
+
+    /// Tear down (if not already done) and return every worker's exit
+    /// code, indexed `rank - 1`. Root only — empty on workers and
+    /// standalone runs. The fault-injection tests use this to assert that
+    /// a killed worker exited with [`KILL_EXIT`] while every *survivor*
+    /// shut down cleanly with [`TRANSPORT_EXIT`] rather than panicking.
+    pub fn reap_workers(&mut self) -> Vec<Option<i32>> {
+        self.teardown();
+        self.child_exits.clone()
     }
 }
 

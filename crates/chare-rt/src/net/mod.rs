@@ -34,5 +34,25 @@ pub mod launch;
 pub mod transport;
 pub mod wire;
 
-pub use engine::NetEngine;
+pub use engine::{NetEngine, KILL_EXIT, TRANSPORT_EXIT};
 pub use launch::{align_to_invocation, worker_target};
+
+/// A transport-layer failure: a peer disconnected, a frame failed to
+/// decode, or the socket mesh could not be established.
+///
+/// This is the *typed* failure surface of the net engine (simlint rule
+/// R3): the comm thread records it in [`comm::CommShared`], the root
+/// surfaces it as a panic payload of exactly this type (so harnesses can
+/// `downcast_ref::<TransportError>()` and distinguish a clean transport
+/// failure from an arbitrary crash), and workers exit with
+/// [`TRANSPORT_EXIT`] instead of panicking.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TransportError(pub String);
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "net transport error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TransportError {}

@@ -40,7 +40,7 @@ pub fn read_frame(r: &mut impl Read) -> io::Result<(u8, Vec<u8>, u64)> {
     }
     let mut body = vec![0u8; body_len];
     r.read_exact(&mut body)?;
-    let kind = body[0];
+    let kind = body[0]; // simlint: allow(R3) -- body_len checked nonzero above, so index 0 exists
     body.remove(0);
     Ok((kind, body, 4 + body_len as u64))
 }
@@ -97,7 +97,7 @@ impl FrameBuf {
             if rest.len() < 4 {
                 break;
             }
-            let body_len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize;
+            let body_len = u32::from_le_bytes([rest[0], rest[1], rest[2], rest[3]]) as usize; // simlint: allow(R3) -- rest.len() >= 4 checked two lines up
             if body_len == 0 || body_len > MAX_FRAME {
                 return Err(io::Error::new(
                     io::ErrorKind::InvalidData,
@@ -107,7 +107,7 @@ impl FrameBuf {
             if rest.len() < 4 + body_len {
                 break;
             }
-            let kind = rest[4];
+            let kind = rest[4]; // simlint: allow(R3) -- rest.len() >= 4 + body_len with body_len >= 1 checked above
             out.frames.push((kind, rest[5..4 + body_len].to_vec()));
             offset += 4 + body_len;
         }

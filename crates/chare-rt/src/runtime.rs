@@ -88,6 +88,19 @@ impl<M: Message> Runtime<M> {
         }
     }
 
+    /// Net engine, root process only: tear down (broadcast SHUTDOWN, stop
+    /// the comm thread) and return every worker's exit code indexed
+    /// `rank - 1`. Empty for every other engine/role. Fault-injection
+    /// tests call this after catching a transport panic to assert that
+    /// survivors exited cleanly ([`crate::net::TRANSPORT_EXIT`]) rather
+    /// than panicking.
+    pub fn reap_workers(&mut self) -> Vec<Option<i32>> {
+        match &mut self.engine {
+            Engine::Net(e) => e.reap_workers(),
+            _ => Vec::new(),
+        }
+    }
+
     /// Tear down and return all chares (sorted by id).
     pub fn into_chares(self) -> Vec<(ChareId, Box<dyn Chare<M>>)> {
         match self.engine {

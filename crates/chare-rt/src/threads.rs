@@ -138,7 +138,7 @@ impl<M: Message> Worker<M> {
             return;
         }
         let li = self.local_idx[env.to.0 as usize] as usize;
-        let start = Instant::now();
+        let start = Instant::now(); // simlint: allow(R2) -- busy_ns load metric only; load balancing consumes it between phases, DES state never does
         {
             let chare = &mut self.chares[li].1;
             let mut ctx = Ctx {
@@ -426,6 +426,7 @@ impl<M: Message> ThreadEngine<M> {
         // phase in a conformance run fails with the detector's counters
         // instead of spinning until the CI timeout.
         let deadline = (self.cfg.watchdog_secs > 0).then(|| {
+            // simlint: allow(R2) -- hang watchdog arming; never feeds simulation state
             std::time::Instant::now() + Duration::from_secs(self.cfg.watchdog_secs as u64)
         });
         loop {
@@ -435,6 +436,7 @@ impl<M: Message> ThreadEngine<M> {
             }
             if let Some(d) = deadline {
                 assert!(
+                    // simlint: allow(R2) -- hang watchdog check; aborts the run, never feeds results
                     std::time::Instant::now() < d,
                     "phase watchdog ({}s) expired before completion detection fired \
                      (produced {}, consumed {})",

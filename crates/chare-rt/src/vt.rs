@@ -249,7 +249,7 @@ impl<M: Message, H: FaultHook> VtEngine<M, H> {
         let mut chare = self.chares[idx]
             .take()
             .unwrap_or_else(|| panic!("message for unregistered chare {idx}"));
-        let start = Instant::now();
+        let start = Instant::now(); // simlint: allow(R2) -- busy_ns load metric only; load balancing consumes it between phases, DES state never does
         {
             let mut ctx = Ctx {
                 sender: &mut self.out,

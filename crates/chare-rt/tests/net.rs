@@ -7,7 +7,9 @@
 //! branches and builds the same chare array.
 
 use bytes::{Buf, BufMut, BytesMut};
-use chare_rt::{Chare, ChareId, Ctx, Message, Runtime, RuntimeConfig};
+use chare_rt::{
+    Chare, ChareId, Ctx, Message, Runtime, RuntimeConfig, TransportError, KILL_EXIT, TRANSPORT_EXIT,
+};
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 struct Hop {
@@ -156,7 +158,8 @@ fn net_killed_worker_surfaces_transport_error() {
         },
     )]);
     // Phase 2: rank 1 kills itself on entry; the root must fail loudly
-    // with a transport error rather than hang or return a short curve.
+    // with a *typed* transport error rather than hang, crash with an
+    // arbitrary panic, or return a short curve.
     let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         rt.run_phase(vec![(
             ChareId(0),
@@ -167,13 +170,58 @@ fn net_killed_worker_surfaces_transport_error() {
         )])
     }))
     .expect_err("losing a worker must not look like success");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
-        .unwrap_or_default();
+    let te = err
+        .downcast_ref::<TransportError>()
+        .expect("panic payload must be a typed TransportError");
     assert!(
-        msg.contains("transport"),
-        "panic should name the transport, got: {msg}"
+        te.0.contains("disconnected") || te.0.contains("failed"),
+        "error should describe the peer loss, got: {te}"
     );
+}
+
+/// Four processes, rank 2 killed: the root panics with a typed
+/// `TransportError`, the killed worker exits with `KILL_EXIT`, and — the
+/// part that regresses easily — both *surviving* workers shut down
+/// cleanly with `TRANSPORT_EXIT` instead of panicking (exit 101).
+#[test]
+fn net_killed_worker_survivors_exit_cleanly() {
+    let mut cfg = RuntimeConfig::net(4, 4);
+    cfg.net.kill_rank = 2;
+    cfg.net.kill_phase = 2;
+    let mut rt = build(cfg);
+    rt.run_phase(vec![(
+        ChareId(0),
+        Hop {
+            remaining: 20,
+            payload: 1,
+        },
+    )]);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.run_phase(vec![(
+            ChareId(0),
+            Hop {
+                remaining: 20,
+                payload: 1,
+            },
+        )])
+    }))
+    .expect_err("losing a worker must not look like success");
+    assert!(
+        err.downcast_ref::<TransportError>().is_some(),
+        "root panic payload must be a typed TransportError"
+    );
+    // Reap the children the catch_unwind kept alive (Drop has not run).
+    let exits = rt.reap_workers();
+    assert_eq!(exits.len(), 3, "three workers were spawned");
+    assert_eq!(exits[1], Some(KILL_EXIT), "rank 2 died by fault injection");
+    for (i, code) in exits.iter().enumerate() {
+        if i != 1 {
+            assert_eq!(
+                *code,
+                Some(TRANSPORT_EXIT),
+                "surviving rank {} must exit cleanly on root abort, not panic",
+                i + 1
+            );
+        }
+    }
 }

@@ -186,6 +186,7 @@ impl InfectivityClasses {
 /// per-minute transmissibility. `scratch` supplies all working memory; a
 /// reused instance makes the sweep allocation-free in steady state.
 #[allow(clippy::too_many_arguments)]
+#[simlint_macros::hot_path]
 pub fn simulate_location_day(
     visits: &mut [VisitMsg],
     ptts: &Ptts,
@@ -236,6 +237,7 @@ pub fn simulate_location_day(
 /// the buffer already holds groups in ascending sublocation order, so only
 /// the (start, person) order within each group remains to be established.
 #[allow(clippy::too_many_arguments)]
+#[simlint_macros::hot_path]
 pub fn simulate_location_day_grouped(
     buf: &mut VisitBuffer,
     ptts: &Ptts,
@@ -277,6 +279,7 @@ fn visit_key(v: &VisitMsg) -> u64 {
 
 /// Sweep events of one sublocation (visits already in canonical order).
 #[allow(clippy::too_many_arguments)]
+#[simlint_macros::hot_path]
 fn simulate_sublocation(
     visits: &[VisitMsg],
     ptts: &Ptts,
@@ -422,6 +425,7 @@ fn simulate_sublocation(
 /// infected, attribute an infector. `cit_at_arrive` is the arena slice
 /// captured at arrival; `cands`/`probs` are reused scratch vectors.
 #[allow(clippy::too_many_arguments)]
+#[simlint_macros::hot_path]
 fn resolve_susceptible(
     v: &VisitMsg,
     meta: &SusMeta,
@@ -730,7 +734,7 @@ mod tests {
     fn infector_attribution_prefers_longer_overlap() {
         let p = flu_model();
         let classes = InfectivityClasses::new(&p);
-        let mut by_infector = std::collections::HashMap::new();
+        let mut by_infector = std::collections::BTreeMap::new();
         for person in 0..4000u32 {
             let mut vs = vec![
                 visit(person, sus(&p), 0, 400, 0),

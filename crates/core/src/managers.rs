@@ -82,6 +82,7 @@ impl PersonManager {
                 &shared.ptts,
                 effects,
                 self.symptomatic_state,
+                Some(&shared.orig_of_location),
                 shared.seed,
                 day,
                 &mut self.visit_buf,

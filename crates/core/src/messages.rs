@@ -299,6 +299,9 @@ pub struct Shared {
     pub lm_of_location: Vec<u32>,
     /// location → local slot within its LM.
     pub local_of_location: Vec<u32>,
+    /// location → original location id (identity unless splitLoc ran);
+    /// the stay-home filter uses it to recognise split home pieces.
+    pub orig_of_location: Vec<u32>,
 }
 
 /// Shared handle.

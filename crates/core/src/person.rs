@@ -88,6 +88,12 @@ impl PersonSlot {
 /// Phase 1 for one person: advance health, apply interventions, and emit
 /// today's visit messages into `out`. Returns the symptomatic flag used for
 /// reporting.
+///
+/// `orig_of_location` maps (possibly splitLoc-rewritten) location ids back
+/// to original ids so the stay-home filter recognises every piece of a
+/// split home as "home"; `None` means the population was never split.
+/// Without the mapping an aggressive split threshold silently drops the
+/// *home* visits of self-isolating people, changing the epidemic.
 #[allow(clippy::too_many_arguments)]
 pub fn person_day(
     slot: &mut PersonSlot,
@@ -95,6 +101,7 @@ pub fn person_day(
     ptts: &Ptts,
     effects: &DayEffects,
     symptomatic_state: Option<StateId>,
+    orig_of_location: Option<&[u32]>,
     seed: u64,
     day: u32,
     out: &mut Vec<VisitMsg>,
@@ -124,7 +131,14 @@ pub fn person_day(
         if effects.is_closed(kind as u8) && kind != LocationKind::Home {
             continue;
         }
-        if stay_home && v.location != home {
+        let at_home = match orig_of_location {
+            // `home` predates any split, so it maps to itself; a visit is
+            // "home" when its (possibly split-piece) location maps back to
+            // the same original.
+            Some(map) => map[v.location.0 as usize] == home.0,
+            None => v.location == home,
+        };
+        if stay_home && !at_home {
             continue;
         }
         out.push(visit_to_msg(v, slot));
@@ -171,6 +185,7 @@ mod tests {
             &ptts,
             &DayEffects::none(),
             ptts.state_by_name("symptomatic"),
+            None,
             1,
             0,
             &mut out,
@@ -198,7 +213,7 @@ mod tests {
             vaccinations: Vec::new(),
         };
         let mut out = Vec::new();
-        person_day(&mut slot, &pop, &ptts, &effects, None, 1, 0, &mut out);
+        person_day(&mut slot, &pop, &ptts, &effects, None, None, 1, 0, &mut out);
         assert!(out
             .iter()
             .all(|m| pop.locations[m.location as usize].kind != LocationKind::School));
@@ -220,7 +235,7 @@ mod tests {
         };
         let mut slot = PersonSlot::new(5, &ptts);
         let mut out = Vec::new();
-        person_day(&mut slot, &pop, &ptts, &effects, None, 1, 0, &mut out);
+        person_day(&mut slot, &pop, &ptts, &effects, None, None, 1, 0, &mut out);
         assert!((slot.sus_scale - 0.3).abs() < 1e-6);
         assert_eq!(slot.health.treatment, TreatmentId(1));
         assert!(out.iter().all(|m| (m.sus_scale - 0.3).abs() < 1e-6));
@@ -299,6 +314,7 @@ mod tests {
                 &ptts,
                 &DayEffects::none(),
                 Some(sym),
+                None,
                 7,
                 0,
                 &mut out,

@@ -89,6 +89,7 @@ pub fn run_sequential_with_states(
                 ptts,
                 &effects,
                 symptomatic_state,
+                None,
                 cfg.seed,
                 day,
                 &mut visit_buf,

@@ -164,6 +164,7 @@ impl Simulator {
             local_of_person,
             lm_of_location,
             local_of_location,
+            orig_of_location: dist.orig_of_location.clone(),
         });
 
         // Choose initial infections deterministically (fresh runs only).

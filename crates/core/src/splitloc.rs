@@ -237,15 +237,15 @@ mod tests {
         // must not separate or merge interaction groups.
         let p = pop();
         let res = split_heavy_locations(&p, &SplitConfig::default());
-        use std::collections::HashMap;
-        let mut before: HashMap<(u32, u16), Vec<usize>> = HashMap::new();
+        use std::collections::BTreeMap;
+        let mut before: BTreeMap<(u32, u16), Vec<usize>> = BTreeMap::new();
         for (i, v) in p.visits.iter().enumerate() {
             before
                 .entry((v.location.0, v.sublocation.0))
                 .or_default()
                 .push(i);
         }
-        let mut after: HashMap<(u32, u16), Vec<usize>> = HashMap::new();
+        let mut after: BTreeMap<(u32, u16), Vec<usize>> = BTreeMap::new();
         for (i, v) in res.pop.visits.iter().enumerate() {
             after
                 .entry((v.location.0, v.sublocation.0))

@@ -268,7 +268,7 @@ fn parse_intervention(line: &str, lineno: usize) -> Result<Intervention, ParseEr
         .get(1)
         .ok_or_else(|| err("missing intervention kind".into()))?;
     // key-value pairs after the kind; `when <trigger> <value>` is special.
-    let mut kv = std::collections::HashMap::new();
+    let mut kv = std::collections::BTreeMap::new();
     let mut trigger = None;
     let mut i = 2;
     while i < words.len() {

@@ -1,0 +1,21 @@
+//! Marker attributes consumed by `simlint` (the workspace's static
+//! determinism-and-hot-path analyzer — see `crates/simlint` and DESIGN.md
+//! §9).
+//!
+//! The attributes expand to nothing: they exist so the *source text* can
+//! carry machine-checkable contracts. `simlint` lexes the workspace and
+//! enforces, e.g., that no allocation call appears inside a function
+//! annotated `#[hot_path]` (rule R4).
+
+use proc_macro::TokenStream;
+
+/// Marks a function as part of the zero-allocation DES hot path.
+///
+/// Expands to the item unchanged. `simlint --check` (rule R4) rejects
+/// `Vec::new`, `Box::new`, `vec!`, `format!`, `.to_vec()`, `.collect()`
+/// and friends inside the annotated function unless the offending line
+/// carries a `// simlint: allow(R4) -- <justification>` waiver.
+#[proc_macro_attribute]
+pub fn hot_path(_attr: TokenStream, item: TokenStream) -> TokenStream {
+    item
+}

@@ -1,0 +1,295 @@
+//! Findings and their renderings: rustc-style text and machine-readable
+//! JSON. The JSON codec is symmetric (emit + parse) so CI consumers and
+//! the round-trip tests share one definition.
+
+use std::fmt;
+
+/// One rule violation (or waived violation) at a source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule id (`R1` … `R5`, or `W0` for malformed waivers).
+    pub rule: String,
+    /// Path relative to the scan root, with `/` separators.
+    pub file: String,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column.
+    pub col: u32,
+    /// Human-readable description of the hazard.
+    pub message: String,
+    /// Set when an in-source waiver covers this finding; carries the
+    /// waiver's justification text.
+    pub waived: Option<String>,
+}
+
+impl Finding {
+    /// rustc-style one-line rendering.
+    pub fn render_text(&self) -> String {
+        let status = if self.waived.is_some() {
+            "waived"
+        } else {
+            "error"
+        };
+        format!(
+            "{}:{}:{}: {status}[{}]: {}",
+            self.file, self.line, self.col, self.rule, self.message
+        )
+    }
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render_text())
+    }
+}
+
+/// Serialize findings as a JSON array (stable key order, one object per
+/// finding).
+pub fn to_json(findings: &[Finding]) -> String {
+    let mut out = String::from("[");
+    for (i, f) in findings.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str("\n  {");
+        out.push_str(&format!("\"rule\":{}", json_str(&f.rule)));
+        out.push_str(&format!(",\"file\":{}", json_str(&f.file)));
+        out.push_str(&format!(",\"line\":{}", f.line));
+        out.push_str(&format!(",\"col\":{}", f.col));
+        out.push_str(&format!(",\"message\":{}", json_str(&f.message)));
+        match &f.waived {
+            Some(j) => out.push_str(&format!(",\"waived\":{}", json_str(j))),
+            None => out.push_str(",\"waived\":null"),
+        }
+        out.push('}');
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Parse the JSON produced by [`to_json`]. This is not a general JSON
+/// parser — it accepts exactly the subset the emitter writes (plus
+/// whitespace), which is all the round-trip contract requires.
+pub fn from_json(src: &str) -> Result<Vec<Finding>, String> {
+    let mut p = JsonParser {
+        src: src.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    p.expect(b'[')?;
+    let mut out = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b']') {
+        return Ok(out);
+    }
+    loop {
+        out.push(p.object()?);
+        p.skip_ws();
+        match p.next()? {
+            b',' => continue,
+            b']' => break,
+            c => return Err(format!("expected ',' or ']', got '{}'", c as char)),
+        }
+    }
+    Ok(out)
+}
+
+struct JsonParser<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl JsonParser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn next(&mut self) -> Result<u8, String> {
+        let b = self.peek().ok_or("unexpected end of JSON")?;
+        self.pos += 1;
+        Ok(b)
+    }
+
+    fn skip_ws(&mut self) {
+        while self.peek().is_some_and(|b| b.is_ascii_whitespace()) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, want: u8) -> Result<(), String> {
+        let got = self.next()?;
+        if got != want {
+            return Err(format!(
+                "expected '{}', got '{}'",
+                want as char, got as char
+            ));
+        }
+        Ok(())
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.skip_ws();
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.next()? {
+                b'"' => return Ok(out),
+                b'\\' => match self.next()? {
+                    b'"' => out.push('"'),
+                    b'\\' => out.push('\\'),
+                    b'n' => out.push('\n'),
+                    b'r' => out.push('\r'),
+                    b't' => out.push('\t'),
+                    b'u' => {
+                        let mut v = 0u32;
+                        for _ in 0..4 {
+                            let d = self.next()?;
+                            v = v * 16 + (d as char).to_digit(16).ok_or("bad \\u escape")?;
+                        }
+                        out.push(char::from_u32(v).ok_or("bad codepoint")?);
+                    }
+                    c => return Err(format!("bad escape '\\{}'", c as char)),
+                },
+                c if c < 0x80 => out.push(c as char),
+                c => {
+                    // Reassemble UTF-8 multibyte sequences.
+                    let len = match c {
+                        0xC0..=0xDF => 2,
+                        0xE0..=0xEF => 3,
+                        _ => 4,
+                    };
+                    let start = self.pos - 1;
+                    for _ in 1..len {
+                        self.next()?;
+                    }
+                    out.push_str(
+                        std::str::from_utf8(&self.src[start..self.pos])
+                            .map_err(|e| e.to_string())?,
+                    );
+                }
+            }
+        }
+    }
+
+    fn number(&mut self) -> Result<u32, String> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.peek().is_some_and(|b| b.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.src[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| "expected a number".to_string())
+    }
+
+    fn object(&mut self) -> Result<Finding, String> {
+        self.skip_ws();
+        self.expect(b'{')?;
+        let mut f = Finding {
+            rule: String::new(),
+            file: String::new(),
+            line: 0,
+            col: 0,
+            message: String::new(),
+            waived: None,
+        };
+        loop {
+            let key = self.string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            self.skip_ws();
+            match key.as_str() {
+                "rule" => f.rule = self.string()?,
+                "file" => f.file = self.string()?,
+                "line" => f.line = self.number()?,
+                "col" => f.col = self.number()?,
+                "message" => f.message = self.string()?,
+                "waived" => {
+                    if self.peek() == Some(b'n') {
+                        for want in b"null" {
+                            self.expect(*want)?;
+                        }
+                        f.waived = None;
+                    } else {
+                        f.waived = Some(self.string()?);
+                    }
+                }
+                other => return Err(format!("unknown key {other:?}")),
+            }
+            self.skip_ws();
+            match self.next()? {
+                b',' => continue,
+                b'}' => return Ok(f),
+                c => return Err(format!("expected ',' or '}}', got '{}'", c as char)),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Finding> {
+        vec![
+            Finding {
+                rule: "R1".into(),
+                file: "crates/core/src/kernel.rs".into(),
+                line: 12,
+                col: 9,
+                message: "default-hasher `HashMap` in determinism scope".into(),
+                waived: None,
+            },
+            Finding {
+                rule: "R2".into(),
+                file: "crates/chare-rt/src/vt.rs".into(),
+                line: 252,
+                col: 21,
+                message: "wall-clock read (`Instant::now`)".into(),
+                waived: Some("watchdog only, \"quoted\" + non-ASCII ✓".into()),
+            },
+        ]
+    }
+
+    #[test]
+    fn json_round_trips() {
+        let findings = sample();
+        let json = to_json(&findings);
+        let back = from_json(&json).expect("parses");
+        assert_eq!(back, findings);
+    }
+
+    #[test]
+    fn empty_round_trips() {
+        assert_eq!(from_json(&to_json(&[])).unwrap(), Vec::<Finding>::new());
+    }
+
+    #[test]
+    fn text_rendering_is_rustc_style() {
+        let f = &sample()[0];
+        assert_eq!(
+            f.render_text(),
+            "crates/core/src/kernel.rs:12:9: error[R1]: default-hasher `HashMap` in determinism scope"
+        );
+        assert!(sample()[1].render_text().contains("waived[R2]"));
+    }
+}

@@ -1,0 +1,479 @@
+//! A hand-rolled Rust lexer, just deep enough to lint on.
+//!
+//! The analyzer's rules are defined over *code tokens*: identifiers,
+//! punctuation, and literals with their line/column positions. Everything
+//! that routinely defeats grep — `//` and nested `/* */` comments, string
+//! literals with escapes, raw strings `r#"…"#` with arbitrary hash counts,
+//! byte/C-string prefixes, char literals vs. lifetimes — is consumed here
+//! so a `HashMap` inside a doc comment or an error message never produces
+//! a finding.
+//!
+//! Line comments are *kept* (as [`Comment`] records, separate from the
+//! token stream) because waivers live in them:
+//! `// simlint: allow(R2) -- watchdog only`.
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    /// What the token is.
+    pub kind: TokenKind,
+    /// 1-based line.
+    pub line: u32,
+    /// 1-based column (byte offset within the line).
+    pub col: u32,
+}
+
+/// Token classes the rules care about.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`fn`, `HashMap`, `hot_path`, …).
+    Ident(String),
+    /// One punctuation byte (`.`, `[`, `!`, `:` — `::` arrives as two).
+    Punct(char),
+    /// Any literal: string, raw string, char, number. The payload is the
+    /// literal's source text (used only for integer-index detection).
+    Literal(String),
+    /// A lifetime (`'a`). Distinguished so `'a` never looks like an
+    /// unterminated char literal.
+    Lifetime(String),
+}
+
+impl TokenKind {
+    /// The identifier text, if this is an identifier.
+    pub fn ident(&self) -> Option<&str> {
+        match self {
+            TokenKind::Ident(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Is this exactly the identifier `s`?
+    pub fn is_ident(&self, s: &str) -> bool {
+        self.ident() == Some(s)
+    }
+
+    /// Is this the punctuation `c`?
+    pub fn is_punct(&self, c: char) -> bool {
+        matches!(self, TokenKind::Punct(p) if *p == c)
+    }
+}
+
+/// A line comment, kept for waiver parsing.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Comment {
+    /// Text after the `//` (trimmed).
+    pub text: String,
+    /// 1-based line the comment starts on.
+    pub line: u32,
+    /// Whether anything other than whitespace preceded it on the line
+    /// (an end-of-line comment waives its own line; a standalone comment
+    /// waives the next code line).
+    pub trailing: bool,
+}
+
+/// The lexed form of one source file.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// Code tokens in source order.
+    pub tokens: Vec<Token>,
+    /// Line comments in source order (block comments are discarded).
+    pub comments: Vec<Comment>,
+}
+
+/// Lex Rust source text. Never fails: unterminated constructs consume to
+/// end-of-input, which is the forgiving behavior a linter wants.
+pub fn lex(src: &str) -> Lexed {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+    /// Byte offset where the current line started.
+    line_start: usize,
+    out: Lexed,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            line_start: 0,
+            out: Lexed::default(),
+        }
+    }
+
+    fn col(&self) -> u32 {
+        (self.pos - self.line_start) as u32 + 1
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek_at(&self, off: usize) -> Option<u8> {
+        self.src.get(self.pos + off).copied()
+    }
+
+    /// Advance one byte, maintaining the line counter.
+    fn bump(&mut self) -> Option<u8> {
+        let b = self.peek()?;
+        self.pos += 1;
+        if b == b'\n' {
+            self.line += 1;
+            self.line_start = self.pos;
+        }
+        Some(b)
+    }
+
+    fn run(mut self) -> Lexed {
+        while let Some(b) = self.peek() {
+            match b {
+                b'/' if self.peek_at(1) == Some(b'/') => self.line_comment(),
+                b'/' if self.peek_at(1) == Some(b'*') => self.block_comment(),
+                b'"' => self.string_literal(),
+                b'\'' => self.char_or_lifetime(),
+                b'r' | b'b' | b'c' if self.raw_or_prefixed_string() => {}
+                _ if is_ident_start(b) => self.ident_or_number(),
+                b'0'..=b'9' => self.number(),
+                _ if b.is_ascii_whitespace() => {
+                    self.bump();
+                }
+                _ => {
+                    let (line, col) = (self.line, self.col());
+                    self.bump();
+                    self.push_tok(TokenKind::Punct(b as char), line, col);
+                }
+            }
+        }
+        self.out
+    }
+
+    fn push_tok(&mut self, kind: TokenKind, line: u32, col: u32) {
+        self.out.tokens.push(Token { kind, line, col });
+    }
+
+    fn line_comment(&mut self) {
+        let line = self.line;
+        let trailing = self.src[self.line_start..self.pos]
+            .iter()
+            .any(|b| !b.is_ascii_whitespace());
+        let start = self.pos + 2;
+        while let Some(b) = self.peek() {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos])
+            .trim()
+            .to_string();
+        self.out.comments.push(Comment {
+            text,
+            line,
+            trailing,
+        });
+    }
+
+    fn block_comment(&mut self) {
+        // Rust block comments nest.
+        self.bump();
+        self.bump();
+        let mut depth = 1u32;
+        while depth > 0 {
+            match (self.peek(), self.peek_at(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump();
+                    self.bump();
+                }
+                (Some(_), _) => {
+                    self.bump();
+                }
+                (None, _) => return, // unterminated: consume to EOF
+            }
+        }
+    }
+
+    /// A `"…"` literal with `\` escapes.
+    fn string_literal(&mut self) {
+        let (line, col) = (self.line, self.col());
+        let start = self.pos;
+        self.bump(); // opening quote
+        while let Some(b) = self.bump() {
+            match b {
+                b'\\' => {
+                    self.bump();
+                }
+                b'"' => break,
+                _ => {}
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push_tok(TokenKind::Literal(text), line, col);
+    }
+
+    /// `'a` (lifetime) vs `'x'` / `'\n'` (char literal).
+    fn char_or_lifetime(&mut self) {
+        let (line, col) = (self.line, self.col());
+        let start = self.pos;
+        self.bump(); // the quote
+        match self.peek() {
+            Some(b'\\') => {
+                // Escaped char literal: consume escape then closing quote.
+                self.bump();
+                self.bump();
+                while let Some(b) = self.peek() {
+                    // Multi-byte escapes like '\u{1F600}'.
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.push_tok(TokenKind::Literal(text), line, col);
+            }
+            Some(b) if is_ident_start(b) => {
+                // Could be 'x' (char) or 'x (lifetime): a char literal has
+                // a closing quote right after one character (possibly
+                // multi-byte UTF-8, handled by scanning to the quote as
+                // long as no ident-boundary appears first).
+                let mut off = 1;
+                while self
+                    .peek_at(off)
+                    .is_some_and(|c| is_ident_continue(c) && c != b'\'')
+                {
+                    off += 1;
+                }
+                if self.peek_at(off) == Some(b'\'') && off <= 4 {
+                    // Char literal ('x', or a short multi-byte char).
+                    for _ in 0..=off {
+                        self.bump();
+                    }
+                    let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                    self.push_tok(TokenKind::Literal(text), line, col);
+                } else {
+                    // Lifetime: consume the identifier.
+                    let id_start = self.pos;
+                    while self.peek().is_some_and(is_ident_continue) {
+                        self.bump();
+                    }
+                    let name = String::from_utf8_lossy(&self.src[id_start..self.pos]).into_owned();
+                    self.push_tok(TokenKind::Lifetime(name), line, col);
+                }
+            }
+            Some(_) => {
+                // Char literal with punctuation payload, e.g. '(' or '"'.
+                self.bump();
+                if self.peek() == Some(b'\'') {
+                    self.bump();
+                }
+                let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+                self.push_tok(TokenKind::Literal(text), line, col);
+            }
+            None => {
+                self.push_tok(TokenKind::Punct('\''), line, col);
+            }
+        }
+    }
+
+    /// Handle `r"…"`, `r#"…"#`, `br#"…"#`, `b"…"`, `b'x'`, `c"…"`.
+    /// Returns false when the `r`/`b`/`c` starts a plain identifier.
+    fn raw_or_prefixed_string(&mut self) -> bool {
+        let b0 = self.peek().unwrap_or(0);
+        // Work out the shape without consuming.
+        let mut off = 1;
+        let mut second = self.peek_at(off);
+        if b0 == b'b' && second == Some(b'r') {
+            off += 1;
+            second = self.peek_at(off);
+        }
+        let raw = (b0 == b'r' || (b0 == b'b' && off == 2)) && {
+            // Count hashes after the prefix.
+            let mut h = off;
+            while self.peek_at(h) == Some(b'#') {
+                h += 1;
+            }
+            self.peek_at(h) == Some(b'"')
+        };
+        if raw {
+            let (line, col) = (self.line, self.col());
+            let start = self.pos;
+            for _ in 0..off {
+                self.bump();
+            }
+            let mut hashes = 0usize;
+            while self.peek() == Some(b'#') {
+                hashes += 1;
+                self.bump();
+            }
+            self.bump(); // opening quote
+                         // Scan for `"` followed by `hashes` hashes.
+            'outer: while let Some(b) = self.bump() {
+                if b == b'"' {
+                    for i in 0..hashes {
+                        if self.peek_at(i) != Some(b'#') {
+                            continue 'outer;
+                        }
+                    }
+                    for _ in 0..hashes {
+                        self.bump();
+                    }
+                    break;
+                }
+            }
+            let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+            self.push_tok(TokenKind::Literal(text), line, col);
+            return true;
+        }
+        // b"…" / c"…" (non-raw prefixed string) or b'x'.
+        if (b0 == b'b' || b0 == b'c') && second == Some(b'"') && off == 1 {
+            self.bump(); // prefix
+            self.string_literal();
+            return true;
+        }
+        if b0 == b'b' && second == Some(b'\'') && off == 1 {
+            self.bump(); // prefix
+            self.char_or_lifetime();
+            return true;
+        }
+        false
+    }
+
+    fn ident_or_number(&mut self) {
+        let (line, col) = (self.line, self.col());
+        let start = self.pos;
+        while self.peek().is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push_tok(TokenKind::Ident(text), line, col);
+    }
+
+    fn number(&mut self) {
+        let (line, col) = (self.line, self.col());
+        let start = self.pos;
+        // Good enough for linting: digits plus the usual number alphabet
+        // (underscores, type suffixes, hex/oct/bin tags, exponents, one
+        // dot as long as a digit follows — `0..n` must stay three tokens).
+        while let Some(b) = self.peek() {
+            let ok = b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.'
+                    && self.peek_at(1).is_some_and(|c| c.is_ascii_digit())
+                    && !self.src[start..self.pos].contains(&b'.'));
+            if ok {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        let text = String::from_utf8_lossy(&self.src[start..self.pos]).into_owned();
+        self.push_tok(TokenKind::Literal(text), line, col);
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        lex(src)
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.ident().map(str::to_string))
+            .collect()
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        let src = "// HashMap here\nlet x = 1; /* HashMap /* nested */ still */ let y;";
+        assert!(!idents(src).contains(&"HashMap".to_string()));
+        assert_eq!(idents(src), vec!["let", "x", "let", "y"]);
+    }
+
+    #[test]
+    fn strings_are_skipped() {
+        let src = "let m = \"HashMap::new()\"; let r = r#\"Instant::now()\"# ; f(b\"SystemTime\");";
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(!ids.contains(&"Instant".to_string()));
+        assert!(!ids.contains(&"SystemTime".to_string()));
+    }
+
+    #[test]
+    fn raw_string_with_hashes_and_quotes() {
+        let src = "let s = r##\"a \"# HashMap \"## ; next";
+        let ids = idents(src);
+        assert!(!ids.contains(&"HashMap".to_string()));
+        assert!(ids.contains(&"next".to_string()));
+    }
+
+    #[test]
+    fn lifetimes_do_not_eat_code() {
+        let src = "fn f<'a>(x: &'a str) { unwrap() }";
+        let ids = idents(src);
+        assert!(ids.contains(&"unwrap".to_string()));
+        assert!(lex(src)
+            .tokens
+            .iter()
+            .any(|t| t.kind == TokenKind::Lifetime("a".into())));
+    }
+
+    #[test]
+    fn char_literals_do_not_open_strings() {
+        // If '"' were mis-lexed, the following HashMap would vanish into a
+        // phantom string.
+        let src = "let q = '\"'; let c = '\\n'; HashMap::new()";
+        assert!(idents(src).contains(&"HashMap".to_string()));
+    }
+
+    #[test]
+    fn positions_are_tracked() {
+        let lexed = lex("ab\n  cd");
+        assert_eq!(lexed.tokens[0].line, 1);
+        assert_eq!(lexed.tokens[0].col, 1);
+        assert_eq!(lexed.tokens[1].line, 2);
+        assert_eq!(lexed.tokens[1].col, 3);
+    }
+
+    #[test]
+    fn waiver_comments_are_kept_with_trailing_flag() {
+        let src = "let x = 1; // simlint: allow(R1) -- test\n// standalone\nlet y = 2;";
+        let lexed = lex(src);
+        assert_eq!(lexed.comments.len(), 2);
+        assert!(lexed.comments[0].trailing);
+        assert_eq!(lexed.comments[0].text, "simlint: allow(R1) -- test");
+        assert!(!lexed.comments[1].trailing);
+    }
+
+    #[test]
+    fn numbers_and_ranges() {
+        let lexed = lex("a[0]; b[0..4]; 1.5e3");
+        let lits: Vec<&str> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| match &t.kind {
+                TokenKind::Literal(s) => Some(s.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(lits, vec!["0", "0", "4", "1.5e3"]);
+    }
+}

@@ -1,0 +1,139 @@
+//! simlint — the workspace determinism-and-hot-path static analyzer.
+//!
+//! See DESIGN.md §9 ("Static determinism wall") for the rule catalogue
+//! and waiver policy. The analyzer is dependency-free by construction:
+//! it lexes Rust source itself ([`lexer`]), reads its policy from a tiny
+//! TOML subset ([`policy`]), and emits rustc-style text or JSON
+//! ([`diag`]). Rules live in [`rules`]; this module is the driver that
+//! walks the tree and stitches the passes together.
+
+pub mod diag;
+pub mod lexer;
+pub mod policy;
+pub mod rules;
+
+use diag::Finding;
+use policy::Policy;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Run every rule over the tree under `root` according to `policy`.
+///
+/// Returns all findings — waived ones included, with their justification
+/// attached — sorted by (file, line, col, rule) so output is stable
+/// across platforms and directory-iteration orders. The caller decides
+/// the exit code from [`unwaived_count`].
+pub fn run_check(root: &Path, policy: &Policy) -> Result<Vec<Finding>, String> {
+    let mut findings = Vec::new();
+    for file in collect_files(root, policy)? {
+        let rel = rel_path(root, &file);
+        let src = fs::read_to_string(&file)
+            .map_err(|e| format!("{}: read failed: {e}", file.display()))?;
+        let lexed = lexer::lex(&src);
+        let (waivers, mut w0) = rules::parse_waivers(&rel, &lexed);
+        let mut file_findings = Vec::new();
+        file_findings.extend(rules::rule_r1(&rel, &lexed, policy));
+        file_findings.extend(rules::rule_r2(&rel, &lexed, policy));
+        file_findings.extend(rules::rule_r3(&rel, &lexed, policy));
+        file_findings.extend(rules::rule_r4(&rel, &lexed));
+        for spec in &policy.codecs {
+            if spec.file == rel {
+                file_findings.extend(rules::rule_r5(spec, &lexed));
+            }
+        }
+        rules::apply_waivers(&mut file_findings, &waivers);
+        findings.append(&mut file_findings);
+        findings.append(&mut w0);
+    }
+    // Codec spec files that never appeared in the walk are a policy error
+    // (a stale simlint.toml must fail loudly, not silently pass).
+    for spec in &policy.codecs {
+        let path = root.join(&spec.file);
+        if !path.is_file() {
+            findings.push(Finding {
+                rule: "R5".into(),
+                file: spec.file.clone(),
+                line: 1,
+                col: 1,
+                message: format!("[codec.{}] file not found under scan root", spec.name),
+                waived: None,
+            });
+        }
+    }
+    findings
+        .sort_by(|a, b| (&a.file, a.line, a.col, &a.rule).cmp(&(&b.file, b.line, b.col, &b.rule)));
+    Ok(findings)
+}
+
+/// Number of findings that actually fail the check.
+pub fn unwaived_count(findings: &[Finding]) -> usize {
+    findings.iter().filter(|f| f.waived.is_none()).count()
+}
+
+/// All `.rs` files under the policy's include roots, excluding excluded
+/// prefixes and `target/` build directories, in sorted order.
+fn collect_files(root: &Path, policy: &Policy) -> Result<Vec<PathBuf>, String> {
+    let mut out = Vec::new();
+    for inc in &policy.scan_include {
+        let dir = root.join(inc);
+        if !dir.exists() {
+            return Err(format!("scan include `{inc}` does not exist under root"));
+        }
+        walk(root, &dir, policy, &mut out)?;
+    }
+    out.sort();
+    out.dedup();
+    Ok(out)
+}
+
+fn walk(root: &Path, dir: &Path, policy: &Policy, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    let rel = rel_path(root, dir);
+    if policy::in_scope(&rel, &policy.scan_exclude) {
+        return Ok(());
+    }
+    if dir.is_file() {
+        if dir.extension().is_some_and(|e| e == "rs") {
+            out.push(dir.to_path_buf());
+        }
+        return Ok(());
+    }
+    if dir.file_name().is_some_and(|n| n == "target") {
+        return Ok(());
+    }
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)
+        .map_err(|e| format!("{}: read_dir failed: {e}", dir.display()))?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for entry in entries {
+        let rel = rel_path(root, &entry);
+        if policy::in_scope(&rel, &policy.scan_exclude) {
+            continue;
+        }
+        if entry.is_dir() {
+            walk(root, &entry, policy, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+/// `path` relative to `root`, `/`-separated (for stable diagnostics and
+/// policy matching on every platform).
+fn rel_path(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root)
+        .unwrap_or(path)
+        .components()
+        .map(|c| c.as_os_str().to_string_lossy().into_owned())
+        .collect::<Vec<_>>()
+        .join("/")
+}
+
+/// Load and parse the policy file at `root/simlint.toml`.
+pub fn load_policy(root: &Path) -> Result<Policy, String> {
+    let path = root.join("simlint.toml");
+    let src =
+        fs::read_to_string(&path).map_err(|e| format!("{}: read failed: {e}", path.display()))?;
+    Policy::parse(&src).map_err(|e| format!("simlint.toml: {e}"))
+}

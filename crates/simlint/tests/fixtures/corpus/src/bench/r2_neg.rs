@@ -1,0 +1,5 @@
+// R2 negative by scope: benches are allowed to time real work.
+fn measure() -> u128 {
+    let t0 = std::time::Instant::now();
+    t0.elapsed().as_nanos()
+}

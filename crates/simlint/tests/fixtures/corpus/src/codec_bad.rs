@@ -1,0 +1,27 @@
+// R5 positive: `Heartbeat` was added to the enum and to the encoder, but
+// the decoder was never taught about it — the silent wire-format skew the
+// rule exists to catch.
+pub enum Msg {
+    Ping,
+    Data(u32),
+    Heartbeat,
+}
+
+pub fn encode_msg(m: &Msg, out: &mut Vec<u8>) {
+    match m {
+        Msg::Ping => out.push(0),
+        Msg::Data(x) => {
+            out.push(1);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Msg::Heartbeat => out.push(2),
+    }
+}
+
+pub fn decode_msg(b: &[u8]) -> Option<Msg> {
+    match b.first()? {
+        0 => Some(Msg::Ping),
+        1 => Some(Msg::Data(u32::from_le_bytes(b.get(1..5)?.try_into().ok()?))),
+        _ => None,
+    }
+}

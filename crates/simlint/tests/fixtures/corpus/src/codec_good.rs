@@ -1,0 +1,26 @@
+// R5 negative: every variant is named in both codec arms.
+pub enum Msg {
+    Ping,
+    Data(u32),
+    Heartbeat,
+}
+
+pub fn encode_msg(m: &Msg, out: &mut Vec<u8>) {
+    match m {
+        Msg::Ping => out.push(0),
+        Msg::Data(x) => {
+            out.push(1);
+            out.extend_from_slice(&x.to_le_bytes());
+        }
+        Msg::Heartbeat => out.push(2),
+    }
+}
+
+pub fn decode_msg(b: &[u8]) -> Option<Msg> {
+    match b.first()? {
+        0 => Some(Msg::Ping),
+        1 => Some(Msg::Data(u32::from_le_bytes(b.get(1..5)?.try_into().ok()?))),
+        2 => Some(Msg::Heartbeat),
+        _ => None,
+    }
+}

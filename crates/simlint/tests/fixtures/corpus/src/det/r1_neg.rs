@@ -1,0 +1,16 @@
+// R1 negative: ordered collections, plus the banned names appearing only
+// in comments and string literals (the lexer must not see those).
+// A HashMap would be wrong here.
+use std::collections::BTreeMap;
+
+fn label() -> &'static str {
+    "prefer BTreeMap over HashMap; HashSet is banned too"
+}
+
+fn tally(xs: &[u32]) -> BTreeMap<u32, u32> {
+    let mut m = BTreeMap::new();
+    for &x in xs {
+        *m.entry(x).or_insert(0) += 1;
+    }
+    m
+}

@@ -1,0 +1,10 @@
+// R1 positive: default-hasher collections inside the determinism scope.
+use std::collections::HashMap;
+
+fn tally(xs: &[u32]) -> usize {
+    let mut seen = std::collections::HashSet::new();
+    for &x in xs {
+        seen.insert(x);
+    }
+    seen.len()
+}

@@ -1,0 +1,17 @@
+// R3 negative: checked access, range slices, and panics confined to a
+// `#[cfg(test)]` module are all fine in transport scope.
+fn read_frame(buf: &[u8]) -> Option<u8> {
+    let kind = *buf.first()?;
+    let _header = buf.get(0..4)?;
+    let _rest = &buf[4..];
+    Some(kind)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let v = [1u8];
+        assert_eq!(v[0], super::read_frame(&[1, 0, 0, 0, 0]).unwrap());
+    }
+}

@@ -1,0 +1,16 @@
+// R3 positive: panic paths in a transport-scoped file.
+fn read_frame(buf: &[u8]) -> u8 {
+    let kind = buf[0];
+    let n: u32 = parse(buf).unwrap();
+    if n > 1000 {
+        panic!("oversized frame");
+    }
+    match kind {
+        0 => kind,
+        _ => unreachable!(),
+    }
+}
+
+fn parse(b: &[u8]) -> Option<u32> {
+    b.first().map(|&x| x as u32)
+}

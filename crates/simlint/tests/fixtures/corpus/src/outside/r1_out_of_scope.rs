@@ -1,0 +1,6 @@
+// R1 negative by scope: HashMap outside `src/det` is not flagged.
+use std::collections::HashMap;
+
+fn cache() -> HashMap<u32, u32> {
+    HashMap::new()
+}

@@ -1,0 +1,8 @@
+// R2 positive: wall-clock reads outside any allowed scope.
+fn tick() -> std::time::Instant {
+    std::time::Instant::now()
+}
+
+fn stamp() -> std::time::SystemTime {
+    std::time::SystemTime::now()
+}

@@ -1,0 +1,13 @@
+// R4 negative: the hot function reuses scratch buffers; the allocating
+// function is not annotated, so it is out of the rule's reach.
+#[simlint_macros::hot_path]
+fn hot(xs: &[u32], scratch: &mut Vec<u32>) -> u64 {
+    scratch.clear();
+    scratch.extend_from_slice(xs);
+    scratch.iter().map(|&x| x as u64).sum()
+}
+
+fn cold() -> Vec<u32> {
+    let v = Vec::with_capacity(8);
+    v
+}

@@ -1,0 +1,7 @@
+// R4 positive: allocation inside a `#[hot_path]` function.
+#[simlint_macros::hot_path]
+fn hot(xs: &[u32]) -> u64 {
+    let copy = xs.to_vec();
+    let label = format!("{} items", copy.len());
+    label.len() as u64
+}

@@ -1,0 +1,7 @@
+// Excluded by [scan].exclude: nothing in here may ever be reported.
+use std::collections::HashMap;
+
+fn never_scanned() -> std::time::Instant {
+    let _m: HashMap<u8, u8> = HashMap::new();
+    std::time::Instant::now()
+}

@@ -1,0 +1,20 @@
+// Waiver syntax corpus: one trailing waiver, one standalone waiver, and
+// one malformed waiver (missing justification) that must become W0.
+fn watchdog_nanos() -> u64 {
+    let t0 = std::time::Instant::now(); // simlint: allow(R2) -- fixture: watchdog arming only
+    t0.elapsed().as_nanos() as u64
+}
+
+fn deadline_nanos() -> u64 {
+    // simlint: allow(R2) -- fixture: standalone waiver covers the next line
+    let t = std::time::SystemTime::now();
+    match t.duration_since(std::time::UNIX_EPOCH) {
+        Ok(d) => d.as_nanos() as u64,
+        Err(_) => 0,
+    }
+}
+
+// simlint: allow(R2)
+fn unjustified_nanos() -> u64 {
+    std::time::Instant::now().elapsed().as_nanos() as u64
+}

@@ -1,0 +1,80 @@
+//! Property tests: the lexer, the waiver parser and the JSON codec must
+//! be total — no input may panic them — and JSON round-trips must be
+//! lossless regardless of what the message strings contain.
+
+use proptest::collection;
+use proptest::prelude::*;
+use simlint::diag::{from_json, to_json, Finding};
+use simlint::lexer::lex;
+use simlint::rules::parse_waivers;
+
+/// Characters chosen to stress every lexer mode: string/char/raw-string
+/// delimiters, comment starters, escapes, newlines, control characters
+/// and non-ASCII.
+const PALETTE: &[char] = &[
+    'a', 'Z', '0', '9', '_', '"', '\'', '/', '*', '#', 'r', 'b', '\\', '\n', '\t', ' ', '(', ')',
+    '{', '}', '[', ']', ':', ';', '.', ',', '-', '=', '!', '<', '>', '\u{1}', 'λ',
+];
+
+fn arb_string(max: usize) -> impl Strategy<Value = String> {
+    collection::vec(0usize..PALETTE.len(), 0..max)
+        .prop_map(|ix| ix.into_iter().map(|i| PALETTE[i]).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Arbitrary character soup never panics the lexer, and every token
+    /// it produces carries a 1-based position.
+    #[test]
+    fn lexer_is_total(src in arb_string(200)) {
+        let lexed = lex(&src);
+        for t in &lexed.tokens {
+            prop_assert!(t.line >= 1 && t.col >= 1);
+        }
+    }
+
+    /// Truncated strings, comments and raw strings — the lexer's
+    /// recovery paths — also never panic.
+    #[test]
+    fn lexer_survives_truncation(prefix in 0usize..6, suffix in arb_string(40)) {
+        const OPENERS: &[&str] = &["/*", "//", "r#\"", "b\"", "\"", "'"];
+        let _ = lex(&format!("{}{}", OPENERS[prefix], suffix));
+    }
+
+    /// Waiver parsing is total over arbitrary comment bodies: every
+    /// `simlint:` comment either parses or becomes a W0, never a panic.
+    #[test]
+    fn waiver_parsing_is_total(body in arb_string(80)) {
+        let src = format!("// simlint:{body}\nlet x = 1;\n");
+        let (waivers, w0) = parse_waivers("f.rs", &lex(&src));
+        // The first line always yields exactly one outcome; embedded
+        // newlines in `body` may add more comments after it.
+        prop_assert!(waivers.len() + w0.len() >= 1);
+    }
+
+    /// JSON round-trip is lossless for any finding contents, including
+    /// quotes, backslashes, newlines and control characters in every
+    /// string field.
+    #[test]
+    fn json_round_trip_is_lossless(
+        rule in arb_string(4),
+        file in arb_string(30),
+        line in 1u32..100_000,
+        col in 1u32..500,
+        message in arb_string(60),
+        has_waiver in 0usize..2,
+        waiver_text in arb_string(60),
+    ) {
+        let findings = vec![Finding {
+            rule,
+            file,
+            line,
+            col,
+            message,
+            waived: (has_waiver == 1).then_some(waiver_text),
+        }];
+        let back = from_json(&to_json(&findings)).expect("round-trip parses");
+        prop_assert_eq!(back, findings);
+    }
+}

@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Static checks for the workspace: the simlint determinism wall
+# (DESIGN.md §9) plus rustfmt. CI runs exactly this script; run it
+# locally before pushing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== simlint --check (static determinism wall) =="
+cargo run -p simlint --release --quiet -- --check
+
+echo "== cargo fmt --check =="
+cargo fmt --check
+
+echo "lint: OK"

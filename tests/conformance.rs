@@ -7,6 +7,8 @@
 use episimdemics::chare_rt::{align_to_invocation, worker_target, FaultPlan, RuntimeConfig};
 use episimdemics::core::distribution::{DataDistribution, Strategy};
 use episimdemics::core::simulator::{SimConfig, Simulator};
+use episimdemics::core::splitloc::SplitConfig;
+use episimdemics::load_model::PiecewiseModel;
 use episimdemics::ptts::flu_model;
 use episimdemics::synthpop::{Population, PopulationConfig};
 
@@ -96,6 +98,60 @@ fn net_engine_matches_sequential_across_process_counts() {
     }
 }
 
+/// splitLoc-heavy regression (DESIGN.md §3): force an aggressive visit
+/// threshold so most multi-room locations split, then require (a) the
+/// split actually happened, (b) every engine agrees on the curve, and
+/// (c) the hash matches a pinned constant — so a silent change to the
+/// split planner, cohort routing, or location RNG streams shows up as a
+/// red test, not a quiet drift.
+#[test]
+fn splitloc_heavy_curve_hash_is_pinned_and_engine_invariant() {
+    let pop = pop();
+    let split = SplitConfig {
+        max_partitions: 1024,
+        threshold_override: Some(4),
+    };
+    let dist = DataDistribution::build_with(
+        &pop,
+        Strategy::GraphPartitionSplit,
+        4,
+        19,
+        &split,
+        &PiecewiseModel::paper_constants(),
+    );
+    assert!(
+        dist.pop.n_locations() > pop.n_locations(),
+        "threshold 4 must split locations ({} vs {}) or the test is vacuous",
+        dist.pop.n_locations(),
+        pop.n_locations()
+    );
+    let reference = curve_hash_under(&dist, 7, RuntimeConfig::sequential(4));
+    assert_eq!(
+        reference,
+        curve_hash_under(&dist, 7, RuntimeConfig::threaded(3)),
+        "threaded engine diverged on the split population"
+    );
+    assert_eq!(
+        reference,
+        curve_hash_under(&dist, 7, RuntimeConfig::dst(4, FaultPlan::chaos(77))),
+        "DST engine diverged on the split population"
+    );
+    // Splitting must also leave the epidemic itself unchanged: the same
+    // scenario without splitLoc produces the identical curve (§III-C's
+    // "provably does not change simulation results").
+    let unsplit = DataDistribution::build(&pop, Strategy::GraphPartition, 4, 19);
+    assert_eq!(
+        reference,
+        curve_hash_under(&unsplit, 7, RuntimeConfig::sequential(4)),
+        "splitLoc changed the epidemic"
+    );
+    // Pinned: any edit that moves this constant is a determinism break.
+    assert_eq!(
+        reference, 0x81ac_e93d_9693_bd5f,
+        "pinned splitLoc curve hash moved"
+    );
+}
+
 /// Negative control for the net engine: killing a worker process mid-run
 /// must surface as a transport error on the root, not hang and not produce
 /// a curve. (The killed worker exits abruptly at phase entry; phase 5 is
@@ -113,14 +169,12 @@ fn net_killed_worker_is_a_transport_error() {
         curve_hash_under(&dist, 11, rt)
     }));
     let err = result.expect_err("root must panic when a worker dies");
-    let msg = err
-        .downcast_ref::<String>()
-        .cloned()
-        .or_else(|| err.downcast_ref::<&str>().map(|s| s.to_string()))
-        .unwrap_or_default();
+    let te = err
+        .downcast_ref::<chare_rt::TransportError>()
+        .expect("panic payload must be a typed TransportError, not an arbitrary crash");
     assert!(
-        msg.contains("transport"),
-        "expected a transport error, got: {msg:?}"
+        te.0.contains("disconnected") || te.0.contains("failed"),
+        "expected the error to describe the peer loss, got: {te}"
     );
 }
 
