@@ -64,6 +64,7 @@ fn bench_aggregation(c: &mut Criterion) {
                 enabled: true,
                 max_batch: 64,
                 tram_2d: false,
+                adaptive: false,
             },
         ),
         (
@@ -72,6 +73,7 @@ fn bench_aggregation(c: &mut Criterion) {
                 enabled: false,
                 max_batch: 1,
                 tram_2d: false,
+                adaptive: false,
             },
         ),
     ] {

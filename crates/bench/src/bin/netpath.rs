@@ -1,24 +1,31 @@
 //! Net-engine message-path microbenchmark: per-message cost of the
 //! intra-process path (in-memory queues, zero serialization) versus the
-//! inter-process path (batch serialization + loopback TCP + comm thread),
-//! plus a sweep over the aggregation batch size to show where the wire
-//! cost goes. Writes a machine-readable `BENCH_netpath.json` next to
-//! `BENCH_hotpath.json` (schema "netpath-v1", documented in
+//! inter-process path over **both** data planes — loopback TCP (batch
+//! serialization + comm thread + socket) and the shared-memory ring
+//! transport (compute-thread-to-compute-thread SPSC rings + futex
+//! doorbells) — plus an aggregation batch-size sweep per transport and
+//! the adaptive controller's operating point. Writes a machine-readable
+//! `BENCH_netpath.json` (schema "netpath-v2", documented in
 //! EXPERIMENTS.md).
 //!
 //! SPMD note: the inter-process runs re-execute this very binary as their
 //! worker processes. Earlier net-runtime constructions replay standalone
-//! inside the workers (they are deliberately tiny), and each worker exits
-//! inside its target run's teardown — only the root reaches the report.
+//! inside the workers, and each worker exits inside its target run's
+//! teardown — only the root reaches the report. Transports are selected
+//! through `RuntimeConfig` (never the `ChareNetTransport` env override,
+//! which is scrubbed at startup) so root and replayed workers can't
+//! disagree.
 //!
 //! Environment knobs (all optional):
-//!   NETPATH_HOPS    hops per injected message       (default 400)
-//!   NETPATH_INJECT  messages injected per phase     (default 8)
-//!   NETPATH_PHASES  timed phases per configuration  (default 3)
-//!   NETPATH_OUT     output JSON path                (default BENCH_netpath.json)
+//!   NETPATH_HOPS     hops per injected message       (default 400)
+//!   NETPATH_INJECT   messages injected per phase     (default 8)
+//!   NETPATH_PHASES   timed phases per configuration  (default 3)
+//!   NETPATH_OUT      output JSON path                (default BENCH_netpath.json)
+//!   NETPATH_COMPARE  baseline JSON; exit 2 if any headline ns/msg
+//!                    regresses by more than 20% against it
 
 use bytes::{Buf, BufMut, BytesMut};
-use chare_rt::{worker_target, Chare, ChareId, Ctx, Message, Runtime, RuntimeConfig};
+use chare_rt::{worker_target, Chare, ChareId, Ctx, Message, NetTransport, Runtime, RuntimeConfig};
 use std::fmt::Write as _;
 use std::time::Instant;
 
@@ -85,15 +92,35 @@ struct RunResult {
     processed: u64,
     ns_per_msg: f64,
     remote_msgs: u64,
+    network_packets: u64,
     wire_frames_sent: u64,
     wire_bytes_sent: u64,
+    shm_frames_sent: u64,
+    shm_parks: u64,
+    coalesced_flushes: u64,
+    flush_batch: u64,
+    flush_idle: u64,
+    msgs_batch: u64,
+    msgs_idle: u64,
+    agg_batch: u64,
+}
+
+impl RunResult {
+    /// Envelopes per emitted batch frame, over both planes.
+    fn msgs_per_frame(&self) -> f64 {
+        if self.network_packets > 0 {
+            self.remote_msgs as f64 / self.network_packets as f64
+        } else {
+            0.0
+        }
+    }
 }
 
 /// Run `phases` timed phases of ring traffic on 2 PEs. Chares are placed
 /// alternating PE 0 / PE 1, so with one process every hop is an
 /// intra-process cross-PE send, and with two single-PE processes every hop
-/// crosses the wire — the two configurations differ *only* in the path a
-/// message takes.
+/// crosses the process boundary — the configurations differ *only* in the
+/// path a message takes.
 fn run_ring(cfg: RuntimeConfig, phases: u32, inject: u32, hops: u32) -> RunResult {
     let mut rt: Runtime<Hop> = Runtime::new(cfg);
     for i in 0..N_CHARES {
@@ -128,8 +155,17 @@ fn run_ring(cfg: RuntimeConfig, phases: u32, inject: u32, hops: u32) -> RunResul
         let t = stats.totals();
         out.processed += t.processed;
         out.remote_msgs += t.sent_remote;
+        out.network_packets += t.network_packets;
         out.wire_frames_sent += t.wire_frames_sent;
         out.wire_bytes_sent += t.wire_bytes_sent;
+        out.shm_frames_sent += t.shm_frames_sent;
+        out.shm_parks += t.shm_parks;
+        out.coalesced_flushes += t.wire_coalesced_flushes;
+        out.flush_batch += t.wire_flush_batch;
+        out.flush_idle += t.wire_flush_idle;
+        out.msgs_batch += t.wire_msgs_batch;
+        out.msgs_idle += t.wire_msgs_idle;
+        out.agg_batch = out.agg_batch.max(t.agg_batch);
     }
     out.wall_s = t0.elapsed().as_secs_f64();
     out.ns_per_msg = if out.processed > 0 {
@@ -140,7 +176,56 @@ fn run_ring(cfg: RuntimeConfig, phases: u32, inject: u32, hops: u32) -> RunResul
     out
 }
 
+fn inter_cfg(transport: NetTransport) -> RuntimeConfig {
+    let mut cfg = RuntimeConfig::net(2, 2);
+    cfg.net.transport = transport;
+    cfg
+}
+
+fn run_json(label: &str, max_batch: &str, r: &RunResult) -> String {
+    format!(
+        "{{\"transport\": \"{label}\", \"max_batch\": {max_batch}, \"wall_s\": {:.6}, \
+         \"messages\": {}, \"ns_per_msg\": {:.1}, \"remote_msgs\": {}, \
+         \"msgs_per_frame\": {:.1}, \"wire_frames_sent\": {}, \"wire_bytes_sent\": {}, \
+         \"shm_frames_sent\": {}, \"parks\": {}, \"coalesced_flushes\": {}, \
+         \"flush_batch\": {}, \"flush_idle\": {}, \"msgs_batch\": {}, \"msgs_idle\": {}, \
+         \"agg_batch\": {}}}",
+        r.wall_s,
+        r.processed,
+        r.ns_per_msg,
+        r.remote_msgs,
+        r.msgs_per_frame(),
+        r.wire_frames_sent,
+        r.wire_bytes_sent,
+        r.shm_frames_sent,
+        r.shm_parks,
+        r.coalesced_flushes,
+        r.flush_batch,
+        r.flush_idle,
+        r.msgs_batch,
+        r.msgs_idle,
+        r.agg_batch,
+    )
+}
+
+/// Pull `"key": <number>` out of a flat JSON string (the baselines this
+/// binary writes itself — no nesting ambiguity for the summary keys).
+fn extract_f64(json: &str, key: &str) -> Option<f64> {
+    let needle = format!("\"{key}\": ");
+    let at = json.find(&needle)? + needle.len();
+    let rest = &json[at..];
+    let end = rest
+        .find(|c: char| c != '-' && c != '.' && !c.is_ascii_digit())
+        .unwrap_or(rest.len());
+    rest[..end].parse().ok()
+}
+
 fn main() {
+    // Scrub the transport override so every run's transport comes from its
+    // RuntimeConfig and replayed workers can't diverge from the root.
+    std::env::remove_var("ChareNetTransport");
+    std::env::remove_var("CHARE_NET_TRANSPORT");
+
     let hops: u32 = env_or("NETPATH_HOPS", 400);
     let inject: u32 = env_or("NETPATH_INJECT", 8);
     let phases: u32 = env_or("NETPATH_PHASES", 3);
@@ -155,17 +240,41 @@ fn main() {
 
     // Intra-process: the standalone net engine, in-memory queues only.
     let intra = run_ring(RuntimeConfig::net(2, 1), phases, inject, hops);
-    // Inter-process: identical topology, every hop serialized over loopback.
-    let inter = run_ring(RuntimeConfig::net(2, 2), phases, inject, hops);
+    // Inter-process, per data plane. Static batch size (adaptive off) so
+    // the headline numbers compare the transports, not the controller.
+    let mut tcp_cfg = inter_cfg(NetTransport::Tcp);
+    tcp_cfg.aggregation.adaptive = false;
+    let inter_tcp = run_ring(tcp_cfg, phases, inject, hops);
+    let mut shm_cfg = inter_cfg(NetTransport::Shm);
+    shm_cfg.aggregation.adaptive = false;
+    let inter_shm = run_ring(shm_cfg, phases, inject, hops);
 
-    // Aggregation sweep on the inter-process path: batch size trades
-    // per-frame overhead against latency.
+    // Aggregation sweep per transport. The injection count scales with the
+    // batch size (≥ 4 full frames in flight) — the v1 sweep injected a
+    // constant 8 messages, so idle flushes capped every row near 3
+    // msgs/frame and the batch knob appeared dead (EXPERIMENTS.md).
     let batches = [1u32, 8, 64, 256];
+    let transports = [(NetTransport::Tcp, "tcp"), (NetTransport::Shm, "shm")];
     let mut sweep = Vec::new();
-    for &b in &batches {
-        let mut cfg = RuntimeConfig::net(2, 2);
-        cfg.aggregation.max_batch = b;
-        sweep.push((b, run_ring(cfg, phases, inject, hops)));
+    for &(t, label) in &transports {
+        for &b in &batches {
+            let mut cfg = inter_cfg(t);
+            cfg.aggregation.adaptive = false;
+            cfg.aggregation.max_batch = b;
+            let inj = inject.max(4 * b);
+            sweep.push((label, b, run_ring(cfg, phases, inj, hops)));
+        }
+    }
+
+    // The adaptive controller's operating point on each transport, under
+    // the same load as the batch-64 sweep row so there is throughput for
+    // the controller to optimize (at 8 in-flight messages the ring is
+    // latency-bound and any batch size looks the same).
+    let mut adaptive = Vec::new();
+    for &(t, label) in &transports {
+        let mut cfg = inter_cfg(t);
+        cfg.aggregation.adaptive = true;
+        adaptive.push((label, run_ring(cfg, phases, inject.max(256), hops)));
     }
 
     // Workers exited inside their runs; only the root reports.
@@ -173,53 +282,117 @@ fn main() {
         return;
     }
 
-    let ratio = if intra.ns_per_msg > 0.0 {
-        inter.ns_per_msg / intra.ns_per_msg
-    } else {
-        0.0
-    };
-    let run_json = |r: &RunResult| {
-        format!(
-            "{{\"wall_s\": {:.6}, \"messages\": {}, \"ns_per_msg\": {:.1}, \"remote_msgs\": {}, \"wire_frames_sent\": {}, \"wire_bytes_sent\": {}}}",
-            r.wall_s, r.processed, r.ns_per_msg, r.remote_msgs, r.wire_frames_sent, r.wire_bytes_sent
-        )
+    let ratio = |num: &RunResult, den: &RunResult| {
+        if den.ns_per_msg > 0.0 {
+            num.ns_per_msg / den.ns_per_msg
+        } else {
+            0.0
+        }
     };
     let mut j = String::new();
-    j.push_str("{\n  \"schema\": \"netpath-v1\",\n");
+    j.push_str("{\n  \"schema\": \"netpath-v2\",\n");
     let _ = writeln!(
         j,
         "  \"config\": {{\"chares\": {N_CHARES}, \"pes\": 2, \"hops\": {hops}, \"inject\": {inject}, \"phases\": {phases}}},"
     );
-    let _ = writeln!(j, "  \"intra_process\": {},", run_json(&intra));
-    let _ = writeln!(j, "  \"inter_process\": {},", run_json(&inter));
-    let _ = writeln!(j, "  \"inter_over_intra\": {ratio:.2},");
+    // The loaded shm number (batch-64 sweep row) is the ROADMAP "<2µs/msg
+    // same-host" acceptance metric: per-message cost when frames actually
+    // fill, as opposed to the latency-bound headline rows above.
+    let shm_loaded_ns = sweep
+        .iter()
+        .find(|(label, b, _)| *label == "shm" && *b == 64)
+        .map(|(_, _, r)| r.ns_per_msg)
+        .unwrap_or(0.0);
+    let _ = writeln!(
+        j,
+        "  \"summary\": {{\"intra_ns\": {:.1}, \"inter_tcp_ns\": {:.1}, \"inter_shm_ns\": {:.1}, \"inter_shm_loaded_ns\": {:.1}}},",
+        intra.ns_per_msg, inter_tcp.ns_per_msg, inter_shm.ns_per_msg, shm_loaded_ns
+    );
+    let _ = writeln!(
+        j,
+        "  \"intra_process\": {},",
+        run_json("local", "64", &intra)
+    );
+    let _ = writeln!(j, "  \"inter_tcp\": {},", run_json("tcp", "64", &inter_tcp));
+    let _ = writeln!(j, "  \"inter_shm\": {},", run_json("shm", "64", &inter_shm));
+    let _ = writeln!(
+        j,
+        "  \"tcp_over_intra\": {:.2},\n  \"shm_over_intra\": {:.2},\n  \"tcp_over_shm\": {:.2},",
+        ratio(&inter_tcp, &intra),
+        ratio(&inter_shm, &intra),
+        ratio(&inter_tcp, &inter_shm)
+    );
     j.push_str("  \"batch_sweep\": [\n");
-    for (i, (b, r)) in sweep.iter().enumerate() {
-        let msgs_per_frame = if r.wire_frames_sent > 0 {
-            r.remote_msgs as f64 / r.wire_frames_sent as f64
-        } else {
-            0.0
-        };
+    for (i, (label, b, r)) in sweep.iter().enumerate() {
         let _ = writeln!(
             j,
-            "    {{\"max_batch\": {b}, \"ns_per_msg\": {:.1}, \"wire_frames_sent\": {}, \"msgs_per_frame\": {msgs_per_frame:.1}}}{}",
-            r.ns_per_msg,
-            r.wire_frames_sent,
+            "    {}{}",
+            run_json(label, &b.to_string(), r),
             if i + 1 < sweep.len() { "," } else { "" }
+        );
+    }
+    j.push_str("  ],\n  \"adaptive\": [\n");
+    for (i, (label, r)) in adaptive.iter().enumerate() {
+        let _ = writeln!(
+            j,
+            "    {}{}",
+            run_json(label, "\"adaptive\"", r),
+            if i + 1 < adaptive.len() { "," } else { "" }
         );
     }
     j.push_str("  ]\n}\n");
     std::fs::write(&out_path, &j).expect("write output json");
 
     println!(
-        "netpath: intra {:.0} ns/msg | inter {:.0} ns/msg ({ratio:.1}x) | {} wire frames for {} remote msgs",
-        intra.ns_per_msg, inter.ns_per_msg, inter.wire_frames_sent, inter.remote_msgs
+        "netpath: intra {:.0} ns/msg | tcp {:.0} ns/msg ({:.1}x) | shm {:.0} ns/msg ({:.1}x, {} parks)",
+        intra.ns_per_msg,
+        inter_tcp.ns_per_msg,
+        ratio(&inter_tcp, &intra),
+        inter_shm.ns_per_msg,
+        ratio(&inter_shm, &intra),
+        inter_shm.shm_parks
     );
-    for (b, r) in &sweep {
+    for (label, b, r) in &sweep {
         println!(
-            "netpath: batch {b:>3} → {:>6.0} ns/msg, {} frames",
-            r.ns_per_msg, r.wire_frames_sent
+            "netpath: {label} batch {b:>3} → {:>7.0} ns/msg, {:>5.1} msgs/frame ({} full, {} idle)",
+            r.ns_per_msg,
+            r.msgs_per_frame(),
+            r.flush_batch,
+            r.flush_idle
+        );
+    }
+    for (label, r) in &adaptive {
+        println!(
+            "netpath: {label} adaptive  → {:>7.0} ns/msg, settled at batch {}",
+            r.ns_per_msg, r.agg_batch
         );
     }
     println!("netpath: wrote {out_path}");
+
+    // Optional regression gate against a committed baseline.
+    if let Ok(base_path) = std::env::var("NETPATH_COMPARE") {
+        let base = std::fs::read_to_string(&base_path).expect("read baseline json");
+        let mut failed = false;
+        for (key, new_ns) in [
+            ("intra_ns", intra.ns_per_msg),
+            ("inter_tcp_ns", inter_tcp.ns_per_msg),
+            ("inter_shm_ns", inter_shm.ns_per_msg),
+            ("inter_shm_loaded_ns", shm_loaded_ns),
+        ] {
+            let Some(old_ns) = extract_f64(&base, key) else {
+                eprintln!("netpath: baseline {base_path} lacks \"{key}\" — skipping");
+                continue;
+            };
+            let limit = old_ns * 1.2;
+            let verdict = if new_ns > limit { "REGRESSED" } else { "ok" };
+            println!(
+                "netpath: compare {key}: {new_ns:.0} ns/msg vs baseline {old_ns:.0} (limit {limit:.0}) {verdict}"
+            );
+            failed |= new_ns > limit;
+        }
+        if failed {
+            eprintln!("netpath: ns/msg regression >20% against {base_path}");
+            std::process::exit(2);
+        }
+    }
 }

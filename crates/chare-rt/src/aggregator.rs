@@ -178,6 +178,18 @@ impl<M: Message> Aggregator<M> {
         self.flush_all()
     }
 
+    /// The batch threshold currently in force.
+    pub fn max_batch(&self) -> u32 {
+        self.cfg.max_batch
+    }
+
+    /// Retune the batch threshold (adaptive aggregation, DESIGN.md §8).
+    /// Takes effect on the next push; a lane already above a shrunken
+    /// threshold flushes on its next push, so no message is stranded.
+    pub fn set_max_batch(&mut self, max_batch: u32) {
+        self.cfg.max_batch = max_batch.max(1);
+    }
+
     /// Whether any lane holds messages.
     pub fn is_empty(&self) -> bool {
         self.dirty.is_empty()
@@ -200,7 +212,25 @@ mod tests {
             enabled,
             max_batch,
             tram_2d: false,
+            adaptive: false,
         }
+    }
+
+    #[test]
+    fn retuned_batch_threshold_applies_on_next_push() {
+        let mut a = Aggregator::new(2, cfg(true, 64));
+        assert!(a.push(1, ChareId(0), 1u32).is_none());
+        assert!(a.push(1, ChareId(1), 2).is_none());
+        a.set_max_batch(3);
+        assert_eq!(a.max_batch(), 3);
+        match a.push(1, ChareId(2), 3) {
+            Some(Flush::Packet(p)) => assert_eq!(p.envelopes.len(), 3),
+            other => panic!("shrunken threshold must flush, got {other:?}"),
+        }
+        // A threshold of zero is clamped so pushes still make progress.
+        a.set_max_batch(0);
+        assert_eq!(a.max_batch(), 1);
+        assert!(a.push(0, ChareId(0), 9).is_some());
     }
 
     #[test]

@@ -25,6 +25,46 @@ pub enum ExecMode {
     Net,
 }
 
+/// Which transport carries cross-process BATCH frames in the net engine.
+///
+/// Control traffic (phase fencing, completion detection, stats, shutdown,
+/// liveness) always rides the loopback TCP mesh; this knob selects the
+/// *data* path only. When the configured value is [`NetTransport::Auto`],
+/// the environment variable `ChareNetTransport` (fallback spelling
+/// `CHARE_NET_TRANSPORT`) overrides it with `tcp`, `shm`, `mixed`, or
+/// `auto`; a config that forces a specific plane is not overridden (CI's
+/// transport matrix relies on forced-plane tests keeping their meaning).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum NetTransport {
+    /// Pick the best available backend: shared-memory rings when the
+    /// platform supports `memfd_create`/`mmap` (peers always share a host
+    /// under the SPMD re-exec launcher), loopback TCP otherwise.
+    #[default]
+    Auto,
+    /// Force loopback TCP for every link.
+    Tcp,
+    /// Force shared-memory rings for every link; setup failure is a
+    /// transport error instead of a silent TCP fallback.
+    Shm,
+    /// Mid-run mix: root↔worker links stay on TCP while worker↔worker
+    /// links use shared memory — the conformance suite pins that results
+    /// are identical no matter which links take which path.
+    Mixed,
+}
+
+impl NetTransport {
+    /// Parse an override string (the `ChareNetTransport` env values).
+    pub fn parse(s: &str) -> Option<NetTransport> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "auto" => Some(NetTransport::Auto),
+            "tcp" => Some(NetTransport::Tcp),
+            "shm" => Some(NetTransport::Shm),
+            "mixed" => Some(NetTransport::Mixed),
+            _ => None,
+        }
+    }
+}
+
 /// Networked-engine settings, honoured only by [`ExecMode::Net`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct NetConfig {
@@ -40,6 +80,12 @@ pub struct NetConfig {
     /// Deadline in milliseconds for the socket mesh to come up (worker
     /// spawn → HELLO → PEERS → MESH_OK).
     pub connect_timeout_ms: u32,
+    /// BATCH transport selection (see [`NetTransport`]).
+    pub transport: NetTransport,
+    /// Data capacity of each SPSC shared-memory ring in bytes. One ring
+    /// per ordered peer pair; frames larger than half a ring fall back to
+    /// the TCP path.
+    pub shm_ring_bytes: u32,
 }
 
 impl Default for NetConfig {
@@ -49,6 +95,8 @@ impl Default for NetConfig {
             kill_rank: u32::MAX,
             kill_phase: 0,
             connect_timeout_ms: 30_000,
+            transport: NetTransport::Auto,
+            shm_ring_bytes: 256 * 1024,
         }
     }
 }
@@ -94,12 +142,21 @@ impl SmpConfig {
 pub struct AggregationConfig {
     /// Enabled?
     pub enabled: bool,
-    /// Flush a destination buffer at this many messages.
+    /// Flush a destination buffer at this many messages. Under
+    /// [`AggregationConfig::adaptive`] this is only the *initial* batch
+    /// size; the net engine then resizes it from observed flush cost.
     pub max_batch: u32,
     /// Route remote messages through a virtual 2D grid (TRAM, the §IV-C
     /// footnote): aggregation lanes shrink from O(P) to O(√P) at the cost
     /// of an extra hop for off-row/off-column destinations.
     pub tram_2d: bool,
+    /// Adaptive batch sizing (net engine only): the engine measures the
+    /// per-flush serialization+handoff cost and the inter-arrival gap of
+    /// remote sends, and re-derives the batch size that balances amortized
+    /// flush overhead against batching delay (DESIGN.md §8). Batch size
+    /// only moves packet boundaries, which the conformance contract
+    /// explicitly allows to vary.
+    pub adaptive: bool,
 }
 
 impl Default for AggregationConfig {
@@ -108,6 +165,7 @@ impl Default for AggregationConfig {
             enabled: true,
             max_batch: 64,
             tram_2d: false,
+            adaptive: false,
         }
     }
 }
@@ -210,6 +268,10 @@ impl RuntimeConfig {
                 n_procs,
                 ..NetConfig::default()
             },
+            aggregation: AggregationConfig {
+                adaptive: true,
+                ..AggregationConfig::default()
+            },
             watchdog_secs: 30,
             ..Self::sequential(n_pes)
         }
@@ -268,6 +330,25 @@ mod tests {
     #[should_panic(expected = "divide evenly")]
     fn net_config_rejects_uneven_split() {
         let _ = RuntimeConfig::net(5, 2);
+    }
+
+    #[test]
+    fn net_transport_parses_overrides() {
+        assert_eq!(NetTransport::parse("tcp"), Some(NetTransport::Tcp));
+        assert_eq!(NetTransport::parse(" SHM "), Some(NetTransport::Shm));
+        assert_eq!(NetTransport::parse("Mixed"), Some(NetTransport::Mixed));
+        assert_eq!(NetTransport::parse("auto"), Some(NetTransport::Auto));
+        assert_eq!(NetTransport::parse("udp"), None);
+    }
+
+    #[test]
+    fn net_defaults_pick_auto_transport_and_adaptive_batching() {
+        let cfg = RuntimeConfig::net(4, 2);
+        assert_eq!(cfg.net.transport, NetTransport::Auto);
+        assert!(cfg.net.shm_ring_bytes >= 64 * 1024);
+        assert!(cfg.aggregation.adaptive, "net runs adapt the batch size");
+        // Other constructors keep the static batch size.
+        assert!(!RuntimeConfig::sequential(4).aggregation.adaptive);
     }
 
     #[test]

@@ -49,7 +49,7 @@ pub mod tram;
 pub mod vt;
 
 pub use chare::{Chare, ChareId, Ctx, Message};
-pub use config::{AggregationConfig, ExecMode, NetConfig, RuntimeConfig, SmpConfig};
+pub use config::{AggregationConfig, ExecMode, NetConfig, NetTransport, RuntimeConfig, SmpConfig};
 pub use faults::{FaultHook, FaultPlan, FaultRng, NoFaults, PacketFate, PlanFaults};
 pub use net::{
     align_to_invocation, worker_target, NetEngine, TransportError, KILL_EXIT, TRANSPORT_EXIT,

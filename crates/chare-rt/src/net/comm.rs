@@ -7,7 +7,8 @@
 //! [`crate::stats::PeStats`].
 
 use crate::chare::{ChareId, Message};
-use crate::net::transport::{write_frame, FrameBuf};
+use crate::net::shm::Doorbell;
+use crate::net::transport::{write_frame, write_frames, FrameBuf};
 use crate::net::wire::{self, Ctl};
 use crate::net::TransportError;
 use crate::stats::{PeStats, ReductionSlots};
@@ -18,7 +19,7 @@ use std::net::TcpStream;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// State shared between the compute thread and its comm thread.
 #[derive(Debug, Default)]
@@ -48,6 +49,11 @@ pub struct CommShared {
     pub bytes_sent: AtomicU64,
     /// Bytes read (including frame headers).
     pub bytes_recv: AtomicU64,
+    /// Socket writes that carried ≥2 frames in one vectored flush.
+    pub coalesced_flushes: AtomicU64,
+    /// Nanoseconds spent inside socket flushes (cumulative across phases;
+    /// the adaptive batch controller consumes deltas of this).
+    pub flush_ns: AtomicU64,
     /// Root only: latest CD reply per worker, indexed by `rank - 1`.
     pub replies: Mutex<Vec<CdReplyState>>,
 }
@@ -158,14 +164,33 @@ struct Peer {
     dead: bool,
 }
 
+/// The comm thread's channel to compute. Every send also rings compute's
+/// doorbell (when the shm transport is active) so a futex-parked compute
+/// thread wakes for TCP-delivered events, not just ring pushes.
+struct Inbox<M: Message> {
+    tx: Sender<Event<M>>,
+    bell: Option<Doorbell>,
+}
+
+impl<M: Message> Inbox<M> {
+    fn send(&self, ev: Event<M>) {
+        let _ = self.tx.send(ev);
+        if let Some(b) = &self.bell {
+            b.ring();
+        }
+    }
+}
+
 /// Spawn the comm thread over an established socket set. `my_rank` is this
 /// process's rank (used for CD replies); `sockets` maps peer rank →
-/// connected non-blocking stream. Errors (the OS refusing a thread) are
-/// returned, not panicked, so the engine can surface them as a
-/// [`TransportError`].
+/// connected non-blocking stream; `bell` is compute's own doorbell when
+/// the shm transport is active (rung after every delivered event). Errors
+/// (the OS refusing a thread) are returned, not panicked, so the engine
+/// can surface them as a [`TransportError`].
 pub fn spawn<M: Message>(
     my_rank: u32,
     sockets: Vec<(u32, TcpStream)>,
+    bell: Option<Doorbell>,
 ) -> std::io::Result<CommHandle<M>> {
     let (out_tx, out_rx) = unbounded::<(u32, u8, Bytes)>();
     let (in_tx, in_rx) = unbounded::<Event<M>>();
@@ -176,9 +201,10 @@ pub fn spawn<M: Message>(
         replies.resize_with(max_rank as usize, CdReplyState::default);
     }
     let shared2 = shared.clone();
+    let inbox = Inbox { tx: in_tx, bell };
     let join = std::thread::Builder::new()
         .name(format!("net-comm-{my_rank}"))
-        .spawn(move || comm_loop::<M>(my_rank, sockets, out_rx, in_tx, shared2))?;
+        .spawn(move || comm_loop::<M>(my_rank, sockets, out_rx, inbox, shared2))?;
     Ok(CommHandle {
         out_tx,
         in_rx,
@@ -191,7 +217,7 @@ fn comm_loop<M: Message>(
     my_rank: u32,
     sockets: Vec<(u32, TcpStream)>,
     out_rx: Receiver<(u32, u8, Bytes)>,
-    in_tx: Sender<Event<M>>,
+    in_tx: Inbox<M>,
     shared: Arc<CommShared>,
 ) {
     let mut peers: BTreeMap<u32, Peer> = sockets
@@ -208,34 +234,53 @@ fn comm_loop<M: Message>(
         })
         .collect();
     let ranks: Vec<u32> = peers.keys().copied().collect();
-    let fatal = |shared: &CommShared, in_tx: &Sender<Event<M>>, msg: String| {
+    let fatal = |shared: &CommShared, in_tx: &Inbox<M>, msg: String| {
         shared.fail(msg.clone());
-        let _ = in_tx.send(Event::TransportError(TransportError(msg)));
+        in_tx.send(Event::TransportError(TransportError(msg)));
     };
     loop {
         let mut progressed = false;
 
-        // Outbound: drain compute's frames onto the wire.
+        // Outbound: drain everything compute has queued, staged per peer,
+        // then flush each peer's backlog in one vectored write — one
+        // syscall per peer per drain pass instead of one per frame
+        // (§IV-C flush coalescing).
+        let mut staged: BTreeMap<u32, Vec<(u8, Bytes)>> = BTreeMap::new();
         loop {
             match out_rx.try_recv() {
                 Ok((dst, kind, payload)) => {
                     progressed = true;
-                    match peers.get_mut(&dst) {
-                        Some(p) if !p.dead => match write_frame(&mut p.sock, kind, &payload) {
-                            Ok(n) => {
-                                shared.frames_sent.fetch_add(1, Ordering::SeqCst);
-                                shared.bytes_sent.fetch_add(n, Ordering::SeqCst);
-                            }
-                            Err(e) => {
-                                p.dead = true;
-                                fatal(&shared, &in_tx, format!("write to rank {dst} failed: {e}"));
-                            }
-                        },
-                        _ => fatal(&shared, &in_tx, format!("no live socket to rank {dst}")),
-                    }
+                    staged.entry(dst).or_default().push((kind, payload));
                 }
                 Err(TryRecvError::Empty) => break,
                 Err(TryRecvError::Disconnected) => return,
+            }
+        }
+        for (dst, frames) in staged {
+            match peers.get_mut(&dst) {
+                Some(p) if !p.dead => {
+                    let refs: Vec<(u8, &[u8])> = frames.iter().map(|(k, b)| (*k, &b[..])).collect();
+                    let t0 = Instant::now(); // simlint: allow(R2) -- flush-cost telemetry for the adaptive batch controller, never fed to the DES
+                    match write_frames(&mut p.sock, &refs) {
+                        Ok(n) => {
+                            shared
+                                .flush_ns
+                                .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::SeqCst);
+                            shared
+                                .frames_sent
+                                .fetch_add(refs.len() as u64, Ordering::SeqCst);
+                            shared.bytes_sent.fetch_add(n, Ordering::SeqCst);
+                            if refs.len() >= 2 {
+                                shared.coalesced_flushes.fetch_add(1, Ordering::SeqCst);
+                            }
+                        }
+                        Err(e) => {
+                            p.dead = true;
+                            fatal(&shared, &in_tx, format!("write to rank {dst} failed: {e}"));
+                        }
+                    }
+                }
+                _ => fatal(&shared, &in_tx, format!("no live socket to rank {dst}")),
             }
         }
 
@@ -314,19 +359,19 @@ fn dispatch<M: Message>(
     kind_byte: u8,
     payload: &[u8],
     peers: &mut BTreeMap<u32, Peer>,
-    in_tx: &Sender<Event<M>>,
+    in_tx: &Inbox<M>,
     shared: &Arc<CommShared>,
 ) -> bool {
     use crate::net::wire::kind;
     match kind_byte {
         kind::BATCH => match wire::decode_batch::<M>(payload) {
             Some((phase, _src, envelopes)) => {
-                let _ = in_tx.send(Event::Batch { phase, envelopes });
+                in_tx.send(Event::Batch { phase, envelopes });
             }
             None => {
                 let msg = format!("malformed BATCH from rank {from}");
                 shared.fail(msg.clone());
-                let _ = in_tx.send(Event::TransportError(TransportError(msg)));
+                in_tx.send(Event::TransportError(TransportError(msg)));
             }
         },
         kind::CD_PROBE => {
@@ -353,7 +398,7 @@ fn dispatch<M: Message>(
                             peer.dead = true;
                             let msg = format!("CD reply to rank {from} failed: {e}");
                             shared.fail(msg.clone());
-                            let _ = in_tx.send(Event::TransportError(TransportError(msg)));
+                            in_tx.send(Event::TransportError(TransportError(msg)));
                         }
                     }
                 }
@@ -386,37 +431,37 @@ fn dispatch<M: Message>(
                 n_chares,
                 map_hash,
             }) => {
-                let _ = in_tx.send(Event::PhaseStart {
+                in_tx.send(Event::PhaseStart {
                     phase,
                     n_chares,
                     map_hash,
                 });
             }
             Some(Ctl::PhaseEnd { phase }) => {
-                let _ = in_tx.send(Event::PhaseEnd { phase });
+                in_tx.send(Event::PhaseEnd { phase });
             }
             Some(Ctl::PhaseResult { reductions, per_pe }) => {
-                let _ = in_tx.send(Event::PhaseResult { reductions, per_pe });
+                in_tx.send(Event::PhaseResult { reductions, per_pe });
             }
             Some(Ctl::Stats {
                 rank,
                 reductions,
                 per_pe,
             }) => {
-                let _ = in_tx.send(Event::Stats {
+                in_tx.send(Event::Stats {
                     rank,
                     reductions,
                     per_pe,
                 });
             }
             Some(Ctl::Shutdown) => {
-                let _ = in_tx.send(Event::Shutdown);
+                in_tx.send(Event::Shutdown);
                 return true;
             }
             _ => {
                 let msg = format!("unexpected frame kind {kind_byte} from rank {from}");
                 shared.fail(msg.clone());
-                let _ = in_tx.send(Event::TransportError(TransportError(msg)));
+                in_tx.send(Event::TransportError(TransportError(msg)));
             }
         },
     }

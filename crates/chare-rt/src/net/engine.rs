@@ -20,9 +20,11 @@
 
 use crate::aggregator::{Aggregator, Envelope, Flush};
 use crate::chare::{Chare, ChareId, Ctx, Message, Sender};
-use crate::config::RuntimeConfig;
+use crate::config::{NetTransport, RuntimeConfig};
 use crate::net::comm::{self, CommHandle, Event};
 use crate::net::launch;
+use crate::net::shm::{Doorbell, RingConsumer, RingProducer, ShmRegion};
+use crate::net::transport::FrameBuf;
 use crate::net::wire::{self, Ctl};
 use crate::net::TransportError;
 use crate::stats::{PeStats, PhaseStats, ReductionSlots};
@@ -30,11 +32,27 @@ use crate::tram::Grid2D;
 use std::collections::VecDeque;
 use std::process::Child;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Messages drained from one local PE's queue before moving on (same
 /// fairness quantum as the sequential engine).
 const QUANTUM: usize = 256;
+/// Iterations an idle worker spins over its rings before futex-parking
+/// (keeps same-host ping-pong in the sub-µs regime; a park costs two
+/// syscalls on the wake path).
+const PARK_SPIN: u32 = 200;
+/// Upper bound on one futex park. Liveness never depends on a wake-up —
+/// CD probes are answered by the comm thread and the park re-checks both
+/// event sources after this timeout at the latest.
+const PARK_TIMEOUT: Duration = Duration::from_micros(200);
+/// Flushes between recomputations of the adaptive batch size.
+const ADAPT_WINDOW: u64 = 32;
+/// EWMA smoothing factor (α = 1/8) for the adaptive controller.
+const ADAPT_ALPHA: f64 = 0.125;
+/// Bounds on the adaptive batch size.
+const ADAPT_MIN_BATCH: u32 = 2;
+const ADAPT_MAX_BATCH: u32 = 1024;
 /// Exit code of a worker killed by the `kill_rank`/`kill_phase` fault
 /// knob.
 pub const KILL_EXIT: i32 = 17;
@@ -77,6 +95,135 @@ enum Role {
 enum FlushCause {
     BatchFull,
     Idle,
+}
+
+/// Which inter-process links ride the shared-memory rings.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum ShmMode {
+    /// Every link (the `shm` transport).
+    All,
+    /// Worker↔worker only; root links stay on TCP (the `mixed` transport,
+    /// exercised by conformance to prove the two planes interoperate
+    /// mid-run).
+    Mixed,
+}
+
+impl ShmMode {
+    fn env_str(self) -> &'static str {
+        match self {
+            ShmMode::All => "shm",
+            ShmMode::Mixed => "mixed",
+        }
+    }
+
+    fn link_is_shm(self, a: u32, b: u32) -> bool {
+        match self {
+            ShmMode::All => true,
+            ShmMode::Mixed => a != 0 && b != 0,
+        }
+    }
+}
+
+/// This process's attachments to the shared ring region: a producer toward
+/// and a consumer from every shm-linked peer, the peers' doorbells (rung
+/// after each push) and our own (futex-parked on when idle).
+struct ShmPlane {
+    producers: Vec<Option<RingProducer>>,
+    consumers: Vec<Option<(RingConsumer, FrameBuf)>>,
+    bells: Vec<Option<Doorbell>>,
+    my_bell: Doorbell,
+}
+
+impl ShmPlane {
+    fn build(
+        region: &Arc<ShmRegion>,
+        mode: ShmMode,
+        my_rank: u32,
+        n_procs: u32,
+    ) -> std::io::Result<ShmPlane> {
+        let n = n_procs as usize;
+        let mut producers = Vec::with_capacity(n);
+        let mut consumers = Vec::with_capacity(n);
+        let mut bells = Vec::with_capacity(n);
+        for r in 0..n_procs {
+            let linked = r != my_rank && mode.link_is_shm(my_rank, r);
+            producers.push(if linked {
+                Some(RingProducer::attach(region.clone(), my_rank, r)?)
+            } else {
+                None
+            });
+            consumers.push(if linked {
+                Some((
+                    RingConsumer::attach(region.clone(), r, my_rank)?,
+                    FrameBuf::default(),
+                ))
+            } else {
+                None
+            });
+            bells.push(if linked {
+                Some(Doorbell::attach(region.clone(), r)?)
+            } else {
+                None
+            });
+        }
+        let my_bell = Doorbell::attach(region.clone(), my_rank)?;
+        Ok(ShmPlane {
+            producers,
+            consumers,
+            bells,
+            my_bell,
+        })
+    }
+
+    /// Any ring holding undelivered bytes? Cheap (one Acquire load per
+    /// peer) — this is what the idle spin polls.
+    fn has_inbound(&self) -> bool {
+        self.consumers
+            .iter()
+            .flatten()
+            .any(|(c, _)| c.pending() > 0)
+    }
+}
+
+/// State of the adaptive aggregation controller (DESIGN.md §8): per-message
+/// cost of batch size `B` is modelled as `C/B + g·B/2` — amortized
+/// per-flush overhead `C` against queueing delay at inter-message gap `g` —
+/// minimized at `B* = sqrt(2C/g)`. Both inputs are EWMA-smoothed
+/// observations; the lanes are retuned every [`ADAPT_WINDOW`] flushes.
+struct AdaptCtl {
+    /// Start of the current observation window.
+    window_start: Instant,
+    /// Flushes observed this window.
+    emits: u64,
+    /// Envelopes flushed this window.
+    msgs: u64,
+    /// Compute-side nanoseconds spent emitting this window.
+    inline_ns: u64,
+    /// The comm thread's cumulative `flush_ns` at window start (its delta
+    /// adds the socket-write share of the flush cost).
+    comm_ns_mark: u64,
+    /// Smoothed per-flush cost, ns.
+    cost_ewma: f64,
+    /// Smoothed inter-message gap, ns.
+    gap_ewma: f64,
+}
+
+/// The effective transport: the `ChareNetTransport` env override (fallback
+/// `CHARE_NET_TRANSPORT`) applies when [`RuntimeConfig`] leaves the choice
+/// at [`NetTransport::Auto`]; a config that *forces* a plane keeps it (the
+/// transport-matrix tests rely on that meaning under CI's env matrix).
+/// Only the root consults either — workers follow the inherited region fd,
+/// so both sides always agree.
+fn resolve_transport(cfg: &RuntimeConfig) -> NetTransport {
+    if cfg.net.transport != NetTransport::Auto {
+        return cfg.net.transport;
+    }
+    std::env::var("ChareNetTransport")
+        .or_else(|_| std::env::var("CHARE_NET_TRANSPORT"))
+        .ok()
+        .as_deref()
+        .and_then(NetTransport::parse)
+        .unwrap_or(NetTransport::Auto)
 }
 
 struct OutBuf<M> {
@@ -129,6 +276,19 @@ pub struct NetEngine<M: Message> {
     /// Set when PHASE_END arrives while the worker loop is draining.
     pending_phase_end: bool,
     shut_down: bool,
+    /// Shared-memory data plane (None on TCP-only and standalone runs).
+    shm: Option<ShmPlane>,
+    /// BATCH frames pushed into rings this phase (process-level count).
+    shm_frames_sent: u64,
+    /// Futex parks taken by the compute thread this phase.
+    shm_parks: u64,
+    /// Adaptive batch controller (None unless
+    /// [`crate::AggregationConfig::adaptive`] is set on a networked role).
+    adapt: Option<AdaptCtl>,
+    /// Largest batch level in force at any point this phase. The controller
+    /// decays toward [`ADAPT_MIN_BATCH`] in the idle tail of a phase, so
+    /// the end-of-phase level alone would under-report the operating point.
+    agg_batch_peak: u64,
 }
 
 impl<M: Message> NetEngine<M> {
@@ -166,31 +326,98 @@ impl<M: Message> NetEngine<M> {
             Role::Standalone => (0, cfg.n_pes),
             _ => (rank * ppp, (rank + 1) * ppp),
         };
-        let spawn_comm = |rank: u32, sockets| {
-            comm::spawn::<M>(rank, sockets).unwrap_or_else(|e| {
+        let spawn_comm = |rank: u32, sockets, bell: Option<Doorbell>| {
+            comm::spawn::<M>(rank, sockets, bell).unwrap_or_else(|e| {
                 transport_abort(
                     role,
                     TransportError(format!("comm thread spawn failed: {e}")),
                 )
             })
         };
-        let (comm, children) = match role {
-            Role::Standalone => (None, Vec::new()),
+        let shm_fail = |e: std::io::Error| -> ! {
+            transport_abort(role, TransportError(format!("shm attach failed: {e}")))
+        };
+        let (comm, children, shm) = match role {
+            Role::Standalone => (None, Vec::new(), None),
             Role::Root => {
-                let (sockets, children) =
-                    launch::spawn_mesh_root(&cfg, invocation).unwrap_or_else(|e| {
+                // The root is transport-authoritative: it resolves config +
+                // env override here, and workers simply follow the region
+                // fd it passes (or doesn't) down the exec.
+                let transport = resolve_transport(&cfg);
+                let mode = match transport {
+                    NetTransport::Mixed => ShmMode::Mixed,
+                    _ => ShmMode::All,
+                };
+                let region = match transport {
+                    NetTransport::Tcp => None,
+                    t => {
+                        match ShmRegion::create(cfg.net.n_procs, cfg.net.shm_ring_bytes, invocation)
+                        {
+                            Ok(r) => Some(r),
+                            Err(e) if t == NetTransport::Auto => {
+                                eprintln!("[net] shm transport unavailable ({e}); using tcp");
+                                None
+                            }
+                            Err(e) => transport_abort(
+                                role,
+                                TransportError(format!(
+                                    "shm transport requested but unavailable: {e}"
+                                )),
+                            ),
+                        }
+                    }
+                };
+                let shm_env = region.as_ref().map(|r| (r.fd(), mode.env_str()));
+                let (sockets, children) = launch::spawn_mesh_root(&cfg, invocation, shm_env)
+                    .unwrap_or_else(|e| {
                         transport_abort(role, TransportError(format!("launch failed: {e}")))
                     });
-                (Some(spawn_comm(0, sockets)), children)
+                // Workers inherited the fd across their exec; re-arm
+                // close-on-exec so no later spawn leaks the region.
+                if let Some(r) = &region {
+                    let _ = r.set_cloexec();
+                }
+                let plane = region.map(|r| {
+                    ShmPlane::build(&r, mode, 0, cfg.net.n_procs).unwrap_or_else(|e| shm_fail(e))
+                });
+                let bell = plane.as_ref().map(|p| p.my_bell.clone());
+                (Some(spawn_comm(0, sockets, bell)), children, plane)
             }
             Role::Worker => {
                 let env = wenv.expect("worker role implies worker env");
+                let plane = env.shm_fd.map(|fd| {
+                    // `from_fd` validates magic/shape/invocation, so a stale
+                    // fd inherited from an unrelated run dies loudly here
+                    // instead of corrupting frames later.
+                    let region = ShmRegion::from_fd(fd, invocation).unwrap_or_else(|e| shm_fail(e));
+                    let mode = if env.shm_mixed {
+                        ShmMode::Mixed
+                    } else {
+                        ShmMode::All
+                    };
+                    ShmPlane::build(&region, mode, env.rank, cfg.net.n_procs)
+                        .unwrap_or_else(|e| shm_fail(e))
+                });
                 let sockets = launch::connect_mesh_worker(&env, &cfg).unwrap_or_else(|e| {
                     transport_abort(role, TransportError(format!("mesh setup failed: {e}")))
                 });
-                (Some(spawn_comm(rank, sockets)), Vec::new())
+                let bell = plane.as_ref().map(|p| p.my_bell.clone());
+                (Some(spawn_comm(rank, sockets, bell)), Vec::new(), plane)
             }
         };
+        let adapt = (cfg.aggregation.enabled
+            && cfg.aggregation.adaptive
+            && role != Role::Standalone)
+            .then(|| AdaptCtl {
+                // simlint: allow(R2) -- batch-controller telemetry window; never feeds the DES
+                window_start: Instant::now(),
+                emits: 0,
+                msgs: 0,
+                inline_ns: 0,
+                comm_ns_mark: 0,
+                cost_ewma: 0.0,
+                gap_ewma: 0.0,
+            });
         let n_local = (pe_hi - pe_lo) as usize;
         NetEngine {
             cfg,
@@ -215,6 +442,11 @@ impl<M: Message> NetEngine<M> {
             kill_phase,
             pending_phase_end: false,
             shut_down: false,
+            shm,
+            shm_frames_sent: 0,
+            shm_parks: 0,
+            adapt,
+            agg_batch_peak: 0,
         }
         .with_comm(comm)
     }
@@ -350,10 +582,21 @@ impl<M: Message> NetEngine<M> {
         }
     }
 
-    /// Serialize a flush onto the wire. `produced` is bumped before the
-    /// frame is handed to the comm thread — the CD soundness invariant.
+    /// Serialize a flush onto the data plane. `produced` is bumped before
+    /// the frame leaves the compute thread — the CD soundness invariant.
+    ///
+    /// Shm-linked destinations get the frame pushed straight into the SPSC
+    /// ring, compute thread to compute thread — no comm-thread hop.
+    /// Oversized frames (> half the ring) and TCP links go through the
+    /// comm thread; the two planes may interleave freely because batch
+    /// delivery order within a phase is not part of the determinism
+    /// contract.
     fn emit(&mut self, lp: usize, flush: Flush<M>, cause: FlushCause) {
-        let comm = self.comm.as_ref().expect("remote flush without comm");
+        let t0 = self
+            .adapt
+            .as_ref()
+            // simlint: allow(R2) -- flush-cost telemetry for the adaptive batch controller; never feeds the DES
+            .map(|_| Instant::now());
         let (dst_rank, payload, n_envs) = match flush {
             Flush::Packet(packet) => {
                 let payload = wire::encode_batch(self.phase, self.rank, &packet.envelopes);
@@ -368,14 +611,178 @@ impl<M: Message> NetEngine<M> {
                 (dst_pe, wire::encode_batch(self.phase, self.rank, &env), 1)
             }
         };
-        comm.shared.produced.fetch_add(n_envs, Ordering::SeqCst);
-        let _ = comm.out_tx.send((dst_rank, wire::kind::BATCH, payload));
+        {
+            let comm = self.comm.as_ref().expect("remote flush without comm");
+            comm.shared.produced.fetch_add(n_envs, Ordering::SeqCst);
+        }
+        let mut via_ring = false;
+        if let Some(mut plane) = self.shm.take() {
+            let dst = dst_rank as usize;
+            let fits = plane.producers[dst]
+                .as_ref()
+                .is_some_and(|p| payload.len() + 5 <= p.max_frame());
+            if fits {
+                loop {
+                    let pushed = plane.producers[dst]
+                        .as_ref()
+                        .is_some_and(|p| p.try_push(wire::kind::BATCH, &payload));
+                    if pushed {
+                        break;
+                    }
+                    // Ring full: drain our own inbound rings while
+                    // retrying so two mutually-full peers cannot deadlock
+                    // (each side's consumer frees the other's producer).
+                    self.drain_plane(&mut plane);
+                    std::hint::spin_loop();
+                }
+                if let Some(bell) = &plane.bells[dst] {
+                    bell.ring();
+                }
+                self.shm_frames_sent += 1;
+                via_ring = true;
+            }
+            self.shm = Some(plane);
+        }
+        if !via_ring {
+            let comm = self.comm.as_ref().expect("remote flush without comm");
+            let _ = comm.out_tx.send((dst_rank, wire::kind::BATCH, payload));
+        }
         let st = &mut self.stats[lp];
         st.network_packets += 1;
         match cause {
-            FlushCause::BatchFull => st.wire_flush_batch += 1,
-            FlushCause::Idle => st.wire_flush_idle += 1,
+            FlushCause::BatchFull => {
+                st.wire_flush_batch += 1;
+                st.wire_msgs_batch += n_envs;
+            }
+            FlushCause::Idle => {
+                st.wire_flush_idle += 1;
+                st.wire_msgs_idle += n_envs;
+            }
         }
+        if let Some(t0) = t0 {
+            let spent = t0.elapsed().as_nanos() as u64;
+            let due = match &mut self.adapt {
+                Some(a) => {
+                    a.emits += 1;
+                    a.msgs += n_envs;
+                    a.inline_ns += spent;
+                    a.emits >= ADAPT_WINDOW
+                }
+                None => false,
+            };
+            if due {
+                self.retune_batch();
+            }
+        }
+    }
+
+    /// Close an adaptive-controller window: fold this window's observed
+    /// flush cost and message rate into the EWMAs and retune the lanes to
+    /// `B* = sqrt(2·cost/gap)` (see [`AdaptCtl`]).
+    fn retune_batch(&mut self) {
+        let comm_ns = self
+            .comm
+            .as_ref()
+            .map_or(0, |c| c.shared.flush_ns.load(Ordering::SeqCst));
+        let Some(a) = &mut self.adapt else { return };
+        let wall = a.window_start.elapsed().as_nanos() as f64;
+        let mut target = None;
+        if a.msgs > 0 && a.emits > 0 && wall > 0.0 {
+            let cost =
+                (a.inline_ns + comm_ns.saturating_sub(a.comm_ns_mark)) as f64 / a.emits as f64;
+            let gap = (wall / a.msgs as f64).max(1.0);
+            a.cost_ewma = if a.cost_ewma > 0.0 {
+                a.cost_ewma + ADAPT_ALPHA * (cost - a.cost_ewma)
+            } else {
+                cost
+            };
+            a.gap_ewma = if a.gap_ewma > 0.0 {
+                a.gap_ewma + ADAPT_ALPHA * (gap - a.gap_ewma)
+            } else {
+                gap
+            };
+            let b = (2.0 * a.cost_ewma / a.gap_ewma).sqrt() as u32;
+            target = Some(b.clamp(ADAPT_MIN_BATCH, ADAPT_MAX_BATCH));
+        }
+        a.emits = 0;
+        a.msgs = 0;
+        a.inline_ns = 0;
+        a.comm_ns_mark = comm_ns;
+        // simlint: allow(R2) -- batch-controller telemetry window; never feeds the DES
+        a.window_start = Instant::now();
+        if let Some(b) = target {
+            self.agg.set_max_batch(b);
+            self.agg_batch_peak = self.agg_batch_peak.max(u64::from(b));
+        }
+    }
+
+    /// Drain every inbound ring of `plane` into the local queues (the
+    /// plane is passed explicitly so [`Self::emit`]'s backpressure loop can
+    /// drain while holding it). Returns whether current-phase work arrived.
+    fn drain_plane(&mut self, plane: &mut ShmPlane) -> bool {
+        let mut worked = false;
+        for src in 0..plane.consumers.len() {
+            let Some((cons, fb)) = plane.consumers[src].as_mut() else {
+                continue;
+            };
+            let polled = match fb.poll(cons) {
+                Ok(p) => p,
+                Err(e) => self.transport_fail(TransportError(format!(
+                    "shm ring from rank {src} corrupt: {e}"
+                ))),
+            };
+            for (kind, payload) in polled.frames {
+                worked |= self.handle_ring_frame(src as u32, kind, &payload);
+            }
+        }
+        worked
+    }
+
+    /// Poll the shm data plane (no-op on TCP-only runs). Returns whether
+    /// current-phase work arrived.
+    fn poll_rings(&mut self) -> bool {
+        let Some(mut plane) = self.shm.take() else {
+            return false;
+        };
+        let worked = self.drain_plane(&mut plane);
+        self.shm = Some(plane);
+        worked
+    }
+
+    /// One frame lifted off a ring — same phase discipline as TCP batches:
+    /// current phase is enqueued, next phase is stashed, anything else is a
+    /// protocol error.
+    fn handle_ring_frame(&mut self, src: u32, kind: u8, payload: &[u8]) -> bool {
+        if kind != wire::kind::BATCH {
+            self.transport_fail(TransportError(format!(
+                "unexpected frame kind {kind} on shm ring from rank {src}"
+            )));
+        }
+        let Some((phase, _src, envelopes)) = wire::decode_batch::<M>(payload) else {
+            self.transport_fail(TransportError(format!(
+                "malformed BATCH on shm ring from rank {src}"
+            )))
+        };
+        if phase == self.phase {
+            self.enqueue_wire(envelopes);
+            true
+        } else if phase == self.phase + 1 {
+            self.pending.push((phase, envelopes));
+            false
+        } else {
+            panic!(
+                "net protocol error: ring batch for phase {phase} while rank {} is in {}",
+                self.rank, self.phase
+            );
+        }
+    }
+
+    fn rings_have_inbound(&self) -> bool {
+        self.shm.as_ref().is_some_and(ShmPlane::has_inbound)
+    }
+
+    fn comm_has_event(&self) -> bool {
+        self.comm.as_ref().is_some_and(|c| !c.in_rx.is_empty())
     }
 
     /// Idle flush of every dirty lane. Returns whether anything left.
@@ -524,6 +931,9 @@ impl<M: Message> NetEngine<M> {
         if self.map_hash.is_none() {
             self.map_hash = Some(wire::map_hash(&self.pe_of));
         }
+        self.shm_frames_sent = 0;
+        self.shm_parks = 0;
+        self.agg_batch_peak = u64::from(self.agg.max_batch());
         if let Some(comm) = &self.comm {
             let sh = &comm.shared;
             sh.produced.store(0, Ordering::SeqCst);
@@ -533,6 +943,9 @@ impl<M: Message> NetEngine<M> {
             sh.frames_recv.store(0, Ordering::SeqCst);
             sh.bytes_sent.store(0, Ordering::SeqCst);
             sh.bytes_recv.store(0, Ordering::SeqCst);
+            sh.coalesced_flushes.store(0, Ordering::SeqCst);
+            // flush_ns stays cumulative — the adaptive controller reads
+            // deltas of it across phase boundaries.
             for r in sh.replies().iter_mut() {
                 *r = comm::CdReplyState::default();
             }
@@ -543,6 +956,7 @@ impl<M: Message> NetEngine<M> {
             Role::Standalone => {
                 self.inject(injections);
                 self.standalone_loop();
+                self.stats[0].agg_batch = u64::from(self.agg.max_batch());
                 PhaseStats {
                     per_pe: self.stats.clone(),
                     reductions: self.reductions.clone(),
@@ -588,6 +1002,8 @@ impl<M: Message> NetEngine<M> {
         while got.iter().any(|g| !g) {
             self.fail_if_poisoned();
             self.check_deadline(deadline, "gathering worker stats");
+            // Next-phase batches can already be landing on the rings.
+            self.poll_rings();
             let comm = self.comm.as_ref().expect("root has comm");
             match comm.in_rx.recv_timeout(Duration::from_millis(5)) {
                 Ok(Event::Stats {
@@ -697,10 +1113,11 @@ impl<M: Message> NetEngine<M> {
         }
     }
 
-    /// Drain inbound events without blocking. Returns whether any new work
-    /// was enqueued. Only valid inside a phase's main loop.
+    /// Drain inbound events (rings first, then the comm thread's channel)
+    /// without blocking. Returns whether any new work was enqueued. Only
+    /// valid inside a phase's main loop.
     fn drain_inbound(&mut self) -> bool {
-        let mut worked = false;
+        let mut worked = self.poll_rings();
         while let Some(ev) = self.comm.as_ref().and_then(|c| c.in_rx.try_recv().ok()) {
             match ev {
                 Event::Batch { phase, envelopes } => {
@@ -788,8 +1205,37 @@ impl<M: Message> NetEngine<M> {
                 continue;
             }
             self.set_idle(true);
-            // Block briefly for the next event; CD probes are answered by
-            // the comm thread meanwhile.
+            // Wait for the next event; CD probes are answered by the comm
+            // thread meanwhile. With the shm plane active: spin briefly
+            // over the rings (keeps same-host ping-pong sub-µs), then
+            // futex-park on our doorbell — remote producers ring it after
+            // every push and our comm thread after every TCP event, and
+            // the park itself is bounded by [`PARK_TIMEOUT`] so liveness
+            // never hangs off a wake-up.
+            if let Some(bell) = self.shm.as_ref().map(|p| p.my_bell.clone()) {
+                let mut hot = false;
+                for _ in 0..PARK_SPIN {
+                    if self.rings_have_inbound() || self.comm_has_event() {
+                        hot = true;
+                        break;
+                    }
+                    std::hint::spin_loop();
+                }
+                if !hot {
+                    let seen = bell.read_seq();
+                    // Re-check both sources after publishing intent to
+                    // park (via the seq snapshot) — a push between the
+                    // check and the futex call bumps seq and aborts the
+                    // park.
+                    if !self.rings_have_inbound()
+                        && !self.comm_has_event()
+                        && bell.park(seen, PARK_TIMEOUT)
+                    {
+                        self.shm_parks += 1;
+                    }
+                }
+                continue;
+            }
             let comm = self.comm.as_ref().expect("worker has comm");
             if comm
                 .in_rx
@@ -856,6 +1302,9 @@ impl<M: Message> NetEngine<M> {
 
     fn wait_phase_start(&mut self, deadline: Option<Instant>) {
         loop {
+            // A faster peer may already be pushing this phase's batches
+            // onto the rings while PHASE_START is still in flight on TCP.
+            self.poll_rings();
             // Drain queued events before honouring the failure flag (see
             // wait_phase_result).
             let comm = self.comm.as_ref().expect("worker has comm");
@@ -911,6 +1360,8 @@ impl<M: Message> NetEngine<M> {
 
     fn wait_phase_result(&mut self, deadline: Option<Instant>) -> PhaseStats {
         loop {
+            // Next-phase batches can land on the rings while we wait.
+            self.poll_rings();
             // Queued events outrank the failure flag: the root may close
             // its sockets right after broadcasting PHASE_RESULT of the
             // final phase, and that EOF must not mask a result already
@@ -941,6 +1392,9 @@ impl<M: Message> NetEngine<M> {
     /// stats (they are per-process quantities; DESIGN.md §8 documents the
     /// attribution).
     fn harvest_wire_counters(&mut self) {
+        let ring_frames = self.shm_frames_sent;
+        let parks = self.shm_parks;
+        let batch_level = self.agg_batch_peak.max(u64::from(self.agg.max_batch()));
         if let Some(comm) = &self.comm {
             let sh = &comm.shared;
             let st = &mut self.stats[0];
@@ -948,6 +1402,10 @@ impl<M: Message> NetEngine<M> {
             st.wire_frames_recv += sh.frames_recv.load(Ordering::SeqCst);
             st.wire_bytes_sent += sh.bytes_sent.load(Ordering::SeqCst);
             st.wire_bytes_recv += sh.bytes_recv.load(Ordering::SeqCst);
+            st.wire_coalesced_flushes += sh.coalesced_flushes.load(Ordering::SeqCst);
+            st.shm_frames_sent += ring_frames;
+            st.shm_parks += parks;
+            st.agg_batch = st.agg_batch.max(batch_level);
         }
     }
 

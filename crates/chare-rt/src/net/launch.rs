@@ -43,6 +43,14 @@ pub(crate) const ENV_ADDR: &str = "EPISIM_NET_ADDR";
 pub(crate) const ENV_INVOCATION: &str = "EPISIM_NET_INVOCATION";
 pub(crate) const ENV_KILL_PHASE: &str = "EPISIM_NET_KILL_PHASE";
 pub(crate) const ENV_CHILD_ARGS: &str = "EPISIM_NET_CHILD_ARGS";
+/// File descriptor of the inherited shm ring region. Presence of this
+/// variable IS the worker-side transport decision: the root resolves the
+/// transport ([`crate::NetTransport`] + `ChareNetTransport` override) and
+/// workers simply attach whatever region they were handed — there is no
+/// way for one side to run shm while the other runs TCP.
+pub(crate) const ENV_SHM_FD: &str = "EPISIM_NET_SHM_FD";
+/// `"shm"` (all links ride the rings) or `"mixed"` (worker↔worker only).
+pub(crate) const ENV_SHM_MODE: &str = "EPISIM_NET_SHM_MODE";
 
 thread_local! {
     /// Net-runtime constructions seen on this driver thread. Thread-local
@@ -86,6 +94,10 @@ pub(crate) struct WorkerEnv {
     pub addr: String,
     pub target: u64,
     pub kill_phase: Option<u64>,
+    /// Inherited shm region fd, when the root chose a shm transport.
+    pub shm_fd: Option<i32>,
+    /// Worker↔worker links only ride the rings (root links stay TCP).
+    pub shm_mixed: bool,
 }
 
 pub(crate) fn worker_env() -> Option<WorkerEnv> {
@@ -100,6 +112,8 @@ pub(crate) fn worker_env() -> Option<WorkerEnv> {
         addr: std::env::var(ENV_ADDR).ok()?,
         target: parse(ENV_INVOCATION)?,
         kill_phase: parse(ENV_KILL_PHASE),
+        shm_fd: parse(ENV_SHM_FD),
+        shm_mixed: std::env::var(ENV_SHM_MODE).is_ok_and(|m| m == "mixed"),
     })
 }
 
@@ -143,10 +157,16 @@ fn send_ctl(sock: &mut TcpStream, ctl: &Ctl) -> io::Result<()> {
 /// Root side: spawn workers, accept their HELLOs, broadcast the peer list,
 /// wait for every MESH_OK. Returns the per-rank sockets (non-blocking,
 /// nodelay) and the child handles.
+///
+/// `shm` carries the ring region's fd and mode string (`"shm"`/`"mixed"`)
+/// when the root chose a shared-memory transport; the fd is deliberately
+/// *not* close-on-exec yet so children inherit it, and the engine flips
+/// `FD_CLOEXEC` back on right after this returns.
 #[allow(clippy::type_complexity)]
 pub(crate) fn spawn_mesh_root(
     cfg: &RuntimeConfig,
     invocation: u64,
+    shm: Option<(i32, &'static str)>,
 ) -> io::Result<(Vec<(u32, TcpStream)>, Vec<Child>)> {
     let n_procs = cfg.net.n_procs;
     let deadline = Instant::now() + Duration::from_millis(u64::from(cfg.net.connect_timeout_ms));
@@ -165,8 +185,13 @@ pub(crate) fn spawn_mesh_root(
             .env(ENV_ADDR, addr.to_string())
             .env(ENV_INVOCATION, invocation.to_string())
             .env_remove(ENV_KILL_PHASE)
+            .env_remove(ENV_SHM_FD)
+            .env_remove(ENV_SHM_MODE)
             .stdout(Stdio::null())
             .stderr(Stdio::inherit());
+        if let Some((fd, mode)) = shm {
+            cmd.env(ENV_SHM_FD, fd.to_string()).env(ENV_SHM_MODE, mode);
+        }
         if cfg.net.kill_rank == rank {
             cmd.env(ENV_KILL_PHASE, cfg.net.kill_phase.to_string());
         }

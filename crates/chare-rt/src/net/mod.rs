@@ -9,10 +9,18 @@
 //!
 //! Layout:
 //! - [`wire`] — frame kinds, little-endian control/batch codecs
-//! - [`transport`] — length-prefixed framing over TCP, reassembly
+//! - [`transport`] — length-prefixed framing, vectored flushes, reassembly
+//! - [`shm`] — same-host shared-memory SPSC rings + futex doorbells
 //! - [`comm`] — the per-process comm thread and its shared state
-//! - [`launch`] — SPMD self-exec launcher and mesh wiring
+//! - [`launch`] — SPMD self-exec launcher, mesh wiring, shm inheritance
 //! - [`engine`] — [`NetEngine`], the phase loop itself
+//!
+//! Two data-plane transports coexist (DESIGN.md §8): loopback TCP (always
+//! present; carries all control traffic and serves as the fallback) and
+//! the shared-memory ring transport (BATCH frames only, compute thread to
+//! compute thread, selected per [`crate::NetTransport`]). Liveness is a
+//! TCP property in both cases, so worker exit codes and the
+//! [`TransportError`] surface are transport-independent.
 //!
 //! ## The SPMD contract
 //!
@@ -31,6 +39,7 @@
 pub mod comm;
 pub mod engine;
 pub mod launch;
+pub mod shm;
 pub mod transport;
 pub mod wire;
 

@@ -1,13 +1,15 @@
-//! Length-prefixed framing over loopback TCP.
+//! Length-prefixed framing over loopback TCP and shared-memory rings.
 //!
 //! Every frame is `[len: u32 LE][kind: u8][payload: len-1 bytes]`. The
 //! blocking helpers serve mesh setup (HELLO/PEERS handshakes, where the
 //! socket still has a read timeout); [`FrameBuf`] serves the steady state,
-//! where the comm thread polls non-blocking sockets and reassembles frames
-//! from whatever the kernel hands it.
+//! where the comm thread polls non-blocking byte sources — TCP sockets or
+//! [`crate::net::shm`] ring consumers, both of which speak `WouldBlock` —
+//! and reassembles frames from whatever arrives. [`write_frames`] is the
+//! vectored fast path: it flushes a backlog of frames in as few
+//! `writev`-style syscalls as the kernel allows.
 
-use std::io::{self, Read, Write};
-use std::net::TcpStream;
+use std::io::{self, IoSlice, Read, Write};
 
 /// Ceiling on a single frame, far above anything the engine emits; a
 /// length prefix beyond it means a corrupt or hostile stream.
@@ -24,6 +26,61 @@ pub fn write_frame(w: &mut impl Write, kind: u8, payload: &[u8]) -> io::Result<u
     w.write_all(&[kind])?;
     w.write_all(payload)?;
     Ok(4 + body_len as u64)
+}
+
+/// Write many frames in one vectored burst (`writev`-style): each frame
+/// contributes two [`IoSlice`]s — its 5-byte header and its payload — and
+/// the whole backlog goes to the kernel in as few syscalls as it will
+/// take. Returns total bytes written. Partial writes are resumed from the
+/// exact byte where the kernel stopped, so the stream never tears a frame.
+pub fn write_frames(w: &mut impl Write, frames: &[(u8, &[u8])]) -> io::Result<u64> {
+    let mut headers = Vec::with_capacity(frames.len());
+    let mut total = 0u64;
+    for (kind, payload) in frames {
+        let body_len = payload
+            .len()
+            .checked_add(1)
+            .filter(|&n| n <= MAX_FRAME)
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "frame too large"))?;
+        let len = (body_len as u32).to_le_bytes();
+        headers.push([len[0], len[1], len[2], len[3], *kind]); // simlint: allow(R3) -- len is a [u8; 4], indices 0..=3 are in range by construction
+        total += 4 + body_len as u64;
+    }
+    // `skip` tracks how many bytes of the logical stream are already on
+    // the wire; each retry rebuilds the slice list from that offset.
+    let mut skip = 0u64;
+    while skip < total {
+        let mut slices: Vec<IoSlice<'_>> = Vec::with_capacity(frames.len() * 2);
+        let mut pos = 0u64;
+        for (header, (_, payload)) in headers.iter().zip(frames) {
+            for part in [&header[..], *payload] {
+                let end = pos + part.len() as u64;
+                if end > skip {
+                    let cut = (skip.saturating_sub(pos)) as usize;
+                    slices.push(IoSlice::new(&part[cut..]));
+                }
+                pos = end;
+            }
+        }
+        match w.write_vectored(&slices) {
+            Ok(0) => {
+                return Err(io::Error::new(
+                    io::ErrorKind::WriteZero,
+                    "peer stopped accepting bytes mid-flush",
+                ))
+            }
+            Ok(n) => skip += n as u64,
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            // The sockets are non-blocking; a full kernel buffer mid-flush
+            // must not abort the stream (the resume offset would be lost).
+            // Yield briefly and retry from the same byte.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(total)
 }
 
 /// Blocking read of one frame (setup path; honours the socket's read
@@ -68,7 +125,9 @@ impl FrameBuf {
     /// Read whatever is available without blocking and return any frames
     /// completed by it. `Err` means a corrupt stream (fatal); EOF is
     /// reported via [`Polled::eof`] *after* the frames that preceded it.
-    pub fn poll(&mut self, sock: &mut TcpStream) -> io::Result<Polled> {
+    /// Works over any non-blocking byte source that reports emptiness as
+    /// `WouldBlock` — TCP sockets and shm ring consumers alike.
+    pub fn poll(&mut self, sock: &mut impl Read) -> io::Result<Polled> {
         let mut out = Polled::default();
         let mut chunk = [0u8; 16 * 1024];
         loop {
@@ -121,7 +180,53 @@ impl FrameBuf {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::net::TcpListener;
+    use std::net::{TcpListener, TcpStream};
+
+    #[test]
+    fn vectored_write_matches_sequential_framing() {
+        let frames: Vec<(u8, Vec<u8>)> = vec![
+            (1, vec![0xAB; 3]),
+            (2, Vec::new()),
+            (3, (0..=255u8).collect()),
+        ];
+        let mut want = Vec::new();
+        for (k, p) in &frames {
+            write_frame(&mut want, *k, p).unwrap();
+        }
+        let refs: Vec<(u8, &[u8])> = frames.iter().map(|(k, p)| (*k, p.as_slice())).collect();
+        let mut got = Vec::new();
+        let n = write_frames(&mut got, &refs).unwrap();
+        assert_eq!(got, want, "vectored and sequential bytes must agree");
+        assert_eq!(n, want.len() as u64);
+    }
+
+    /// A writer that accepts at most 3 bytes per call forces `write_frames`
+    /// through its partial-write resume path on every iteration.
+    struct Dribble(Vec<u8>);
+    impl Write for Dribble {
+        fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+            let n = buf.len().min(3);
+            self.0.extend_from_slice(&buf[..n]);
+            Ok(n)
+        }
+
+        fn flush(&mut self) -> io::Result<()> {
+            Ok(())
+        }
+    }
+
+    #[test]
+    fn vectored_write_survives_partial_writes() {
+        let frames: Vec<(u8, Vec<u8>)> = vec![(7, vec![0x11; 70]), (8, vec![0x22; 5])];
+        let refs: Vec<(u8, &[u8])> = frames.iter().map(|(k, p)| (*k, p.as_slice())).collect();
+        let mut sink = Dribble(Vec::new());
+        write_frames(&mut sink, &refs).unwrap();
+        let mut want = Vec::new();
+        for (k, p) in &frames {
+            write_frame(&mut want, *k, p).unwrap();
+        }
+        assert_eq!(sink.0, want);
+    }
 
     #[test]
     fn blocking_roundtrip_over_loopback() {

@@ -137,7 +137,7 @@ pub enum Ctl {
 
 /// Number of `u64` fields in [`PeStats`] — the codec writes them all in
 /// declaration order, so this constant pins the layout.
-const PE_STATS_FIELDS: usize = 17;
+const PE_STATS_FIELDS: usize = 23;
 
 fn put_pe_stats(out: &mut BytesMut, s: &PeStats) {
     let fields = [
@@ -158,6 +158,12 @@ fn put_pe_stats(out: &mut BytesMut, s: &PeStats) {
         s.wire_bytes_recv,
         s.wire_flush_batch,
         s.wire_flush_idle,
+        s.wire_msgs_batch,
+        s.wire_msgs_idle,
+        s.wire_coalesced_flushes,
+        s.shm_frames_sent,
+        s.shm_parks,
+        s.agg_batch,
     ];
     debug_assert_eq!(fields.len(), PE_STATS_FIELDS);
     for f in fields {
@@ -187,6 +193,12 @@ fn get_pe_stats(buf: &mut &[u8]) -> Option<PeStats> {
         wire_bytes_recv: buf.get_u64_le(),
         wire_flush_batch: buf.get_u64_le(),
         wire_flush_idle: buf.get_u64_le(),
+        wire_msgs_batch: buf.get_u64_le(),
+        wire_msgs_idle: buf.get_u64_le(),
+        wire_coalesced_flushes: buf.get_u64_le(),
+        shm_frames_sent: buf.get_u64_le(),
+        shm_parks: buf.get_u64_le(),
+        agg_batch: buf.get_u64_le(),
     })
 }
 
@@ -557,6 +569,11 @@ mod tests {
             sent_remote: 11,
             wire_bytes_sent: 2048,
             wire_flush_idle: 3,
+            wire_msgs_batch: 40,
+            wire_coalesced_flushes: 6,
+            shm_frames_sent: 12,
+            shm_parks: 2,
+            agg_batch: 64,
             ..Default::default()
         };
         roundtrip(Ctl::Stats {

@@ -382,11 +382,13 @@ mod tests {
             enabled: true,
             max_batch: 100,
             tram_2d: false,
+            adaptive: false,
         });
         let off = run(AggregationConfig {
             enabled: false,
             max_batch: 100,
             tram_2d: false,
+            adaptive: false,
         });
         assert_eq!(on.sent_remote, 1000);
         assert_eq!(off.sent_remote, 1000);

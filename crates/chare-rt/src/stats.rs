@@ -89,6 +89,25 @@ pub struct PeStats {
     /// Cross-process batches flushed because the sending process went idle
     /// — the §IV-C idle flush, observed on the wire (net engine only).
     pub wire_flush_idle: u64,
+    /// Envelopes carried by batch-full flushes (net engine only). Together
+    /// with `wire_flush_batch` this gives the *fill* of full frames — the
+    /// number the batch-sweep dead-zone regression test pins.
+    pub wire_msgs_batch: u64,
+    /// Envelopes carried by idle flushes (net engine only).
+    pub wire_msgs_idle: u64,
+    /// Socket writes that carried ≥2 frames in one vectored `writev`-style
+    /// flush (net engine, TCP path only).
+    pub wire_coalesced_flushes: u64,
+    /// BATCH frames pushed directly into shared-memory rings, bypassing the
+    /// comm thread and the socket (net engine, shm transport only).
+    pub shm_frames_sent: u64,
+    /// Times a worker's compute thread parked on its doorbell futex instead
+    /// of spinning while idle (net engine, shm transport only).
+    pub shm_parks: u64,
+    /// The adaptive aggregation batch size in force at the end of the phase
+    /// (net engine; equals the static `max_batch` when adaptation is off).
+    /// Merged across PEs as a max, not a sum.
+    pub agg_batch: u64,
 }
 
 impl PeStats {
@@ -116,6 +135,14 @@ impl PeStats {
         self.wire_bytes_recv += o.wire_bytes_recv;
         self.wire_flush_batch += o.wire_flush_batch;
         self.wire_flush_idle += o.wire_flush_idle;
+        self.wire_msgs_batch += o.wire_msgs_batch;
+        self.wire_msgs_idle += o.wire_msgs_idle;
+        self.wire_coalesced_flushes += o.wire_coalesced_flushes;
+        self.shm_frames_sent += o.shm_frames_sent;
+        self.shm_parks += o.shm_parks;
+        // A batch size is a level, not a flow: the aggregate view reports
+        // the largest batch any PE converged to.
+        self.agg_batch = self.agg_batch.max(o.agg_batch);
     }
 }
 
@@ -177,6 +204,26 @@ mod tests {
             ..Default::default()
         };
         assert_eq!(s.sent_total(), 6);
+    }
+
+    #[test]
+    fn agg_batch_merges_as_max_while_counters_sum() {
+        let mut a = PeStats {
+            shm_frames_sent: 2,
+            wire_coalesced_flushes: 1,
+            agg_batch: 8,
+            ..Default::default()
+        };
+        let b = PeStats {
+            shm_frames_sent: 3,
+            wire_coalesced_flushes: 4,
+            agg_batch: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.shm_frames_sent, 5);
+        assert_eq!(a.wire_coalesced_flushes, 5);
+        assert_eq!(a.agg_batch, 8, "batch size is a level, merged as max");
     }
 
     #[test]

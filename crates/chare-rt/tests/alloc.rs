@@ -46,6 +46,7 @@ fn cfg(enabled: bool, max_batch: u32) -> AggregationConfig {
         enabled,
         max_batch,
         tram_2d: false,
+        adaptive: false,
     }
 }
 

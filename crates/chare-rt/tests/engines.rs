@@ -116,6 +116,7 @@ proptest! {
                 enabled: batch > 1,
                 max_batch: batch,
                 tram_2d: tram,
+                adaptive: false,
             },
             sync: Default::default(),
             faults: FaultPlan::none(0),

@@ -8,7 +8,8 @@
 
 use bytes::{Buf, BufMut, BytesMut};
 use chare_rt::{
-    Chare, ChareId, Ctx, Message, Runtime, RuntimeConfig, TransportError, KILL_EXIT, TRANSPORT_EXIT,
+    Chare, ChareId, Ctx, Message, NetTransport, Runtime, RuntimeConfig, TransportError, KILL_EXIT,
+    TRANSPORT_EXIT,
 };
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -224,4 +225,185 @@ fn net_killed_worker_survivors_exit_cleanly() {
             );
         }
     }
+}
+
+// ---------------------------------------------------------------------
+// Transport-matrix tests: the same workload must be bit-identical no
+// matter which data plane carries the batches, and the plane that was
+// asked for must actually be the one used.
+// ---------------------------------------------------------------------
+
+#[test]
+fn net_forced_tcp_matches_sequential_and_skips_rings() {
+    let reference = run_phases(RuntimeConfig::sequential(4));
+    let mut cfg = RuntimeConfig::net(4, 2);
+    cfg.net.transport = NetTransport::Tcp;
+    assert_eq!(run_phases(cfg), reference);
+
+    let mut cfg = RuntimeConfig::net(4, 2);
+    cfg.net.transport = NetTransport::Tcp;
+    let mut rt = build(cfg);
+    let stats = rt.run_phase(vec![(
+        ChareId(0),
+        Hop {
+            remaining: 40,
+            payload: 1,
+        },
+    )]);
+    let totals = stats.totals();
+    assert!(totals.sent_remote > 0, "ring must cross processes");
+    assert_eq!(
+        totals.shm_frames_sent, 0,
+        "forced tcp must never touch the rings"
+    );
+}
+
+#[test]
+fn net_forced_shm_matches_sequential_and_uses_rings() {
+    let reference = run_phases(RuntimeConfig::sequential(4));
+    let mut cfg = RuntimeConfig::net(4, 2);
+    cfg.net.transport = NetTransport::Shm;
+    assert_eq!(run_phases(cfg), reference);
+
+    let mut cfg = RuntimeConfig::net(4, 2);
+    cfg.net.transport = NetTransport::Shm;
+    let mut rt = build(cfg);
+    let stats = rt.run_phase(vec![(
+        ChareId(0),
+        Hop {
+            remaining: 40,
+            payload: 1,
+        },
+    )]);
+    let totals = stats.totals();
+    assert!(totals.sent_remote > 0, "ring must cross processes");
+    assert!(
+        totals.shm_frames_sent > 0,
+        "forced shm must push batches through the rings"
+    );
+    assert!(
+        totals.agg_batch > 0,
+        "the effective batch level must be surfaced"
+    );
+}
+
+/// `mixed` keeps root links on TCP while worker↔worker links ride the
+/// rings — both planes are live in the same phase, so this doubles as the
+/// mid-run-interleaving conformance case.
+#[test]
+fn net_mixed_transport_matches_sequential() {
+    let reference = run_phases(RuntimeConfig::sequential(8));
+    let mut cfg = RuntimeConfig::net(8, 4);
+    cfg.net.transport = NetTransport::Mixed;
+    assert_eq!(run_phases(cfg), reference);
+}
+
+/// A killed worker must produce the same exit-code triple on the TCP
+/// plane as on the (default) shm plane: liveness is a TCP property in
+/// both, so the fault surface is transport-independent.
+#[test]
+fn net_killed_worker_exit_codes_forced_tcp() {
+    let mut cfg = RuntimeConfig::net(4, 4);
+    cfg.net.transport = NetTransport::Tcp;
+    cfg.net.kill_rank = 2;
+    cfg.net.kill_phase = 2;
+    let mut rt = build(cfg);
+    rt.run_phase(vec![(
+        ChareId(0),
+        Hop {
+            remaining: 20,
+            payload: 1,
+        },
+    )]);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.run_phase(vec![(
+            ChareId(0),
+            Hop {
+                remaining: 20,
+                payload: 1,
+            },
+        )])
+    }))
+    .expect_err("losing a worker must not look like success");
+    assert!(err.downcast_ref::<TransportError>().is_some());
+    let exits = rt.reap_workers();
+    assert_eq!(exits[1], Some(KILL_EXIT));
+    for (i, code) in exits.iter().enumerate() {
+        if i != 1 {
+            assert_eq!(*code, Some(TRANSPORT_EXIT));
+        }
+    }
+}
+
+/// Peer death on the shm plane: a worker killed mid-phase may leave a
+/// torn frame in its outbound rings, but liveness travels over the TCP
+/// control plane, so the root must still surface `TransportError` and the
+/// exit-code triple must match the TCP plane's (kill=17, survivors=16).
+/// The rings' torn prefix is simply never yielded (FrameBuf buffers it).
+#[test]
+fn net_killed_worker_exit_codes_forced_shm() {
+    let mut cfg = RuntimeConfig::net(4, 4);
+    cfg.net.transport = NetTransport::Shm;
+    cfg.net.kill_rank = 2;
+    cfg.net.kill_phase = 2;
+    let mut rt = build(cfg);
+    rt.run_phase(vec![(
+        ChareId(0),
+        Hop {
+            remaining: 20,
+            payload: 1,
+        },
+    )]);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.run_phase(vec![(
+            ChareId(0),
+            Hop {
+                remaining: 20,
+                payload: 1,
+            },
+        )])
+    }))
+    .expect_err("losing a worker must not look like success");
+    assert!(err.downcast_ref::<TransportError>().is_some());
+    let exits = rt.reap_workers();
+    assert_eq!(exits[1], Some(KILL_EXIT));
+    for (i, code) in exits.iter().enumerate() {
+        if i != 1 {
+            assert_eq!(*code, Some(TRANSPORT_EXIT));
+        }
+    }
+}
+
+/// Regression test for the batch-sweep dead zone: when a burst of remote
+/// sends is queued, aggregation must fill frames to `max_batch`, and the
+/// flush-cause histogram must attribute the envelopes to batch-full
+/// flushes. (The old sweep sat at ~3 msgs/frame at every batch setting
+/// because idle flushes dominated its low-injection workload; the
+/// histogram makes that visible and this pins the full-frame path.)
+#[test]
+fn net_aggregation_fills_frames_under_burst() {
+    let mut cfg = RuntimeConfig::net(4, 2);
+    cfg.net.transport = NetTransport::Tcp;
+    cfg.aggregation.adaptive = false;
+    cfg.aggregation.max_batch = 8;
+    let mut rt = build(cfg);
+    // 64 concurrent hops at chare 1 (process 0); every hop sends exactly
+    // one message to chare 2 (process 1) — a 64-message burst into one
+    // aggregation lane, drained in a single quantum.
+    let burst: Vec<(ChareId, Hop)> = (0..64)
+        .map(|_| {
+            (
+                ChareId(1),
+                Hop {
+                    remaining: 1,
+                    payload: 1,
+                },
+            )
+        })
+        .collect();
+    let totals = rt.run_phase(burst).totals();
+    assert_eq!(totals.wire_flush_batch, 8, "64 msgs / batch 8 = 8 flushes");
+    assert_eq!(totals.wire_msgs_batch, 64, "every envelope left batch-full");
+    assert_eq!(totals.wire_msgs_idle, 0, "no stragglers on this workload");
+    assert_eq!(totals.agg_batch, 8, "static batch level is surfaced");
 }

@@ -69,6 +69,30 @@ fn r3_flags_panic_paths_in_transport_scope_only() {
 }
 
 #[test]
+fn r3_covers_the_shm_transport_scope() {
+    let all = corpus_findings();
+    let pos = in_file(&all, "R3", "src/shm/r3_pos.rs");
+    // .expect() (waived — mmap setup), hdr[0], panic!, .unwrap()
+    assert_eq!(pos.len(), 4, "{pos:?}");
+    let waived: Vec<_> = pos.iter().filter(|f| f.waived.is_some()).collect();
+    assert_eq!(
+        waived.len(),
+        1,
+        "only the mmap setup line is waived: {pos:?}"
+    );
+    assert!(waived[0].message.contains("expect"));
+    assert!(waived[0].waived.as_deref().unwrap().contains("mmap setup"));
+    assert!(pos
+        .iter()
+        .filter(|f| f.waived.is_none())
+        .any(|f| f.message.contains("indexing")));
+    assert!(
+        in_file(&all, "R3", "src/shm/r3_neg.rs").is_empty(),
+        "cursor arithmetic with checked slicing is the approved ring idiom"
+    );
+}
+
+#[test]
 fn r4_flags_allocation_in_hot_path_fns_only() {
     let all = corpus_findings();
     let pos = in_file(&all, "R4", "src/r4_pos.rs");

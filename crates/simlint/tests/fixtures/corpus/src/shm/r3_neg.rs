@@ -1,0 +1,26 @@
+// R3 negative: a ring producer written the way the real shm transport is —
+// checked slicing, errors as values, cursor arithmetic instead of literal
+// indexing — raises nothing in shm scope.
+fn try_push(ring: &mut [u8], head: u64, tail: u64, frame: &[u8]) -> Result<u64, String> {
+    let cap = ring.len() as u64;
+    if tail.wrapping_sub(head) + frame.len() as u64 > cap {
+        return Err("ring full".into());
+    }
+    let at = (tail % cap) as usize;
+    let room = ring.len() - at;
+    let take = room.min(frame.len());
+    ring.get_mut(at..at + take)
+        .ok_or("slice out of range")?
+        .copy_from_slice(&frame[..take]);
+    Ok(tail + frame.len() as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn tests_may_panic() {
+        let mut ring = vec![0u8; 16];
+        assert_eq!(super::try_push(&mut ring, 0, 0, &[7]).unwrap(), 1);
+        assert_eq!(ring[0], 7);
+    }
+}

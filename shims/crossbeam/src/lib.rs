@@ -144,6 +144,13 @@ pub mod channel {
             }
         }
 
+        /// Whether the channel currently holds no messages (advisory — the
+        /// answer can be stale by the time the caller acts on it, same as
+        /// real crossbeam's `is_empty`).
+        pub fn is_empty(&self) -> bool {
+            self.inner.queue.lock().unwrap().is_empty()
+        }
+
         /// Non-blocking receive.
         pub fn try_recv(&self) -> Result<T, TryRecvError> {
             let mut q = self.inner.queue.lock().unwrap();
