@@ -55,6 +55,15 @@ pub trait Chare<M: Message>: Send {
     /// rebalancing) implement this as `fn into_any(self: Box<Self>) ->
     /// Box<dyn Any> { self }`.
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any>;
+
+    /// Serialize this chare's recovery-relevant state for a coordinated
+    /// checkpoint (taken between phases, when the system is globally
+    /// quiescent). The default `None` marks the chare as having no state
+    /// worth persisting — the resilient driver skips it and rebuilds it
+    /// from the deterministic construction path on restore.
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        None
+    }
 }
 
 /// Entry-method context: lets a chare send messages and contribute to the

@@ -86,6 +86,19 @@ pub struct NetConfig {
     /// per ordered peer pair; frames larger than half a ring fall back to
     /// the TCP path.
     pub shm_ring_bytes: u32,
+    /// Failure-detector probe interval in milliseconds. `0` (the default)
+    /// disables explicit heartbeats; peer loss is then detected only via
+    /// socket EOF/write errors. When nonzero, the root's comm thread sends
+    /// HEARTBEAT frames at this cadence and every inbound frame (CD
+    /// replies included — the heartbeats piggyback on probe traffic)
+    /// refreshes the peer's liveness clock.
+    pub heartbeat_interval_ms: u32,
+    /// Failure-detector timeout in milliseconds: a worker whose comm
+    /// thread has been silent this long is declared *stalled* (socket
+    /// still open) and the run aborts with a typed
+    /// [`crate::net::TransportError`] naming the classification. Only
+    /// consulted when `heartbeat_interval_ms > 0`.
+    pub heartbeat_timeout_ms: u32,
 }
 
 impl Default for NetConfig {
@@ -97,6 +110,8 @@ impl Default for NetConfig {
             connect_timeout_ms: 30_000,
             transport: NetTransport::Auto,
             shm_ring_bytes: 256 * 1024,
+            heartbeat_interval_ms: 0,
+            heartbeat_timeout_ms: 1_000,
         }
     }
 }
@@ -195,9 +210,11 @@ pub struct RuntimeConfig {
     pub aggregation: AggregationConfig,
     /// Termination detector.
     pub sync: SyncMode,
-    /// Fault schedule, honoured only by [`ExecMode::VirtualTime`]; the
-    /// production engines carry no fault hooks at all. Keep
-    /// [`FaultPlan::none`] elsewhere (the default).
+    /// Fault schedule. Message-level faults (drop, dup, delay, reorder)
+    /// are honoured only by [`ExecMode::VirtualTime`]; the *process-level*
+    /// faults ([`FaultPlan::proc_kill`] / [`FaultPlan::proc_stall`]) are
+    /// honoured by [`ExecMode::Net`], which injects them at worker spawn.
+    /// Keep [`FaultPlan::none`] elsewhere (the default).
     pub faults: FaultPlan,
     /// Threaded/net-engine phase watchdog in seconds (`0` = disabled): if
     /// completion detection has not fired after this long, the coordinator
@@ -339,6 +356,13 @@ mod tests {
         assert_eq!(NetTransport::parse("Mixed"), Some(NetTransport::Mixed));
         assert_eq!(NetTransport::parse("auto"), Some(NetTransport::Auto));
         assert_eq!(NetTransport::parse("udp"), None);
+    }
+
+    #[test]
+    fn heartbeats_default_off_with_sane_timeout() {
+        let cfg = NetConfig::default();
+        assert_eq!(cfg.heartbeat_interval_ms, 0, "explicit opt-in");
+        assert!(cfg.heartbeat_timeout_ms >= 100);
     }
 
     #[test]

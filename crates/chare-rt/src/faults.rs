@@ -99,6 +99,23 @@ pub struct FaultPlan {
     pub stall_permille: u16,
     /// Length of an injected stall, in virtual ticks.
     pub stall_ticks: u32,
+    /// **Process-level fault** (net engine only): rank of the worker
+    /// process that exits abruptly mid-protocol. `u32::MAX` = off. Unlike
+    /// the message-level knobs above (virtual-time only), process faults
+    /// are honoured by [`crate::net::NetEngine`] and exercised by the
+    /// crash-recovery conformance suite.
+    pub proc_kill_rank: u32,
+    /// 1-based phase at which `proc_kill_rank` dies.
+    pub proc_kill_phase: u32,
+    /// Process-level fault: rank of the worker that goes silent — both its
+    /// compute and comm threads sleep with every socket left open, the
+    /// SIGSTOP-equivalent a heartbeat detector must classify as *stalled*
+    /// rather than crashed. `u32::MAX` = off.
+    pub proc_stall_rank: u32,
+    /// 1-based phase at which `proc_stall_rank` goes silent.
+    pub proc_stall_phase: u32,
+    /// Duration of the injected process stall, in milliseconds.
+    pub proc_stall_ms: u32,
 }
 
 impl FaultPlan {
@@ -114,7 +131,51 @@ impl FaultPlan {
             redeliver: true,
             stall_permille: 0,
             stall_ticks: 0,
+            proc_kill_rank: u32::MAX,
+            proc_kill_phase: 0,
+            proc_stall_rank: u32::MAX,
+            proc_stall_phase: 0,
+            proc_stall_ms: 0,
         }
+    }
+
+    /// Process-level kill fault: worker `rank` exits abruptly when it
+    /// enters `phase` (net engine; the crash side of the chaos matrix).
+    pub const fn proc_kill(seed: u64, rank: u32, phase: u32) -> Self {
+        FaultPlan {
+            proc_kill_rank: rank,
+            proc_kill_phase: phase,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Process-level stall fault: worker `rank` goes completely silent for
+    /// `ms` milliseconds starting at `phase`, sockets left open (net
+    /// engine; the stall side of the chaos matrix).
+    pub const fn proc_stall(seed: u64, rank: u32, phase: u32, ms: u32) -> Self {
+        FaultPlan {
+            proc_stall_rank: rank,
+            proc_stall_phase: phase,
+            proc_stall_ms: ms,
+            ..Self::none(seed)
+        }
+    }
+
+    /// Whether the plan injects any process-level fault.
+    pub const fn has_proc_faults(&self) -> bool {
+        self.proc_kill_rank != u32::MAX || self.proc_stall_rank != u32::MAX
+    }
+
+    /// This plan with every process-level fault removed — what a recovery
+    /// driver applies on retry attempts, so a fault that already fired is
+    /// not re-injected into the respawned worker set.
+    pub const fn without_proc_faults(mut self) -> Self {
+        self.proc_kill_rank = u32::MAX;
+        self.proc_kill_phase = 0;
+        self.proc_stall_rank = u32::MAX;
+        self.proc_stall_phase = 0;
+        self.proc_stall_ms = 0;
+        self
     }
 
     /// Heavy random latency: reorders deliveries across aggregation lanes.
@@ -338,5 +399,25 @@ mod tests {
         let p = FaultPlan::reorder(0).with_seed(99);
         assert_eq!(p.seed, 99);
         assert_eq!(p.delay_permille, 1000);
+    }
+
+    #[test]
+    fn proc_faults_set_and_strip() {
+        assert!(!FaultPlan::none(0).has_proc_faults());
+        let kill = FaultPlan::proc_kill(1, 2, 7);
+        assert!(kill.has_proc_faults());
+        assert!(
+            kill.is_benign(),
+            "process faults are recoverable, not lossy"
+        );
+        let stall = FaultPlan::proc_stall(1, 1, 4, 500);
+        assert!(stall.has_proc_faults());
+        assert_eq!(stall.proc_stall_ms, 500);
+        assert_eq!(kill.without_proc_faults(), FaultPlan::none(1));
+        assert_eq!(stall.without_proc_faults(), FaultPlan::none(1));
+        // The message-level grid stays process-fault free.
+        for plan in FaultPlan::GRID {
+            assert!(!plan.has_proc_faults());
+        }
     }
 }

@@ -52,7 +52,8 @@ pub use chare::{Chare, ChareId, Ctx, Message};
 pub use config::{AggregationConfig, ExecMode, NetConfig, NetTransport, RuntimeConfig, SmpConfig};
 pub use faults::{FaultHook, FaultPlan, FaultRng, NoFaults, PacketFate, PlanFaults};
 pub use net::{
-    align_to_invocation, worker_target, NetEngine, TransportError, KILL_EXIT, TRANSPORT_EXIT,
+    align_to_invocation, crc32, worker_target, Backoff, EpochStore, NetEngine, PeerHealth,
+    RecoveryError, RecoverySnapshot, TransportError, KILL_EXIT, TRANSPORT_EXIT,
 };
 pub use runtime::Runtime;
 pub use stats::{PeStats, PhaseStats};

@@ -7,6 +7,7 @@
 //! [`crate::stats::PeStats`].
 
 use crate::chare::{ChareId, Message};
+use crate::net::recovery::PeerHealth;
 use crate::net::shm::Doorbell;
 use crate::net::transport::{write_frame, write_frames, FrameBuf};
 use crate::net::wire::{self, Ctl};
@@ -56,6 +57,16 @@ pub struct CommShared {
     pub flush_ns: AtomicU64,
     /// Root only: latest CD reply per worker, indexed by `rank - 1`.
     pub replies: Mutex<Vec<CdReplyState>>,
+    /// Fault injection: when nonzero, the comm thread sleeps this many
+    /// milliseconds (once, resetting the cell) without touching any
+    /// socket — the silent-but-connected window the process-stall fault
+    /// uses. The compute thread sleeps the same window, so the process is
+    /// indistinguishable from one that received SIGSTOP.
+    pub stall_ms: AtomicU64,
+    /// Per-peer liveness classification, indexed by rank (root only;
+    /// updated by the failure detector before it records the failure, so
+    /// the surfaced [`TransportError`] and this table always agree).
+    pub health: Mutex<Vec<PeerHealth>>,
 }
 
 /// The latest completion-detection reply from one worker.
@@ -92,6 +103,29 @@ impl CommShared {
     pub fn replies(&self) -> MutexGuard<'_, Vec<CdReplyState>> {
         lock_recover(&self.replies)
     }
+
+    /// The failure detector's per-rank classification (root only; every
+    /// entry is [`PeerHealth::Alive`] until a failure is recorded).
+    pub fn peer_health(&self) -> Vec<PeerHealth> {
+        lock_recover(&self.health).clone()
+    }
+
+    fn set_health(&self, rank: u32, h: PeerHealth) {
+        let mut v = lock_recover(&self.health);
+        if let Some(slot) = v.get_mut(rank as usize) {
+            *slot = h;
+        }
+    }
+}
+
+/// Failure-detector settings handed to [`spawn`]. Probes originate from
+/// the root's comm thread only; every comm thread answers them.
+#[derive(Debug, Clone, Copy)]
+pub struct HeartbeatCfg {
+    /// Gap between HEARTBEAT probes.
+    pub interval: Duration,
+    /// Silence threshold after which a peer is declared stalled.
+    pub timeout: Duration,
 }
 
 /// Lock a mutex, recovering the data from a poisoned lock instead of
@@ -191,6 +225,7 @@ pub fn spawn<M: Message>(
     my_rank: u32,
     sockets: Vec<(u32, TcpStream)>,
     bell: Option<Doorbell>,
+    hb: Option<HeartbeatCfg>,
 ) -> std::io::Result<CommHandle<M>> {
     let (out_tx, out_rx) = unbounded::<(u32, u8, Bytes)>();
     let (in_tx, in_rx) = unbounded::<Event<M>>();
@@ -199,12 +234,14 @@ pub fn spawn<M: Message>(
         let mut replies = shared.replies();
         let max_rank = sockets.iter().map(|(r, _)| *r).max().unwrap_or(0);
         replies.resize_with(max_rank as usize, CdReplyState::default);
+        let mut health = lock_recover(&shared.health);
+        health.resize(max_rank as usize + 1, PeerHealth::Alive);
     }
     let shared2 = shared.clone();
     let inbox = Inbox { tx: in_tx, bell };
     let join = std::thread::Builder::new()
         .name(format!("net-comm-{my_rank}"))
-        .spawn(move || comm_loop::<M>(my_rank, sockets, out_rx, inbox, shared2))?;
+        .spawn(move || comm_loop::<M>(my_rank, sockets, out_rx, inbox, shared2, hb))?;
     Ok(CommHandle {
         out_tx,
         in_rx,
@@ -213,12 +250,26 @@ pub fn spawn<M: Message>(
     })
 }
 
+/// The root-side failure detector's working state (see module docs): a
+/// probe timer plus per-peer liveness clocks. Every inbound frame from a
+/// peer — CD replies, stats, batches, not just heartbeat acks — refreshes
+/// its clock, so the explicit probes only carry liveness across windows
+/// where no other traffic flows.
+struct Detector {
+    interval: Duration,
+    timeout: Duration,
+    next_probe: Instant,
+    seq: u64,
+    last_heard: BTreeMap<u32, Instant>,
+}
+
 fn comm_loop<M: Message>(
     my_rank: u32,
     sockets: Vec<(u32, TcpStream)>,
     out_rx: Receiver<(u32, u8, Bytes)>,
     in_tx: Inbox<M>,
     shared: Arc<CommShared>,
+    hb: Option<HeartbeatCfg>,
 ) {
     let mut peers: BTreeMap<u32, Peer> = sockets
         .into_iter()
@@ -238,7 +289,27 @@ fn comm_loop<M: Message>(
         shared.fail(msg.clone());
         in_tx.send(Event::TransportError(TransportError(msg)));
     };
+    // Only the root originates probes and classifies peers; workers just
+    // answer (and their mesh-link view rides in each ack).
+    let mut detector = hb.filter(|_| my_rank == 0).map(|cfg| Detector {
+        interval: cfg.interval,
+        timeout: cfg.timeout,
+        // simlint: allow(R2) -- liveness clocks; wall time never feeds simulation state
+        next_probe: Instant::now(),
+        seq: 0,
+        last_heard: ranks
+            .iter()
+            // simlint: allow(R2) -- liveness clocks; wall time never feeds simulation state
+            .map(|&r| (r, Instant::now()))
+            .collect(),
+    });
     loop {
+        // Injected process stall: go completely silent (no reads, no
+        // writes, sockets open) for the requested window.
+        let stall = shared.stall_ms.swap(0, Ordering::SeqCst);
+        if stall > 0 {
+            std::thread::sleep(Duration::from_millis(stall));
+        }
         let mut progressed = false;
 
         // Outbound: drain everything compute has queued, staged per peer,
@@ -276,6 +347,7 @@ fn comm_loop<M: Message>(
                         }
                         Err(e) => {
                             p.dead = true;
+                            shared.set_health(dst, PeerHealth::Crashed);
                             fatal(&shared, &in_tx, format!("write to rank {dst} failed: {e}"));
                         }
                     }
@@ -297,6 +369,7 @@ fn comm_loop<M: Message>(
                     Ok(polled) => polled,
                     Err(e) => {
                         p.dead = true;
+                        shared.set_health(rank, PeerHealth::Crashed);
                         fatal(&shared, &in_tx, format!("rank {rank} disconnected: {e}"));
                         continue;
                     }
@@ -305,6 +378,11 @@ fn comm_loop<M: Message>(
             if polled.bytes > 0 {
                 progressed = true;
                 shared.bytes_recv.fetch_add(polled.bytes, Ordering::SeqCst);
+                if let Some(d) = detector.as_mut() {
+                    // Any traffic is proof of life, not just heartbeat acks.
+                    // simlint: allow(R2) -- liveness clock refresh; wall time never feeds simulation state
+                    d.last_heard.insert(rank, Instant::now());
+                }
             }
             for (kind, payload) in polled.frames {
                 shared.frames_recv.fetch_add(1, Ordering::SeqCst);
@@ -324,12 +402,73 @@ fn comm_loop<M: Message>(
                     p.dead = true;
                 }
                 if my_rank == 0 || rank == 0 {
+                    shared.set_health(rank, PeerHealth::Crashed);
                     fatal(
                         &shared,
                         &in_tx,
                         format!("rank {rank} disconnected: peer closed the connection"),
                     );
                 }
+            }
+        }
+
+        // Failure detection (root only): originate probes on the interval
+        // and sweep for peers that have gone silent past the timeout. A
+        // write error means the peer is *crashed* (kernel saw the socket
+        // die); silence on an open socket past the timeout means *stalled*.
+        if let Some(d) = detector.as_mut() {
+            // simlint: allow(R2) -- failure-detector clock; wall time never feeds simulation state
+            let now = Instant::now();
+            if now >= d.next_probe {
+                d.next_probe = now + d.interval;
+                d.seq += 1;
+                let (k, p) = Ctl::Heartbeat { seq: d.seq }.encode();
+                let mut crashed: Vec<(u32, String)> = Vec::new();
+                for (&rank, peer) in peers.iter_mut() {
+                    if peer.dead {
+                        continue;
+                    }
+                    match write_frame(&mut peer.sock, k, &p) {
+                        Ok(n) => {
+                            shared.frames_sent.fetch_add(1, Ordering::SeqCst);
+                            shared.bytes_sent.fetch_add(n, Ordering::SeqCst);
+                        }
+                        Err(e) => {
+                            peer.dead = true;
+                            crashed.push((rank, e.to_string()));
+                        }
+                    }
+                }
+                for (rank, e) in crashed {
+                    shared.set_health(rank, PeerHealth::Crashed);
+                    fatal(
+                        &shared,
+                        &in_tx,
+                        format!("heartbeat to rank {rank} failed: {e}"),
+                    );
+                }
+            }
+            let mut stalled: Vec<u32> = Vec::new();
+            for (&rank, &heard) in d.last_heard.iter() {
+                let open = peers.get(&rank).map(|p| !p.dead).unwrap_or(false);
+                if open && now.duration_since(heard) > d.timeout {
+                    stalled.push(rank);
+                }
+            }
+            for rank in stalled {
+                if let Some(p) = peers.get_mut(&rank) {
+                    p.dead = true;
+                }
+                d.last_heard.remove(&rank);
+                shared.set_health(rank, PeerHealth::Stalled);
+                fatal(
+                    &shared,
+                    &in_tx,
+                    format!(
+                        "rank {rank} stalled: no frames for {} ms (heartbeat timeout; socket still open)",
+                        d.timeout.as_millis()
+                    ),
+                );
             }
         }
 
@@ -401,6 +540,65 @@ fn dispatch<M: Message>(
                             in_tx.send(Event::TransportError(TransportError(msg)));
                         }
                     }
+                }
+            }
+        }
+        kind::HEARTBEAT => {
+            // Answered here, like CD probes — a stalled *compute* thread
+            // still acks, which is exactly the distinction the detector
+            // wants: heartbeats prove the process is scheduled, CD replies
+            // prove compute is advancing. The ack carries this worker's
+            // view of its mesh links so the root can tell a partition
+            // (worker lost a peer, root link fine) from a crash.
+            if let Some(Ctl::Heartbeat { seq }) = Ctl::decode(kind_byte, payload) {
+                let mut mesh_dead = 0u32;
+                for (&r, p) in peers.iter() {
+                    if r != from && p.dead {
+                        mesh_dead |= 1u32 << r.min(31);
+                    }
+                }
+                let ack = Ctl::HeartbeatAck {
+                    rank: my_rank,
+                    seq,
+                    mesh_dead,
+                };
+                let (k, p) = ack.encode();
+                if let Some(peer) = peers.get_mut(&from) {
+                    match write_frame(&mut peer.sock, k, &p) {
+                        Ok(n) => {
+                            shared.frames_sent.fetch_add(1, Ordering::SeqCst);
+                            shared.bytes_sent.fetch_add(n, Ordering::SeqCst);
+                        }
+                        Err(e) => {
+                            peer.dead = true;
+                            let msg = format!("heartbeat ack to rank {from} failed: {e}");
+                            shared.fail(msg.clone());
+                            in_tx.send(Event::TransportError(TransportError(msg)));
+                        }
+                    }
+                }
+            }
+        }
+        kind::HEARTBEAT_ACK => {
+            if let Some(Ctl::HeartbeatAck {
+                rank, mesh_dead, ..
+            }) = Ctl::decode(kind_byte, payload)
+            {
+                if mesh_dead != 0 {
+                    // The worker answered us, so its root link is healthy —
+                    // but it reports dead links inside the worker mesh.
+                    // That is a partition, not a crash.
+                    shared.set_health(rank, PeerHealth::Partitioned);
+                    let msg = format!(
+                        "rank {rank} partitioned: its links to ranks [{}] are down while its root link is healthy",
+                        (0..32)
+                            .filter(|b| mesh_dead & (1 << b) != 0)
+                            .map(|b| b.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    );
+                    shared.fail(msg.clone());
+                    in_tx.send(Event::TransportError(TransportError(msg)));
                 }
             }
         }

@@ -95,6 +95,10 @@ enum Role {
 enum FlushCause {
     BatchFull,
     Idle,
+    /// The adaptive controller converged to its minimum batch size — the
+    /// latency-bound regime, where holding a message to fill a batch costs
+    /// more than flushing it at once.
+    Eager,
 }
 
 /// Which inter-process links ride the shared-memory rings.
@@ -206,6 +210,10 @@ struct AdaptCtl {
     cost_ewma: f64,
     /// Smoothed inter-message gap, ns.
     gap_ewma: f64,
+    /// The controller has converged to [`ADAPT_MIN_BATCH`]: the traffic is
+    /// latency-bound and lanes are flushed eagerly after every push
+    /// instead of waiting to fill.
+    eager: bool,
 }
 
 /// The effective transport: the `ChareNetTransport` env override (fallback
@@ -273,6 +281,14 @@ pub struct NetEngine<M: Message> {
     /// by teardown; `None` = still running when force-killed or unknown).
     child_exits: Vec<Option<i32>>,
     kill_phase: Option<u64>,
+    /// Fault injection: `(phase, ms)` at which this worker goes silent
+    /// (comm + compute both sleep; sockets stay open).
+    stall_at: Option<(u64, u64)>,
+    /// Recovery snapshots committed so far (cumulative; bumped by the
+    /// resilient driver via [`Self::note_checkpoint`]).
+    recovery_checkpoints: u64,
+    /// State rebuilds from a committed epoch so far (cumulative).
+    recovery_restores: u64,
     /// Set when PHASE_END arrives while the worker loop is draining.
     pending_phase_end: bool,
     shut_down: bool,
@@ -321,13 +337,20 @@ impl<M: Message> NetEngine<M> {
             None if cfg.net.n_procs <= 1 => (Role::Standalone, 0, None, None),
             None => (Role::Root, 0, None, None),
         };
+        let stall_at = wenv.as_ref().and_then(|e| e.stall);
         let ppp = cfg.n_pes / cfg.net.n_procs;
         let (pe_lo, pe_hi) = match role {
             Role::Standalone => (0, cfg.n_pes),
             _ => (rank * ppp, (rank + 1) * ppp),
         };
-        let spawn_comm = |rank: u32, sockets, bell: Option<Doorbell>| {
-            comm::spawn::<M>(rank, sockets, bell).unwrap_or_else(|e| {
+        // Heartbeats are symmetric config: every comm thread answers them,
+        // but only the root's (rank 0) originates probes and classifies.
+        let hb = (cfg.net.heartbeat_interval_ms > 0).then(|| comm::HeartbeatCfg {
+            interval: Duration::from_millis(cfg.net.heartbeat_interval_ms as u64),
+            timeout: Duration::from_millis(cfg.net.heartbeat_timeout_ms as u64),
+        });
+        let spawn_comm = move |rank: u32, sockets, bell: Option<Doorbell>| {
+            comm::spawn::<M>(rank, sockets, bell, hb).unwrap_or_else(|e| {
                 transport_abort(
                     role,
                     TransportError(format!("comm thread spawn failed: {e}")),
@@ -417,6 +440,7 @@ impl<M: Message> NetEngine<M> {
                 comm_ns_mark: 0,
                 cost_ewma: 0.0,
                 gap_ewma: 0.0,
+                eager: false,
             });
         let n_local = (pe_hi - pe_lo) as usize;
         NetEngine {
@@ -440,6 +464,9 @@ impl<M: Message> NetEngine<M> {
             children,
             child_exits: Vec::new(),
             kill_phase,
+            stall_at,
+            recovery_checkpoints: 0,
+            recovery_restores: 0,
             pending_phase_end: false,
             shut_down: false,
             shm,
@@ -566,8 +593,9 @@ impl<M: Message> NetEngine<M> {
         } else {
             dst_proc
         };
-        if let Some(flush) = self.agg.push(hop, to, msg) {
-            self.emit(lp, flush, FlushCause::BatchFull);
+        match self.agg.push(hop, to, msg) {
+            Some(flush) => self.emit(lp, flush, FlushCause::BatchFull),
+            None => self.eager_flush(lp, hop),
         }
     }
 
@@ -577,8 +605,20 @@ impl<M: Message> NetEngine<M> {
         let dst_proc = self.cfg.smp.process_of(self.pe_of[to.0 as usize]);
         let hop = self.grid.next_hop(self.rank, dst_proc);
         self.stats[0].forwarded += 1;
-        if let Some(flush) = self.agg.push(hop, to, msg) {
-            self.emit(0, flush, FlushCause::BatchFull);
+        match self.agg.push(hop, to, msg) {
+            Some(flush) => self.emit(0, flush, FlushCause::BatchFull),
+            None => self.eager_flush(0, hop),
+        }
+    }
+
+    /// In the latency-bound regime (adaptive controller converged to the
+    /// minimum batch), flush the lane a push just landed in instead of
+    /// letting the message wait for a batch that may never fill.
+    fn eager_flush(&mut self, lp: usize, hop: u32) {
+        if self.adapt.as_ref().is_some_and(|a| a.eager) {
+            if let Some(packet) = self.agg.flush_lane(hop) {
+                self.emit(lp, Flush::Packet(packet), FlushCause::Eager);
+            }
         }
     }
 
@@ -658,6 +698,10 @@ impl<M: Message> NetEngine<M> {
                 st.wire_flush_idle += 1;
                 st.wire_msgs_idle += n_envs;
             }
+            FlushCause::Eager => {
+                st.wire_flush_eager += 1;
+                st.wire_msgs_eager += n_envs;
+            }
         }
         if let Some(t0) = t0 {
             let spent = t0.elapsed().as_nanos() as u64;
@@ -702,7 +746,9 @@ impl<M: Message> NetEngine<M> {
                 gap
             };
             let b = (2.0 * a.cost_ewma / a.gap_ewma).sqrt() as u32;
-            target = Some(b.clamp(ADAPT_MIN_BATCH, ADAPT_MAX_BATCH));
+            let clamped = b.clamp(ADAPT_MIN_BATCH, ADAPT_MAX_BATCH);
+            a.eager = clamped <= ADAPT_MIN_BATCH;
+            target = Some(clamped);
         }
         a.emits = 0;
         a.msgs = 0;
@@ -1186,6 +1232,24 @@ impl<M: Message> NetEngine<M> {
             );
             std::process::exit(KILL_EXIT);
         }
+        if let Some((phase, ms)) = self.stall_at {
+            if phase == self.phase {
+                // Fault injection: go silent without dying. The comm
+                // thread sleeps the same window (it swaps `stall_ms` at
+                // its next loop turn), so no probe, heartbeat, or batch is
+                // answered — indistinguishable from SIGSTOP, which is
+                // exactly what the stalled-peer detector must classify.
+                self.stall_at = None;
+                eprintln!(
+                    "[net] rank {} stalling {ms}ms at phase {} (fault injection)",
+                    self.rank, self.phase
+                );
+                if let Some(comm) = &self.comm {
+                    comm.shared.stall_ms.store(ms, Ordering::SeqCst);
+                }
+                std::thread::sleep(Duration::from_millis(ms));
+            }
+        }
         self.adopt_pending();
         self.inject(injections);
         self.pending_phase_end = false;
@@ -1406,7 +1470,46 @@ impl<M: Message> NetEngine<M> {
             st.shm_frames_sent += ring_frames;
             st.shm_parks += parks;
             st.agg_batch = st.agg_batch.max(batch_level);
+            // Cumulative levels, re-attributed each phase (the per-phase
+            // stats were zeroed at phase start, so += is assignment here).
+            st.recovery_checkpoints += self.recovery_checkpoints;
+            st.recovery_restores += self.recovery_restores;
         }
+    }
+
+    // ------------------------------------------------------------------
+    // Recovery hooks (consumed by the resilient driver in `core`)
+    // ------------------------------------------------------------------
+
+    /// This process's rank (0 for the root and standalone runs).
+    pub fn net_rank(&self) -> u32 {
+        self.rank
+    }
+
+    /// Serialize every locally-owned chare that opts into checkpointing
+    /// (`Chare::snapshot` returning `Some`), as `(chare id, bytes)` pairs.
+    /// Only meaningful between phases, when the system is quiescent.
+    pub fn snapshot_chares(&self) -> Vec<(u32, Vec<u8>)> {
+        self.chares
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                c.as_ref()
+                    .and_then(|c| c.snapshot().map(|bytes| (i as u32, bytes)))
+            })
+            .collect()
+    }
+
+    /// Record that a recovery snapshot was committed (feeds the
+    /// `recovery_checkpoints` stat).
+    pub fn note_checkpoint(&mut self) {
+        self.recovery_checkpoints += 1;
+    }
+
+    /// Record that state was rebuilt from a committed epoch (feeds the
+    /// `recovery_restores` stat).
+    pub fn note_restore(&mut self) {
+        self.recovery_restores += 1;
     }
 
     // ------------------------------------------------------------------
@@ -1433,7 +1536,19 @@ impl<M: Message> NetEngine<M> {
                         let _ = join.join();
                     }
                 }
-                let deadline = Instant::now() + Duration::from_secs(10); // simlint: allow(R2) -- teardown reaping timeout, after all simulation output is final
+                // After a transport failure the dead worker will never
+                // answer SHUTDOWN — don't make the recovery driver's
+                // retry loop pay the full orderly-teardown grace for it.
+                let grace = if self
+                    .comm
+                    .as_ref()
+                    .is_some_and(|c| c.shared.failure().is_some())
+                {
+                    Duration::from_secs(1)
+                } else {
+                    Duration::from_secs(10)
+                };
+                let deadline = Instant::now() + grace; // simlint: allow(R2) -- teardown reaping timeout, after all simulation output is final
                 self.child_exits = self
                     .children
                     .iter_mut()

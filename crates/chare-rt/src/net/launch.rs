@@ -29,6 +29,7 @@
 //!   whole binary.
 
 use crate::config::RuntimeConfig;
+use crate::net::recovery::Backoff;
 use crate::net::transport::{read_frame, write_frame};
 use crate::net::wire::{Ctl, Hello};
 use std::cell::Cell;
@@ -51,6 +52,12 @@ pub(crate) const ENV_CHILD_ARGS: &str = "EPISIM_NET_CHILD_ARGS";
 pub(crate) const ENV_SHM_FD: &str = "EPISIM_NET_SHM_FD";
 /// `"shm"` (all links ride the rings) or `"mixed"` (worker↔worker only).
 pub(crate) const ENV_SHM_MODE: &str = "EPISIM_NET_SHM_MODE";
+/// Fault injection: phase at which this worker goes silent (comm and
+/// compute threads both sleep, sockets stay open — the SIGSTOP-equivalent
+/// the stalled-peer detector classifies).
+pub(crate) const ENV_STALL_PHASE: &str = "EPISIM_NET_STALL_PHASE";
+/// Duration of the injected stall, milliseconds.
+pub(crate) const ENV_STALL_MS: &str = "EPISIM_NET_STALL_MS";
 
 thread_local! {
     /// Net-runtime constructions seen on this driver thread. Thread-local
@@ -94,6 +101,8 @@ pub(crate) struct WorkerEnv {
     pub addr: String,
     pub target: u64,
     pub kill_phase: Option<u64>,
+    /// Fault injection: `(phase, ms)` at which this worker goes silent.
+    pub stall: Option<(u64, u64)>,
     /// Inherited shm region fd, when the root chose a shm transport.
     pub shm_fd: Option<i32>,
     /// Worker↔worker links only ride the rings (root links stay TCP).
@@ -112,6 +121,7 @@ pub(crate) fn worker_env() -> Option<WorkerEnv> {
         addr: std::env::var(ENV_ADDR).ok()?,
         target: parse(ENV_INVOCATION)?,
         kill_phase: parse(ENV_KILL_PHASE),
+        stall: parse(ENV_STALL_PHASE).zip(parse(ENV_STALL_MS)),
         shm_fd: parse(ENV_SHM_FD),
         shm_mixed: std::env::var(ENV_SHM_MODE).is_ok_and(|m| m == "mixed"),
     })
@@ -185,6 +195,8 @@ pub(crate) fn spawn_mesh_root(
             .env(ENV_ADDR, addr.to_string())
             .env(ENV_INVOCATION, invocation.to_string())
             .env_remove(ENV_KILL_PHASE)
+            .env_remove(ENV_STALL_PHASE)
+            .env_remove(ENV_STALL_MS)
             .env_remove(ENV_SHM_FD)
             .env_remove(ENV_SHM_MODE)
             .stdout(Stdio::null())
@@ -194,6 +206,14 @@ pub(crate) fn spawn_mesh_root(
         }
         if cfg.net.kill_rank == rank {
             cmd.env(ENV_KILL_PHASE, cfg.net.kill_phase.to_string());
+        } else if cfg.faults.proc_kill_rank == rank {
+            // Process-level fault plan: same kill mechanism, scheduled via
+            // the chaos knobs instead of the net-specific legacy pair.
+            cmd.env(ENV_KILL_PHASE, cfg.faults.proc_kill_phase.to_string());
+        }
+        if cfg.faults.proc_stall_rank == rank {
+            cmd.env(ENV_STALL_PHASE, cfg.faults.proc_stall_phase.to_string())
+                .env(ENV_STALL_MS, cfg.faults.proc_stall_ms.to_string());
         }
         children.push(cmd.spawn()?);
     }
@@ -373,32 +393,66 @@ pub(crate) fn connect_mesh_worker(
     Ok(sockets)
 }
 
+/// Deterministic seed for a retry schedule, derived from what we are
+/// retrying against (FNV-1a) so concurrent retry loops decorrelate.
+fn retry_seed(tag: &str) -> u64 {
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in tag.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
+/// Retry dialing `addr` until `deadline`, sleeping a jittered exponential
+/// backoff between attempts (2 ms base, 100 ms cap). A fixed short
+/// interval stampedes the root's accept queue when many workers start at
+/// once — exactly the reconnect storm the jitter exists to break up. On
+/// expiry the error reports how many attempts were made.
 fn connect_retry(addr: &str, deadline: Instant) -> io::Result<TcpStream> {
+    let mut backoff = Backoff::new(2, 100, retry_seed(addr));
+    let mut attempts = 0u32;
     loop {
         match TcpStream::connect(addr) {
             Ok(s) => return Ok(s),
             Err(e) => {
+                attempts += 1;
                 if Instant::now() > deadline {
                     return Err(io::Error::new(
                         io::ErrorKind::TimedOut,
-                        format!("connect to {addr} timed out (last error: {e})"),
+                        format!(
+                            "connect to {addr} timed out after {attempts} attempts (last error: {e})"
+                        ),
                     ));
                 }
-                std::thread::sleep(Duration::from_millis(2));
+                backoff.sleep(attempts - 1);
             }
         }
     }
 }
 
+/// Accept-side twin of [`connect_retry`]: jittered exponential poll of the
+/// nonblocking listener (1 ms base, 50 ms cap), attempt count surfaced on
+/// deadline expiry.
 fn accept_retry(listener: &TcpListener, deadline: Instant) -> io::Result<TcpStream> {
+    let seed = listener.local_addr().map(|a| a.port()).unwrap_or(0);
+    let mut backoff = Backoff::new(1, 50, u64::from(seed));
+    let mut attempts = 0u32;
     loop {
         match listener.accept() {
             Ok((sock, _)) => return Ok(sock),
             Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                attempts += 1;
                 if Instant::now() > deadline {
-                    return Err(timeout_err("waiting for peer connections"));
+                    return Err(io::Error::new(
+                        io::ErrorKind::TimedOut,
+                        format!(
+                            "net setup timed out: waiting for peer connections \
+                             ({attempts} accept attempts)"
+                        ),
+                    ));
                 }
-                std::thread::sleep(Duration::from_millis(1));
+                backoff.sleep(attempts - 1);
             }
             Err(e) => return Err(e),
         }
@@ -425,6 +479,30 @@ mod tests {
         // The test process is never spawned with the worker env.
         assert!(worker_target().is_none());
         assert!(worker_env().is_none());
+    }
+
+    #[test]
+    fn connect_retry_reports_attempts_on_expiry() {
+        // Nothing listens on port 1; loopback connects fail immediately,
+        // so the loop retries with backoff until the deadline.
+        let deadline = Instant::now() + Duration::from_millis(30);
+        let err = connect_retry("127.0.0.1:1", deadline).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        let msg = err.to_string();
+        assert!(msg.contains("attempts"), "attempt count missing: {msg}");
+    }
+
+    #[test]
+    fn accept_retry_reports_attempts_on_expiry() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        listener.set_nonblocking(true).unwrap();
+        let err = accept_retry(&listener, Instant::now() + Duration::from_millis(20)).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        let msg = err.to_string();
+        assert!(
+            msg.contains("accept attempts"),
+            "attempt count missing: {msg}"
+        );
     }
 
     #[test]

@@ -14,6 +14,8 @@
 //! - [`comm`] — the per-process comm thread and its shared state
 //! - [`launch`] — SPMD self-exec launcher, mesh wiring, shm inheritance
 //! - [`engine`] — [`NetEngine`], the phase loop itself
+//! - [`recovery`] — CRC-framed epoch snapshots, the on-disk epoch store,
+//!   and the jittered backoff shared by reconnects and respawns (§10)
 //!
 //! Two data-plane transports coexist (DESIGN.md §8): loopback TCP (always
 //! present; carries all control traffic and serves as the fallback) and
@@ -39,12 +41,14 @@
 pub mod comm;
 pub mod engine;
 pub mod launch;
+pub mod recovery;
 pub mod shm;
 pub mod transport;
 pub mod wire;
 
 pub use engine::{NetEngine, KILL_EXIT, TRANSPORT_EXIT};
 pub use launch::{align_to_invocation, worker_target};
+pub use recovery::{crc32, Backoff, EpochStore, PeerHealth, RecoveryError, RecoverySnapshot};
 
 /// A transport-layer failure: a peer disconnected, a frame failed to
 /// decode, or the socket mesh could not be established.

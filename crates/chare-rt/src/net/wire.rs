@@ -12,7 +12,9 @@ use bytes::{Buf, BufMut, Bytes, BytesMut};
 /// First field of HELLO: "EPNT" interpreted little-endian.
 pub const MAGIC: u32 = 0x544E_5045;
 /// Wire protocol version; a mismatch is a setup error, never negotiated.
-pub const VERSION: u32 = 1;
+/// v2: HEARTBEAT/HEARTBEAT_ACK liveness frames and four new [`PeStats`]
+/// fields (eager flush + recovery counters).
+pub const VERSION: u32 = 2;
 
 /// Frame kind bytes.
 pub mod kind {
@@ -40,6 +42,12 @@ pub mod kind {
     pub const PHASE_RESULT: u8 = 11;
     /// Root → workers: tear down and exit.
     pub const SHUTDOWN: u8 = 12;
+    /// Root → workers: liveness probe (piggybacks on the CD probe
+    /// cadence while a phase runs, fills the gaps between phases).
+    pub const HEARTBEAT: u8 = 13;
+    /// Worker → root: liveness echo, answered by the comm thread with no
+    /// compute round-trip, carrying the worker's view of its mesh links.
+    pub const HEARTBEAT_ACK: u8 = 14;
 }
 
 /// A worker's introduction to the root.
@@ -133,11 +141,28 @@ pub enum Ctl {
     },
     /// Tear down.
     Shutdown,
+    /// Liveness probe (root → worker).
+    Heartbeat {
+        /// Strictly increasing probe sequence number.
+        seq: u64,
+    },
+    /// Liveness echo (worker → root).
+    HeartbeatAck {
+        /// Replying worker's rank.
+        rank: u32,
+        /// Echo of the probe's sequence number.
+        seq: u64,
+        /// Bitmask of worker ranks whose *mesh* link this worker's comm
+        /// thread has marked dead (bit `r` set = link to rank `r` down).
+        /// Nonzero while the root's own link to those ranks is healthy
+        /// means the mesh is partitioned, not crashed.
+        mesh_dead: u32,
+    },
 }
 
 /// Number of `u64` fields in [`PeStats`] — the codec writes them all in
 /// declaration order, so this constant pins the layout.
-const PE_STATS_FIELDS: usize = 23;
+const PE_STATS_FIELDS: usize = 27;
 
 fn put_pe_stats(out: &mut BytesMut, s: &PeStats) {
     let fields = [
@@ -164,6 +189,10 @@ fn put_pe_stats(out: &mut BytesMut, s: &PeStats) {
         s.shm_frames_sent,
         s.shm_parks,
         s.agg_batch,
+        s.wire_flush_eager,
+        s.wire_msgs_eager,
+        s.recovery_checkpoints,
+        s.recovery_restores,
     ];
     debug_assert_eq!(fields.len(), PE_STATS_FIELDS);
     for f in fields {
@@ -199,6 +228,10 @@ fn get_pe_stats(buf: &mut &[u8]) -> Option<PeStats> {
         shm_frames_sent: buf.get_u64_le(),
         shm_parks: buf.get_u64_le(),
         agg_batch: buf.get_u64_le(),
+        wire_flush_eager: buf.get_u64_le(),
+        wire_msgs_eager: buf.get_u64_le(),
+        recovery_checkpoints: buf.get_u64_le(),
+        recovery_restores: buf.get_u64_le(),
     })
 }
 
@@ -307,6 +340,20 @@ impl Ctl {
                 kind::PHASE_RESULT
             }
             Ctl::Shutdown => kind::SHUTDOWN,
+            Ctl::Heartbeat { seq } => {
+                out.put_u64_le(*seq);
+                kind::HEARTBEAT
+            }
+            Ctl::HeartbeatAck {
+                rank,
+                seq,
+                mesh_dead,
+            } => {
+                out.put_u32_le(*rank);
+                out.put_u64_le(*seq);
+                out.put_u32_le(*mesh_dead);
+                kind::HEARTBEAT_ACK
+            }
         };
         (kind, out.freeze())
     }
@@ -436,6 +483,24 @@ impl Ctl {
                 Ctl::PhaseResult { reductions, per_pe }
             }
             kind::SHUTDOWN => Ctl::Shutdown,
+            kind::HEARTBEAT => {
+                if !need(&buf, 8) {
+                    return None;
+                }
+                Ctl::Heartbeat {
+                    seq: buf.get_u64_le(),
+                }
+            }
+            kind::HEARTBEAT_ACK => {
+                if !need(&buf, 16) {
+                    return None;
+                }
+                Ctl::HeartbeatAck {
+                    rank: buf.get_u32_le(),
+                    seq: buf.get_u64_le(),
+                    mesh_dead: buf.get_u32_le(),
+                }
+            }
             _ => return None,
         };
         if buf.remaining() != 0 {
@@ -586,6 +651,27 @@ mod tests {
             per_pe: vec![st, PeStats::default(), st],
         });
         roundtrip(Ctl::Shutdown);
+        roundtrip(Ctl::Heartbeat { seq: 17 });
+        roundtrip(Ctl::HeartbeatAck {
+            rank: 3,
+            seq: 17,
+            mesh_dead: 0b0110,
+        });
+    }
+
+    #[test]
+    fn heartbeat_truncation_rejected() {
+        let (kind, payload) = Ctl::HeartbeatAck {
+            rank: 1,
+            seq: 9,
+            mesh_dead: 0,
+        }
+        .encode();
+        for cut in 0..payload.len() {
+            assert!(Ctl::decode(kind, &payload[..cut]).is_none(), "cut {cut}");
+        }
+        let (kind, payload) = Ctl::Heartbeat { seq: 1 }.encode();
+        assert!(Ctl::decode(kind, &payload[..7]).is_none());
     }
 
     #[test]

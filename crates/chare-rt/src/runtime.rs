@@ -101,6 +101,44 @@ impl<M: Message> Runtime<M> {
         }
     }
 
+    /// Net engine: this process's rank (0 for the root and standalone
+    /// runs). 0 for every other engine.
+    pub fn net_rank(&self) -> u32 {
+        match &self.engine {
+            Engine::Net(e) => e.net_rank(),
+            _ => 0,
+        }
+    }
+
+    /// Serialize every locally-owned chare that opts into checkpointing
+    /// ([`Chare::snapshot`] returning `Some`), as `(chare id, bytes)`
+    /// pairs. Only meaningful between phases, when no messages are in
+    /// flight. Supported on the net and sequential engines (the ones the
+    /// resilient driver runs on); empty elsewhere.
+    pub fn snapshot_local(&self) -> Vec<(u32, Vec<u8>)> {
+        match &self.engine {
+            Engine::Net(e) => e.snapshot_chares(),
+            Engine::Seq(e) => e.snapshot_chares(),
+            _ => Vec::new(),
+        }
+    }
+
+    /// Net engine: record that a recovery snapshot was committed (feeds
+    /// the `recovery_checkpoints` stat). No-op elsewhere.
+    pub fn note_checkpoint(&mut self) {
+        if let Engine::Net(e) = &mut self.engine {
+            e.note_checkpoint();
+        }
+    }
+
+    /// Net engine: record that state was rebuilt from a committed epoch
+    /// (feeds the `recovery_restores` stat). No-op elsewhere.
+    pub fn note_restore(&mut self) {
+        if let Engine::Net(e) = &mut self.engine {
+            e.note_restore();
+        }
+    }
+
     /// Tear down and return all chares (sorted by id).
     pub fn into_chares(self) -> Vec<(ChareId, Box<dyn Chare<M>>)> {
         match self.engine {

@@ -229,6 +229,20 @@ impl<M: Message> SeqEngine<M> {
         self.chares.get(id.0 as usize).and_then(|c| c.as_deref())
     }
 
+    /// Serialize every chare that opts into checkpointing
+    /// ([`Chare::snapshot`] returning `Some`), as `(chare id, bytes)`
+    /// pairs. Only meaningful between phases.
+    pub fn snapshot_chares(&self) -> Vec<(u32, Vec<u8>)> {
+        self.chares
+            .iter()
+            .enumerate()
+            .filter_map(|(i, c)| {
+                c.as_ref()
+                    .and_then(|c| c.snapshot().map(|bytes| (i as u32, bytes)))
+            })
+            .collect()
+    }
+
     /// Number of PEs.
     pub fn n_pes(&self) -> u32 {
         self.cfg.n_pes

@@ -108,6 +108,20 @@ pub struct PeStats {
     /// (net engine; equals the static `max_batch` when adaptation is off).
     /// Merged across PEs as a max, not a sum.
     pub agg_batch: u64,
+    /// Cross-process batches flushed eagerly because the adaptive batch
+    /// controller converged to its minimum size — the latency-bound
+    /// regime, where waiting for a batch to fill costs more than a flush
+    /// (net engine, adaptive aggregation only).
+    pub wire_flush_eager: u64,
+    /// Envelopes carried by eager flushes (net engine only).
+    pub wire_msgs_eager: u64,
+    /// Recovery snapshots this process has committed to the epoch store so
+    /// far in the run (cumulative level, attributed to the process's first
+    /// PE at end of phase; net engine + resilient driver only).
+    pub recovery_checkpoints: u64,
+    /// Times this process's state was rebuilt from a committed epoch after
+    /// a failure (cumulative level, same attribution).
+    pub recovery_restores: u64,
 }
 
 impl PeStats {
@@ -140,6 +154,10 @@ impl PeStats {
         self.wire_coalesced_flushes += o.wire_coalesced_flushes;
         self.shm_frames_sent += o.shm_frames_sent;
         self.shm_parks += o.shm_parks;
+        self.wire_flush_eager += o.wire_flush_eager;
+        self.wire_msgs_eager += o.wire_msgs_eager;
+        self.recovery_checkpoints += o.recovery_checkpoints;
+        self.recovery_restores += o.recovery_restores;
         // A batch size is a level, not a flow: the aggregate view reports
         // the largest batch any PE converged to.
         self.agg_batch = self.agg_batch.max(o.agg_batch);

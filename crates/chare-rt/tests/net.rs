@@ -8,8 +8,8 @@
 
 use bytes::{Buf, BufMut, BytesMut};
 use chare_rt::{
-    Chare, ChareId, Ctx, Message, NetTransport, Runtime, RuntimeConfig, TransportError, KILL_EXIT,
-    TRANSPORT_EXIT,
+    Chare, ChareId, Ctx, FaultPlan, Message, NetTransport, Runtime, RuntimeConfig, TransportError,
+    KILL_EXIT, TRANSPORT_EXIT,
 };
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -372,6 +372,133 @@ fn net_killed_worker_exit_codes_forced_shm() {
             assert_eq!(*code, Some(TRANSPORT_EXIT));
         }
     }
+}
+
+/// A stalled worker (process alive, threads descheduled — the
+/// SIGSTOP-equivalent) produces no socket EOF, so only the heartbeat
+/// detector can catch it, and the abort must *name* the classification:
+/// "stalled", not a generic disconnect.
+#[test]
+fn net_stalled_worker_classified_by_heartbeat() {
+    let mut cfg = RuntimeConfig::net(4, 2);
+    cfg.net.heartbeat_interval_ms = 50;
+    cfg.net.heartbeat_timeout_ms = 500;
+    cfg.faults = FaultPlan::proc_stall(7, 1, 2, 3_000);
+    let mut rt = build(cfg);
+    rt.run_phase(vec![(
+        ChareId(0),
+        Hop {
+            remaining: 20,
+            payload: 1,
+        },
+    )]);
+    // Phase 2: rank 1 goes silent for 3s with its sockets open; the
+    // detector must declare it stalled within the 500ms timeout.
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.run_phase(vec![(
+            ChareId(0),
+            Hop {
+                remaining: 20,
+                payload: 1,
+            },
+        )])
+    }))
+    .expect_err("a stalled worker must not look like success");
+    let te = err
+        .downcast_ref::<TransportError>()
+        .expect("panic payload must be a typed TransportError");
+    assert!(
+        te.0.contains("stalled"),
+        "detector must classify the silence as a stall, got: {te}"
+    );
+}
+
+/// Count live-or-zombie children of this process whose state is `Z`
+/// (exited but not waited on) by scanning `/proc`.
+fn zombie_children() -> usize {
+    let me = std::process::id();
+    std::fs::read_dir("/proc")
+        .into_iter()
+        .flatten()
+        .flatten()
+        .filter(|e| {
+            let Ok(name) = e.file_name().into_string() else {
+                return false;
+            };
+            if name.parse::<u32>().is_err() {
+                return false;
+            }
+            let Ok(stat) = std::fs::read_to_string(e.path().join("stat")) else {
+                return false;
+            };
+            // Layout: `pid (comm) state ppid ...` — comm may hold spaces,
+            // so split from the closing paren.
+            let Some(rest) = stat.rsplit(')').next() else {
+                return false;
+            };
+            let mut fields = rest.split_whitespace();
+            let state = fields.next();
+            let ppid = fields.next().and_then(|p| p.parse::<u32>().ok());
+            state == Some("Z") && ppid == Some(me)
+        })
+        .count()
+}
+
+/// After a mid-run worker kill, tearing the runtime down must `wait()`
+/// every child: no zombie processes may outlive the reap. One runtime
+/// per test — a worker replays earlier net constructions standalone,
+/// where the kill never fires, so a multi-runtime kill test would panic
+/// in the worker. (Other tests in this binary run concurrently and may
+/// have momentarily-unreaped children, so only a *persistent* zombie
+/// fails.)
+fn assert_no_zombies_after_kill(transport: NetTransport) {
+    let mut cfg = RuntimeConfig::net(4, 4);
+    cfg.net.transport = transport;
+    cfg.net.kill_rank = 2;
+    cfg.net.kill_phase = 2;
+    let mut rt = build(cfg);
+    rt.run_phase(vec![(
+        ChareId(0),
+        Hop {
+            remaining: 20,
+            payload: 1,
+        },
+    )]);
+    let err = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        rt.run_phase(vec![(
+            ChareId(0),
+            Hop {
+                remaining: 20,
+                payload: 1,
+            },
+        )])
+    }))
+    .expect_err("losing a worker must not look like success");
+    assert!(err.downcast_ref::<TransportError>().is_some());
+    let exits = rt.reap_workers();
+    assert_eq!(exits.len(), 3, "all three workers must be accounted for");
+    let mut zombies = zombie_children();
+    for _ in 0..40 {
+        if zombies == 0 {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        zombies = zombie_children();
+    }
+    assert_eq!(
+        zombies, 0,
+        "reap must leave no zombie children ({transport:?} plane)"
+    );
+}
+
+#[test]
+fn net_reap_leaves_no_zombies_after_worker_kill_tcp() {
+    assert_no_zombies_after_kill(NetTransport::Tcp);
+}
+
+#[test]
+fn net_reap_leaves_no_zombies_after_worker_kill_shm() {
+    assert_no_zombies_after_kill(NetTransport::Shm);
 }
 
 /// Regression test for the batch-sweep dead zone: when a burst of remote

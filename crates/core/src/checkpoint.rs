@@ -17,17 +17,26 @@
 //!                   sus_scale f32, infected_on u32, infected_by u32) × n
 //!          (u32::MAX encodes "none"; pending infections are always empty
 //!           at day boundaries and are not stored)
+//! crc32 u32 over every preceding byte (v2; torn-write detection)
 //! ```
+//!
+//! [`Checkpoint::save`] is torn-write-safe: it writes to a temp file in
+//! the target directory, fsyncs, and atomically renames — a crash during
+//! save leaves either the old file or the new one, never a hybrid, and a
+//! partial temp file can never be mistaken for a checkpoint because the
+//! CRC trailer will not validate.
 
 use crate::person::PersonSlot;
 use crate::simulator::Carry;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
+use chare_rt::crc32;
 use ptts::intervention::{InterventionSet, InterventionSnapshot};
 use ptts::model::{HealthTracker, StateId, TreatmentId};
 use std::fmt;
+use std::io::Write;
 
 const MAGIC: &[u8; 4] = b"EPCK";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 
 /// A captured simulation state.
 #[derive(Debug, Clone, PartialEq)]
@@ -57,6 +66,13 @@ pub enum CheckpointError {
     BadVersion(u32),
     /// Buffer ended early.
     Truncated,
+    /// CRC trailer mismatch: the body was corrupted (bit rot, torn write).
+    BadCrc {
+        /// CRC stored in the trailer.
+        stored: u32,
+        /// CRC computed over the body.
+        computed: u32,
+    },
 }
 
 impl fmt::Display for CheckpointError {
@@ -65,6 +81,10 @@ impl fmt::Display for CheckpointError {
             CheckpointError::BadMagic => write!(f, "not an EPCK checkpoint"),
             CheckpointError::BadVersion(v) => write!(f, "unsupported checkpoint version {v}"),
             CheckpointError::Truncated => write!(f, "checkpoint truncated"),
+            CheckpointError::BadCrc { stored, computed } => write!(
+                f,
+                "checkpoint CRC mismatch (stored {stored:#010x}, computed {computed:#010x})"
+            ),
         }
     }
 }
@@ -132,11 +152,16 @@ impl Checkpoint {
             buf.put_u32_le(s.infected_on.unwrap_or(u32::MAX));
             buf.put_u32_le(s.infected_by.unwrap_or(u32::MAX));
         }
+        let crc = crc32(buf.as_slice());
+        buf.put_u32_le(crc);
         buf.freeze()
     }
 
-    /// Deserialize.
-    pub fn decode(mut buf: &[u8]) -> Result<Checkpoint, CheckpointError> {
+    /// Deserialize, verifying the structure and the CRC trailer. Header
+    /// corruption is reported as `BadMagic`/`BadVersion`, short buffers as
+    /// `Truncated`, and any surviving body corruption as `BadCrc`.
+    pub fn decode(data: &[u8]) -> Result<Checkpoint, CheckpointError> {
+        let mut buf = data;
         let need = |buf: &&[u8], n: usize| -> Result<(), CheckpointError> {
             if buf.remaining() < n {
                 Err(CheckpointError::Truncated)
@@ -192,6 +217,13 @@ impl Checkpoint {
                 infected_by: (infected_by != u32::MAX).then_some(infected_by),
             });
         }
+        need(&buf, 4)?;
+        let stored = buf.get_u32_le();
+        let body_len = data.len() - buf.remaining() - 4;
+        let computed = crc32(&data[..body_len]);
+        if stored != computed {
+            return Err(CheckpointError::BadCrc { stored, computed });
+        }
         Ok(Checkpoint {
             next_day,
             seeds,
@@ -203,9 +235,24 @@ impl Checkpoint {
         })
     }
 
-    /// Write to a file.
+    /// Write to a file, torn-write-safe: temp file in the same directory,
+    /// fsync, atomic rename, then best-effort directory fsync so the
+    /// rename itself is durable.
     pub fn save(&self, path: &std::path::Path) -> std::io::Result<()> {
-        std::fs::write(path, self.encode())
+        let dir = path.parent().filter(|d| !d.as_os_str().is_empty());
+        let tmp = path.with_extension("epck.tmp");
+        {
+            let mut f = std::fs::File::create(&tmp)?;
+            f.write_all(&self.encode())?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, path)?;
+        if let Some(dir) = dir {
+            if let Ok(d) = std::fs::File::open(dir) {
+                let _ = d.sync_all();
+            }
+        }
+        Ok(())
     }
 
     /// Read from a file.
@@ -213,6 +260,70 @@ impl Checkpoint {
         let data = std::fs::read(path)?;
         Self::decode(&data).map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))
     }
+}
+
+/// Serialize a *subset* of persons with explicit ids — the per-chare blob
+/// of a recovery shard ([`chare_rt::RecoverySnapshot`]). Unlike the full
+/// [`Checkpoint`] person table, which stores persons densely by id, a
+/// shard holds only the persons a PersonManager owns, so each record
+/// carries its global person id. Pending infections are always empty at
+/// the day-boundary barrier and are not stored.
+///
+/// Layout: `n u32 + (id u32, state u16, days_remaining u32, treatment u16,
+/// sus_scale f32, infected_on u32, infected_by u32) × n`. Integrity is the
+/// enclosing snapshot frame's CRC, not repeated here.
+pub fn encode_person_shard(slots: &[PersonSlot]) -> Bytes {
+    debug_assert!(
+        slots.iter().all(|s| s.pending.is_none()),
+        "pending infections must be applied before snapshotting"
+    );
+    let mut buf = BytesMut::with_capacity(4 + slots.len() * 24);
+    buf.put_u32_le(slots.len() as u32);
+    for s in slots {
+        buf.put_u32_le(s.id);
+        buf.put_u16_le(s.health.state.0);
+        buf.put_u32_le(s.health.days_remaining);
+        buf.put_u16_le(s.health.treatment.0);
+        buf.put_f32_le(s.sus_scale);
+        buf.put_u32_le(s.infected_on.unwrap_or(u32::MAX));
+        buf.put_u32_le(s.infected_by.unwrap_or(u32::MAX));
+    }
+    buf.freeze()
+}
+
+/// Inverse of [`encode_person_shard`].
+pub fn decode_person_shard(data: &[u8]) -> Result<Vec<PersonSlot>, CheckpointError> {
+    let mut buf = data;
+    if buf.remaining() < 4 {
+        return Err(CheckpointError::Truncated);
+    }
+    let n = buf.get_u32_le() as usize;
+    if buf.remaining() < n * 24 {
+        return Err(CheckpointError::Truncated);
+    }
+    let mut slots = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = buf.get_u32_le();
+        let state = StateId(buf.get_u16_le());
+        let days_remaining = buf.get_u32_le();
+        let treatment = TreatmentId(buf.get_u16_le());
+        let sus_scale = buf.get_f32_le();
+        let infected_on = buf.get_u32_le();
+        let infected_by = buf.get_u32_le();
+        slots.push(PersonSlot {
+            id,
+            health: HealthTracker {
+                state,
+                days_remaining,
+                treatment,
+            },
+            sus_scale,
+            pending: None,
+            infected_on: (infected_on != u32::MAX).then_some(infected_on),
+            infected_by: (infected_by != u32::MAX).then_some(infected_by),
+        });
+    }
+    Ok(slots)
 }
 
 #[cfg(test)]
@@ -420,5 +531,108 @@ mod tests {
             Checkpoint::decode(&bad_version),
             Err(CheckpointError::BadVersion(77))
         ));
+    }
+
+    /// The torn-write satellite: a byte-chopped checkpoint file (a crash
+    /// mid-write) must load as a typed error, never decode to a plausible
+    /// but wrong state, and a body bit-flip must be caught by the CRC.
+    #[test]
+    fn chopped_or_flipped_file_is_rejected() {
+        let pop = pop();
+        let dist = DataDistribution::build(&pop, Strategy::RoundRobin, 2, 55);
+        let mut carry = Carry::new(cfg().interventions.clone(), 8);
+        let mut sim = Simulator::new(&dist, flu_model(), cfg(), RuntimeConfig::sequential(2));
+        sim.run_days(0, 3, &mut carry);
+        let (states, _) = sim.dismantle();
+        let ckpt = capture(3, 8, &carry, states);
+        let dir = std::env::temp_dir().join(format!("episim-ckpt-chop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.epck");
+        ckpt.save(&path).unwrap();
+        let full = std::fs::read(&path).unwrap();
+
+        // Chop the file as a torn write would, at several depths.
+        for frac in [1usize, 3, 9, 10] {
+            let cut = full.len() * frac / 10;
+            std::fs::write(&path, &full[..cut.min(full.len() - 1)]).unwrap();
+            let err = Checkpoint::load(&path).expect_err("chopped file loaded");
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidData, "cut {cut}");
+        }
+
+        // A single body bit-flip past the header is a CRC failure.
+        let mut flipped = full.clone();
+        let mid = 8 + (full.len() - 12) / 2;
+        flipped[mid] ^= 0x10;
+        std::fs::write(&path, &flipped).unwrap();
+        assert!(Checkpoint::load(&path).is_err(), "bit-flipped file loaded");
+        assert!(matches!(
+            Checkpoint::decode(&flipped),
+            Err(CheckpointError::BadCrc { .. }) | Err(CheckpointError::Truncated)
+        ));
+
+        // And the pristine file still loads after all that.
+        std::fs::write(&path, &full).unwrap();
+        assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Atomic save: the temp file never lingers, and saving over an
+    /// existing checkpoint replaces it in one step.
+    #[test]
+    fn save_is_atomic_and_cleans_temp() {
+        let pop = pop();
+        let dist = DataDistribution::build(&pop, Strategy::RoundRobin, 2, 55);
+        let mut carry = Carry::new(cfg().interventions.clone(), 8);
+        let mut sim = Simulator::new(&dist, flu_model(), cfg(), RuntimeConfig::sequential(2));
+        sim.run_days(0, 2, &mut carry);
+        let (states, _) = sim.dismantle();
+        let ckpt = capture(2, 8, &carry, states);
+        let dir = std::env::temp_dir().join(format!("episim-ckpt-atomic-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("run.epck");
+        ckpt.save(&path).unwrap();
+        ckpt.save(&path).unwrap(); // overwrite path
+        assert!(!path.with_extension("epck.tmp").exists(), "temp lingered");
+        assert_eq!(Checkpoint::load(&path).unwrap(), ckpt);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn person_shard_roundtrip_with_explicit_ids() {
+        let slots = vec![
+            PersonSlot {
+                id: 17,
+                health: HealthTracker {
+                    state: StateId(2),
+                    days_remaining: 3,
+                    treatment: TreatmentId(1),
+                },
+                sus_scale: 0.75,
+                pending: None,
+                infected_on: Some(4),
+                infected_by: None,
+            },
+            PersonSlot {
+                id: 1031,
+                health: HealthTracker {
+                    state: StateId(0),
+                    days_remaining: 0,
+                    treatment: TreatmentId(0),
+                },
+                sus_scale: 1.0,
+                pending: None,
+                infected_on: None,
+                infected_by: Some(17),
+            },
+        ];
+        let data = encode_person_shard(&slots);
+        assert_eq!(decode_person_shard(&data).unwrap(), slots);
+        for cut in [0usize, 3, 10, data.len() - 1] {
+            assert_eq!(
+                decode_person_shard(&data[..cut]).err(),
+                Some(CheckpointError::Truncated),
+                "cut {cut}"
+            );
+        }
     }
 }

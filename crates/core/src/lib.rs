@@ -56,6 +56,7 @@ pub mod messages;
 pub mod output;
 pub mod person;
 pub mod rebalance;
+pub mod resilient;
 pub mod seq;
 pub mod simulator;
 pub mod splitloc;
@@ -66,6 +67,7 @@ pub use distribution::{DataDistribution, Strategy};
 pub use engine::{pe_for_partition, EngineChoice};
 pub use output::{DayStats, EpiCurve};
 pub use rebalance::{run_with_rebalancing, RebalanceConfig, RebalanceRun};
+pub use resilient::{run_resilient, RecoveryConfig, ResilientRun};
 pub use simulator::{SimConfig, Simulator};
 pub use splitloc::{split_heavy_locations, SplitConfig, SplitResult};
 pub use tree::{transmission_stats, TransmissionStats};

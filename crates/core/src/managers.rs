@@ -125,6 +125,14 @@ impl Chare<SimMsg> for PersonManager {
         }
     }
 
+    fn snapshot(&self) -> Option<Vec<u8>> {
+        // Person state is the only chare state that cannot be rebuilt from
+        // deterministic construction; LocationManagers keep the default
+        // `None` (visit buffers are empty at day boundaries and feature
+        // totals are analysis-only).
+        Some(crate::checkpoint::encode_person_shard(&self.persons).to_vec())
+    }
+
     fn into_any(self: Box<Self>) -> Box<dyn std::any::Any> {
         self
     }

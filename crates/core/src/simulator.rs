@@ -305,6 +305,29 @@ impl Simulator {
         (days, perf, extinct)
     }
 
+    /// SPMD rank of the underlying runtime (0 outside `ExecMode::Net`).
+    pub fn net_rank(&self) -> u32 {
+        self.runtime.net_rank()
+    }
+
+    /// Snapshot every locally-hosted chare that carries persistent state
+    /// (see [`chare_rt::Chare::snapshot`]) as `(chare id, blob)` pairs.
+    /// At a day boundary the runtime is quiescent, so the blobs form this
+    /// rank's shard of a consistent global checkpoint.
+    pub fn snapshot_chares(&self) -> Vec<(u32, Vec<u8>)> {
+        self.runtime.snapshot_local()
+    }
+
+    /// Count a committed recovery checkpoint in the runtime stats.
+    pub fn note_checkpoint(&mut self) {
+        self.runtime.note_checkpoint();
+    }
+
+    /// Count a rollback restore in the runtime stats.
+    pub fn note_restore(&mut self) {
+        self.runtime.note_restore();
+    }
+
     /// Tear down, reclaiming per-person states (indexed by person id) and
     /// each location's accumulated dynamic features (indexed by global
     /// location id).

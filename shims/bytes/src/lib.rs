@@ -131,6 +131,18 @@ impl BytesMut {
     pub fn is_empty(&self) -> bool {
         self.data.is_empty()
     }
+
+    /// Read access to the written bytes (trailing-checksum codecs hash
+    /// the body before appending the trailer).
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
 }
 
 impl BufMut for BytesMut {
