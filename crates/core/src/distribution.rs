@@ -5,6 +5,7 @@ use crate::splitloc::{split_heavy_locations, SplitConfig};
 use crate::workload::{build_workload_graph, WorkloadLayout};
 use graph_part::{kway_partition, round_robin, PartitionConfig, PartitionQuality};
 use load_model::{LoadUnits, PiecewiseModel};
+use std::sync::Arc;
 use synthpop::Population;
 
 /// Distribution strategy.
@@ -67,7 +68,11 @@ pub struct DataDistribution {
     /// Number of partitions.
     pub k: u32,
     /// The population objects are drawn from (split if the strategy splits).
-    pub pop: Population,
+    ///
+    /// Held behind an `Arc` so simulators and ensemble members share one
+    /// immutable copy — cloning a distribution (or building many worlds from
+    /// it) never deep-copies the synthetic population.
+    pub pop: Arc<Population>,
     /// Partition per person.
     pub person_part: Vec<u32>,
     /// Partition per location.
@@ -110,9 +115,9 @@ impl DataDistribution {
     ) -> DataDistribution {
         let (pop, orig_of_location) = if strategy.splits() {
             let res = split_heavy_locations(pop, split_cfg);
-            (res.pop, res.orig_of_location)
+            (Arc::new(res.pop), res.orig_of_location)
         } else {
-            (pop.clone(), (0..pop.n_locations()).collect())
+            (Arc::new(pop.clone()), (0..pop.n_locations()).collect())
         };
 
         let (person_part, location_part, quality) = if strategy.partitions() {

@@ -1,18 +1,367 @@
-//! Ensemble runs: the same scenario under many seeds, with quantile bands.
+//! The copy-on-write ensemble engine: whole-run parallelism over one
+//! immutable world.
 //!
 //! A single stochastic trajectory is an anecdote; course-of-action studies
 //! of the kind EpiSimdemics supported during H1N1 report medians and
-//! uncertainty bands over replicates. Replicates are embarrassingly
-//! parallel and fully deterministic per seed, so the runner fans them out
-//! over OS threads and the result is independent of the thread count.
+//! uncertainty bands over thousands of replicates and parameter points.
+//! Those members are embarrassingly parallel, so the scalable axis is
+//! *whole runs*, not PEs within a run:
+//!
+//! * [`CowWorld`] — synthpop, disease model, and the §II-C layout maps are
+//!   computed once and shared immutably (`Arc`) by every member. Building a
+//!   member aliases three pointers; nothing is deep-copied.
+//! * [`MemberArena`] — all per-run mutable state (person slots, visit
+//!   buffers, DES scratch) packed into one reusable arena. A worker runs
+//!   its members back-to-back out of the same arena, so steady-state
+//!   ensemble throughput allocates almost nothing per run.
+//! * [`run_sweep`] — an ensemble scheduler that fans whole runs across a
+//!   worker pool (atomic work counter; workers race, results don't:
+//!   placement into the [`ResultStore`] is by `(param point, seed)` index,
+//!   and each member's epidemic is keyed only by its own seed, so worker
+//!   count and interleaving can never change a bit of output).
+//! * [`EnsembleSpec`] — the sweep front-end: parameter grids over
+//!   transmissibility and intervention variants, driven either
+//!   programmatically or from the ptts DSL's `sweep` directive.
+//! * [`surrogate`] — a FastSIR-style percolation screen that ranks
+//!   parameter points on a static contact graph before promoting survivors
+//!   to full EpiSimdemics runs.
+//!
+//! Whole-run parallelism versus intra-run `ExecMode::Threads` is a measured
+//! crossover, not an assumption: `BENCH_ensemble.json` (emitted by the
+//! `ensemble` bench) reports both, per worker count.
 
 use crate::distribution::DataDistribution;
-use crate::output::EpiCurve;
-use crate::seq::run_sequential;
+use crate::kernel::KernelScratch;
+use crate::messages::{InfectMsg, VisitMsg, WorldLayout};
+use crate::output::{curve_hash, EpiCurve};
+use crate::person::PersonSlot;
+use crate::seq::run_sequential_into;
 use crate::simulator::SimConfig;
+use ptts::intervention::InterventionSet;
 use ptts::Ptts;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use synthpop::Population;
 
-/// Summary of one day across the ensemble.
+/// The immutable world every ensemble member aliases: population, disease
+/// model, and the object→chare layout, each behind its own `Arc`.
+///
+/// Cloning a `CowWorld` (or building a [`crate::Simulator`] from one via
+/// [`crate::Simulator::from_world`]) bumps three reference counts and copies
+/// nothing — the aliasing tests pin this with `Arc::strong_count`.
+#[derive(Debug, Clone)]
+pub struct CowWorld {
+    /// The (possibly split) population.
+    pub pop: Arc<Population>,
+    /// The disease model.
+    pub ptts: Arc<Ptts>,
+    /// The §II-C index maps.
+    pub layout: Arc<WorldLayout>,
+}
+
+impl CowWorld {
+    /// Build the world once from a distribution; everything downstream
+    /// shares it.
+    pub fn build(dist: &DataDistribution, ptts: Ptts) -> CowWorld {
+        CowWorld {
+            pop: dist.pop.clone(),
+            ptts: Arc::new(ptts),
+            layout: Arc::new(WorldLayout::build(dist)),
+        }
+    }
+}
+
+/// All mutable state of one ensemble member, packed together so a worker
+/// can reuse it across runs: person slots, the per-location visit buffers,
+/// the day's infect list, and the DES kernel scratch.
+///
+/// [`crate::seq::run_sequential_into`] resets the arena at the start of
+/// every run, so results are bit-identical whether an arena is fresh or has
+/// already hosted a thousand members — only the allocations are amortised.
+#[derive(Debug, Default)]
+pub struct MemberArena {
+    /// Per-person disease state.
+    pub(crate) slots: Vec<PersonSlot>,
+    /// Per-location visit buffers for the current day.
+    pub(crate) buffers: Vec<Vec<VisitMsg>>,
+    /// One person's visits being routed (cleared per person).
+    pub(crate) visit_buf: Vec<VisitMsg>,
+    /// The day's infect messages.
+    pub(crate) infects: Vec<InfectMsg>,
+    /// DES kernel working memory.
+    pub(crate) scratch: KernelScratch,
+}
+
+impl MemberArena {
+    /// An empty arena; first use sizes it to the world.
+    pub fn new() -> MemberArena {
+        MemberArena::default()
+    }
+
+    /// Reset to the initial state for a fresh run over `n_people` persons
+    /// and `n_locations` locations, reusing capacity.
+    pub(crate) fn reset(&mut self, n_people: usize, n_locations: usize, ptts: &Ptts) {
+        self.slots.clear();
+        self.slots
+            .extend((0..n_people).map(|p| PersonSlot::new(p as u32, ptts)));
+        if self.buffers.len() < n_locations {
+            self.buffers.resize_with(n_locations, Vec::new);
+        }
+        for b in &mut self.buffers {
+            b.clear();
+        }
+        self.visit_buf.clear();
+        self.infects.clear();
+    }
+
+    /// The person states left by the most recent run (the transmission tree
+    /// lives in their provenance fields).
+    pub fn person_states(&self) -> &[PersonSlot] {
+        &self.slots
+    }
+
+    /// Take the person states out of the arena.
+    pub fn into_person_states(self) -> Vec<PersonSlot> {
+        self.slots
+    }
+}
+
+/// One point of a parameter sweep: a transmissibility and an intervention
+/// package. Everything else comes from the spec's base [`SimConfig`].
+#[derive(Debug, Clone)]
+pub struct ParamPoint {
+    /// Display label (grid coordinates, for reports).
+    pub label: String,
+    /// Base transmissibility per minute of contact.
+    pub r: f64,
+    /// Interventions in force at this point.
+    pub interventions: InterventionSet,
+}
+
+impl ParamPoint {
+    /// A point varying only transmissibility.
+    pub fn bare(r: f64) -> ParamPoint {
+        ParamPoint {
+            label: format!("r={r}"),
+            r,
+            interventions: InterventionSet::none(),
+        }
+    }
+
+    /// The full-run configuration for this point under `seed`.
+    pub fn config(&self, base: &SimConfig, seed: u64) -> SimConfig {
+        SimConfig {
+            r: self.r,
+            seed,
+            interventions: self.interventions.clone(),
+            ..base.clone()
+        }
+    }
+}
+
+/// A full ensemble specification: the member set is the cross product
+/// `points × seeds`, enumerated point-major.
+#[derive(Debug, Clone)]
+pub struct EnsembleSpec {
+    /// Parameters shared by every member (days, initial infections, …).
+    pub base: SimConfig,
+    /// The parameter grid.
+    pub points: Vec<ParamPoint>,
+    /// Replicate seeds, applied to every point.
+    pub seeds: Vec<u64>,
+}
+
+impl EnsembleSpec {
+    /// Plain replicates of one scenario: a single point taken verbatim from
+    /// `base` (its `r` and interventions), seeds `base.seed + i`.
+    pub fn replicates(base: &SimConfig, n: u32) -> EnsembleSpec {
+        let point = ParamPoint {
+            label: format!("r={}", base.r),
+            r: base.r,
+            interventions: base.interventions.clone(),
+        };
+        EnsembleSpec {
+            base: base.clone(),
+            points: vec![point],
+            seeds: (0..n).map(|i| base.seed.wrapping_add(i as u64)).collect(),
+        }
+    }
+
+    /// A transmissibility grid with `n_seeds` replicates per point.
+    pub fn grid(base: &SimConfig, rs: &[f64], n_seeds: u32) -> EnsembleSpec {
+        EnsembleSpec {
+            base: base.clone(),
+            points: rs.iter().map(|&r| ParamPoint::bare(r)).collect(),
+            seeds: (0..n_seeds)
+                .map(|i| base.seed.wrapping_add(i as u64))
+                .collect(),
+        }
+    }
+
+    /// The cross product of transmissibilities and intervention variants
+    /// (`variants` are `(label, interventions)` pairs).
+    pub fn grid_over(
+        base: &SimConfig,
+        rs: &[f64],
+        variants: &[(&str, InterventionSet)],
+        n_seeds: u32,
+    ) -> EnsembleSpec {
+        let mut points = Vec::with_capacity(rs.len() * variants.len());
+        for &r in rs {
+            for (name, iv) in variants {
+                points.push(ParamPoint {
+                    label: format!("r={r} {name}"),
+                    r,
+                    interventions: iv.clone(),
+                });
+            }
+        }
+        EnsembleSpec {
+            base: base.clone(),
+            points,
+            seeds: (0..n_seeds)
+                .map(|i| base.seed.wrapping_add(i as u64))
+                .collect(),
+        }
+    }
+
+    /// Total member count (`points × seeds`).
+    pub fn n_members(&self) -> usize {
+        self.points.len() * self.seeds.len()
+    }
+
+    /// Decompose a member index into `(point index, seed index)`.
+    pub fn member(&self, idx: usize) -> (usize, usize) {
+        (idx / self.seeds.len(), idx % self.seeds.len())
+    }
+
+    /// The full-run configuration of member `idx`.
+    pub fn config_for(&self, idx: usize) -> SimConfig {
+        let (pi, si) = self.member(idx);
+        self.points[pi].config(&self.base, self.seeds[si])
+    }
+}
+
+/// Deterministic store of sweep results, keyed by `(param point, seed)`.
+/// Placement is by member index, so the worker interleaving that produced a
+/// curve is unobservable.
+#[derive(Debug, Clone)]
+pub struct ResultStore {
+    n_points: usize,
+    n_seeds: usize,
+    curves: Vec<EpiCurve>,
+}
+
+impl ResultStore {
+    /// Number of parameter points.
+    pub fn n_points(&self) -> usize {
+        self.n_points
+    }
+
+    /// Number of replicate seeds per point.
+    pub fn n_seeds(&self) -> usize {
+        self.n_seeds
+    }
+
+    /// The curve of one member.
+    pub fn curve(&self, point: usize, seed: usize) -> &EpiCurve {
+        &self.curves[point * self.n_seeds + seed]
+    }
+
+    /// All curves of one point, in seed order.
+    pub fn curves_for_point(&self, point: usize) -> &[EpiCurve] {
+        &self.curves[point * self.n_seeds..(point + 1) * self.n_seeds]
+    }
+
+    /// Every curve, point-major.
+    pub fn all_curves(&self) -> &[EpiCurve] {
+        &self.curves
+    }
+
+    /// Replicate summary (quantile bands etc.) of one point.
+    pub fn point_ensemble(&self, point: usize) -> Ensemble {
+        let runs = self.curves_for_point(point).to_vec();
+        let bands = bands_of(&runs);
+        Ensemble { runs, bands }
+    }
+
+    /// Mean attack rate across a point's replicates.
+    pub fn mean_attack_rate(&self, point: usize) -> f64 {
+        let cs = self.curves_for_point(point);
+        if cs.is_empty() {
+            return 0.0;
+        }
+        cs.iter().map(|c| c.attack_rate()).sum::<f64>() / cs.len() as f64
+    }
+
+    /// FNV-1a fold over every member's curve hash, in `(point, seed)`
+    /// order — one number that pins the entire sweep bit-for-bit (the
+    /// conformance grid asserts it against a constant).
+    pub fn hash(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for c in &self.curves {
+            h = (h ^ curve_hash(&c.days)).wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
+}
+
+/// Run every member of `spec` over the shared `world`, fanning whole runs
+/// across `workers` OS threads.
+///
+/// Each worker owns one [`MemberArena`] and pulls member indices from an
+/// atomic counter until the sweep is drained. Determinism is structural:
+/// members draw only from counter-based streams keyed by their own seed,
+/// and results land in the store by index — so any worker count, including
+/// 1, yields bit-identical output (the determinism proptest varies it).
+///
+/// `workers` is a *logical* parallelism cap: the OS thread count is
+/// additionally clamped to the member count and the machine's available
+/// parallelism, because oversubscribing CPU-bound whole runs only buys
+/// context-switch and cache pressure. The clamp is unobservable in the
+/// results, by the determinism argument above.
+pub fn run_sweep(world: &CowWorld, spec: &EnsembleSpec, workers: u32) -> ResultStore {
+    let total = spec.n_members();
+    let hw = std::thread::available_parallelism().map_or(usize::MAX, usize::from);
+    let workers = (workers.max(1) as usize).min(total.max(1)).min(hw);
+    let next = AtomicUsize::new(0);
+    let mut placed: Vec<Option<EpiCurve>> = (0..total).map(|_| None).collect();
+    std::thread::scope(|scope| {
+        let mut handles = Vec::new();
+        for _ in 0..workers {
+            let next = &next;
+            handles.push(scope.spawn(move || {
+                let mut arena = MemberArena::new();
+                let mut out = Vec::new();
+                loop {
+                    let idx = next.fetch_add(1, Ordering::Relaxed);
+                    if idx >= total {
+                        break;
+                    }
+                    let cfg = spec.config_for(idx);
+                    let curve = run_sequential_into(&world.pop, &world.ptts, &cfg, &mut arena);
+                    out.push((idx, curve));
+                }
+                out
+            }));
+        }
+        for h in handles {
+            for (idx, curve) in h.join().expect("ensemble worker panicked") {
+                placed[idx] = Some(curve);
+            }
+        }
+    });
+    ResultStore {
+        n_points: spec.points.len(),
+        n_seeds: spec.seeds.len(),
+        curves: placed
+            .into_iter()
+            .map(|c| c.expect("every member index was claimed by a worker"))
+            .collect(),
+    }
+}
+
+/// Summary of one day across an ensemble's replicates.
 #[derive(Debug, Clone, Copy, Default, PartialEq)]
 pub struct DayBand {
     /// Simulation day.
@@ -60,66 +409,10 @@ impl Ensemble {
     }
 }
 
-fn quantile_u64(sorted: &[u64], q: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-    sorted[idx]
-}
-
-fn quantile_f64(sorted: &[f64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
-    sorted[idx]
-}
-
-/// Run `replicates` copies of the scenario with seeds `base_seed + i`,
-/// spread over `n_threads` OS threads. Uses the sequential oracle per
-/// replicate (replicate-level parallelism beats PE-level parallelism when
-/// there are many replicates).
-pub fn run_ensemble(
-    dist: &DataDistribution,
-    ptts: &Ptts,
-    cfg: &SimConfig,
-    replicates: u32,
-    n_threads: u32,
-) -> Ensemble {
-    let n_threads = n_threads.clamp(1, replicates.max(1));
-    let mut runs: Vec<Option<EpiCurve>> = (0..replicates).map(|_| None).collect();
-    std::thread::scope(|scope| {
-        let mut handles = Vec::new();
-        for t in 0..n_threads {
-            let pop = &dist.pop;
-            let cfg = cfg.clone();
-            let ptts = ptts.clone();
-            handles.push((
-                t,
-                scope.spawn(move || {
-                    let mut out = Vec::new();
-                    let mut rep = t;
-                    while rep < replicates {
-                        let mut c = cfg.clone();
-                        c.seed = cfg.seed.wrapping_add(rep as u64);
-                        out.push((rep, run_sequential(pop, &ptts, &c)));
-                        rep += n_threads;
-                    }
-                    out
-                }),
-            ));
-        }
-        for (_, h) in handles {
-            for (rep, curve) in h.join().expect("ensemble worker panicked") {
-                runs[rep as usize] = Some(curve);
-            }
-        }
-    });
-    let runs: Vec<EpiCurve> = runs.into_iter().flatten().collect();
-
-    // Day-wise bands (replicates that ended early contribute zeros, which
-    // is the true epidemic state after extinction).
+/// Day-wise quantile bands over a set of replicate curves (replicates that
+/// ended early contribute zeros, which is the true epidemic state after
+/// extinction).
+pub fn bands_of(runs: &[EpiCurve]) -> Vec<DayBand> {
     let horizon = runs.iter().map(|r| r.days.len()).max().unwrap_or(0);
     let mut bands = Vec::with_capacity(horizon);
     for d in 0..horizon {
@@ -147,7 +440,301 @@ pub fn run_ensemble(
             ),
         });
     }
-    Ensemble { runs, bands }
+    bands
+}
+
+fn quantile_u64(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+fn quantile_f64(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted.len() - 1) as f64 * q.clamp(0.0, 1.0)).round() as usize;
+    sorted[idx]
+}
+
+/// Run `replicates` copies of the scenario with seeds `base_seed + i`,
+/// spread over `n_threads` worker threads — the replicate-band front door,
+/// now a thin wrapper over [`run_sweep`] with a single parameter point.
+pub fn run_ensemble(
+    dist: &DataDistribution,
+    ptts: &Ptts,
+    cfg: &SimConfig,
+    replicates: u32,
+    n_threads: u32,
+) -> Ensemble {
+    let world = CowWorld::build(dist, ptts.clone());
+    let spec = EnsembleSpec::replicates(cfg, replicates);
+    let store = run_sweep(&world, &spec, n_threads);
+    store.point_ensemble(0)
+}
+
+pub mod surrogate {
+    //! FastSIR-style surrogate screen: rank parameter points on a static
+    //! contact graph before paying for full EpiSimdemics runs.
+    //!
+    //! The full simulator replays every visit of every person every day.
+    //! The surrogate collapses that to a one-shot bond percolation: build a
+    //! static person–person contact graph from per-location visit overlaps
+    //! (degree-capped at heavy locations), open each edge with the
+    //! transmission function's probability for the whole infectious period,
+    //! and measure the component reachable from the seed set. Percolation
+    //! draws share one keyed uniform per edge across every parameter point
+    //! (`Purpose::Surrogate`), which *couples* the samples: the open-edge
+    //! set can only grow with transmissibility, so scores are monotone in
+    //! `r` by construction — the surrogate sanity suite pins this, along
+    //! with top-k retention against exhaustive full runs (tolerances in
+    //! EXPERIMENTS.md).
+
+    use super::{CowWorld, EnsembleSpec, ParamPoint};
+    use ptts::crng::{CounterRng, Purpose};
+    use ptts::model::TreatmentId;
+    use ptts::transmission::infection_prob;
+    use ptts::Ptts;
+    use synthpop::{LocationId, Population};
+
+    /// Per-location visitor cap when building the contact graph. Heavy
+    /// locations (malls in the paper's degree plots) would otherwise
+    /// contribute O(degree²) edges; the screen only needs connectivity.
+    pub const MAX_VISITORS_PER_LOCATION: usize = 24;
+
+    /// A static undirected person–person contact graph in CSR form. Each
+    /// directed half-edge carries the contact minutes and the undirected
+    /// edge id its percolation draw is keyed by.
+    #[derive(Debug, Clone)]
+    pub struct ContactGraph {
+        offsets: Vec<u32>,
+        targets: Vec<u32>,
+        minutes: Vec<f32>,
+        edge_ids: Vec<u32>,
+        n_edges: u32,
+    }
+
+    impl ContactGraph {
+        /// Build from per-location visit overlaps: two people who overlap
+        /// at a location for `m` minutes get an edge of weight `m`
+        /// (summed over co-visits). Deterministic — locations and visits
+        /// are walked in id order.
+        pub fn build(pop: &Population) -> ContactGraph {
+            let n_people = pop.n_people() as usize;
+            let graph = synthpop::BipartiteGraph::build(pop);
+            let mut adj: Vec<Vec<(u32, f32, u32)>> = vec![Vec::new(); n_people];
+            let mut n_edges = 0u32;
+            for l in 0..pop.n_locations() {
+                let vis = graph.visits_at(LocationId(l));
+                let take = vis.len().min(MAX_VISITORS_PER_LOCATION);
+                for a in 0..take {
+                    let va = &pop.visits[vis[a] as usize];
+                    for &vbi in vis.iter().take(take).skip(a + 1) {
+                        let vb = &pop.visits[vbi as usize];
+                        if va.person == vb.person {
+                            continue;
+                        }
+                        let overlap = va
+                            .end_min()
+                            .min(vb.end_min())
+                            .saturating_sub(va.start_min.max(vb.start_min));
+                        if overlap == 0 {
+                            continue;
+                        }
+                        let id = n_edges;
+                        n_edges += 1;
+                        adj[va.person.0 as usize].push((vb.person.0, overlap as f32, id));
+                        adj[vb.person.0 as usize].push((va.person.0, overlap as f32, id));
+                    }
+                }
+            }
+            let mut offsets = Vec::with_capacity(n_people + 1);
+            let mut targets = Vec::new();
+            let mut minutes = Vec::new();
+            let mut edge_ids = Vec::new();
+            offsets.push(0u32);
+            for list in &adj {
+                for &(t, m, id) in list {
+                    targets.push(t);
+                    minutes.push(m);
+                    edge_ids.push(id);
+                }
+                offsets.push(targets.len() as u32);
+            }
+            ContactGraph {
+                offsets,
+                targets,
+                minutes,
+                edge_ids,
+                n_edges,
+            }
+        }
+
+        /// Number of undirected edges.
+        pub fn n_edges(&self) -> u32 {
+            self.n_edges
+        }
+
+        /// Number of person nodes.
+        pub fn n_people(&self) -> usize {
+            self.offsets.len() - 1
+        }
+
+        fn neighbors(&self, p: u32) -> impl Iterator<Item = (u32, f32, u32)> + '_ {
+            let lo = self.offsets[p as usize] as usize;
+            let hi = self.offsets[p as usize + 1] as usize;
+            (lo..hi).map(move |i| (self.targets[i], self.minutes[i], self.edge_ids[i]))
+        }
+    }
+
+    /// Expected infectivity-weighted days of one infection episode under
+    /// the default treatment: `Σ_s ι(s) · E[dwell(s)] · P(visit s)`,
+    /// following the exposed-onset chain. This converts the contact graph's
+    /// per-day minutes into whole-episode contact time for the percolation
+    /// probability.
+    pub fn expected_infectivity_days(ptts: &Ptts) -> f64 {
+        let n = ptts.n_states();
+        let mut mass = vec![0.0f64; n];
+        mass[ptts.exposed_state().0 as usize] = 1.0;
+        let mut total = 0.0;
+        // The PTTS graphs we run are shallow DAGs; 32 propagation rounds is
+        // plenty, and the residual-mass exit catches convergence early.
+        for _ in 0..32 {
+            let mut next = vec![0.0f64; n];
+            let mut moved = 0.0;
+            for (s, &m) in mass.iter().enumerate() {
+                if m <= 0.0 {
+                    continue;
+                }
+                let sid = ptts::model::StateId(s as u16);
+                if let Some(d) = ptts.state(sid).dwell.mean() {
+                    total += ptts.infectivity(sid) * d * m;
+                    if let Some(table) = ptts.table(sid, TreatmentId::DEFAULT) {
+                        for &(t, p) in table.edges() {
+                            next[t.0 as usize] += m * p;
+                            moved += m * p;
+                        }
+                    }
+                }
+                // Absorbing states (dwell Forever) retain their mass and
+                // shed nothing further.
+            }
+            mass = next;
+            if moved < 1e-9 {
+                break;
+            }
+        }
+        total
+    }
+
+    /// One parameter point's surrogate score.
+    #[derive(Debug, Clone, Copy, PartialEq)]
+    pub struct SurrogateScore {
+        /// Index into the screened point list.
+        pub point: usize,
+        /// Mean fraction of the population reachable from the seed set
+        /// across percolation samples.
+        pub mean_attack: f64,
+    }
+
+    /// Score every point of `spec` by percolation on `graph`.
+    ///
+    /// Sample `s` uses seed `spec.seeds[s]`: the seed set is drawn by the
+    /// exact code the full simulator uses, and each edge's uniform is keyed
+    /// `(seed, edge, 0, Surrogate)` — shared across points, so scores are
+    /// monotone in transmissibility by coupling.
+    pub fn screen(
+        graph: &ContactGraph,
+        world: &CowWorld,
+        spec: &EnsembleSpec,
+    ) -> Vec<SurrogateScore> {
+        let n_people = graph.n_people();
+        let d_inf = expected_infectivity_days(&world.ptts);
+        let mut scores: Vec<SurrogateScore> = (0..spec.points.len())
+            .map(|point| SurrogateScore {
+                point,
+                mean_attack: 0.0,
+            })
+            .collect();
+        if n_people == 0 || spec.seeds.is_empty() {
+            return scores;
+        }
+        let mut visited = vec![false; n_people];
+        let mut stack: Vec<u32> = Vec::new();
+        for &seed in &spec.seeds {
+            // Seed set: identical draw to `Simulator::new`.
+            let mut seeds = std::collections::BTreeSet::new();
+            let mut rng = CounterRng::for_entity(seed, 0, 0, Purpose::Synthesis);
+            let want = (spec.base.initial_infections as usize).min(n_people);
+            while seeds.len() < want {
+                seeds.insert(rng.uniform_u64(n_people as u64) as u32);
+            }
+            for (pi, point) in spec.points.iter().enumerate() {
+                let reached =
+                    percolate(graph, seed, point, d_inf, &seeds, &mut visited, &mut stack);
+                scores[pi].mean_attack += reached as f64 / n_people as f64;
+            }
+        }
+        for s in &mut scores {
+            s.mean_attack /= spec.seeds.len() as f64;
+        }
+        scores
+    }
+
+    fn percolate(
+        graph: &ContactGraph,
+        seed: u64,
+        point: &ParamPoint,
+        d_inf: f64,
+        seeds: &std::collections::BTreeSet<u32>,
+        visited: &mut [bool],
+        stack: &mut Vec<u32>,
+    ) -> usize {
+        visited.iter_mut().for_each(|v| *v = false);
+        stack.clear();
+        let mut reached = 0usize;
+        for &p in seeds {
+            if !visited[p as usize] {
+                visited[p as usize] = true;
+                reached += 1;
+                stack.push(p);
+            }
+        }
+        while let Some(p) = stack.pop() {
+            for (q, mins, edge) in graph.neighbors(p) {
+                if visited[q as usize] {
+                    continue;
+                }
+                // Whole-episode transmission probability for this contact.
+                let prob = infection_prob(point.r, 1.0, 1.0, mins as f64 * d_inf);
+                let u =
+                    CounterRng::for_entity(seed, edge as u64, 0, Purpose::Surrogate).uniform_f64();
+                if u < prob {
+                    visited[q as usize] = true;
+                    reached += 1;
+                    stack.push(q);
+                }
+            }
+        }
+        reached
+    }
+
+    /// Indices of the `k` best-scoring points (score descending, index
+    /// ascending on ties) — the survivors to promote to full runs.
+    pub fn promote_top_k(scores: &[SurrogateScore], k: usize) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..scores.len()).collect();
+        order.sort_by(|&a, &b| {
+            scores[b]
+                .mean_attack
+                .partial_cmp(&scores[a].mean_attack)
+                .unwrap()
+                .then(a.cmp(&b))
+        });
+        order.truncate(k);
+        order
+    }
 }
 
 #[cfg(test)]
@@ -215,5 +802,88 @@ mod tests {
         assert!(p >= 0.5, "takeoff probability {p}");
         // Attack-rate quantiles are monotone.
         assert!(ensemble.attack_rate_quantile(0.1) <= ensemble.attack_rate_quantile(0.9));
+    }
+
+    #[test]
+    fn sweep_store_is_worker_count_invariant_and_indexed() {
+        let (dist, cfg) = setup();
+        let world = CowWorld::build(&dist, flu_model());
+        let spec = EnsembleSpec::grid(&cfg, &[0.0004, 0.0012, 0.002], 3);
+        let one = run_sweep(&world, &spec, 1);
+        let many = run_sweep(&world, &spec, 5);
+        assert_eq!(one.hash(), many.hash());
+        assert_eq!(one.n_points(), 3);
+        assert_eq!(one.n_seeds(), 3);
+        // Index placement: member (point, seed) equals a standalone run of
+        // that member's config.
+        let cfg12 = spec.config_for(1 * spec.seeds.len() + 2);
+        let standalone = crate::seq::run_sequential(&dist.pop, &world.ptts, &cfg12);
+        assert_eq!(one.curve(1, 2), &standalone);
+        // More transmissible points infect more on average.
+        assert!(one.mean_attack_rate(0) <= one.mean_attack_rate(2));
+    }
+
+    #[test]
+    fn cow_world_shares_not_copies() {
+        let (dist, cfg) = setup();
+        let world = CowWorld::build(&dist, flu_model());
+        // The world aliases the distribution's population…
+        assert!(Arc::ptr_eq(&world.pop, &dist.pop));
+        let before = Arc::strong_count(&world.pop);
+        // …and simulators stamped from the world alias all three Arcs.
+        let sims: Vec<_> = (0..4)
+            .map(|i| {
+                let mut c = cfg.clone();
+                c.seed = cfg.seed + i;
+                crate::Simulator::from_world(
+                    &world,
+                    c,
+                    chare_rt::RuntimeConfig::sequential(1),
+                    None,
+                )
+            })
+            .collect();
+        assert_eq!(Arc::strong_count(&world.pop), before + 4);
+        drop(sims);
+        assert_eq!(Arc::strong_count(&world.pop), before);
+    }
+
+    #[test]
+    fn arena_reuse_is_bit_identical() {
+        let (dist, cfg) = setup();
+        let world = CowWorld::build(&dist, flu_model());
+        let mut arena = MemberArena::new();
+        // Dirty the arena with a different run first.
+        let mut other = cfg.clone();
+        other.seed = 7777;
+        let _ = run_sequential_into(&world.pop, &world.ptts, &other, &mut arena);
+        let reused = run_sequential_into(&world.pop, &world.ptts, &cfg, &mut arena);
+        let fresh = crate::seq::run_sequential(&dist.pop, &world.ptts, &cfg);
+        assert_eq!(reused, fresh);
+    }
+
+    #[test]
+    fn surrogate_monotone_in_transmissibility() {
+        let (dist, cfg) = setup();
+        let world = CowWorld::build(&dist, flu_model());
+        let graph = surrogate::ContactGraph::build(&world.pop);
+        assert!(graph.n_edges() > 0);
+        let rs = [0.0001, 0.0004, 0.0012, 0.003, 0.008];
+        let spec = EnsembleSpec::grid(&cfg, &rs, 4);
+        let scores = surrogate::screen(&graph, &world, &spec);
+        for w in scores.windows(2) {
+            assert!(
+                w[0].mean_attack <= w[1].mean_attack,
+                "surrogate not monotone: {w:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn surrogate_expected_infectivity_days_flu() {
+        // flu: incubating ι=0.25 for 1 day, then symptomatic ι=1.0 or
+        // asymptomatic ι=0.5 for E[uniform(3,6)]=4.5 days.
+        let d = surrogate::expected_infectivity_days(&flu_model());
+        assert!(d > 2.5 && d < 5.5, "d_inf {d}");
     }
 }

@@ -44,6 +44,12 @@ pub struct KernelScratch {
     cands: Vec<(u32, f64)>,
     /// Candidate probabilities, parallel to `cands`.
     probs: Vec<f64>,
+    /// Memo of `(-q_c).ln_1p()` per class for the last `(r_eff, s_i)`
+    /// pair; susceptibility is monomorphic in practice, so the transcend
+    /// calls amortise to one rebuild per kernel invocation.
+    lnq: Vec<f64>,
+    /// The `(r_eff, s_i)` key the `lnq` memo was built for.
+    lnq_key: (f64, f64),
 }
 
 impl KernelScratch {
@@ -204,6 +210,13 @@ pub fn simulate_location_day(
     if visits.is_empty() {
         return features;
     }
+    // Fast path: with no infectious visitor the sweep provably produces
+    // no interactions and no infections — `features` already holds its
+    // final value. One O(n) scan replaces the sort + event sweep, and
+    // over a whole epidemic most location-days take this exit.
+    if !visits.iter().any(|v| classes.class(v.state).is_some()) {
+        return features;
+    }
     // Deterministic order: by sublocation, then start, then person — one
     // u64 key (16+16+32 bits) so the sort compares single integers.
     visits.sort_unstable_by_key(visit_key);
@@ -215,8 +228,13 @@ pub fn simulate_location_day(
         while hi < visits.len() && visits[hi].sublocation == subloc {
             hi += 1;
         }
+        let range = &visits[lo..hi];
+        if !range.iter().any(|v| classes.class(v.state).is_some()) {
+            lo = hi;
+            continue;
+        }
         simulate_sublocation(
-            &visits[lo..hi],
+            range,
             ptts,
             classes,
             r_eff,
@@ -254,6 +272,12 @@ pub fn simulate_location_day_grouped(
     };
     for (_, group) in &mut buf.groups {
         if group.is_empty() {
+            continue;
+        }
+        // Same fast path as the flat entry point: a group without an
+        // infectious visitor contributes nothing beyond its (already
+        // counted) events.
+        if !group.iter().any(|v| classes.class(v.state).is_some()) {
             continue;
         }
         group.sort_unstable_by_key(|v| ((v.start_min as u64) << 32) | v.person as u64);
@@ -302,6 +326,8 @@ fn simulate_sublocation(
         snap_arena,
         cands,
         probs,
+        lnq,
+        lnq_key,
     } = scratch;
 
     // Event list: key = t << 1 | is_arrive, so at equal times departs sort
@@ -309,9 +335,13 @@ fn simulate_sublocation(
     // order, which is the tie-break the sorts below preserve.
     events.clear();
     let mut max_key = 0u32;
+    let mut total_inf_arrivals = 0u64;
     for (i, v) in visits.iter().enumerate() {
         if v.end_min <= v.start_min {
             continue;
+        }
+        if classes.class(v.state).is_some() {
+            total_inf_arrivals += 1;
         }
         let arrive = ((v.start_min as u32) << 1) | 1;
         let depart = (v.end_min as u32) << 1;
@@ -380,7 +410,13 @@ fn simulate_sublocation(
         let v = &visits[vi as usize];
         let v_class = classes.class(v.state);
         if is_arrive {
-            if ptts.is_susceptible(v.state) && v.sus_scale > 0.0 {
+            // Skip the snapshot when no infectious is present and none will
+            // ever arrive again: encounters and every class integral delta
+            // are provably zero, so the departure-side resolve is a no-op.
+            if ptts.is_susceptible(v.state)
+                && v.sus_scale > 0.0
+                && !(arrivals == total_inf_arrivals && present.iter().all(|&p| p == 0))
+            {
                 sus_meta[vi as usize] = SusMeta {
                     snap_off: snap_arena.len() as u32,
                     present_at_arrive: present.iter().sum(),
@@ -413,6 +449,8 @@ fn simulate_sublocation(
                     day,
                     cands,
                     probs,
+                    lnq,
+                    lnq_key,
                     out,
                     features,
                 );
@@ -440,6 +478,8 @@ fn resolve_susceptible(
     day: u32,
     cands: &mut Vec<(u32, f64)>,
     probs: &mut Vec<f64>,
+    lnq: &mut Vec<f64>,
+    lnq_key: &mut (f64, f64),
     out: &mut Vec<InfectMsg>,
     features: &mut LocationDayFeatures,
 ) {
@@ -457,7 +497,23 @@ fn resolve_susceptible(
         features.sum_reciprocal_interactions += 1.0 / encounters as f64;
     }
 
-    // Exposure: log-escape via class integrals.
+    // Exposure: log-escape via class integrals. The `(-q).ln_1p()` factors
+    // depend only on `(r_eff, s_i, class)`; susceptibility is monomorphic
+    // in practice, so the memo reduces the transcendental calls to one
+    // rebuild per kernel invocation. `lnq[c]` is exactly the value the
+    // un-memoised expression produces, so results are bit-identical.
+    if lnq.len() != classes.n() || *lnq_key != (r_eff, s_i) {
+        lnq.clear();
+        lnq.extend(classes.iota.iter().map(|&iota| {
+            let q = (r_eff * s_i * iota).clamp(0.0, 1.0 - 1e-12);
+            if q > 0.0 {
+                (-q).ln_1p()
+            } else {
+                0.0
+            }
+        }));
+        *lnq_key = (r_eff, s_i);
+    }
     let mut log_escape = 0.0f64;
     #[allow(clippy::needless_range_loop)] // c indexes three parallel arrays
     for c in 0..classes.n() {
@@ -469,10 +525,13 @@ fn resolve_susceptible(
         if tau <= 0.0 {
             continue;
         }
-        let q = (r_eff * s_i * classes.iota[c]).clamp(0.0, 1.0 - 1e-12);
-        if q > 0.0 {
-            log_escape += tau * (-q).ln_1p();
-        }
+        // Adding `tau * 0.0` for a zero-q class leaves the sum unchanged,
+        // matching the original `if q > 0.0` guard exactly.
+        log_escape += tau * lnq[c];
+    }
+    if log_escape == 0.0 {
+        // exp(0) = 1 exactly, so p would be 0 — skip the exp.
+        return;
     }
     let p = 1.0 - log_escape.exp();
     if p <= 0.0 {

@@ -41,7 +41,9 @@
 //!   oracle for the parallel one.
 //! * [`checkpoint`] — save/restore a simulation mid-run (restart is
 //!   bit-exact).
-//! * [`ensemble`] — multi-seed replicates with quantile bands.
+//! * [`ensemble`] — the copy-on-write ensemble engine: whole-run
+//!   parallelism over one `Arc`-shared world, parameter sweeps, quantile
+//!   bands, and the FastSIR-style surrogate screen (DESIGN.md §11).
 //! * [`tree`] — transmission-tree analytics (R_t, generation intervals,
 //!   offspring distribution).
 //! * [`output`] — epidemic curves and TSV rendering.
@@ -65,6 +67,9 @@ pub mod workload;
 
 pub use distribution::{DataDistribution, Strategy};
 pub use engine::{pe_for_partition, EngineChoice};
+pub use ensemble::{
+    run_ensemble, run_sweep, CowWorld, Ensemble, EnsembleSpec, MemberArena, ParamPoint, ResultStore,
+};
 pub use output::{DayStats, EpiCurve};
 pub use rebalance::{run_with_rebalancing, RebalanceConfig, RebalanceRun};
 pub use resilient::{run_resilient, RecoveryConfig, ResilientRun};

@@ -82,7 +82,7 @@ impl PersonManager {
                 &shared.ptts,
                 effects,
                 self.symptomatic_state,
-                Some(&shared.orig_of_location),
+                Some(&shared.layout.orig_of_location),
                 shared.seed,
                 day,
                 &mut self.visit_buf,
@@ -92,7 +92,7 @@ impl PersonManager {
             susceptible += shared.ptts.is_susceptible(slot.health.state) as u64;
             visits_sent += self.visit_buf.len() as u64;
             for msg in self.visit_buf.drain(..) {
-                let lm = shared.lm_of_location[msg.location as usize];
+                let lm = shared.layout.lm_of_location[msg.location as usize];
                 ctx.send(ChareId(lm), SimMsg::Visit(msg));
             }
         }
@@ -117,7 +117,7 @@ impl Chare<SimMsg> for PersonManager {
         match msg {
             SimMsg::BeginDay { day, effects } => self.begin_day(day, &effects, ctx),
             SimMsg::Infect(infect) => {
-                let local = self.shared.local_of_person[infect.person as usize] as usize;
+                let local = self.shared.layout.local_of_person[infect.person as usize] as usize;
                 self.persons[local].record_infection(&infect);
             }
             SimMsg::ApplyDay { day } => self.apply_day(day, ctx),
@@ -215,7 +215,7 @@ impl LocationManager {
             tot.interactions += features.interactions;
             tot.sum_reciprocal_interactions += features.sum_reciprocal_interactions;
             for infect in self.infect_buf.drain(..) {
-                let pm = shared.pm_of_person[infect.person as usize];
+                let pm = shared.layout.pm_of_person[infect.person as usize];
                 ctx.send(ChareId(pm), SimMsg::Infect(infect));
             }
         }
@@ -234,7 +234,7 @@ impl Chare<SimMsg> for LocationManager {
     fn receive(&mut self, msg: SimMsg, ctx: &mut Ctx<'_, SimMsg>) {
         match msg {
             SimMsg::Visit(v) => {
-                let local = self.shared.local_of_location[v.location as usize] as usize;
+                let local = self.shared.layout.local_of_location[v.location as usize] as usize;
                 self.buffers[local].push(v);
             }
             SimMsg::ComputeDay { day, r_eff } => self.compute_day(day, r_eff, ctx),

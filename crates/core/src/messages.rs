@@ -279,18 +279,14 @@ pub mod slots {
     pub const BY_KIND_BASE: usize = 8;
 }
 
-/// Immutable state shared by every manager chare (read-only sharing across
-/// threads is one of the SMP-mode benefits the paper lists in §IV-A).
-#[derive(Debug)]
-pub struct Shared {
-    /// The population (post-splitLoc if applicable).
-    pub pop: Population,
-    /// The disease model.
-    pub ptts: Ptts,
-    /// Base transmissibility per minute of contact.
-    pub r: f64,
-    /// Simulation seed.
-    pub seed: u64,
+/// The object→chare index maps of the two-level hierarchical data
+/// distribution (§II-C), computed once per [`crate::DataDistribution`] and
+/// shared immutably by every simulator (and every ensemble member) built
+/// from it.
+#[derive(Debug, Clone)]
+pub struct WorldLayout {
+    /// Number of partitions (PM chares are `0..k`, LM chares `k..2k`).
+    pub k: u32,
     /// person → PersonManager chare id.
     pub pm_of_person: Vec<u32>,
     /// person → local slot within its PM.
@@ -302,6 +298,67 @@ pub struct Shared {
     /// location → original location id (identity unless splitLoc ran);
     /// the stay-home filter uses it to recognise split home pieces.
     pub orig_of_location: Vec<u32>,
+    /// Person ids owned by each partition, in local-slot order.
+    pub persons_per_part: Vec<Vec<u32>>,
+    /// Location ids owned by each partition, in local-slot order.
+    pub locations_per_part: Vec<Vec<u32>>,
+}
+
+impl WorldLayout {
+    /// Compute the layout for a distribution.
+    pub fn build(dist: &crate::distribution::DataDistribution) -> WorldLayout {
+        let k = dist.k;
+        let n_people = dist.pop.n_people() as usize;
+        let n_locations = dist.pop.n_locations() as usize;
+        let mut pm_of_person = vec![0u32; n_people];
+        let mut local_of_person = vec![0u32; n_people];
+        let mut lm_of_location = vec![0u32; n_locations];
+        let mut local_of_location = vec![0u32; n_locations];
+        let mut persons_per_part: Vec<Vec<u32>> = vec![Vec::new(); k as usize];
+        let mut locations_per_part: Vec<Vec<u32>> = vec![Vec::new(); k as usize];
+        for p in 0..n_people {
+            let part = dist.person_part[p];
+            pm_of_person[p] = part;
+            local_of_person[p] = persons_per_part[part as usize].len() as u32;
+            persons_per_part[part as usize].push(p as u32);
+        }
+        for l in 0..n_locations {
+            let part = dist.location_part[l];
+            lm_of_location[l] = k + part;
+            local_of_location[l] = locations_per_part[part as usize].len() as u32;
+            locations_per_part[part as usize].push(l as u32);
+        }
+        WorldLayout {
+            k,
+            pm_of_person,
+            local_of_person,
+            lm_of_location,
+            local_of_location,
+            orig_of_location: dist.orig_of_location.clone(),
+            persons_per_part,
+            locations_per_part,
+        }
+    }
+}
+
+/// Immutable state shared by every manager chare (read-only sharing across
+/// threads is one of the SMP-mode benefits the paper lists in §IV-A).
+///
+/// Copy-on-write: the population, disease model, and index maps are each
+/// behind their own `Arc`, so many simulators — e.g. the members of a
+/// [`crate::ensemble`] sweep — alias one world instead of deep-copying it.
+#[derive(Debug)]
+pub struct Shared {
+    /// The population (post-splitLoc if applicable).
+    pub pop: Arc<Population>,
+    /// The disease model.
+    pub ptts: Arc<Ptts>,
+    /// The object→chare index maps.
+    pub layout: Arc<WorldLayout>,
+    /// Base transmissibility per minute of contact.
+    pub r: f64,
+    /// Simulation seed.
+    pub seed: u64,
 }
 
 /// Shared handle.

@@ -6,8 +6,9 @@
 //! this oracle must produce *bit-identical* epidemic curves; the
 //! integration tests assert exactly that.
 
-use crate::kernel::{simulate_location_day, InfectivityClasses, KernelScratch};
-use crate::messages::{DayEffects, InfectMsg, VisitMsg};
+use crate::ensemble::MemberArena;
+use crate::kernel::{simulate_location_day, InfectivityClasses};
+use crate::messages::DayEffects;
 use crate::output::{DayStats, EpiCurve};
 use crate::person::{person_day, PersonSlot};
 use crate::simulator::SimConfig;
@@ -28,11 +29,33 @@ pub fn run_sequential_with_states(
     ptts: &Ptts,
     cfg: &SimConfig,
 ) -> (EpiCurve, Vec<PersonSlot>) {
+    let mut arena = MemberArena::new();
+    let curve = run_sequential_into(pop, ptts, cfg, &mut arena);
+    (curve, arena.into_person_states())
+}
+
+/// Run the sequential simulation with all mutable per-run state drawn from
+/// `arena`. Reusing one arena across many runs (the ensemble scheduler gives
+/// each worker its own) amortises the allocations; the epidemic itself is
+/// bit-identical to [`run_sequential`] because the arena is reset to the
+/// same initial state every run.
+pub fn run_sequential_into(
+    pop: &Population,
+    ptts: &Ptts,
+    cfg: &SimConfig,
+    arena: &mut MemberArena,
+) -> EpiCurve {
     let n_people = pop.n_people() as usize;
     let n_locations = pop.n_locations() as usize;
-    let mut slots: Vec<PersonSlot> = (0..n_people)
-        .map(|p| PersonSlot::new(p as u32, ptts))
-        .collect();
+    arena.reset(n_people, n_locations, ptts);
+    let MemberArena {
+        slots,
+        buffers,
+        visit_buf,
+        infects,
+        scratch,
+    } = arena;
+    let buffers = &mut buffers[..n_locations];
 
     // Initial infections: identical draw to `Simulator::new`.
     let mut seeds = std::collections::BTreeSet::new();
@@ -58,11 +81,6 @@ pub fn run_sequential_with_states(
     let mut yesterday_new = 0u64;
     let mut yesterday_infected = want as u64;
 
-    let mut buffers: Vec<Vec<VisitMsg>> = vec![Vec::new(); n_locations];
-    let mut visit_buf: Vec<VisitMsg> = Vec::new();
-    let mut infects: Vec<InfectMsg> = Vec::new();
-    let mut scratch = KernelScratch::new();
-
     for day in 0..cfg.days {
         let obs = DayObservables {
             day,
@@ -81,7 +99,7 @@ pub fn run_sequential_with_states(
 
         // Phase 1: persons.
         let (mut symptomatic, mut infected_now, mut susceptible, mut visits) = (0u64, 0, 0, 0);
-        for slot in &mut slots {
+        for slot in slots.iter_mut() {
             visit_buf.clear();
             let sym = person_day(
                 slot,
@@ -92,7 +110,7 @@ pub fn run_sequential_with_states(
                 None,
                 cfg.seed,
                 day,
-                &mut visit_buf,
+                visit_buf,
             );
             symptomatic += sym as u64;
             infected_now += slot.is_infected() as u64;
@@ -109,16 +127,8 @@ pub fn run_sequential_with_states(
         infects.clear();
         for (l, buf) in buffers.iter_mut().enumerate() {
             let before = infects.len();
-            let f = simulate_location_day(
-                buf,
-                ptts,
-                &classes,
-                r_eff,
-                cfg.seed,
-                day,
-                &mut scratch,
-                &mut infects,
-            );
+            let f =
+                simulate_location_day(buf, ptts, &classes, r_eff, cfg.seed, day, scratch, infects);
             events += f.events;
             interactions += f.interactions;
             infections_by_kind[pop.locations[l].kind as usize] += (infects.len() - before) as u64;
@@ -126,11 +136,11 @@ pub fn run_sequential_with_states(
         }
 
         // Phase 5: apply (same dedup as PersonManager).
-        for i in &infects {
+        for i in infects.iter() {
             slots[i.person as usize].record_infection(i);
         }
         let mut new_infections = 0u64;
-        for slot in &mut slots {
+        for slot in slots.iter_mut() {
             new_infections += slot.apply_pending(ptts, cfg.seed, day) as u64;
         }
         cumulative += new_infections;
@@ -154,7 +164,7 @@ pub fn run_sequential_with_states(
             break;
         }
     }
-    (curve, slots)
+    curve
 }
 
 #[cfg(test)]

@@ -2,6 +2,7 @@
 //! the chare runtime.
 
 use crate::distribution::DataDistribution;
+use crate::ensemble::CowWorld;
 use crate::kernel::LocationDayFeatures;
 use crate::managers::{LocationManager, PersonManager};
 use crate::messages::{slots, DayEffects, Shared, SharedRef, SimMsg};
@@ -127,44 +128,31 @@ impl Simulator {
         rt_cfg: RuntimeConfig,
         states: Option<Vec<crate::person::PersonSlot>>,
     ) -> Simulator {
-        let pop = dist.pop.clone();
-        let k = dist.k;
-        let n_people = pop.n_people() as usize;
-        let n_locations = pop.n_locations() as usize;
+        Self::from_world(&CowWorld::build(dist, ptts), cfg, rt_cfg, states)
+    }
+
+    /// Build a simulator over a pre-built copy-on-write world: the
+    /// population, disease model, and layout maps are aliased (`Arc`
+    /// clones), never deep-copied. This is the entry point the ensemble
+    /// scheduler uses to stamp out many members from one world.
+    pub fn from_world(
+        world: &CowWorld,
+        cfg: SimConfig,
+        rt_cfg: RuntimeConfig,
+        states: Option<Vec<crate::person::PersonSlot>>,
+    ) -> Simulator {
+        let k = world.layout.k;
+        let n_people = world.pop.n_people() as usize;
         if let Some(st) = &states {
             assert_eq!(st.len(), n_people, "states must cover every person");
         }
 
-        // Chare ids: PMs are 0..k, LMs are k..2k.
-        let mut pm_of_person = vec![0u32; n_people];
-        let mut local_of_person = vec![0u32; n_people];
-        let mut lm_of_location = vec![0u32; n_locations];
-        let mut local_of_location = vec![0u32; n_locations];
-        let mut persons_per_part: Vec<Vec<u32>> = vec![Vec::new(); k as usize];
-        let mut locations_per_part: Vec<Vec<u32>> = vec![Vec::new(); k as usize];
-        for p in 0..n_people {
-            let part = dist.person_part[p];
-            pm_of_person[p] = part;
-            local_of_person[p] = persons_per_part[part as usize].len() as u32;
-            persons_per_part[part as usize].push(p as u32);
-        }
-        for l in 0..n_locations {
-            let part = dist.location_part[l];
-            lm_of_location[l] = k + part;
-            local_of_location[l] = locations_per_part[part as usize].len() as u32;
-            locations_per_part[part as usize].push(l as u32);
-        }
-
         let shared: SharedRef = Arc::new(Shared {
-            pop,
-            ptts,
+            pop: world.pop.clone(),
+            ptts: world.ptts.clone(),
+            layout: world.layout.clone(),
             r: cfg.r,
             seed: cfg.seed,
-            pm_of_person,
-            local_of_person,
-            lm_of_location,
-            local_of_location,
-            orig_of_location: dist.orig_of_location.clone(),
         });
 
         // Choose initial infections deterministically (fresh runs only).
@@ -183,7 +171,7 @@ impl Simulator {
         let mut runtime = Runtime::new(rt_cfg);
         let n_pes = rt_cfg.n_pes;
         for part in 0..k {
-            let ids = &persons_per_part[part as usize];
+            let ids = &world.layout.persons_per_part[part as usize];
             let mut pm = match &states {
                 Some(st) => PersonManager::with_states(
                     shared.clone(),
@@ -198,8 +186,10 @@ impl Simulator {
             }
             let pe = crate::engine::pe_for_partition(part, k, n_pes);
             runtime.add_chare(ChareId(part), pe, Box::new(pm));
-            let lm =
-                LocationManager::new(shared.clone(), locations_per_part[part as usize].clone());
+            let lm = LocationManager::new(
+                shared.clone(),
+                world.layout.locations_per_part[part as usize].clone(),
+            );
             runtime.add_chare(ChareId(k + part), pe, Box::new(lm));
         }
 

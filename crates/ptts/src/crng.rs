@@ -31,6 +31,9 @@ pub enum Purpose {
     Compliance = 5,
     /// Population-synthesis draws.
     Synthesis = 6,
+    /// Percolation draws of the ensemble surrogate screen (keying them
+    /// separately means the screen never perturbs full-run streams).
+    Surrogate = 7,
 }
 
 #[inline]

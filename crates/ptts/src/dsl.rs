@@ -62,6 +62,27 @@ pub struct SimParams {
     pub initial_infections: Option<u32>,
 }
 
+/// A parameter sweep a scenario file may request with the `sweep`
+/// directive (`sweep r=0.0004,0.0008,0.0016 replicates=8 workers=4`).
+/// The ensemble engine turns this into a grid of parameter points; an
+/// absent directive leaves everything empty/None.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SweepSpec {
+    /// Transmissibility grid values, in file order.
+    pub r_values: Vec<f64>,
+    /// Replicate seeds per grid point.
+    pub replicates: Option<u32>,
+    /// Ensemble worker threads.
+    pub workers: Option<u32>,
+}
+
+impl SweepSpec {
+    /// Did the scenario request a sweep?
+    pub fn is_empty(&self) -> bool {
+        self.r_values.is_empty() && self.replicates.is_none() && self.workers.is_none()
+    }
+}
+
 /// Result of parsing a scenario file: the disease model plus interventions.
 #[derive(Debug, Clone)]
 pub struct Scenario {
@@ -71,6 +92,8 @@ pub struct Scenario {
     pub interventions: Vec<Intervention>,
     /// Optional simulation parameters.
     pub sim: SimParams,
+    /// Optional parameter sweep.
+    pub sweep: SweepSpec,
 }
 
 /// Parse a scenario from DSL text.
@@ -85,6 +108,7 @@ pub fn parse(input: &str) -> Result<Scenario, ParseError> {
     let mut exposed: Option<String> = None;
     let mut interventions = Vec::new();
     let mut sim = SimParams::default();
+    let mut sweep = SweepSpec::default();
 
     for (idx, raw) in input.lines().enumerate() {
         let lineno = idx + 1;
@@ -196,6 +220,23 @@ pub fn parse(input: &str) -> Result<Scenario, ParseError> {
                     }
                 }
             }
+            "sweep" => {
+                for w in words {
+                    if let Some(v) = w.strip_prefix("r=") {
+                        for item in v.split(',') {
+                            sweep
+                                .r_values
+                                .push(parse_num(Some(item.trim()), "sweep r", lineno)?);
+                        }
+                    } else if let Some(v) = w.strip_prefix("replicates=") {
+                        sweep.replicates = Some(parse_num(Some(v), "replicates", lineno)?);
+                    } else if let Some(v) = w.strip_prefix("workers=") {
+                        sweep.workers = Some(parse_num(Some(v), "workers", lineno)?);
+                    } else {
+                        return Err(err(format!("unknown sweep attribute `{w}`")));
+                    }
+                }
+            }
             other => return Err(err(format!("unknown directive `{other}`"))),
         }
     }
@@ -222,6 +263,7 @@ pub fn parse(input: &str) -> Result<Scenario, ParseError> {
         ptts,
         interventions,
         sim,
+        sweep,
     })
 }
 
@@ -408,6 +450,28 @@ mod tests {
         // Absent directive leaves everything None.
         let bare = parse(FLU_DSL).unwrap();
         assert_eq!(bare.sim, SimParams::default());
+    }
+
+    #[test]
+    fn sweep_directive_parsed() {
+        let text = format!("{FLU_DSL}\nsweep r=0.0004,0.0008,0.0016 replicates=8 workers=4\n");
+        let s = parse(&text).unwrap();
+        assert_eq!(s.sweep.r_values, vec![0.0004, 0.0008, 0.0016]);
+        assert_eq!(s.sweep.replicates, Some(8));
+        assert_eq!(s.sweep.workers, Some(4));
+        assert!(!s.sweep.is_empty());
+        // Absent directive leaves the sweep empty.
+        let bare = parse(FLU_DSL).unwrap();
+        assert!(bare.sweep.is_empty());
+        assert_eq!(bare.sweep, SweepSpec::default());
+    }
+
+    #[test]
+    fn sweep_directive_rejects_bad_input() {
+        let text = format!("{FLU_DSL}\nsweep r=fast\n");
+        assert!(parse(&text).unwrap_err().message.contains("sweep r"));
+        let text = format!("{FLU_DSL}\nsweep shape=log\n");
+        assert!(parse(&text).unwrap_err().message.contains("shape"));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 #!/usr/bin/env bash
 # Regenerate the machine-readable perf records: BENCH_hotpath.json (schema
-# "hotpath-v1") and BENCH_netpath.json (schema "netpath-v1"), both
-# documented in EXPERIMENTS.md.
+# "hotpath-v1"), BENCH_netpath.json (schema "netpath-v1"), and
+# BENCH_ensemble.json (schema "ensemble-v1"), all documented in
+# EXPERIMENTS.md.
 #
 # Usage:
 #   scripts/bench.sh                 # measure, compare against the committed baseline
@@ -16,6 +17,8 @@
 #   EPISIM_SCALE   population scale       (default 1e-3)
 #   NETPATH_HOPS   hops per netpath message   (default 400)
 #   NETPATH_OUT    netpath output JSON path   (default BENCH_netpath.json)
+#   ENSEMBLE_RS    ensemble sweep r grid      (default 0.0001..0.0003, see binary)
+#   ENSEMBLE_OUT   ensemble output JSON path  (default BENCH_ensemble.json)
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -23,5 +26,7 @@ export HOTPATH_COMPARE="${HOTPATH_COMPARE-results/hotpath_baseline.json}"
 
 cargo build --release -p bench --bin hotpath --features alloc-count
 cargo build --release -p bench --bin netpath
+cargo build --release -p bench --bin ensemble
 ./target/release/hotpath
 ./target/release/netpath
+./target/release/ensemble

@@ -152,6 +152,44 @@ fn splitloc_heavy_curve_hash_is_pinned_and_engine_invariant() {
     );
 }
 
+/// The ensemble engine joins the conformance grid: a pinned 3 × 3
+/// transmissibility/seed sweep whose [`ResultStore`] hash must be
+/// identical on 1, 2, and 5 workers AND match a pinned constant. A moved
+/// constant means the ensemble path diverged from the oracle — a
+/// determinism break, not a tolerable drift.
+#[test]
+fn ensemble_sweep_hash_is_pinned_and_worker_invariant() {
+    use episimdemics::core::ensemble::{run_sweep, CowWorld, EnsembleSpec};
+
+    let pop = pop();
+    let dist = DataDistribution::build(&pop, Strategy::GraphPartition, 4, 19);
+    let world = CowWorld::build(&dist, flu_model());
+    let spec = EnsembleSpec::grid(&sim_cfg(19), &[0.0008, 0.0015, 0.0030], 3);
+    let reference = run_sweep(&world, &spec, 1).hash();
+    for workers in [2u32, 5] {
+        assert_eq!(
+            run_sweep(&world, &spec, workers).hash(),
+            reference,
+            "ensemble sweep diverged at {workers} workers"
+        );
+    }
+    // Each member must equal the standalone simulator on the same config —
+    // the store is a pure re-indexing of per-member runs, never a blend.
+    let store = run_sweep(&world, &spec, 3);
+    let standalone = Simulator::run_curve(
+        &dist,
+        flu_model(),
+        spec.points[1].config(&spec.base, spec.seeds[2]),
+        RuntimeConfig::sequential(4),
+    );
+    assert_eq!(store.curve(1, 2), &standalone, "member (1,2) diverged");
+    // Pinned: any edit that moves this constant is a determinism break.
+    assert_eq!(
+        reference, 0x7ef1_0c93_9d4b_2bc5,
+        "pinned ensemble sweep hash moved"
+    );
+}
+
 /// Negative control for the net engine: killing a worker process mid-run
 /// must surface as a transport error on the root, not hang and not produce
 /// a curve. (The killed worker exits abruptly at phase entry; phase 5 is

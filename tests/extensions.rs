@@ -128,6 +128,50 @@ fn ensemble_equals_explicit_replicates() {
 }
 
 #[test]
+fn surrogate_screen_never_discards_the_true_top_k() {
+    // EXPERIMENTS.md tolerance: promoting 2k survivors from the surrogate
+    // ranking must retain every member of the true top-k of an
+    // exhaustively simulated grid. The surrogate orders points by
+    // percolation attack, the truth by mean simulated attack rate; both
+    // are monotone in transmissibility, so the retention bound is the
+    // test of the surrogate's ranking fidelity, not of exact scores.
+    use episimdemics::core::ensemble::{run_sweep, surrogate, CowWorld, EnsembleSpec};
+
+    let pop = pop();
+    let dist = DataDistribution::build(&pop, Strategy::RoundRobin, 2, 99);
+    let world = CowWorld::build(&dist, flu_model());
+    let rs = [0.0002, 0.0005, 0.0009, 0.0014, 0.0020, 0.0028];
+    let spec = EnsembleSpec::grid(&cfg(20), &rs, 3);
+
+    // Ground truth: every point fully simulated.
+    let store = run_sweep(&world, &spec, 2);
+    let mut true_order: Vec<usize> = (0..rs.len()).collect();
+    true_order.sort_by(|&a, &b| {
+        store
+            .mean_attack_rate(b)
+            .partial_cmp(&store.mean_attack_rate(a))
+            .unwrap()
+            .then(a.cmp(&b))
+    });
+
+    // Surrogate ranking over the same spec.
+    let graph = surrogate::ContactGraph::build(&world.pop);
+    assert!(graph.n_edges() > 0, "contact graph must not be empty");
+    let scores = surrogate::screen(&graph, &world, &spec);
+
+    let k = 2;
+    let survivors = surrogate::promote_top_k(&scores, 2 * k);
+    for &want in &true_order[..k] {
+        assert!(
+            survivors.contains(&want),
+            "true top-{k} point {want} (r={}) discarded by the screen; \
+             survivors {survivors:?}, true order {true_order:?}",
+            rs[want]
+        );
+    }
+}
+
+#[test]
 fn vaccination_shows_up_in_the_transmission_tree() {
     // Vaccinating early must lower both the attack rate and the early-cohort
     // R_t relative to no action, on the identical population and seed.

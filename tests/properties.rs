@@ -412,6 +412,47 @@ proptest! {
         prop_assert!(f.sum_reciprocal_interactions.to_bits() == naive_recip.to_bits());
     }
 
+    /// Ensemble determinism: for a random (seed grid, r grid), the sweep's
+    /// result store is bit-identical to running each member standalone via
+    /// `Simulator::run_curve`, regardless of worker count — scheduling
+    /// interleaving must be unobservable in the output.
+    #[test]
+    fn ensemble_equals_standalone_members(
+        pop in arb_pop(),
+        strategy in arb_strategy(),
+        base_seed in 0u64..500,
+        r_lo in 4u32..12,
+        workers in 1u32..6,
+        n_seeds in 1u32..4,
+    ) {
+        use episimdemics::core::ensemble::{run_sweep, CowWorld, EnsembleSpec};
+
+        let base = SimConfig {
+            days: 10,
+            r: 0.0,
+            seed: base_seed,
+            initial_infections: 4,
+            ..Default::default()
+        };
+        let rs = [r_lo as f64 * 1e-4, (r_lo + 8) as f64 * 1e-4];
+        let dist = DataDistribution::build(&pop, strategy, 3, base_seed);
+        let world = CowWorld::build(&dist, flu_model());
+        let spec = EnsembleSpec::grid(&base, &rs, n_seeds);
+        let store = run_sweep(&world, &spec, workers);
+        for pi in 0..spec.points.len() {
+            for si in 0..spec.seeds.len() {
+                let member = spec.points[pi].config(&base, spec.seeds[si]);
+                let standalone = Simulator::run_curve(
+                    &dist,
+                    flu_model(),
+                    member,
+                    RuntimeConfig::sequential(2),
+                );
+                prop_assert_eq!(store.curve(pi, si), &standalone);
+            }
+        }
+    }
+
     /// Generated populations always satisfy their structural contract.
     #[test]
     fn population_contract(pop in arb_pop()) {
