@@ -52,8 +52,9 @@ pub use chare::{Chare, ChareId, Ctx, Message};
 pub use config::{AggregationConfig, ExecMode, NetConfig, NetTransport, RuntimeConfig, SmpConfig};
 pub use faults::{FaultHook, FaultPlan, FaultRng, NoFaults, PacketFate, PlanFaults};
 pub use net::{
-    align_to_invocation, crc32, worker_target, Backoff, EpochStore, NetEngine, PeerHealth,
-    RecoveryError, RecoverySnapshot, TransportError, KILL_EXIT, TRANSPORT_EXIT,
+    align_to_invocation, crc32, read_frame, worker_target, write_frame, write_frames, Backoff,
+    EpochStore, FrameBuf, NetEngine, PeerHealth, Polled, RecoveryError, RecoverySnapshot,
+    TransportError, KILL_EXIT, MAX_FRAME, TRANSPORT_EXIT,
 };
 pub use runtime::Runtime;
 pub use stats::{PeStats, PhaseStats};

@@ -53,6 +53,18 @@ const ADAPT_ALPHA: f64 = 0.125;
 /// Bounds on the adaptive batch size.
 const ADAPT_MIN_BATCH: u32 = 2;
 const ADAPT_MAX_BATCH: u32 = 1024;
+/// An idle-flushed packet with at most this many envelopes marks its lane
+/// "near-empty": the traffic toward that destination is too sparse to
+/// fill batches, so waiting for one only adds idle-detection latency.
+const NEAR_EMPTY_MSGS: usize = 2;
+/// Consecutive near-empty idle flushes before a lane turns eager. One
+/// sparse flush can be a phase tail; a streak is a traffic pattern.
+const NEAR_EMPTY_STREAK: u32 = 3;
+/// Eager flushes granted per qualification. Bounding the grant lets a
+/// lane fall back to batching when traffic picks back up: once the grant
+/// is spent the lane must re-qualify through another idle-flush streak
+/// (and any batch-full flush revokes it immediately).
+const EAGER_GRANT: u32 = 64;
 /// Exit code of a worker killed by the `kill_rank`/`kill_phase` fault
 /// knob.
 pub const KILL_EXIT: i32 = 17;
@@ -301,6 +313,14 @@ pub struct NetEngine<M: Message> {
     /// Adaptive batch controller (None unless
     /// [`crate::AggregationConfig::adaptive`] is set on a networked role).
     adapt: Option<AdaptCtl>,
+    /// Per-lane (destination rank) count of consecutive idle flushes that
+    /// carried ≤ [`NEAR_EMPTY_MSGS`] envelopes. Reaching
+    /// [`NEAR_EMPTY_STREAK`] arms the lane's eager grant.
+    lane_idle_streak: Vec<u32>,
+    /// Per-lane remaining eager flushes ([`EAGER_GRANT`] when armed; 0 =
+    /// lane batches normally). Only populated when the adaptive controller
+    /// is active — the heuristic is an extension of its eager regime.
+    lane_eager_left: Vec<u32>,
     /// Largest batch level in force at any point this phase. The controller
     /// decays toward [`ADAPT_MIN_BATCH`] in the idle tail of a phase, so
     /// the end-of-phase level alone would under-report the operating point.
@@ -473,6 +493,8 @@ impl<M: Message> NetEngine<M> {
             shm_frames_sent: 0,
             shm_parks: 0,
             adapt,
+            lane_idle_streak: vec![0; cfg.net.n_procs as usize],
+            lane_eager_left: vec![0; cfg.net.n_procs as usize],
             agg_batch_peak: 0,
         }
         .with_comm(comm)
@@ -611,14 +633,30 @@ impl<M: Message> NetEngine<M> {
         }
     }
 
-    /// In the latency-bound regime (adaptive controller converged to the
-    /// minimum batch), flush the lane a push just landed in instead of
-    /// letting the message wait for a batch that may never fill.
+    /// In the latency-bound regime, flush the lane a push just landed in
+    /// instead of letting the message wait for a batch that may never
+    /// fill. Two triggers, both requiring the adaptive controller:
+    /// globally, the controller converged to the minimum batch (every
+    /// lane is latency-bound); per lane, a streak of near-empty idle
+    /// flushes armed a bounded eager grant (see [`NEAR_EMPTY_STREAK`]) —
+    /// that lane's traffic is too sparse to batch even though aggregate
+    /// load keeps the controller at a larger batch size.
     fn eager_flush(&mut self, lp: usize, hop: u32) {
-        if self.adapt.as_ref().is_some_and(|a| a.eager) {
-            if let Some(packet) = self.agg.flush_lane(hop) {
-                self.emit(lp, Flush::Packet(packet), FlushCause::Eager);
+        let Some(a) = self.adapt.as_ref() else { return };
+        let granted = self
+            .lane_eager_left
+            .get(hop as usize)
+            .is_some_and(|&left| left > 0);
+        if !a.eager && !granted {
+            return;
+        }
+        if let Some(packet) = self.agg.flush_lane(hop) {
+            if !a.eager && granted {
+                if let Some(left) = self.lane_eager_left.get_mut(hop as usize) {
+                    *left -= 1;
+                }
             }
+            self.emit(lp, Flush::Packet(packet), FlushCause::Eager);
         }
     }
 
@@ -693,6 +731,14 @@ impl<M: Message> NetEngine<M> {
             FlushCause::BatchFull => {
                 st.wire_flush_batch += 1;
                 st.wire_msgs_batch += n_envs;
+                // A lane that fills whole batches is not near-empty:
+                // revoke any eager grant and restart its qualification.
+                if let Some(s) = self.lane_idle_streak.get_mut(dst_rank as usize) {
+                    *s = 0;
+                }
+                if let Some(left) = self.lane_eager_left.get_mut(dst_rank as usize) {
+                    *left = 0;
+                }
             }
             FlushCause::Idle => {
                 st.wire_flush_idle += 1;
@@ -832,6 +878,12 @@ impl<M: Message> NetEngine<M> {
     }
 
     /// Idle flush of every dirty lane. Returns whether anything left.
+    ///
+    /// Each flushed packet is also a lane-occupancy observation for the
+    /// near-empty heuristic: a streak of [`NEAR_EMPTY_STREAK`] idle
+    /// flushes carrying ≤ [`NEAR_EMPTY_MSGS`] envelopes arms the lane's
+    /// eager grant (the lane keeps paying idle-detection latency for a
+    /// batch that never fills), while a well-filled idle flush resets it.
     fn flush_idle(&mut self) -> bool {
         if self.agg.is_empty() {
             return false;
@@ -839,6 +891,21 @@ impl<M: Message> NetEngine<M> {
         let packets = self.agg.flush_all();
         let any = !packets.is_empty();
         for packet in packets {
+            if self.adapt.is_some() {
+                let dst = packet.dst_pe as usize;
+                if packet.envelopes.len() <= NEAR_EMPTY_MSGS {
+                    if let Some(s) = self.lane_idle_streak.get_mut(dst) {
+                        *s = s.saturating_add(1);
+                        if *s >= NEAR_EMPTY_STREAK {
+                            if let Some(left) = self.lane_eager_left.get_mut(dst) {
+                                *left = EAGER_GRANT;
+                            }
+                        }
+                    }
+                } else if let Some(s) = self.lane_idle_streak.get_mut(dst) {
+                    *s = 0;
+                }
+            }
             self.emit(0, Flush::Packet(packet), FlushCause::Idle);
         }
         any

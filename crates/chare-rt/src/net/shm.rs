@@ -628,7 +628,7 @@ impl Doorbell {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::net::transport::{write_frame, FrameBuf};
+    use crate::net::transport::FrameBuf;
     use std::time::Instant;
 
     fn pair(ring_bytes: u32) -> (Arc<ShmRegion>, RingProducer, RingConsumer) {

@@ -1,6 +1,7 @@
 //! The parallel simulation driver: the per-day phase loop of §II-B run on
 //! the chare runtime.
 
+use crate::checkpoint::{Checkpoint, CheckpointError};
 use crate::distribution::DataDistribution;
 use crate::ensemble::CowWorld;
 use crate::kernel::LocationDayFeatures;
@@ -11,6 +12,7 @@ use chare_rt::{ChareId, PhaseStats, Runtime, RuntimeConfig};
 use ptts::crng::{CounterRng, Purpose};
 use ptts::intervention::{DayObservables, InterventionSet};
 use ptts::Ptts;
+use std::fmt;
 use std::sync::Arc;
 
 /// Simulation parameters.
@@ -89,6 +91,91 @@ impl Carry {
             yesterday_new: 0,
             yesterday_infected: seeds,
         }
+    }
+}
+
+/// A day-boundary decision for externally driven runs (the episerve
+/// worker pool): keep going, pause here (checkpointable — the runtime is
+/// quiescent), or stop for good (cooperative cancel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DayControl {
+    /// Simulate the next day.
+    Continue,
+    /// Stop after this day; the caller intends to checkpoint and resume.
+    Pause,
+    /// Stop after this day; the run is abandoned (cancel).
+    Stop,
+}
+
+/// How an observed span of days ended (see [`Simulator::run_days_observed`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunHalt {
+    /// Reached `end` (or the epidemic went extinct first — the same
+    /// "nothing left to do" outcome [`Simulator::run_days`] reports).
+    Finished {
+        /// Whether extinction cut the span short.
+        extinct: bool,
+    },
+    /// The observer requested a pause; `next_day` is the first day *not*
+    /// simulated (feed it to [`crate::checkpoint::capture`]).
+    Paused {
+        /// The day a resumed run must start from.
+        next_day: u32,
+    },
+    /// The observer requested a cooperative stop (cancel).
+    Stopped {
+        /// The first day not simulated.
+        next_day: u32,
+    },
+}
+
+/// Why [`Simulator::resume_from`] refused a checkpoint file.
+#[derive(Debug)]
+pub enum ResumeError {
+    /// The file could not be read.
+    Io(std::io::Error),
+    /// The bytes failed structural or CRC validation
+    /// ([`CheckpointError::BadCrc`] et al.).
+    Corrupt(CheckpointError),
+    /// The checkpoint decodes but does not belong to this invocation:
+    /// wrong population size or a resume day beyond the configured run.
+    Mismatch(String),
+}
+
+impl fmt::Display for ResumeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResumeError::Io(e) => write!(f, "checkpoint read failed: {e}"),
+            ResumeError::Corrupt(e) => write!(f, "checkpoint invalid: {e}"),
+            ResumeError::Mismatch(why) => write!(f, "checkpoint mismatch: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ResumeError {}
+
+/// A simulator rebuilt from a checkpoint by [`Simulator::resume_from`],
+/// ready to continue at `next_day` with `carry` — no manual
+/// load→`to_carry`→`with_states` wiring.
+pub struct Resumed {
+    /// The rebuilt simulator (person states restored).
+    pub sim: Simulator,
+    /// Epidemic bookkeeping as of the checkpoint.
+    pub carry: Carry,
+    /// First day to simulate.
+    pub next_day: u32,
+    /// Initial seeded infections (for `EpiCurve` bookkeeping).
+    pub seeds: u64,
+}
+
+// Manual impl: `Simulator` holds a live runtime and has no useful Debug
+// form; the resume bookkeeping is what matters in assertions.
+impl std::fmt::Debug for Resumed {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Resumed")
+            .field("next_day", &self.next_day)
+            .field("seeds", &self.seeds)
+            .finish_non_exhaustive()
     }
 }
 
@@ -210,10 +297,29 @@ impl Simulator {
         end: u32,
         carry: &mut Carry,
     ) -> (Vec<DayStats>, Vec<DayPerf>, bool) {
+        let (days, perf, halt) =
+            self.run_days_observed(start, end, carry, &mut |_| DayControl::Continue);
+        let extinct = matches!(halt, RunHalt::Finished { extinct: true });
+        (days, perf, extinct)
+    }
+
+    /// Like [`Simulator::run_days`], but `observe` sees every finished
+    /// day's [`DayStats`] *at the day boundary* — a global quiescence
+    /// point — and decides whether to continue, pause (checkpoint next),
+    /// or stop (cooperative cancel). This is the lifecycle hook the
+    /// episerve worker pool drives: per-day curve streaming, pause, and
+    /// cancel all ride on the returned [`DayControl`].
+    pub fn run_days_observed(
+        &mut self,
+        start: u32,
+        end: u32,
+        carry: &mut Carry,
+        observe: &mut dyn FnMut(&DayStats) -> DayControl,
+    ) -> (Vec<DayStats>, Vec<DayPerf>, RunHalt) {
         let population = self.shared.pop.n_people() as u64;
         let mut days = Vec::new();
         let mut perf = Vec::new();
-        let mut extinct = false;
+        let mut halt = RunHalt::Finished { extinct: false };
 
         for day in start..end {
             // Step 0: interventions react to yesterday's global state.
@@ -277,22 +383,73 @@ impl Simulator {
             };
             carry.yesterday_new = new_infections;
             carry.yesterday_infected = stats.infected_now;
+            let control = observe(&stats);
+            let infected_now = stats.infected_now;
             days.push(stats);
             perf.push(DayPerf {
                 person_phase,
                 location_phase,
                 apply_phase,
             });
-            if self.cfg.stop_when_extinct
-                && stats.infected_now == 0
-                && new_infections == 0
-                && day > 0
-            {
-                extinct = true;
+            if self.cfg.stop_when_extinct && infected_now == 0 && new_infections == 0 && day > 0 {
+                halt = RunHalt::Finished { extinct: true };
                 break;
             }
+            match control {
+                DayControl::Continue => {}
+                DayControl::Pause => {
+                    halt = RunHalt::Paused { next_day: day + 1 };
+                    break;
+                }
+                DayControl::Stop => {
+                    halt = RunHalt::Stopped { next_day: day + 1 };
+                    break;
+                }
+            }
         }
-        (days, perf, extinct)
+        (days, perf, halt)
+    }
+
+    /// Rebuild a paused run from a checkpoint file in one step: read,
+    /// CRC-validate ([`Checkpoint::decode`]), check the checkpoint against
+    /// this invocation (person count must match the population, the resume
+    /// day must lie inside `cfg.days`), and wire the restored person
+    /// states and [`Carry`] into a fresh simulator. Replaces the manual
+    /// `load` → `to_carry` → `with_states` → `run_days(next_day, …)`
+    /// dance; continuing from the result is bit-exact (the checkpoint
+    /// tests pin this).
+    pub fn resume_from(
+        path: &std::path::Path,
+        dist: &DataDistribution,
+        ptts: Ptts,
+        cfg: SimConfig,
+        rt_cfg: RuntimeConfig,
+    ) -> Result<Resumed, ResumeError> {
+        let data = std::fs::read(path).map_err(ResumeError::Io)?;
+        let ckpt = Checkpoint::decode(&data).map_err(ResumeError::Corrupt)?;
+        let n_people = dist.pop.n_people() as usize;
+        if ckpt.states.len() != n_people {
+            return Err(ResumeError::Mismatch(format!(
+                "checkpoint holds {} persons but the population has {n_people}",
+                ckpt.states.len()
+            )));
+        }
+        if ckpt.next_day > cfg.days {
+            return Err(ResumeError::Mismatch(format!(
+                "checkpoint resumes at day {} but the run is only {} days",
+                ckpt.next_day, cfg.days
+            )));
+        }
+        let carry = ckpt.to_carry(&cfg.interventions);
+        let next_day = ckpt.next_day;
+        let seeds = ckpt.seeds;
+        let sim = Simulator::with_states(dist, ptts, cfg, rt_cfg, Some(ckpt.states));
+        Ok(Resumed {
+            sim,
+            carry,
+            next_day,
+            seeds,
+        })
     }
 
     /// SPMD rank of the underlying runtime (0 outside `ExecMode::Net`).
@@ -508,6 +665,176 @@ mod tests {
         // The person phase carries the visit traffic.
         assert!(day0.person_phase.totals().sent_total() > 0);
         assert!(day0.person_phase.totals().busy_ns > 0);
+    }
+
+    #[test]
+    fn observed_run_matches_plain_run_and_pauses_at_boundary() {
+        let pop = small_pop();
+        let dist = DataDistribution::build(&pop, Strategy::GraphPartition, 3, 5);
+        let cfg = SimConfig {
+            days: 20,
+            r: 0.0012,
+            seed: 5,
+            initial_infections: 8,
+            stop_when_extinct: false,
+            ..Default::default()
+        };
+        let plain = Simulator::new(
+            &dist,
+            flu_model(),
+            cfg.clone(),
+            RuntimeConfig::sequential(3),
+        )
+        .run()
+        .curve;
+
+        // Observe every day, pause at day 7: the prefix must be identical
+        // and the halt must name day 8 as the resume point.
+        let mut sim = Simulator::new(
+            &dist,
+            flu_model(),
+            cfg.clone(),
+            RuntimeConfig::sequential(3),
+        );
+        let mut carry = Carry::new(cfg.interventions.clone(), 8);
+        let mut seen = Vec::new();
+        let (days, _, halt) = sim.run_days_observed(0, 20, &mut carry, &mut |d| {
+            seen.push(d.day);
+            if d.day == 7 {
+                DayControl::Pause
+            } else {
+                DayControl::Continue
+            }
+        });
+        assert_eq!(halt, RunHalt::Paused { next_day: 8 });
+        assert_eq!(days.len(), 8);
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+        assert_eq!(days.as_slice(), &plain.days[..8]);
+
+        // Stop is the cooperative cancel: same boundary semantics.
+        let mut sim = Simulator::new(
+            &dist,
+            flu_model(),
+            cfg.clone(),
+            RuntimeConfig::sequential(3),
+        );
+        let mut carry = Carry::new(cfg.interventions.clone(), 8);
+        let (days, _, halt) = sim.run_days_observed(0, 20, &mut carry, &mut |d| {
+            if d.day >= 3 {
+                DayControl::Stop
+            } else {
+                DayControl::Continue
+            }
+        });
+        assert_eq!(halt, RunHalt::Stopped { next_day: 4 });
+        assert_eq!(days.len(), 4);
+    }
+
+    #[test]
+    fn resume_from_is_bit_exact_and_typed_errors() {
+        use crate::checkpoint::capture;
+        let pop = small_pop();
+        let dist = DataDistribution::build(&pop, Strategy::GraphPartition, 3, 9);
+        let cfg = SimConfig {
+            days: 24,
+            r: 0.0012,
+            seed: 9,
+            initial_infections: 8,
+            stop_when_extinct: false,
+            ..Default::default()
+        };
+        let straight = Simulator::new(
+            &dist,
+            flu_model(),
+            cfg.clone(),
+            RuntimeConfig::sequential(3),
+        )
+        .run()
+        .curve;
+
+        let mut sim = Simulator::new(
+            &dist,
+            flu_model(),
+            cfg.clone(),
+            RuntimeConfig::sequential(3),
+        );
+        let mut carry = Carry::new(cfg.interventions.clone(), 8);
+        let (mut days, _, _) = sim.run_days(0, 12, &mut carry);
+        let (states, _) = sim.dismantle();
+        let ckpt = capture(12, 8, &carry, states);
+        let dir = std::env::temp_dir().join(format!("episim-resume-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("job.epck");
+        ckpt.save(&path).unwrap();
+
+        let resumed = Simulator::resume_from(
+            &path,
+            &dist,
+            flu_model(),
+            cfg.clone(),
+            RuntimeConfig::sequential(3),
+        )
+        .expect("valid checkpoint resumes");
+        assert_eq!(resumed.next_day, 12);
+        assert_eq!(resumed.seeds, 8);
+        let mut carry2 = resumed.carry;
+        let mut sim2 = resumed.sim;
+        let (tail, _, _) = sim2.run_days(12, 24, &mut carry2);
+        days.extend(tail);
+        assert_eq!(days, straight.days, "resume_from must be bit-exact");
+
+        // Missing file → Io.
+        let err = Simulator::resume_from(
+            &dir.join("absent.epck"),
+            &dist,
+            flu_model(),
+            cfg.clone(),
+            RuntimeConfig::sequential(3),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ResumeError::Io(_)), "{err}");
+
+        // Bit-flipped body → Corrupt (CRC).
+        let mut bad = std::fs::read(&path).unwrap();
+        let mid = bad.len() / 2;
+        bad[mid] ^= 0x40;
+        let bad_path = dir.join("bad.epck");
+        std::fs::write(&bad_path, &bad).unwrap();
+        let err = Simulator::resume_from(
+            &bad_path,
+            &dist,
+            flu_model(),
+            cfg.clone(),
+            RuntimeConfig::sequential(3),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ResumeError::Corrupt(_)), "{err}");
+
+        // Wrong population → Mismatch.
+        let other_pop = Population::generate(&PopulationConfig::small("XL", 2500, 12));
+        let other_dist = DataDistribution::build(&other_pop, Strategy::RoundRobin, 3, 9);
+        let err = Simulator::resume_from(
+            &path,
+            &other_dist,
+            flu_model(),
+            cfg.clone(),
+            RuntimeConfig::sequential(3),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ResumeError::Mismatch(_)), "{err}");
+
+        // Resume day beyond the configured run → Mismatch.
+        let short_cfg = SimConfig { days: 5, ..cfg };
+        let err = Simulator::resume_from(
+            &path,
+            &dist,
+            flu_model(),
+            short_cfg,
+            RuntimeConfig::sequential(3),
+        )
+        .unwrap_err();
+        assert!(matches!(err, ResumeError::Mismatch(_)), "{err}");
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -96,6 +96,18 @@ pub struct Scenario {
     pub sweep: SweepSpec,
 }
 
+impl std::str::FromStr for Scenario {
+    type Err = ParseError;
+
+    /// Parse-from-string entry for job submission (`text.parse()?`): the
+    /// episerve control plane receives scenario DSL text on the wire and
+    /// turns it into a [`Scenario`] through this impl. Identical to
+    /// [`parse`].
+    fn from_str(s: &str) -> Result<Scenario, ParseError> {
+        parse(s)
+    }
+}
+
 /// Parse a scenario from DSL text.
 pub fn parse(input: &str) -> Result<Scenario, ParseError> {
     let mut name: Option<String> = None;
@@ -393,6 +405,18 @@ exposed latent
 mod tests {
     use super::*;
     use crate::disease::flu_model;
+
+    #[test]
+    fn from_str_matches_parse() {
+        let via_parse = parse(FLU_DSL).expect("parse");
+        let via_from_str: Scenario = FLU_DSL.parse().expect("FromStr");
+        assert_eq!(via_from_str.sim, via_parse.sim);
+        assert_eq!(
+            via_from_str.interventions.len(),
+            via_parse.interventions.len()
+        );
+        assert!("disease broken\nstate".parse::<Scenario>().is_err());
+    }
 
     #[test]
     fn parses_builtin_flu_dsl() {

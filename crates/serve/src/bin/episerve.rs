@@ -1,0 +1,60 @@
+//! The episerve server binary.
+//!
+//! ```text
+//! episerve [--addr 127.0.0.1:7app] [--data-dir DIR] [--workers N]
+//!          [--queue-cap N] [--topic-cap N]
+//! ```
+//!
+//! Prints the bound address on stdout (`listening on <addr>`), then
+//! serves until a client sends `Shutdown` (or the process receives a
+//! signal).
+
+use episerve::{PoolConfig, Server, ServerConfig};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: episerve [--addr HOST:PORT] [--data-dir DIR] [--workers N] \
+         [--queue-cap N] [--topic-cap N]"
+    );
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let mut cfg = ServerConfig::local(PathBuf::from("episerve-data"));
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        let Some(value) = args.next() else {
+            return usage();
+        };
+        match flag.as_str() {
+            "--addr" => cfg.addr = value,
+            "--data-dir" => cfg.data_dir = PathBuf::from(value),
+            "--workers" => match value.parse() {
+                Ok(n) => cfg.pool = PoolConfig { workers: n },
+                Err(_) => return usage(),
+            },
+            "--queue-cap" => match value.parse() {
+                Ok(n) => cfg.queue_cap = n,
+                Err(_) => return usage(),
+            },
+            "--topic-cap" => match value.parse() {
+                Ok(n) => cfg.topic_cap = n,
+                Err(_) => return usage(),
+            },
+            _ => return usage(),
+        }
+    }
+    match Server::start(cfg) {
+        Ok(server) => {
+            println!("listening on {}", server.addr());
+            server.join();
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("episerve: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,262 @@
+//! Blocking client for the episerve control plane: one request/response
+//! connection per [`Client`], one dedicated streaming connection per
+//! [`EventStream`].
+
+use crate::job::{JobId, JobSpec, JobState};
+use crate::protocol::{
+    decode_event, decode_response, encode_request, kind, Event, ProtoError, Request, Response,
+    MAGIC, VERSION,
+};
+use chare_rt::{read_frame, write_frame};
+use std::fmt;
+use std::io;
+use std::net::TcpStream;
+
+/// Client-side failure surface.
+#[derive(Debug)]
+pub enum ClientError {
+    /// Socket-level failure.
+    Io(io::Error),
+    /// The server's bytes failed to decode.
+    Proto(ProtoError),
+    /// The server refused the request ([`crate::protocol::errcode`]).
+    Server {
+        /// Error code.
+        code: u8,
+        /// Detail message.
+        message: String,
+    },
+    /// The server answered with the wrong response variant.
+    Unexpected(String),
+}
+
+impl fmt::Display for ClientError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "io: {e}"),
+            ClientError::Proto(e) => write!(f, "protocol: {e}"),
+            ClientError::Server { code, message } => write!(f, "server error {code}: {message}"),
+            ClientError::Unexpected(what) => write!(f, "unexpected response: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> Self {
+        ClientError::Io(e)
+    }
+}
+
+impl From<ProtoError> for ClientError {
+    fn from(e: ProtoError) -> Self {
+        ClientError::Proto(e)
+    }
+}
+
+fn hello(stream: &mut TcpStream) -> Result<(), ClientError> {
+    write_frame(
+        stream,
+        kind::REQUEST,
+        &encode_request(&Request::Hello {
+            magic: MAGIC,
+            version: VERSION,
+        }),
+    )?;
+    match read_response(stream)? {
+        Response::HelloOk { .. } => Ok(()),
+        Response::Error { code, message } => Err(ClientError::Server { code, message }),
+        other => Err(ClientError::Unexpected(format!("{other:?}"))),
+    }
+}
+
+fn read_response(stream: &mut TcpStream) -> Result<Response, ClientError> {
+    let (k, payload, _) = read_frame(stream)?;
+    if k != kind::RESPONSE {
+        return Err(ClientError::Unexpected(format!("frame kind {k}")));
+    }
+    Ok(decode_response(&payload)?)
+}
+
+/// A request/response connection.
+pub struct Client {
+    stream: TcpStream,
+    addr: String,
+}
+
+impl Client {
+    /// Connect and handshake.
+    pub fn connect(addr: &str) -> Result<Client, ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        hello(&mut stream)?;
+        Ok(Client {
+            stream,
+            addr: addr.to_string(),
+        })
+    }
+
+    fn call(&mut self, req: &Request) -> Result<Response, ClientError> {
+        write_frame(&mut self.stream, kind::REQUEST, &encode_request(req))?;
+        match read_response(&mut self.stream)? {
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            resp => Ok(resp),
+        }
+    }
+
+    /// Queue a job; returns its id.
+    pub fn submit(&mut self, spec: &JobSpec) -> Result<JobId, ClientError> {
+        match self.call(&Request::Submit { spec: spec.clone() })? {
+            Response::Submitted { job } => Ok(job),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Request a day-boundary checkpoint-pause.
+    pub fn pause(&mut self, job: JobId) -> Result<JobState, ClientError> {
+        self.ack(&Request::Pause { job })
+    }
+
+    /// Re-enqueue a paused job.
+    pub fn resume(&mut self, job: JobId) -> Result<JobState, ClientError> {
+        self.ack(&Request::Resume { job })
+    }
+
+    /// Cancel a job.
+    pub fn cancel(&mut self, job: JobId) -> Result<JobState, ClientError> {
+        self.ack(&Request::Cancel { job })
+    }
+
+    fn ack(&mut self, req: &Request) -> Result<JobState, ClientError> {
+        match self.call(req)? {
+            Response::Ack { state, .. } => Ok(state),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// `(state, days simulated)`.
+    pub fn status(&mut self, job: JobId) -> Result<(JobState, u32), ClientError> {
+        match self.call(&Request::Status { job })? {
+            Response::JobStatus {
+                state, days_done, ..
+            } => Ok((state, days_done)),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Every job the server knows, id-ascending.
+    pub fn list(&mut self) -> Result<Vec<(JobId, JobState)>, ClientError> {
+        match self.call(&Request::List)? {
+            Response::Jobs { jobs } => Ok(jobs),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Ask the server to drain and exit.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.call(&Request::Shutdown)? {
+            Response::Bye => Ok(()),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Open a dedicated streaming connection for `job` (replays the
+    /// curve so far, then follows live). Returns the job's state at
+    /// subscribe time and the stream.
+    pub fn subscribe(&self, job: JobId) -> Result<(JobState, EventStream), ClientError> {
+        EventStream::open(&self.addr, job)
+    }
+}
+
+/// A one-way event stream; iterate to drain it. Iteration ends after the
+/// job's terminal event (or on disconnect).
+pub struct EventStream {
+    stream: TcpStream,
+    done: bool,
+}
+
+impl EventStream {
+    /// Connect, handshake, subscribe.
+    pub fn open(addr: &str, job: JobId) -> Result<(JobState, EventStream), ClientError> {
+        let mut stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true).ok();
+        hello(&mut stream)?;
+        write_frame(
+            &mut stream,
+            kind::REQUEST,
+            &encode_request(&Request::Subscribe { job }),
+        )?;
+        match read_response(&mut stream)? {
+            Response::Ack { state, .. } => Ok((
+                state,
+                EventStream {
+                    stream,
+                    done: false,
+                },
+            )),
+            Response::Error { code, message } => Err(ClientError::Server { code, message }),
+            other => Err(ClientError::Unexpected(format!("{other:?}"))),
+        }
+    }
+
+    /// Drain the stream, invoking `on_day` per curve point, and return
+    /// the terminal event. Lagged notices are counted, not surfaced.
+    pub fn drain(
+        mut self,
+        mut on_day: impl FnMut(&episim_core::DayStats),
+    ) -> Result<Event, ClientError> {
+        let mut lagged = 0u64;
+        for ev in &mut self {
+            let ev = ev?;
+            match &ev {
+                Event::Day { stats, .. } => on_day(stats),
+                Event::Lagged { missed, .. } => lagged += missed,
+                _ => {}
+            }
+            if ev.is_terminal() {
+                let _ = lagged;
+                return Ok(ev);
+            }
+        }
+        Err(ClientError::Unexpected(
+            "stream ended without a terminal event".to_string(),
+        ))
+    }
+}
+
+impl Iterator for EventStream {
+    type Item = Result<Event, ClientError>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.done {
+            return None;
+        }
+        match read_frame(&mut self.stream) {
+            Ok((kind::EVENT, payload, _)) => match decode_event(&payload) {
+                Ok(ev) => {
+                    if ev.is_terminal() {
+                        self.done = true;
+                    }
+                    Some(Ok(ev))
+                }
+                Err(e) => {
+                    self.done = true;
+                    Some(Err(ClientError::Proto(e)))
+                }
+            },
+            Ok((k, _, _)) => {
+                self.done = true;
+                Some(Err(ClientError::Unexpected(format!("frame kind {k}"))))
+            }
+            Err(e) if e.kind() == io::ErrorKind::UnexpectedEof => {
+                self.done = true;
+                None
+            }
+            Err(e) => {
+                self.done = true;
+                Some(Err(ClientError::Io(e)))
+            }
+        }
+    }
+}

@@ -1,0 +1,275 @@
+//! The worker pool: OS threads that lease jobs from the
+//! [`Manager`], build the world, and drive the engines through the
+//! day-boundary lifecycle hooks ([`Simulator::run_days_observed`]).
+//!
+//! A worker is a pure consumer of the lease protocol:
+//!
+//! * per-day curve points stream out via [`Manager::day_finished`];
+//! * a pending pause turns into `dismantle → capture → Checkpoint::save`
+//!   (the hardened CRC format) and [`Manager::finish_paused`];
+//! * a resumed lease goes through [`Simulator::resume_from`] — the
+//!   single validated entry point — so a corrupt or mismatched
+//!   checkpoint fails the job with a typed message instead of crashing
+//!   the worker;
+//! * cancel is the cooperative day-boundary stop ([`DayControl::Stop`]).
+//!
+//! Panics inside a job (engine bugs, bad downcasts) are caught per-lease
+//! and turn into `Failed` transitions; the worker thread survives.
+
+use crate::job::{EngineSel, JobSpec, ScenarioSource};
+use crate::manager::{ctl, Lease, Manager};
+use episim_core::{
+    CowWorld, DataDistribution, DayControl, EngineChoice, EnsembleSpec, RunHalt, SimConfig,
+    Simulator, Strategy,
+};
+use ptts::dsl::Scenario;
+use ptts::intervention::InterventionSet;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::Ordering;
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use synthpop::{Population, PopulationConfig};
+
+/// Pool sizing.
+#[derive(Debug, Clone, Copy)]
+pub struct PoolConfig {
+    /// Worker threads (each runs at most one job at a time).
+    pub workers: usize,
+}
+
+impl Default for PoolConfig {
+    fn default() -> Self {
+        PoolConfig { workers: 4 }
+    }
+}
+
+/// Handle over the spawned worker threads.
+pub struct Pool {
+    handles: Vec<JoinHandle<()>>,
+}
+
+/// Spawn `cfg.workers` lease-loop threads against `manager`.
+pub fn spawn(manager: Arc<Manager>, cfg: PoolConfig) -> Pool {
+    let handles = (0..cfg.workers.max(1))
+        .map(|i| {
+            let mgr = Arc::clone(&manager);
+            std::thread::Builder::new()
+                .name(format!("episerve-worker-{i}"))
+                .spawn(move || worker_loop(&mgr))
+                .unwrap_or_else(|e| panic!("spawn worker {i}: {e}"))
+        })
+        .collect();
+    Pool { handles }
+}
+
+impl Pool {
+    /// Wait for every worker to drain (they exit once the manager is
+    /// shut down and the queue is empty).
+    pub fn join(self) {
+        for h in self.handles {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(mgr: &Manager) {
+    while let Some(lease) = mgr.lease() {
+        let job = lease.job;
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_lease(mgr, &lease)));
+        if let Err(payload) = outcome {
+            let msg = payload
+                .downcast_ref::<String>()
+                .cloned()
+                .or_else(|| payload.downcast_ref::<&str>().map(|s| s.to_string()))
+                .unwrap_or_else(|| "worker panicked".to_string());
+            mgr.finish_failed(job, format!("panic: {msg}"));
+        }
+    }
+}
+
+/// Resolve the effective simulation config from spec + scenario, with
+/// the same defaults `SimConfig::default()` documents.
+fn effective_config(spec: &JobSpec, scenario: &Scenario) -> SimConfig {
+    let defaults = SimConfig::default();
+    SimConfig {
+        days: spec.days.or(scenario.sim.days).unwrap_or(defaults.days),
+        r: scenario.sim.r.unwrap_or(defaults.r),
+        seed: spec.seed.or(scenario.sim.seed).unwrap_or(defaults.seed),
+        initial_infections: scenario
+            .sim
+            .initial_infections
+            .unwrap_or(defaults.initial_infections),
+        interventions: InterventionSet::new(scenario.interventions.clone()),
+        stop_when_extinct: true,
+    }
+}
+
+/// Build the world a spec describes. Deterministic in the spec: the same
+/// hints + seed always produce the same population and distribution,
+/// which is what makes server-side curve hashes comparable to direct
+/// runs of the same spec.
+fn build_distribution(spec: &JobSpec, cfg: &SimConfig) -> DataDistribution {
+    let pop = Population::generate(&PopulationConfig::small(
+        &spec.name,
+        spec.hints.pop_size,
+        spec.hints.pop_seed,
+    ));
+    DataDistribution::build(
+        &pop,
+        Strategy::GraphPartition,
+        spec.hints.n_partitions,
+        cfg.seed,
+    )
+}
+
+/// Run a spec's *uninterrupted twin* in-process and return its curve
+/// hash: exactly the world-building and engine selection a pool worker
+/// performs, minus the service machinery. The demo and the lifecycle
+/// tests compare server completion events against this — the
+/// service-ification determinism check.
+pub fn reference_hash(spec: &JobSpec) -> Result<u64, String> {
+    let scenario: Scenario = spec
+        .source
+        .dsl()
+        .parse()
+        .map_err(|e| format!("scenario DSL does not parse: {e}"))?;
+    let cfg = effective_config(spec, &scenario);
+    let dist = build_distribution(spec, &cfg);
+    let choice = match spec.engine {
+        EngineSel::Seq => EngineChoice::Seq,
+        EngineSel::Threads => EngineChoice::Threads,
+        EngineSel::Vt => EngineChoice::Vt,
+        EngineSel::Net => EngineChoice::Net,
+        EngineSel::Ensemble => {
+            return Err("ensemble jobs have no single-curve twin".to_string());
+        }
+    };
+    let rt_cfg = choice.runtime_config(spec.hints.n_pes, 1);
+    Ok(Simulator::run_curve(&dist, scenario.ptts.clone(), cfg, rt_cfg).hash())
+}
+
+fn run_lease(mgr: &Manager, lease: &Lease) {
+    let job = lease.job;
+    let scenario: Scenario = match lease.spec.source.dsl().parse() {
+        Ok(s) => s,
+        Err(e) => {
+            mgr.finish_failed(job, format!("scenario DSL does not parse: {e}"));
+            return;
+        }
+    };
+    let cfg = effective_config(&lease.spec, &scenario);
+    let dist = build_distribution(&lease.spec, &cfg);
+
+    match lease.spec.engine {
+        EngineSel::Ensemble => run_ensemble_lease(mgr, lease, &scenario, &cfg, &dist),
+        engine => run_engine_lease(mgr, lease, engine, &scenario, cfg, &dist),
+    }
+}
+
+/// Ensemble sweeps are atomic: one `run_sweep` call, cancel honored only
+/// before the sweep starts, terminal summary carries the
+/// [`episim_core::ResultStore`] hash as its `curve_hash`.
+fn run_ensemble_lease(
+    mgr: &Manager,
+    lease: &Lease,
+    scenario: &Scenario,
+    cfg: &SimConfig,
+    dist: &DataDistribution,
+) {
+    let job = lease.job;
+    if lease.flag.load(Ordering::Acquire) == ctl::CANCEL {
+        mgr.finish_cancelled(job);
+        return;
+    }
+    let ScenarioSource::Sweep {
+        r_values,
+        replicates,
+        workers,
+        ..
+    } = &lease.spec.source
+    else {
+        mgr.finish_failed(job, "ensemble job without a sweep source".into());
+        return;
+    };
+    let world = CowWorld::build(dist, scenario.ptts.clone());
+    let sweep = EnsembleSpec::grid(cfg, r_values, *replicates);
+    let store = episim_core::run_sweep(&world, &sweep, *workers);
+    mgr.note_seeds(job, cfg.initial_infections as u64);
+    let members = (store.n_points() * store.n_seeds()) as u32;
+    mgr.finish_sweep_completed(job, members, store.hash());
+}
+
+fn run_engine_lease(
+    mgr: &Manager,
+    lease: &Lease,
+    engine: EngineSel,
+    scenario: &Scenario,
+    cfg: SimConfig,
+    dist: &DataDistribution,
+) {
+    let job = lease.job;
+    let choice = match engine {
+        EngineSel::Seq => EngineChoice::Seq,
+        EngineSel::Threads => EngineChoice::Threads,
+        EngineSel::Vt => EngineChoice::Vt,
+        // In-server net jobs run standalone: the SPMD launcher re-execs
+        // the current binary, which must never fork extra servers.
+        EngineSel::Net => EngineChoice::Net,
+        EngineSel::Ensemble => {
+            mgr.finish_failed(job, "ensemble engine reached the engine path".into());
+            return;
+        }
+    };
+    let rt_cfg = choice.runtime_config(lease.spec.hints.n_pes, 1);
+    let end = cfg.days;
+
+    // Fresh start or checkpoint resume through the validated entry.
+    let (mut sim, mut carry, start, seeds) = match &lease.checkpoint {
+        Some(path) => {
+            match Simulator::resume_from(path, dist, scenario.ptts.clone(), cfg.clone(), rt_cfg) {
+                Ok(resumed) => (resumed.sim, resumed.carry, resumed.next_day, resumed.seeds),
+                Err(e) => {
+                    mgr.finish_failed(job, format!("resume refused: {e}"));
+                    return;
+                }
+            }
+        }
+        None => {
+            let seeds = cfg.initial_infections.min(dist.pop.n_people()) as u64;
+            let carry = episim_core::simulator::Carry::new(cfg.interventions.clone(), seeds);
+            let sim = Simulator::new(dist, scenario.ptts.clone(), cfg.clone(), rt_cfg);
+            (sim, carry, 0, seeds)
+        }
+    };
+    mgr.note_seeds(job, seeds);
+
+    let flag = Arc::clone(&lease.flag);
+    let throttle = lease.spec.hints.throttle_ms;
+    let (_days, _perf, halt) = sim.run_days_observed(start, end, &mut carry, &mut |stats| {
+        mgr.day_finished(job, stats);
+        if throttle > 0 {
+            // Pacing only — outside the simulation step, so the curve
+            // (and its hash) is identical with or without it.
+            std::thread::sleep(std::time::Duration::from_millis(throttle as u64));
+        }
+        match flag.load(Ordering::Acquire) {
+            ctl::PAUSE => DayControl::Pause,
+            ctl::CANCEL => DayControl::Stop,
+            _ => DayControl::Continue,
+        }
+    });
+
+    match halt {
+        RunHalt::Finished { .. } => mgr.finish_completed(job),
+        RunHalt::Stopped { .. } => mgr.finish_cancelled(job),
+        RunHalt::Paused { next_day } => {
+            let (states, _features) = sim.dismantle();
+            let ckpt = episim_core::checkpoint::capture(next_day, seeds, &carry, states);
+            let path = mgr.data_dir().join(format!("job-{job}.epck"));
+            match ckpt.save(&path) {
+                Ok(()) => mgr.finish_paused(job, path),
+                Err(e) => mgr.finish_failed(job, format!("checkpoint save failed: {e}")),
+            }
+        }
+    }
+}

@@ -1,0 +1,965 @@
+//! The episerve wire protocol: CRC-trailed request/response/event payloads
+//! inside the same `[len: u32 LE][kind: u8][payload]` frames the net
+//! engine uses ([`chare_rt::write_frame`] / [`chare_rt::read_frame`]).
+//!
+//! Layout (DESIGN.md §12):
+//!
+//! ```text
+//! frame   := [len: u32 LE] [kind: u8] [payload]          (transport framing)
+//! payload := [body] [crc32(body): u32 LE]                (this module)
+//! body    := [tag: u8] [variant fields, LE]              (one enum variant)
+//! ```
+//!
+//! Frame kinds: [`kind::REQUEST`] (client→server), [`kind::RESPONSE`]
+//! (server→client, exactly one per request), [`kind::EVENT`]
+//! (server→client on subscription streams).
+//!
+//! This file is simlint R3-scoped: every malformed input surfaces as a
+//! typed [`ProtoError`] — no panic paths — and R5 holds the
+//! encode/decode pairs ([`encode_request`]/[`decode_request`],
+//! [`encode_response`]/[`decode_response`], [`encode_event`]/
+//! [`decode_event`]) in variant lockstep. Decoders reject trailing
+//! garbage, bad tags, and CRC mismatches.
+
+use crate::job::{EngineSel, JobId, JobSpec, JobState, Priority, ResourceHints, ScenarioSource};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use chare_rt::crc32;
+use episim_core::DayStats;
+use std::fmt;
+
+/// "EPSV" little-endian: the hello magic every connection leads with.
+pub const MAGIC: u32 = 0x5653_5045;
+/// Protocol version; bumped on any incompatible layout change.
+pub const VERSION: u32 = 1;
+/// Longest string (job name, DSL text, error message) accepted on the
+/// wire; anything larger is malformed by definition.
+pub const MAX_STR: usize = 1 << 20;
+/// Longest vector (sweep grid, job listing) accepted on the wire.
+pub const MAX_VEC: usize = 1 << 16;
+
+/// Frame kinds carried in the transport header.
+pub mod kind {
+    /// Client → server.
+    pub const REQUEST: u8 = 1;
+    /// Server → client, one per request.
+    pub const RESPONSE: u8 = 2;
+    /// Server → client, subscription streams only.
+    pub const EVENT: u8 = 3;
+}
+
+/// Error codes carried by [`Response::Error`].
+pub mod errcode {
+    /// The scheduler queue is at capacity.
+    pub const QUEUE_FULL: u8 = 1;
+    /// No job with that id.
+    pub const NO_SUCH_JOB: u8 = 2;
+    /// The job's current state does not allow the request
+    /// (e.g. pausing a completed job).
+    pub const BAD_TRANSITION: u8 = 3;
+    /// The spec failed validation (DSL parse error, bad sizing, engine /
+    /// source mismatch).
+    pub const BAD_SPEC: u8 = 4;
+    /// Malformed frame, wrong magic/version, or wrong first request.
+    pub const BAD_PROTO: u8 = 5;
+    /// The server is shutting down and not accepting work.
+    pub const SHUTTING_DOWN: u8 = 6;
+}
+
+/// Why a payload failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ProtoError {
+    /// Payload ended before the variant's fields did.
+    Truncated,
+    /// CRC trailer mismatch.
+    BadCrc {
+        /// Trailer value.
+        stored: u32,
+        /// Recomputed value.
+        computed: u32,
+    },
+    /// Unknown variant / state / engine tag.
+    BadTag(u8),
+    /// Bytes left over after a complete variant.
+    Trailing(usize),
+    /// A length field exceeded [`MAX_STR`] / [`MAX_VEC`].
+    TooLong(usize),
+    /// A string field was not UTF-8.
+    BadUtf8,
+}
+
+impl fmt::Display for ProtoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ProtoError::Truncated => write!(f, "payload truncated"),
+            ProtoError::BadCrc { stored, computed } => {
+                write!(
+                    f,
+                    "crc mismatch: stored {stored:#010x}, computed {computed:#010x}"
+                )
+            }
+            ProtoError::BadTag(t) => write!(f, "unknown tag {t}"),
+            ProtoError::Trailing(n) => write!(f, "{n} trailing bytes after variant"),
+            ProtoError::TooLong(n) => write!(f, "length field {n} exceeds protocol bounds"),
+            ProtoError::BadUtf8 => write!(f, "string field is not utf-8"),
+        }
+    }
+}
+
+impl std::error::Error for ProtoError {}
+
+/// Client → server messages.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Version handshake; must be the first request on every connection.
+    Hello {
+        /// Must equal [`MAGIC`].
+        magic: u32,
+        /// Must equal [`VERSION`].
+        version: u32,
+    },
+    /// Queue a job; answered with [`Response::Submitted`].
+    Submit {
+        /// The job to run.
+        spec: JobSpec,
+    },
+    /// Turn this connection into an event stream for `job` (replays the
+    /// curve so far, then follows live until a terminal event).
+    Subscribe {
+        /// Target job.
+        job: JobId,
+    },
+    /// Request a checkpoint-pause at the next day boundary.
+    Pause {
+        /// Target job.
+        job: JobId,
+    },
+    /// Re-enqueue a paused job.
+    Resume {
+        /// Target job.
+        job: JobId,
+    },
+    /// Cancel: dequeue, discard the checkpoint, or cooperatively stop at
+    /// the next day boundary, depending on state.
+    Cancel {
+        /// Target job.
+        job: JobId,
+    },
+    /// One-shot state + progress snapshot.
+    Status {
+        /// Target job.
+        job: JobId,
+    },
+    /// List every job the server knows.
+    List,
+    /// Stop accepting work, cancel running jobs, drain, exit.
+    Shutdown,
+}
+
+/// Server → client replies, exactly one per [`Request`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// Handshake accepted.
+    HelloOk {
+        /// Server protocol version.
+        version: u32,
+    },
+    /// Job accepted and queued.
+    Submitted {
+        /// Assigned id.
+        job: JobId,
+    },
+    /// Lifecycle request accepted; `state` is the job's state at the
+    /// moment the request was applied (a pause/cancel of a running job
+    /// reports `Running` — the transition lands at the next day boundary
+    /// and is observable on the event stream).
+    Ack {
+        /// Target job.
+        job: JobId,
+        /// State when the request took effect.
+        state: JobState,
+    },
+    /// Status snapshot.
+    JobStatus {
+        /// Target job.
+        job: JobId,
+        /// Current state.
+        state: JobState,
+        /// Days simulated so far (curve length).
+        days_done: u32,
+    },
+    /// Listing.
+    Jobs {
+        /// `(id, state)` per job, id-ascending.
+        jobs: Vec<(JobId, JobState)>,
+    },
+    /// Request refused; see [`errcode`].
+    Error {
+        /// Machine-readable code.
+        code: u8,
+        /// Human-readable detail.
+        message: String,
+    },
+    /// Acknowledges [`Request::Shutdown`]; the server drains and exits.
+    Bye,
+}
+
+/// Server → client stream items on a subscription.
+///
+/// [`Event::Completed`], [`Event::Failed`], and
+/// [`Event::State`]`{ state: Cancelled }` are terminal: the server closes
+/// the stream after sending one, and the pubsub layer never drops them
+/// (only [`Event::Day`] curve points are subject to the lagging-subscriber
+/// drop policy, which is surfaced as [`Event::Lagged`]).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Event {
+    /// One finished simulation day.
+    Day {
+        /// Source job.
+        job: JobId,
+        /// The day's global statistics.
+        stats: DayStats,
+    },
+    /// A lifecycle transition.
+    State {
+        /// Source job.
+        job: JobId,
+        /// New state.
+        state: JobState,
+    },
+    /// Terminal success summary.
+    Completed {
+        /// Source job.
+        job: JobId,
+        /// Days in the final curve.
+        days: u32,
+        /// Cumulative infections (seeds included).
+        cumulative: u64,
+        /// FNV-1a determinism hash of the full curve
+        /// ([`episim_core::output::curve_hash`]); bit-identical to a
+        /// direct uninterrupted run of the same spec.
+        curve_hash: u64,
+    },
+    /// Terminal failure.
+    Failed {
+        /// Source job.
+        job: JobId,
+        /// What went wrong.
+        message: String,
+    },
+    /// The subscriber fell behind and `missed` [`Event::Day`] points were
+    /// dropped (oldest first) since the last delivered event.
+    Lagged {
+        /// Source job.
+        job: JobId,
+        /// Dropped event count.
+        missed: u64,
+    },
+}
+
+impl Event {
+    /// Does this event end the stream?
+    pub fn is_terminal(&self) -> bool {
+        matches!(
+            self,
+            Event::Completed { .. }
+                | Event::Failed { .. }
+                | Event::State {
+                    state: JobState::Cancelled,
+                    ..
+                }
+        )
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader: a bounds-checked cursor (the underlying `Buf` impl panics on
+// underflow, which R3 forbids here — every read goes through `take`).
+// ---------------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Reader<'a> {
+        Reader { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Result<(), ProtoError> {
+        if self.buf.remaining() < n {
+            return Err(ProtoError::Truncated);
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, ProtoError> {
+        self.take(1)?;
+        Ok(self.buf.get_u8())
+    }
+
+    fn u32(&mut self) -> Result<u32, ProtoError> {
+        self.take(4)?;
+        Ok(self.buf.get_u32_le())
+    }
+
+    fn u64(&mut self) -> Result<u64, ProtoError> {
+        self.take(8)?;
+        Ok(self.buf.get_u64_le())
+    }
+
+    fn f64(&mut self) -> Result<f64, ProtoError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    fn string(&mut self) -> Result<String, ProtoError> {
+        let n = self.u32()? as usize;
+        if n > MAX_STR {
+            return Err(ProtoError::TooLong(n));
+        }
+        self.take(n)?;
+        let mut raw = vec![0u8; n];
+        self.buf.copy_to_slice(&mut raw);
+        String::from_utf8(raw).map_err(|_| ProtoError::BadUtf8)
+    }
+
+    fn vec_len(&mut self) -> Result<usize, ProtoError> {
+        let n = self.u32()? as usize;
+        if n > MAX_VEC {
+            return Err(ProtoError::TooLong(n));
+        }
+        Ok(n)
+    }
+
+    fn finish(&self) -> Result<(), ProtoError> {
+        match self.buf.remaining() {
+            0 => Ok(()),
+            n => Err(ProtoError::Trailing(n)),
+        }
+    }
+}
+
+fn put_string(buf: &mut BytesMut, s: &str) {
+    buf.put_u32_le(s.len() as u32);
+    buf.put_slice(s.as_bytes());
+}
+
+/// Append the CRC trailer and freeze.
+fn seal(mut body: BytesMut) -> Bytes {
+    let c = crc32(body.as_slice());
+    body.put_u32_le(c);
+    body.freeze()
+}
+
+/// Verify and strip the CRC trailer.
+fn open(payload: &[u8]) -> Result<&[u8], ProtoError> {
+    let n = payload.len();
+    if n < 4 {
+        return Err(ProtoError::Truncated);
+    }
+    let (body, mut trailer) = payload.split_at(n - 4);
+    let stored = trailer.get_u32_le();
+    let computed = crc32(body);
+    if stored != computed {
+        return Err(ProtoError::BadCrc { stored, computed });
+    }
+    Ok(body)
+}
+
+// ---------------------------------------------------------------------------
+// Shared field codecs.
+// ---------------------------------------------------------------------------
+
+fn put_state(buf: &mut BytesMut, s: JobState) {
+    buf.put_u8(s.code());
+}
+
+fn get_state(rd: &mut Reader<'_>) -> Result<JobState, ProtoError> {
+    let code = rd.u8()?;
+    JobState::from_code(code).ok_or(ProtoError::BadTag(code))
+}
+
+fn put_spec(buf: &mut BytesMut, spec: &JobSpec) {
+    put_string(buf, &spec.name);
+    match &spec.source {
+        ScenarioSource::Dsl(text) => {
+            buf.put_u8(1);
+            put_string(buf, text);
+        }
+        ScenarioSource::Sweep {
+            dsl,
+            r_values,
+            replicates,
+            workers,
+        } => {
+            buf.put_u8(2);
+            put_string(buf, dsl);
+            buf.put_u32_le(r_values.len() as u32);
+            for r in r_values {
+                buf.put_u64_le(r.to_bits());
+            }
+            buf.put_u32_le(*replicates);
+            buf.put_u32_le(*workers);
+        }
+    }
+    buf.put_u8(spec.engine.code());
+    match spec.seed {
+        Some(seed) => {
+            buf.put_u8(1);
+            buf.put_u64_le(seed);
+        }
+        None => buf.put_u8(0),
+    }
+    match spec.days {
+        Some(days) => {
+            buf.put_u8(1);
+            buf.put_u32_le(days);
+        }
+        None => buf.put_u8(0),
+    }
+    buf.put_u8(spec.priority.code());
+    buf.put_u32_le(spec.hints.pop_size);
+    buf.put_u64_le(spec.hints.pop_seed);
+    buf.put_u32_le(spec.hints.n_pes);
+    buf.put_u32_le(spec.hints.n_partitions);
+    buf.put_u32_le(spec.hints.throttle_ms);
+}
+
+fn get_spec(rd: &mut Reader<'_>) -> Result<JobSpec, ProtoError> {
+    let name = rd.string()?;
+    let source = match rd.u8()? {
+        1 => ScenarioSource::Dsl(rd.string()?),
+        2 => {
+            let dsl = rd.string()?;
+            let n = rd.vec_len()?;
+            let mut r_values = Vec::with_capacity(n);
+            for _ in 0..n {
+                r_values.push(rd.f64()?);
+            }
+            let replicates = rd.u32()?;
+            let workers = rd.u32()?;
+            ScenarioSource::Sweep {
+                dsl,
+                r_values,
+                replicates,
+                workers,
+            }
+        }
+        t => return Err(ProtoError::BadTag(t)),
+    };
+    let engine_code = rd.u8()?;
+    let engine = EngineSel::from_code(engine_code).ok_or(ProtoError::BadTag(engine_code))?;
+    let seed = match rd.u8()? {
+        0 => None,
+        1 => Some(rd.u64()?),
+        t => return Err(ProtoError::BadTag(t)),
+    };
+    let days = match rd.u8()? {
+        0 => None,
+        1 => Some(rd.u32()?),
+        t => return Err(ProtoError::BadTag(t)),
+    };
+    let prio_code = rd.u8()?;
+    let priority = Priority::from_code(prio_code).ok_or(ProtoError::BadTag(prio_code))?;
+    let hints = ResourceHints {
+        pop_size: rd.u32()?,
+        pop_seed: rd.u64()?,
+        n_pes: rd.u32()?,
+        n_partitions: rd.u32()?,
+        throttle_ms: rd.u32()?,
+    };
+    Ok(JobSpec {
+        name,
+        source,
+        engine,
+        seed,
+        days,
+        priority,
+        hints,
+    })
+}
+
+fn put_day(buf: &mut BytesMut, d: &DayStats) {
+    buf.put_u32_le(d.day);
+    buf.put_u64_le(d.new_infections);
+    buf.put_u64_le(d.infected_now);
+    buf.put_u64_le(d.susceptible);
+    buf.put_u64_le(d.symptomatic);
+    buf.put_u64_le(d.cumulative);
+    buf.put_u64_le(d.visits);
+    buf.put_u64_le(d.events);
+    buf.put_u64_le(d.interactions);
+    buf.put_u64_le(d.infects_sent);
+    for k in &d.infections_by_kind {
+        buf.put_u64_le(*k);
+    }
+}
+
+fn get_day(rd: &mut Reader<'_>) -> Result<DayStats, ProtoError> {
+    let mut d = DayStats {
+        day: rd.u32()?,
+        new_infections: rd.u64()?,
+        infected_now: rd.u64()?,
+        susceptible: rd.u64()?,
+        symptomatic: rd.u64()?,
+        cumulative: rd.u64()?,
+        visits: rd.u64()?,
+        events: rd.u64()?,
+        interactions: rd.u64()?,
+        infects_sent: rd.u64()?,
+        infections_by_kind: [0; 5],
+    };
+    for slot in d.infections_by_kind.iter_mut() {
+        *slot = rd.u64()?;
+    }
+    Ok(d)
+}
+
+// ---------------------------------------------------------------------------
+// Request codec (R5 lockstep: encode_request / decode_request).
+// ---------------------------------------------------------------------------
+
+/// Encode a [`Request`] into a CRC-trailed payload.
+pub fn encode_request(req: &Request) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match req {
+        Request::Hello { magic, version } => {
+            buf.put_u8(1);
+            buf.put_u32_le(*magic);
+            buf.put_u32_le(*version);
+        }
+        Request::Submit { spec } => {
+            buf.put_u8(2);
+            put_spec(&mut buf, spec);
+        }
+        Request::Subscribe { job } => {
+            buf.put_u8(3);
+            buf.put_u64_le(*job);
+        }
+        Request::Pause { job } => {
+            buf.put_u8(4);
+            buf.put_u64_le(*job);
+        }
+        Request::Resume { job } => {
+            buf.put_u8(5);
+            buf.put_u64_le(*job);
+        }
+        Request::Cancel { job } => {
+            buf.put_u8(6);
+            buf.put_u64_le(*job);
+        }
+        Request::Status { job } => {
+            buf.put_u8(7);
+            buf.put_u64_le(*job);
+        }
+        Request::List => buf.put_u8(8),
+        Request::Shutdown => buf.put_u8(9),
+    }
+    seal(buf)
+}
+
+/// Decode a CRC-trailed payload into a [`Request`].
+pub fn decode_request(payload: &[u8]) -> Result<Request, ProtoError> {
+    let body = open(payload)?;
+    let mut rd = Reader::new(body);
+    let req = match rd.u8()? {
+        1 => Request::Hello {
+            magic: rd.u32()?,
+            version: rd.u32()?,
+        },
+        2 => Request::Submit {
+            spec: get_spec(&mut rd)?,
+        },
+        3 => Request::Subscribe { job: rd.u64()? },
+        4 => Request::Pause { job: rd.u64()? },
+        5 => Request::Resume { job: rd.u64()? },
+        6 => Request::Cancel { job: rd.u64()? },
+        7 => Request::Status { job: rd.u64()? },
+        8 => Request::List,
+        9 => Request::Shutdown,
+        t => return Err(ProtoError::BadTag(t)),
+    };
+    rd.finish()?;
+    Ok(req)
+}
+
+// ---------------------------------------------------------------------------
+// Response codec (R5 lockstep: encode_response / decode_response).
+// ---------------------------------------------------------------------------
+
+/// Encode a [`Response`] into a CRC-trailed payload.
+pub fn encode_response(resp: &Response) -> Bytes {
+    let mut buf = BytesMut::with_capacity(64);
+    match resp {
+        Response::HelloOk { version } => {
+            buf.put_u8(1);
+            buf.put_u32_le(*version);
+        }
+        Response::Submitted { job } => {
+            buf.put_u8(2);
+            buf.put_u64_le(*job);
+        }
+        Response::Ack { job, state } => {
+            buf.put_u8(3);
+            buf.put_u64_le(*job);
+            put_state(&mut buf, *state);
+        }
+        Response::JobStatus {
+            job,
+            state,
+            days_done,
+        } => {
+            buf.put_u8(4);
+            buf.put_u64_le(*job);
+            put_state(&mut buf, *state);
+            buf.put_u32_le(*days_done);
+        }
+        Response::Jobs { jobs } => {
+            buf.put_u8(5);
+            buf.put_u32_le(jobs.len() as u32);
+            for (job, state) in jobs {
+                buf.put_u64_le(*job);
+                put_state(&mut buf, *state);
+            }
+        }
+        Response::Error { code, message } => {
+            buf.put_u8(6);
+            buf.put_u8(*code);
+            put_string(&mut buf, message);
+        }
+        Response::Bye => buf.put_u8(7),
+    }
+    seal(buf)
+}
+
+/// Decode a CRC-trailed payload into a [`Response`].
+pub fn decode_response(payload: &[u8]) -> Result<Response, ProtoError> {
+    let body = open(payload)?;
+    let mut rd = Reader::new(body);
+    let resp = match rd.u8()? {
+        1 => Response::HelloOk { version: rd.u32()? },
+        2 => Response::Submitted { job: rd.u64()? },
+        3 => Response::Ack {
+            job: rd.u64()?,
+            state: get_state(&mut rd)?,
+        },
+        4 => Response::JobStatus {
+            job: rd.u64()?,
+            state: get_state(&mut rd)?,
+            days_done: rd.u32()?,
+        },
+        5 => {
+            let n = rd.vec_len()?;
+            let mut jobs = Vec::with_capacity(n);
+            for _ in 0..n {
+                let job = rd.u64()?;
+                let state = get_state(&mut rd)?;
+                jobs.push((job, state));
+            }
+            Response::Jobs { jobs }
+        }
+        6 => Response::Error {
+            code: rd.u8()?,
+            message: rd.string()?,
+        },
+        7 => Response::Bye,
+        t => return Err(ProtoError::BadTag(t)),
+    };
+    rd.finish()?;
+    Ok(resp)
+}
+
+// ---------------------------------------------------------------------------
+// Event codec (R5 lockstep: encode_event / decode_event).
+// ---------------------------------------------------------------------------
+
+/// Encode an [`Event`] into a CRC-trailed payload.
+pub fn encode_event(ev: &Event) -> Bytes {
+    let mut buf = BytesMut::with_capacity(128);
+    match ev {
+        Event::Day { job, stats } => {
+            buf.put_u8(1);
+            buf.put_u64_le(*job);
+            put_day(&mut buf, stats);
+        }
+        Event::State { job, state } => {
+            buf.put_u8(2);
+            buf.put_u64_le(*job);
+            put_state(&mut buf, *state);
+        }
+        Event::Completed {
+            job,
+            days,
+            cumulative,
+            curve_hash,
+        } => {
+            buf.put_u8(3);
+            buf.put_u64_le(*job);
+            buf.put_u32_le(*days);
+            buf.put_u64_le(*cumulative);
+            buf.put_u64_le(*curve_hash);
+        }
+        Event::Failed { job, message } => {
+            buf.put_u8(4);
+            buf.put_u64_le(*job);
+            put_string(&mut buf, message);
+        }
+        Event::Lagged { job, missed } => {
+            buf.put_u8(5);
+            buf.put_u64_le(*job);
+            buf.put_u64_le(*missed);
+        }
+    }
+    seal(buf)
+}
+
+/// Decode a CRC-trailed payload into an [`Event`].
+pub fn decode_event(payload: &[u8]) -> Result<Event, ProtoError> {
+    let body = open(payload)?;
+    let mut rd = Reader::new(body);
+    let ev = match rd.u8()? {
+        1 => Event::Day {
+            job: rd.u64()?,
+            stats: get_day(&mut rd)?,
+        },
+        2 => Event::State {
+            job: rd.u64()?,
+            state: get_state(&mut rd)?,
+        },
+        3 => Event::Completed {
+            job: rd.u64()?,
+            days: rd.u32()?,
+            cumulative: rd.u64()?,
+            curve_hash: rd.u64()?,
+        },
+        4 => Event::Failed {
+            job: rd.u64()?,
+            message: rd.string()?,
+        },
+        5 => Event::Lagged {
+            job: rd.u64()?,
+            missed: rd.u64()?,
+        },
+        t => return Err(ProtoError::BadTag(t)),
+    };
+    rd.finish()?;
+    Ok(ev)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::{EngineSel, JobSpec, JobState, Priority, ScenarioSource};
+    use proptest::prelude::*;
+
+    fn sample_specs() -> Vec<JobSpec> {
+        let mut plain = JobSpec::dsl("alpha", "disease x\n", EngineSel::Seq);
+        plain.seed = Some(99);
+        plain.days = Some(30);
+        plain.priority = Priority::High;
+        let mut sweep = JobSpec::dsl("beta", "disease y\n", EngineSel::Ensemble);
+        sweep.source = ScenarioSource::Sweep {
+            dsl: "disease y\n".into(),
+            r_values: vec![0.0004, 0.0008, 0.0016],
+            replicates: 4,
+            workers: 2,
+        };
+        vec![plain, sweep]
+    }
+
+    fn sample_requests() -> Vec<Request> {
+        let mut reqs = vec![
+            Request::Hello {
+                magic: MAGIC,
+                version: VERSION,
+            },
+            Request::Subscribe { job: 3 },
+            Request::Pause { job: 4 },
+            Request::Resume { job: 5 },
+            Request::Cancel { job: 6 },
+            Request::Status { job: 7 },
+            Request::List,
+            Request::Shutdown,
+        ];
+        for spec in sample_specs() {
+            reqs.push(Request::Submit { spec });
+        }
+        reqs
+    }
+
+    fn sample_responses() -> Vec<Response> {
+        vec![
+            Response::HelloOk { version: VERSION },
+            Response::Submitted { job: 12 },
+            Response::Ack {
+                job: 12,
+                state: JobState::Running,
+            },
+            Response::JobStatus {
+                job: 12,
+                state: JobState::Paused,
+                days_done: 17,
+            },
+            Response::Jobs {
+                jobs: vec![(1, JobState::Completed), (2, JobState::Queued)],
+            },
+            Response::Error {
+                code: errcode::NO_SUCH_JOB,
+                message: "no job 9".into(),
+            },
+            Response::Bye,
+        ]
+    }
+
+    fn sample_events() -> Vec<Event> {
+        let stats = DayStats {
+            day: 3,
+            new_infections: 17,
+            infected_now: 40,
+            susceptible: 900,
+            symptomatic: 11,
+            cumulative: 62,
+            visits: 4_000,
+            events: 9_000,
+            interactions: 123,
+            infects_sent: 18,
+            infections_by_kind: [1, 2, 3, 4, 8],
+        };
+        vec![
+            Event::Day { job: 1, stats },
+            Event::State {
+                job: 1,
+                state: JobState::Paused,
+            },
+            Event::Completed {
+                job: 1,
+                days: 120,
+                cumulative: 800,
+                curve_hash: 0xdead_beef_cafe_f00d,
+            },
+            Event::Failed {
+                job: 2,
+                message: "scenario DSL does not parse".into(),
+            },
+            Event::Lagged { job: 1, missed: 42 },
+        ]
+    }
+
+    #[test]
+    fn requests_roundtrip() {
+        for req in sample_requests() {
+            let wire = encode_request(&req);
+            assert_eq!(decode_request(&wire).unwrap(), req);
+        }
+    }
+
+    #[test]
+    fn responses_roundtrip() {
+        for resp in sample_responses() {
+            let wire = encode_response(&resp);
+            assert_eq!(decode_response(&wire).unwrap(), resp);
+        }
+    }
+
+    #[test]
+    fn events_roundtrip() {
+        for ev in sample_events() {
+            let wire = encode_event(&ev);
+            assert_eq!(decode_event(&wire).unwrap(), ev);
+        }
+    }
+
+    #[test]
+    fn terminal_classification() {
+        let evs = sample_events();
+        let terminal: Vec<bool> = evs.iter().map(Event::is_terminal).collect();
+        assert_eq!(terminal, [false, false, true, true, false]);
+        assert!(Event::State {
+            job: 1,
+            state: JobState::Cancelled
+        }
+        .is_terminal());
+    }
+
+    #[test]
+    fn every_truncation_is_rejected_never_panics() {
+        for req in sample_requests() {
+            let wire = encode_request(&req);
+            for cut in 0..wire.len() {
+                assert!(decode_request(&wire[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+        for resp in sample_responses() {
+            let wire = encode_response(&resp);
+            for cut in 0..wire.len() {
+                assert!(decode_response(&wire[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+        for ev in sample_events() {
+            let wire = encode_event(&ev);
+            for cut in 0..wire.len() {
+                assert!(decode_event(&wire[..cut]).is_err(), "cut at {cut}");
+            }
+        }
+    }
+
+    #[test]
+    fn single_bit_flips_are_caught_by_crc_or_structure() {
+        let wire = encode_request(&Request::Status { job: 7 });
+        for byte in 0..wire.len() {
+            for bit in 0..8 {
+                let mut bad = wire.to_vec();
+                bad[byte] ^= 1 << bit;
+                assert_ne!(
+                    decode_request(&bad).ok(),
+                    Some(Request::Status { job: 7 }),
+                    "flip at byte {byte} bit {bit} went unnoticed"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected() {
+        // Append garbage *inside* the CRC'd body: rebuild with a valid
+        // trailer over body+garbage, so only the Trailing check can catch
+        // it.
+        let wire = encode_request(&Request::List);
+        let body = &wire[..wire.len() - 4];
+        let mut padded = body.to_vec();
+        padded.push(0xAA);
+        let crc = crc32(&padded);
+        padded.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode_request(&padded), Err(ProtoError::Trailing(1)));
+    }
+
+    #[test]
+    fn bad_tags_are_typed_errors() {
+        let mut body = vec![200u8]; // no such request tag
+        let crc = crc32(&body);
+        body.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode_request(&body), Err(ProtoError::BadTag(200)));
+
+        // Bad state code inside an Ack.
+        let wire = encode_response(&Response::Ack {
+            job: 1,
+            state: JobState::Queued,
+        });
+        let mut bad = wire[..wire.len() - 4].to_vec();
+        let last = bad.len() - 1;
+        bad[last] = 77; // state code slot
+        let crc = crc32(&bad);
+        bad.extend_from_slice(&crc.to_le_bytes());
+        assert_eq!(decode_response(&bad), Err(ProtoError::BadTag(77)));
+    }
+
+    proptest! {
+        /// Arbitrary payload bytes never panic the decoders (R3 in spirit
+        /// and in letter).
+        #[test]
+        fn decoders_are_total(payload in proptest::collection::vec(any::<u8>(), 0..256)) {
+            let _ = decode_request(&payload);
+            let _ = decode_response(&payload);
+            let _ = decode_event(&payload);
+        }
+    }
+}

@@ -1,0 +1,292 @@
+//! Per-job broadcast topics with bounded subscriber queues.
+//!
+//! Streaming semantics (DESIGN.md §12):
+//! * A subscriber joining late first receives a replay of the curve so
+//!   far, then follows live — the stream is gapless unless it lags.
+//! * Each subscriber owns a bounded queue. When a publish finds the
+//!   queue full, the *oldest* queued [`Event::Day`] point is dropped and
+//!   a miss is counted; the subscriber sees one [`Event::Lagged`] with
+//!   the accumulated count before its next delivered event.
+//! * Terminal events ([`Event::is_terminal`]) are never dropped: if the
+//!   queue is full of curve points, a curve point is evicted to make
+//!   room, so completion summaries (with their `curve_hash`) always
+//!   arrive.
+
+use crate::protocol::Event;
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::Duration;
+
+struct SubSlot {
+    queue: VecDeque<Event>,
+    missed: u64,
+    /// Set once a terminal event is enqueued; publishes stop after that.
+    finished: bool,
+    /// Subscriber dropped; slot is garbage.
+    closed: bool,
+}
+
+struct TopicState {
+    subs: Vec<SubSlot>,
+}
+
+struct TopicInner {
+    state: Mutex<TopicState>,
+    bell: Condvar,
+    cap: usize,
+    job: u64,
+}
+
+/// One job's broadcast channel.
+#[derive(Clone)]
+pub struct Topic {
+    inner: Arc<TopicInner>,
+}
+
+impl Topic {
+    /// A topic whose subscribers buffer at most `cap` events; `job` is
+    /// stamped into synthesized [`Event::Lagged`] notices.
+    pub fn new(job: u64, cap: usize) -> Topic {
+        Topic {
+            inner: Arc::new(TopicInner {
+                state: Mutex::new(TopicState { subs: Vec::new() }),
+                bell: Condvar::new(),
+                cap: cap.max(2),
+                job,
+            }),
+        }
+    }
+
+    /// Attach a subscriber. `replay` (the curve so far, oldest first) is
+    /// preloaded into its queue before any live event, so the stream is
+    /// a gapless prefix + live tail. Replay events exceeding the buffer
+    /// follow the same drop-oldest policy.
+    pub fn subscribe(&self, replay: Vec<Event>) -> Subscription {
+        let mut st = lock(&self.inner.state);
+        let mut slot = SubSlot {
+            queue: VecDeque::new(),
+            missed: 0,
+            finished: false,
+            closed: false,
+        };
+        for ev in replay {
+            enqueue(&mut slot, ev, self.inner.cap);
+        }
+        // Reuse a closed slot if one exists so long-lived jobs with
+        // churning subscribers don't grow the vec unboundedly.
+        let idx = match st.subs.iter().position(|s| s.closed) {
+            Some(i) => {
+                st.subs[i] = slot;
+                i
+            }
+            None => {
+                st.subs.push(slot);
+                st.subs.len() - 1
+            }
+        };
+        Subscription {
+            inner: Arc::clone(&self.inner),
+            idx,
+        }
+    }
+
+    /// Broadcast to every live subscriber.
+    pub fn publish(&self, ev: Event) {
+        let mut st = lock(&self.inner.state);
+        for slot in st.subs.iter_mut().filter(|s| !s.closed && !s.finished) {
+            enqueue(slot, ev.clone(), self.inner.cap);
+        }
+        drop(st);
+        self.inner.bell.notify_all();
+    }
+
+    /// Live (non-closed) subscriber count.
+    pub fn subscriber_count(&self) -> usize {
+        lock(&self.inner.state)
+            .subs
+            .iter()
+            .filter(|s| !s.closed)
+            .count()
+    }
+}
+
+fn enqueue(slot: &mut SubSlot, ev: Event, cap: usize) {
+    if ev.is_terminal() {
+        slot.finished = true;
+    }
+    if slot.queue.len() >= cap {
+        // Evict the oldest *droppable* event; terminal events are
+        // protected. Day points dominate in practice, so this is O(1)
+        // amortized.
+        if let Some(pos) = slot.queue.iter().position(|q| !q.is_terminal()) {
+            slot.queue.remove(pos);
+            slot.missed += 1;
+        }
+    }
+    slot.queue.push_back(ev);
+}
+
+fn lock<T>(m: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    match m.lock() {
+        Ok(g) => g,
+        Err(poison) => poison.into_inner(),
+    }
+}
+
+/// One subscriber's receive handle. Dropping it closes the slot.
+pub struct Subscription {
+    inner: Arc<TopicInner>,
+    idx: usize,
+}
+
+impl Subscription {
+    /// Next event, waiting up to `timeout`. Returns `None` on timeout.
+    /// If deliveries were dropped since the last call, an
+    /// [`Event::Lagged`] carrying the miss count is synthesized *first*,
+    /// so consumers always learn about gaps in order.
+    pub fn recv_timeout(&mut self, timeout: Duration) -> Option<Event> {
+        let mut st = lock(&self.inner.state);
+        loop {
+            if let Some(slot) = st.subs.get_mut(self.idx) {
+                if slot.missed > 0 {
+                    let missed = slot.missed;
+                    slot.missed = 0;
+                    return Some(Event::Lagged {
+                        job: self.inner.job,
+                        missed,
+                    });
+                }
+                if let Some(ev) = slot.queue.pop_front() {
+                    return Some(ev);
+                }
+            }
+            let (next, res) = match self.inner.bell.wait_timeout(st, timeout) {
+                Ok(pair) => pair,
+                Err(poison) => {
+                    let (g, res) = poison.into_inner();
+                    (g, res)
+                }
+            };
+            st = next;
+            if res.timed_out() {
+                return None;
+            }
+        }
+    }
+}
+
+impl Drop for Subscription {
+    fn drop(&mut self) {
+        let mut st = lock(&self.inner.state);
+        if let Some(slot) = st.subs.get_mut(self.idx) {
+            slot.closed = true;
+            slot.queue.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::job::JobState;
+    use episim_core::DayStats;
+
+    fn day(job: u64, day: u32) -> Event {
+        Event::Day {
+            job,
+            stats: DayStats {
+                day,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn replay_then_live_is_gapless() {
+        let t = Topic::new(1, 64);
+        let mut sub = t.subscribe(vec![day(1, 0), day(1, 1)]);
+        t.publish(day(1, 2));
+        for want in 0..3 {
+            match sub.recv_timeout(Duration::from_secs(1)) {
+                Some(Event::Day { stats, .. }) => assert_eq!(stats.day, want),
+                other => panic!("expected day {want}, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn overflow_drops_oldest_and_synthesizes_lagged() {
+        let t = Topic::new(9, 4);
+        let mut sub = t.subscribe(Vec::new());
+        for d in 0..10 {
+            t.publish(day(9, d));
+        }
+        // 10 published into a 4-slot buffer: 6 dropped, oldest first.
+        match sub.recv_timeout(Duration::from_secs(1)) {
+            Some(Event::Lagged { job, missed }) => {
+                assert_eq!((job, missed), (9, 6));
+            }
+            other => panic!("expected Lagged first, got {other:?}"),
+        }
+        let mut got = Vec::new();
+        while let Some(Event::Day { stats, .. }) = sub.recv_timeout(Duration::from_millis(50)) {
+            got.push(stats.day);
+        }
+        assert_eq!(got, [6, 7, 8, 9], "survivors are the newest, in order");
+    }
+
+    #[test]
+    fn terminal_events_survive_overflow() {
+        let t = Topic::new(2, 2);
+        let mut sub = t.subscribe(Vec::new());
+        t.publish(day(2, 0));
+        t.publish(day(2, 1));
+        t.publish(Event::Completed {
+            job: 2,
+            days: 2,
+            cumulative: 5,
+            curve_hash: 0xabc,
+        });
+        // Buffer cap 2: the completion evicted a day point, never itself.
+        let mut saw_completed = false;
+        let mut first = true;
+        while let Some(ev) = sub.recv_timeout(Duration::from_millis(50)) {
+            if first {
+                assert!(matches!(ev, Event::Lagged { missed: 1, .. }));
+                first = false;
+            }
+            if let Event::Completed { curve_hash, .. } = ev {
+                assert_eq!(curve_hash, 0xabc);
+                saw_completed = true;
+            }
+        }
+        assert!(saw_completed);
+    }
+
+    #[test]
+    fn publishes_after_terminal_are_ignored() {
+        let t = Topic::new(3, 8);
+        let mut sub = t.subscribe(Vec::new());
+        t.publish(Event::State {
+            job: 3,
+            state: JobState::Cancelled,
+        });
+        t.publish(day(3, 0));
+        assert!(sub
+            .recv_timeout(Duration::from_millis(50))
+            .is_some_and(|ev| ev.is_terminal()));
+        assert!(sub.recv_timeout(Duration::from_millis(50)).is_none());
+    }
+
+    #[test]
+    fn dropped_subscription_slot_is_reused() {
+        let t = Topic::new(4, 8);
+        let sub = t.subscribe(Vec::new());
+        assert_eq!(t.subscriber_count(), 1);
+        drop(sub);
+        assert_eq!(t.subscriber_count(), 0);
+        let _sub2 = t.subscribe(Vec::new());
+        assert_eq!(t.subscriber_count(), 1);
+        assert_eq!(lock(&t.inner.state).subs.len(), 1, "slot reused, not grown");
+    }
+}

@@ -1,0 +1,119 @@
+//! The scheduler queue: bounded, two priority classes, FIFO within a
+//! class. Pure data structure — the [`crate::manager::Manager`] holds it
+//! under its lock and layers the engine-cap eligibility filter on top via
+//! [`JobQueue::pop_where`].
+
+use crate::job::{JobId, Priority};
+use std::collections::VecDeque;
+
+/// Submit refused: the queue is at capacity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QueueFull;
+
+/// Bounded FIFO+priority queue of job ids.
+#[derive(Debug)]
+pub struct JobQueue {
+    high: VecDeque<JobId>,
+    normal: VecDeque<JobId>,
+    cap: usize,
+}
+
+impl JobQueue {
+    /// A queue admitting at most `cap` jobs across both classes.
+    pub fn new(cap: usize) -> JobQueue {
+        JobQueue {
+            high: VecDeque::new(),
+            normal: VecDeque::new(),
+            cap,
+        }
+    }
+
+    /// Jobs currently queued.
+    pub fn len(&self) -> usize {
+        self.high.len() + self.normal.len()
+    }
+
+    /// Whether nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Enqueue at the back of the priority class.
+    pub fn push(&mut self, id: JobId, priority: Priority) -> Result<(), QueueFull> {
+        if self.len() >= self.cap {
+            return Err(QueueFull);
+        }
+        match priority {
+            Priority::High => self.high.push_back(id),
+            Priority::Normal => self.normal.push_back(id),
+        }
+        Ok(())
+    }
+
+    /// Dequeue the first job (high class first, FIFO within a class) for
+    /// which `eligible` returns true — the worker-pool hook that skips
+    /// jobs whose engine is at its concurrency cap without starving the
+    /// jobs behind them.
+    pub fn pop_where(&mut self, mut eligible: impl FnMut(JobId) -> bool) -> Option<JobId> {
+        for class in [&mut self.high, &mut self.normal] {
+            if let Some(pos) = class.iter().position(|&id| eligible(id)) {
+                return class.remove(pos);
+            }
+        }
+        None
+    }
+
+    /// Remove a specific job (cancel-while-queued). Returns whether it
+    /// was present.
+    pub fn remove(&mut self, id: JobId) -> bool {
+        for class in [&mut self.high, &mut self.normal] {
+            if let Some(pos) = class.iter().position(|&q| q == id) {
+                class.remove(pos);
+                return true;
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_within_class_high_first() {
+        let mut q = JobQueue::new(8);
+        q.push(1, Priority::Normal).unwrap();
+        q.push(2, Priority::Normal).unwrap();
+        q.push(3, Priority::High).unwrap();
+        q.push(4, Priority::High).unwrap();
+        let order: Vec<JobId> = std::iter::from_fn(|| q.pop_where(|_| true)).collect();
+        assert_eq!(order, [3, 4, 1, 2]);
+    }
+
+    #[test]
+    fn bounded_and_removable() {
+        let mut q = JobQueue::new(2);
+        q.push(1, Priority::Normal).unwrap();
+        q.push(2, Priority::High).unwrap();
+        assert_eq!(q.push(3, Priority::High), Err(QueueFull));
+        assert!(q.remove(1));
+        assert!(!q.remove(1));
+        assert_eq!(q.len(), 1);
+        q.push(3, Priority::Normal).unwrap();
+        assert_eq!(q.pop_where(|_| true), Some(2));
+    }
+
+    #[test]
+    fn pop_where_skips_ineligible_without_starving() {
+        let mut q = JobQueue::new(8);
+        q.push(1, Priority::Normal).unwrap();
+        q.push(2, Priority::Normal).unwrap();
+        q.push(3, Priority::Normal).unwrap();
+        // Job 1's engine is saturated: 2 must be leased first, 1 stays.
+        assert_eq!(q.pop_where(|id| id != 1), Some(2));
+        assert_eq!(q.pop_where(|_| true), Some(1));
+        assert_eq!(q.pop_where(|_| true), Some(3));
+        assert!(q.pop_where(|_| true).is_none());
+    }
+}

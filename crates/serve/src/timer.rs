@@ -1,0 +1,84 @@
+//! The *only* wall-clock module in episerve (simlint R2 allowlists this
+//! file and nothing else in the crate). The control plane needs real time
+//! in exactly two places — client/test wait deadlines and the demo's
+//! latency measurements — and both go through [`Deadline`] / [`Stopwatch`]
+//! so a grep for `Instant::now` outside this file stays empty. None of
+//! this ever feeds the simulation: job execution is day-driven and
+//! deterministic regardless of scheduling timing.
+
+use std::time::{Duration, Instant};
+
+/// A fixed point in the future to poll against.
+#[derive(Debug, Clone, Copy)]
+pub struct Deadline {
+    at: Instant,
+}
+
+impl Deadline {
+    /// A deadline `d` from now.
+    pub fn after(d: Duration) -> Deadline {
+        Deadline {
+            at: Instant::now() + d,
+        }
+    }
+
+    /// Has the deadline passed?
+    pub fn expired(&self) -> bool {
+        Instant::now() >= self.at
+    }
+
+    /// Time left (zero once expired).
+    pub fn remaining(&self) -> Duration {
+        self.at.saturating_duration_since(Instant::now())
+    }
+}
+
+/// Elapsed-time measurement for the demo / experiments.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch {
+    started: Instant,
+}
+
+impl Stopwatch {
+    /// Start timing.
+    pub fn start() -> Stopwatch {
+        Stopwatch {
+            started: Instant::now(),
+        }
+    }
+
+    /// Seconds since start.
+    pub fn seconds(&self) -> f64 {
+        self.started.elapsed().as_secs_f64()
+    }
+
+    /// Milliseconds since start.
+    pub fn millis(&self) -> f64 {
+        self.started.elapsed().as_secs_f64() * 1e3
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deadline_expires_and_remaining_hits_zero() {
+        let d = Deadline::after(Duration::from_millis(1));
+        std::thread::sleep(Duration::from_millis(5));
+        assert!(d.expired());
+        assert_eq!(d.remaining(), Duration::ZERO);
+        let far = Deadline::after(Duration::from_secs(3600));
+        assert!(!far.expired());
+        assert!(far.remaining() > Duration::from_secs(3500));
+    }
+
+    #[test]
+    fn stopwatch_is_monotonic() {
+        let w = Stopwatch::start();
+        let a = w.seconds();
+        let b = w.seconds();
+        assert!(b >= a);
+        assert!(w.millis() >= b * 1e3);
+    }
+}

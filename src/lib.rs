@@ -10,6 +10,7 @@
 //! paper-vs-measured record.
 
 pub use chare_rt;
+pub use episerve;
 pub use episim_core as core;
 pub use graph_part;
 pub use load_model;
