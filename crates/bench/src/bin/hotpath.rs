@@ -38,6 +38,7 @@ mod alloc_count {
 
     pub struct CountingAlloc;
 
+    // SAFETY: delegates every operation to `System`, only bumping counters.
     unsafe impl GlobalAlloc for CountingAlloc {
         unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
@@ -45,18 +46,21 @@ mod alloc_count {
             System.alloc(layout)
         }
 
+        // SAFETY: the alloc_zeroed contract is forwarded to `System` unchanged.
         unsafe fn alloc_zeroed(&self, layout: Layout) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES.fetch_add(layout.size() as u64, Ordering::Relaxed);
             System.alloc_zeroed(layout)
         }
 
+        // SAFETY: the realloc contract is forwarded to `System` unchanged.
         unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             BYTES.fetch_add(new_size as u64, Ordering::Relaxed);
             System.realloc(ptr, layout, new_size)
         }
 
+        // SAFETY: the dealloc contract is forwarded to `System` unchanged.
         unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
             System.dealloc(ptr, layout)
         }

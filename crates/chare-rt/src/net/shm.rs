@@ -123,6 +123,7 @@ fn futex_wait(addr: *const AtomicU32, expected: u32, timeout: Duration) {
     };
     // EAGAIN (seq moved), EINTR, and ETIMEDOUT are all benign: the caller
     // re-polls its rings regardless of why the wait ended.
+    // SAFETY: raw futex syscall on a live AtomicU32 inside the shared mapping; the kernel treats the address opaquely and the Timespec outlives the call.
     unsafe {
         ffi::syscall(
             ffi::SYS_FUTEX,
@@ -138,6 +139,7 @@ fn futex_wait(addr: *const AtomicU32, expected: u32, timeout: Duration) {
 
 #[cfg(any(target_arch = "x86_64", target_arch = "aarch64"))]
 fn futex_wake(addr: *const AtomicU32) {
+    // SAFETY: raw futex syscall on a live AtomicU32 inside the shared mapping; wake takes no userspace buffers.
     unsafe {
         ffi::syscall(
             ffi::SYS_FUTEX,
@@ -183,7 +185,7 @@ pub struct ShmRegion {
     invocation: u64,
 }
 
-// The raw pointer targets a MAP_SHARED region whose concurrent access is
+// SAFETY: the raw pointer targets a MAP_SHARED region whose concurrent access is
 // mediated entirely by the atomics embedded in it (SPSC cursor protocol
 // above), so the handle itself may move and be shared across threads.
 unsafe impl Send for ShmRegion {}
@@ -222,12 +224,15 @@ impl ShmRegion {
         let len = Self::region_len(n_procs, ring_bytes);
         // memfd flags deliberately 0 (not MFD_CLOEXEC): workers inherit
         // this exact fd number across the SPMD re-exec.
+        // SAFETY: memfd_create with a static NUL-terminated name; the returned fd is checked before use.
         let fd = unsafe { ffi::memfd_create(c"episim-ring".as_ptr().cast(), 0) };
         if fd < 0 {
             return Err(os_err("memfd_create"));
         }
+        // SAFETY: fd is the freshly created memfd owned by this function.
         if unsafe { ffi::ftruncate(fd, len as i64) } != 0 {
             let e = os_err("ftruncate(shm region)");
+            // SAFETY: error path owns fd and closes it exactly once.
             unsafe { ffi::close(fd) };
             return Err(e);
         }
@@ -255,11 +260,52 @@ impl ShmRegion {
         Ok(Arc::new(region))
     }
 
+    /// Heap-backed region: identical layout and cursor protocol, no
+    /// memfd/mmap/ftruncate syscalls. This is the backing the unit tests
+    /// (and the Miri job in CI) use; it cannot be shared across
+    /// processes, so [`fd`](Self::fd) reports the `-1` sentinel and
+    /// [`from_fd`](Self::from_fd)/[`set_cloexec`](Self::set_cloexec)/
+    /// [`dup_fd`](Self::dup_fd) must not be called on it.
+    pub fn create_heap(
+        n_procs: u32,
+        ring_bytes: u32,
+        invocation: u64,
+    ) -> io::Result<Arc<ShmRegion>> {
+        let ring_bytes = ring_bytes
+            .clamp(MIN_RING_BYTES, MAX_RING_BYTES)
+            .next_power_of_two();
+        Self::validate_shape(n_procs, ring_bytes)?;
+        // Round up to whole u64 words: the box gives the 8-byte alignment
+        // the embedded AtomicU64 header fields need.
+        let words = Self::region_len(n_procs, ring_bytes).div_ceil(8);
+        let buf: Box<[u64]> = vec![0u64; words].into_boxed_slice();
+        // SAFETY: the box is leaked here and reconstructed exactly once, in
+        // the `fd < 0` branch of Drop, from the same base/len pair.
+        let base = Box::into_raw(buf) as *mut u64 as *mut u8;
+        let region = ShmRegion {
+            base,
+            len: words * 8,
+            fd: -1,
+            n_procs,
+            ring_bytes,
+            invocation,
+        };
+        region.header_u64(0).store(SHM_MAGIC, Ordering::Relaxed);
+        region.header_u32(8).store(SHM_VERSION, Ordering::Relaxed);
+        region.header_u32(12).store(n_procs, Ordering::Relaxed);
+        region
+            .header_u64(16)
+            .store(u64::from(ring_bytes), Ordering::Relaxed);
+        region.header_u64(24).store(invocation, Ordering::Release);
+        Ok(Arc::new(region))
+    }
+
     /// Attach to an inherited fd (worker side) and validate the header
     /// against this run's invocation.
     pub fn from_fd(fd: i32, expect_invocation: u64) -> io::Result<Arc<ShmRegion>> {
         // Two-phase map: one page to learn the shape, then the full run.
         let peek = Self::map(fd, HEADER_BYTES as usize)?;
+        // SAFETY: `peek` is a fresh MAP_SHARED mapping at least HEADER_BYTES long; every offset dereferenced here is an aligned header field inside it, and the munmap releases exactly that mapping.
         let magic = unsafe { (*(peek as *const AtomicU64)).load(Ordering::Acquire) };
         let version = unsafe { (*(peek.add(8) as *const AtomicU32)).load(Ordering::Relaxed) };
         let n_procs = unsafe { (*(peek.add(12) as *const AtomicU32)).load(Ordering::Relaxed) };
@@ -294,6 +340,7 @@ impl ShmRegion {
     }
 
     fn map(fd: i32, len: usize) -> io::Result<*mut u8> {
+        // SAFETY: anonymous-address mmap of a caller-validated length over `fd`; the result is checked against MAP_FAILED before anyone dereferences it.
         let base = unsafe {
             ffi::mmap(
                 std::ptr::null_mut(),
@@ -318,6 +365,7 @@ impl ShmRegion {
     /// Mark the fd close-on-exec. The root calls this after every worker
     /// has been spawned so unrelated future execs can't leak the region.
     pub fn set_cloexec(&self) -> io::Result<()> {
+        // SAFETY: fcntl on the region's own open fd; no memory is passed.
         if unsafe { ffi::fcntl(self.fd, ffi::F_SETFD, ffi::FD_CLOEXEC) } != 0 {
             return Err(os_err("fcntl(FD_CLOEXEC)"));
         }
@@ -327,6 +375,7 @@ impl ShmRegion {
     /// Duplicate the region's fd (lowest free number). Used by tests to
     /// attach a second mapping without double-closing on drop.
     pub fn dup_fd(&self) -> io::Result<i32> {
+        // SAFETY: fcntl dup of the region's own open fd; no memory is passed.
         let fd = unsafe { ffi::fcntl(self.fd, ffi::F_DUPFD, 0) };
         if fd < 0 {
             return Err(os_err("fcntl(F_DUPFD)"));
@@ -350,12 +399,13 @@ impl ShmRegion {
     }
 
     fn header_u64(&self, off: usize) -> &AtomicU64 {
-        // Header offsets are compile-time constants, 8-aligned, inside the
+        // SAFETY: header offsets are compile-time constants, 8-aligned, inside the
         // first page of a mapping whose length is validated at creation.
         unsafe { &*(self.base.add(off) as *const AtomicU64) }
     }
 
     fn header_u32(&self, off: usize) -> &AtomicU32 {
+        // SAFETY: same argument as `header_u64`: a constant, 4-aligned offset inside the validated header page.
         unsafe { &*(self.base.add(off) as *const AtomicU32) }
     }
 
@@ -377,6 +427,18 @@ impl ShmRegion {
 
 impl Drop for ShmRegion {
     fn drop(&mut self) {
+        if self.fd < 0 {
+            // SAFETY: the -1 sentinel marks a heap region; base/len are
+            // exactly the Box<[u64]> leaked in `create_heap`, freed once.
+            unsafe {
+                drop(Box::from_raw(std::ptr::slice_from_raw_parts_mut(
+                    self.base.cast::<u64>(),
+                    self.len / 8,
+                )));
+            }
+            return;
+        }
+        // SAFETY: base/len describe exactly the mapping made in `map` and fd is owned by this region; both are released exactly once, here.
         unsafe {
             ffi::munmap(self.base.cast(), self.len);
             ffi::close(self.fd);
@@ -395,6 +457,7 @@ pub struct RingProducer {
     cap: usize,
 }
 
+// SAFETY: the cursor pointers target atomics inside the shared mapping kept alive by `_region`; attach-time rank checks enforce the single-producer discipline, so the handle may move to another thread.
 unsafe impl Send for RingProducer {}
 
 impl RingProducer {
@@ -403,6 +466,7 @@ impl RingProducer {
         region.check_rank(src, "producer src")?;
         region.check_rank(dst, "producer dst")?;
         let off = region.slot_off(src, dst) as usize;
+        // SAFETY: slot_off is bounded by region_len for validated ranks, so all three offsets stay inside the mapping; the Arc keeps it alive.
         let (head, tail, data) = unsafe {
             (
                 region.base.add(off) as *const AtomicU64,
@@ -430,6 +494,7 @@ impl RingProducer {
 
     /// Free bytes right now (racy by nature; only grows concurrently).
     pub fn free(&self) -> usize {
+        // SAFETY: head/tail point at live atomics inside the mapping owned by `_region`.
         let head = unsafe { &*self.head }.load(Ordering::Acquire);
         let tail = unsafe { &*self.tail }.load(Ordering::Relaxed);
         self.cap - (tail.wrapping_sub(head)) as usize
@@ -444,6 +509,7 @@ impl RingProducer {
         if need > self.max_frame() {
             return false;
         }
+        // SAFETY: head/tail point at live atomics inside the mapping owned by `_region`.
         let head = unsafe { &*self.head }.load(Ordering::Acquire);
         let tail = unsafe { &*self.tail }.load(Ordering::Relaxed);
         let free = self.cap - tail.wrapping_sub(head) as usize;
@@ -454,7 +520,8 @@ impl RingProducer {
         self.copy_in(tail, &len);
         self.copy_in(tail + 4, std::slice::from_ref(&kind));
         self.copy_in(tail + 5, payload);
-        // Release publishes the copied bytes together with the new cursor.
+        // SAFETY: tail is a live atomic inside the mapping; the Release store
+        // publishes the copied bytes together with the new cursor.
         unsafe { &*self.tail }.store(tail + need as u64, Ordering::Release);
         true
     }
@@ -465,6 +532,7 @@ impl RingProducer {
         let mask = self.cap - 1;
         let off = at as usize & mask;
         let first = src.len().min(self.cap - off);
+        // SAFETY: `off` is masked and `first` clamped to the ring capacity, so both copies stay inside the data area; producer exclusivity makes the writes race-free.
         unsafe {
             std::ptr::copy_nonoverlapping(src.as_ptr(), self.data.add(off), first);
             if first < src.len() {
@@ -490,6 +558,7 @@ pub struct RingConsumer {
     cap: usize,
 }
 
+// SAFETY: the cursor pointers target atomics inside the shared mapping kept alive by `_region`; attach-time rank checks enforce the single-consumer discipline, so the handle may move to another thread.
 unsafe impl Send for RingConsumer {}
 
 impl RingConsumer {
@@ -498,6 +567,7 @@ impl RingConsumer {
         region.check_rank(src, "consumer src")?;
         region.check_rank(dst, "consumer dst")?;
         let off = region.slot_off(src, dst) as usize;
+        // SAFETY: slot_off is bounded by region_len for validated ranks, so all three offsets stay inside the mapping; the Arc keeps it alive.
         let (head, tail, data) = unsafe {
             (
                 region.base.add(off) as *const AtomicU64,
@@ -516,6 +586,7 @@ impl RingConsumer {
 
     /// Bytes waiting in the ring (the idle check polls this cheaply).
     pub fn pending(&self) -> u64 {
+        // SAFETY: head/tail point at live atomics inside the mapping owned by `_region`.
         let tail = unsafe { &*self.tail }.load(Ordering::Acquire);
         let head = unsafe { &*self.head }.load(Ordering::Relaxed);
         tail.wrapping_sub(head)
@@ -527,6 +598,7 @@ impl RingConsumer {
         let mask = self.cap - 1;
         let off = at as usize & mask;
         let first = dst.len().min(self.cap - off);
+        // SAFETY: `off` is masked and `first` clamped to the ring capacity, so both copies stay inside the data area; the consumer only reads bytes the producer published with Release.
         unsafe {
             std::ptr::copy_nonoverlapping(self.data.add(off), dst.as_mut_ptr(), first);
             if first < dst.len() {
@@ -542,6 +614,7 @@ impl RingConsumer {
 
 impl Read for RingConsumer {
     fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        // SAFETY: head/tail are live atomics inside the mapping, and the
         // Acquire on tail pairs with the producer's Release: every byte up
         // to tail is visible before we copy.
         let tail = unsafe { &*self.tail }.load(Ordering::Acquire);
@@ -555,7 +628,8 @@ impl Read for RingConsumer {
             return Ok(0);
         }
         self.copy_out(head, &mut buf[..n]);
-        // Release publishes the freed space to the producer.
+        // SAFETY: head is a live atomic inside the mapping; the Release
+        // store publishes the freed space to the producer.
         unsafe { &*self.head }.store(head + n as u64, Ordering::Release);
         Ok(n)
     }
@@ -570,6 +644,7 @@ pub struct Doorbell {
     waiters: *const AtomicU32,
 }
 
+// SAFETY: seq/waiters point at atomics inside the shared mapping kept alive by `_region`; every access below is atomic, so the handle may be shared and cloned across threads.
 unsafe impl Send for Doorbell {}
 unsafe impl Sync for Doorbell {}
 
@@ -578,6 +653,7 @@ impl Doorbell {
     pub fn attach(region: Arc<ShmRegion>, rank: u32) -> io::Result<Doorbell> {
         region.check_rank(rank, "doorbell")?;
         let off = (DOORBELL_OFF + u64::from(rank) * DOORBELL_STRIDE) as usize;
+        // SAFETY: the doorbell offset is inside the header area for validated ranks; the Arc keeps the mapping alive.
         let (seq, waiters) = unsafe {
             (
                 region.base.add(off) as *const AtomicU32,
@@ -594,12 +670,14 @@ impl Doorbell {
     /// Snapshot the sequence number. Read this *before* the final ring
     /// poll that decides to park, then pass it to [`Doorbell::park`].
     pub fn read_seq(&self) -> u32 {
+        // SAFETY: seq points at a live atomic inside the mapping.
         unsafe { &*self.seq }.load(Ordering::SeqCst)
     }
 
     /// Signal the owning rank that new bytes await it. Cheap when nobody
     /// is parked: one RMW, no syscall.
     pub fn ring(&self) {
+        // SAFETY: seq/waiters point at live atomics inside the mapping.
         unsafe { &*self.seq }.fetch_add(1, Ordering::SeqCst);
         if unsafe { &*self.waiters }.load(Ordering::SeqCst) != 0 {
             futex_wake(self.seq);
@@ -611,10 +689,12 @@ impl Doorbell {
     /// `shm_parks` counter counts those). `seen` must come from
     /// [`Doorbell::read_seq`] *before* the caller's last empty poll.
     pub fn park(&self, seen: u32, timeout: Duration) -> bool {
+        // SAFETY: waiters points at a live atomic inside the mapping.
         let waiters = unsafe { &*self.waiters };
         waiters.store(1, Ordering::SeqCst);
         // Re-check after advertising: a ring that landed between the
         // caller's poll and here would otherwise sleep the full timeout.
+        // SAFETY: seq points at a live atomic inside the mapping.
         if unsafe { &*self.seq }.load(Ordering::SeqCst) != seen {
             waiters.store(0, Ordering::SeqCst);
             return false;
@@ -631,14 +711,36 @@ mod tests {
     use crate::net::transport::FrameBuf;
     use std::time::Instant;
 
+    /// Ring-protocol tests run on the heap backing so they exercise the
+    /// exact same cursor/frame code under Miri, where memfd/mmap/futex
+    /// syscalls do not exist.
     fn pair(ring_bytes: u32) -> (Arc<ShmRegion>, RingProducer, RingConsumer) {
-        let region = ShmRegion::create(2, ring_bytes, 42).unwrap();
+        let region = ShmRegion::create_heap(2, ring_bytes, 42).unwrap();
         let p = RingProducer::attach(region.clone(), 0, 1).unwrap();
         let c = RingConsumer::attach(region.clone(), 0, 1).unwrap();
         (region, p, c)
     }
 
     #[test]
+    fn heap_region_uses_the_fd_sentinel() {
+        let region = ShmRegion::create_heap(3, 8192, 7).unwrap();
+        assert_eq!(region.fd(), -1);
+        assert_eq!(region.n_procs(), 3);
+        assert_eq!(region.ring_bytes(), 8192);
+        assert_eq!(region.invocation(), 7);
+        assert!(ShmRegion::create_heap(0, 8192, 7).is_err());
+    }
+
+    #[test]
+    fn heap_ring_round_trips_frames() {
+        let (_r, p, mut c) = pair(4096);
+        assert!(p.try_push(6, b"heap-backed"));
+        let polled = FrameBuf::default().poll(&mut c).unwrap();
+        assert_eq!(polled.frames, vec![(6, b"heap-backed".to_vec())]);
+    }
+
+    #[test]
+    #[cfg_attr(miri, ignore = "memfd_create/mmap syscalls are unsupported under Miri")]
     fn header_roundtrips_through_from_fd() {
         let region = ShmRegion::create(3, 8192, 7).unwrap();
         let fd = region.dup_fd().unwrap();
@@ -655,6 +757,7 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(miri, ignore = "memfd_create/mmap syscalls are unsupported under Miri")]
     fn stale_invocation_is_rejected() {
         let region = ShmRegion::create(2, 4096, 7).unwrap();
         let fd = region.dup_fd().unwrap();
@@ -667,7 +770,7 @@ mod tests {
 
     #[test]
     fn out_of_range_ranks_are_errors_not_panics() {
-        let region = ShmRegion::create(2, 4096, 1).unwrap();
+        let region = ShmRegion::create_heap(2, 4096, 1).unwrap();
         assert!(RingProducer::attach(region.clone(), 2, 0).is_err());
         assert!(RingConsumer::attach(region.clone(), 0, 5).is_err());
         assert!(Doorbell::attach(region, 9).is_err());
@@ -773,6 +876,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "futex_wait/futex_wake syscalls are unsupported under Miri"
+    )]
     fn doorbell_wakes_a_parked_consumer() {
         let region = ShmRegion::create(2, 4096, 1).unwrap();
         let bell = Doorbell::attach(region.clone(), 1).unwrap();
@@ -793,6 +900,10 @@ mod tests {
     }
 
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "futex_wait/futex_wake syscalls are unsupported under Miri"
+    )]
     fn park_skips_when_the_bell_already_rang() {
         let region = ShmRegion::create(2, 4096, 1).unwrap();
         let bell = Doorbell::attach(region, 0).unwrap();
@@ -807,6 +918,10 @@ mod tests {
     /// ring, producer applying backpressure, consumer reassembling with
     /// FrameBuf — content and order must both survive.
     #[test]
+    #[cfg_attr(
+        miri,
+        ignore = "futex-based doorbells and 10k-frame stress are too slow/unsupported under Miri"
+    )]
     fn spsc_stress_preserves_order_and_content() {
         let region = ShmRegion::create(2, MIN_RING_BYTES, 1).unwrap();
         let p = RingProducer::attach(region.clone(), 1, 0).unwrap();

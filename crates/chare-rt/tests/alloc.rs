@@ -7,25 +7,46 @@
 use chare_rt::aggregator::{Aggregator, Flush};
 use chare_rt::{AggregationConfig, ChareId, Message};
 use std::alloc::{GlobalAlloc, Layout, System};
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+// Count only allocations made by threads that opted in: the libtest
+// harness allocates concurrently (progress output, per-test threads),
+// which made whole-process counts flaky.
+thread_local! {
+    static TRACK: Cell<bool> = const { Cell::new(false) };
+}
+
+fn tracked() -> bool {
+    // try_with: TLS may already be torn down when a dying thread frees.
+    TRACK.try_with(Cell::get).unwrap_or(false)
+}
 
 struct CountingAlloc;
 
 // SAFETY: delegates every operation to `System`, only bumping a counter.
 unsafe impl GlobalAlloc for CountingAlloc {
     unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if tracked() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: the caller's GlobalAlloc contract is forwarded to `System` unchanged.
         unsafe { System.alloc(layout) }
     }
 
+    // SAFETY: the dealloc contract is forwarded to `System` unchanged.
     unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
         unsafe { System.dealloc(ptr, layout) }
     }
 
+    // SAFETY: the realloc contract is forwarded to `System` unchanged.
     unsafe fn realloc(&self, ptr: *mut u8, layout: Layout, new_size: usize) -> *mut u8 {
-        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        if tracked() {
+            ALLOCS.fetch_add(1, Ordering::Relaxed);
+        }
+        // SAFETY: the caller's GlobalAlloc contract is forwarded to `System` unchanged.
         unsafe { System.realloc(ptr, layout, new_size) }
     }
 }
@@ -34,6 +55,7 @@ unsafe impl GlobalAlloc for CountingAlloc {
 static GLOBAL: CountingAlloc = CountingAlloc;
 
 fn allocs() -> u64 {
+    TRACK.with(|t| t.set(true));
     ALLOCS.load(Ordering::Relaxed)
 }
 

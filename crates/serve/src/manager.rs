@@ -193,7 +193,7 @@ impl Manager {
         }))
     }
 
-    fn lock(&self) -> MutexGuard<'_, ManagerState> {
+    fn lock_state(&self) -> MutexGuard<'_, ManagerState> {
         match self.state.lock() {
             Ok(g) => g,
             Err(poison) => poison.into_inner(),
@@ -203,7 +203,7 @@ impl Manager {
     /// Validate, register, queue, and announce a new job.
     pub fn submit(&self, spec: JobSpec) -> Result<JobId, SubmitError> {
         spec.validate().map_err(SubmitError::Invalid)?;
-        let mut st = self.lock();
+        let mut st = self.lock_state();
         if st.shutdown {
             return Err(SubmitError::ShuttingDown);
         }
@@ -236,7 +236,7 @@ impl Manager {
     /// the transition lands at the next day boundary (watch the event
     /// stream for `State { Paused }`).
     pub fn pause(&self, job: JobId) -> Result<JobState, LifecycleError> {
-        let st = self.lock();
+        let st = self.lock_state();
         let rec = st.jobs.get(&job).ok_or(LifecycleError::NoSuchJob)?;
         if rec.spec.engine == EngineSel::Ensemble {
             return Err(LifecycleError::Unsupported(
@@ -257,7 +257,7 @@ impl Manager {
     /// Re-enqueue a paused job; its next lease resumes from the
     /// checkpoint.
     pub fn resume(&self, job: JobId) -> Result<JobState, LifecycleError> {
-        let mut st = self.lock();
+        let mut st = self.lock_state();
         if st.shutdown {
             return Err(LifecycleError::ShuttingDown);
         }
@@ -278,7 +278,7 @@ impl Manager {
     /// Cancel a job: dequeue it, discard its checkpoint, or (if running)
     /// arm the cooperative day-boundary stop.
     pub fn cancel(&self, job: JobId) -> Result<JobState, LifecycleError> {
-        let mut st = self.lock();
+        let mut st = self.lock_state();
         let rec = st.jobs.get(&job).ok_or(LifecycleError::NoSuchJob)?;
         match rec.state {
             JobState::Queued => {
@@ -305,25 +305,25 @@ impl Manager {
 
     /// `(state, days simulated)` snapshot.
     pub fn status(&self, job: JobId) -> Option<(JobState, u32)> {
-        let st = self.lock();
+        let st = self.lock_state();
         st.jobs.get(&job).map(|r| (r.state, r.days.len() as u32))
     }
 
     /// Every job, id-ascending.
     pub fn list(&self) -> Vec<(JobId, JobState)> {
-        let st = self.lock();
+        let st = self.lock_state();
         st.jobs.iter().map(|(&id, r)| (id, r.state)).collect()
     }
 
     /// The completion hash, once the job completed.
     pub fn curve_hash_of(&self, job: JobId) -> Option<u64> {
-        self.lock().jobs.get(&job).and_then(|r| r.curve_hash)
+        self.lock_state().jobs.get(&job).and_then(|r| r.curve_hash)
     }
 
     /// Attach an event stream: replays the curve so far (and the terminal
     /// event, if the job already ended), then follows live.
     pub fn subscribe(&self, job: JobId) -> Option<Subscription> {
-        let st = self.lock();
+        let st = self.lock_state();
         let rec = st.jobs.get(&job)?;
         let topic = st.topics.get(&job)?.clone();
         let mut replay: Vec<Event> = rec
@@ -343,7 +343,7 @@ impl Manager {
     /// stop on every running one, and wake lease waiters so pool workers
     /// drain and exit.
     pub fn shutdown(&self) {
-        let mut st = self.lock();
+        let mut st = self.lock_state();
         st.shutdown = true;
         while let Some(job) = st.queue.pop_where(|_| true) {
             transition(&mut st, job, JobState::Cancelled);
@@ -363,12 +363,12 @@ impl Manager {
 
     /// Has [`Manager::shutdown`] been called?
     pub fn is_shutting_down(&self) -> bool {
-        self.lock().shutdown
+        self.lock_state().shutdown
     }
 
     /// Are any jobs currently leased?
     pub fn running_count(&self) -> u32 {
-        self.lock().running.values().sum()
+        self.lock_state().running.values().sum()
     }
 
     // -- pool-facing ------------------------------------------------------
@@ -376,7 +376,7 @@ impl Manager {
     /// Block until a job is available under the engine caps (leasing it),
     /// or until shutdown with nothing left to lease (returning `None`).
     pub fn lease(&self) -> Option<Lease> {
-        let mut st = self.lock();
+        let mut st = self.lock_state();
         loop {
             let caps = self.caps;
             let picked = {
@@ -421,7 +421,7 @@ impl Manager {
     /// One finished day from a running job: extend the recorded curve and
     /// stream it.
     pub fn day_finished(&self, job: JobId, stats: &DayStats) {
-        let mut st = self.lock();
+        let mut st = self.lock_state();
         if let Some(rec) = st.jobs.get_mut(&job) {
             rec.days.push(*stats);
         }
@@ -432,7 +432,7 @@ impl Manager {
 
     /// Record the seed count a fresh (non-resumed) run established.
     pub fn note_seeds(&self, job: JobId, seeds: u64) {
-        let mut st = self.lock();
+        let mut st = self.lock_state();
         if let Some(rec) = st.jobs.get_mut(&job) {
             if rec.seeds == 0 {
                 rec.seeds = seeds;
@@ -442,7 +442,7 @@ impl Manager {
 
     /// Terminal success: hash the recorded curve, publish the summary.
     pub fn finish_completed(&self, job: JobId) {
-        let mut st = self.lock();
+        let mut st = self.lock_state();
         let (days, cumulative, seeds) = match st.jobs.get(&job) {
             Some(rec) => (
                 rec.days.clone(),
@@ -475,7 +475,7 @@ impl Manager {
     /// summary carries the [`episim_core::ResultStore`] hash as its
     /// `curve_hash` and the member count in the `days` slot.
     pub fn finish_sweep_completed(&self, job: JobId, members: u32, store_hash: u64) {
-        let mut st = self.lock();
+        let mut st = self.lock_state();
         let seeds = st.jobs.get(&job).map_or(0, |r| r.seeds);
         let summary = Event::Completed {
             job,
@@ -498,7 +498,7 @@ impl Manager {
 
     /// Terminal failure.
     pub fn finish_failed(&self, job: JobId, message: String) {
-        let mut st = self.lock();
+        let mut st = self.lock_state();
         if let Some(rec) = st.jobs.get_mut(&job) {
             rec.error = Some(message.clone());
             rec.terminal = Some(Event::Failed {
@@ -519,7 +519,7 @@ impl Manager {
     /// the pause was observed, honor it now (`Running → Paused →
     /// Cancelled` — both edges legal, both logged).
     pub fn finish_paused(&self, job: JobId, checkpoint: PathBuf) {
-        let mut st = self.lock();
+        let mut st = self.lock_state();
         let cancel_raced = st
             .flags
             .get(&job)
@@ -541,7 +541,7 @@ impl Manager {
 
     /// The worker stopped cooperatively after a cancel.
     pub fn finish_cancelled(&self, job: JobId) {
-        let mut st = self.lock();
+        let mut st = self.lock_state();
         transition(&mut st, job, JobState::Cancelled);
         self.release(&mut st, job);
         drop(st);

@@ -31,7 +31,7 @@ struct TopicState {
 }
 
 struct TopicInner {
-    state: Mutex<TopicState>,
+    topic_state: Mutex<TopicState>,
     bell: Condvar,
     cap: usize,
     job: u64,
@@ -49,7 +49,7 @@ impl Topic {
     pub fn new(job: u64, cap: usize) -> Topic {
         Topic {
             inner: Arc::new(TopicInner {
-                state: Mutex::new(TopicState { subs: Vec::new() }),
+                topic_state: Mutex::new(TopicState { subs: Vec::new() }),
                 bell: Condvar::new(),
                 cap: cap.max(2),
                 job,
@@ -62,7 +62,7 @@ impl Topic {
     /// a gapless prefix + live tail. Replay events exceeding the buffer
     /// follow the same drop-oldest policy.
     pub fn subscribe(&self, replay: Vec<Event>) -> Subscription {
-        let mut st = lock(&self.inner.state);
+        let mut st = lock(&self.inner.topic_state);
         let mut slot = SubSlot {
             queue: VecDeque::new(),
             missed: 0,
@@ -92,7 +92,7 @@ impl Topic {
 
     /// Broadcast to every live subscriber.
     pub fn publish(&self, ev: Event) {
-        let mut st = lock(&self.inner.state);
+        let mut st = lock(&self.inner.topic_state);
         for slot in st.subs.iter_mut().filter(|s| !s.closed && !s.finished) {
             enqueue(slot, ev.clone(), self.inner.cap);
         }
@@ -102,7 +102,7 @@ impl Topic {
 
     /// Live (non-closed) subscriber count.
     pub fn subscriber_count(&self) -> usize {
-        lock(&self.inner.state)
+        lock(&self.inner.topic_state)
             .subs
             .iter()
             .filter(|s| !s.closed)
@@ -145,7 +145,7 @@ impl Subscription {
     /// [`Event::Lagged`] carrying the miss count is synthesized *first*,
     /// so consumers always learn about gaps in order.
     pub fn recv_timeout(&mut self, timeout: Duration) -> Option<Event> {
-        let mut st = lock(&self.inner.state);
+        let mut st = lock(&self.inner.topic_state);
         loop {
             if let Some(slot) = st.subs.get_mut(self.idx) {
                 if slot.missed > 0 {
@@ -177,7 +177,7 @@ impl Subscription {
 
 impl Drop for Subscription {
     fn drop(&mut self) {
-        let mut st = lock(&self.inner.state);
+        let mut st = lock(&self.inner.topic_state);
         if let Some(slot) = st.subs.get_mut(self.idx) {
             slot.closed = true;
             slot.queue.clear();
@@ -287,6 +287,10 @@ mod tests {
         assert_eq!(t.subscriber_count(), 0);
         let _sub2 = t.subscribe(Vec::new());
         assert_eq!(t.subscriber_count(), 1);
-        assert_eq!(lock(&t.inner.state).subs.len(), 1, "slot reused, not grown");
+        assert_eq!(
+            lock(&t.inner.topic_state).subs.len(),
+            1,
+            "slot reused, not grown"
+        );
     }
 }

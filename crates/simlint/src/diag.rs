@@ -17,6 +17,10 @@ pub struct Finding {
     pub col: u32,
     /// Human-readable description of the hazard.
     pub message: String,
+    /// For call-graph rules (R6/R7): the witness chain from the root to
+    /// the sink (`["kernel::step", "scratch.push", "Vec::push"]`).
+    /// Empty for per-file rules.
+    pub path: Vec<String>,
     /// Set when an in-source waiver covers this finding; carries the
     /// waiver's justification text.
     pub waived: Option<String>,
@@ -57,6 +61,14 @@ pub fn to_json(findings: &[Finding]) -> String {
         out.push_str(&format!(",\"line\":{}", f.line));
         out.push_str(&format!(",\"col\":{}", f.col));
         out.push_str(&format!(",\"message\":{}", json_str(&f.message)));
+        out.push_str(",\"path\":[");
+        for (k, seg) in f.path.iter().enumerate() {
+            if k > 0 {
+                out.push(',');
+            }
+            out.push_str(&json_str(seg));
+        }
+        out.push(']');
         match &f.waived {
             Some(j) => out.push_str(&format!(",\"waived\":{}", json_str(j))),
             None => out.push_str(",\"waived\":null"),
@@ -210,6 +222,7 @@ impl JsonParser<'_> {
             line: 0,
             col: 0,
             message: String::new(),
+            path: Vec::new(),
             waived: None,
         };
         loop {
@@ -223,6 +236,28 @@ impl JsonParser<'_> {
                 "line" => f.line = self.number()?,
                 "col" => f.col = self.number()?,
                 "message" => f.message = self.string()?,
+                "path" => {
+                    self.expect(b'[')?;
+                    self.skip_ws();
+                    if self.peek() == Some(b']') {
+                        self.pos += 1;
+                    } else {
+                        loop {
+                            f.path.push(self.string()?);
+                            self.skip_ws();
+                            match self.next()? {
+                                b',' => continue,
+                                b']' => break,
+                                c => {
+                                    return Err(format!(
+                                        "expected ',' or ']' in path, got '{}'",
+                                        c as char
+                                    ))
+                                }
+                            }
+                        }
+                    }
+                }
                 "waived" => {
                     if self.peek() == Some(b'n') {
                         for want in b"null" {
@@ -257,6 +292,7 @@ mod tests {
                 line: 12,
                 col: 9,
                 message: "default-hasher `HashMap` in determinism scope".into(),
+                path: Vec::new(),
                 waived: None,
             },
             Finding {
@@ -265,7 +301,22 @@ mod tests {
                 line: 252,
                 col: 21,
                 message: "wall-clock read (`Instant::now`)".into(),
+                path: Vec::new(),
                 waived: Some("watchdog only, \"quoted\" + non-ASCII ✓".into()),
+            },
+            Finding {
+                rule: "R6".into(),
+                file: "crates/core/src/kernel.rs".into(),
+                line: 300,
+                col: 13,
+                message: "hot path reaches allocation: kernel::step → scratch.push → Vec::push"
+                    .into(),
+                path: vec![
+                    "kernel::step".into(),
+                    "scratch.push".into(),
+                    "Vec::push".into(),
+                ],
+                waived: None,
             },
         ]
     }

@@ -464,6 +464,49 @@ mod tests {
     }
 
     #[test]
+    fn block_comments_nest_three_deep() {
+        // Rust block comments nest; only a depth counter survives this.
+        let src = "/* a /* b /* unsafe */ HashMap */ Instant */ let x = 1;";
+        assert_eq!(idents(src), vec!["let", "x"]);
+        // An unterminated inner level swallows the rest of the input
+        // without panicking.
+        let src = "/* a /* b */ still open\nlet y = 1;";
+        assert_eq!(idents(src), Vec::<String>::new());
+    }
+
+    #[test]
+    fn raw_strings_with_hash_fences_hide_their_contents() {
+        // The fence length must match: a `"#` inside an `r##` string is
+        // payload, not a terminator — and neither the waiver text nor
+        // the `unsafe` keyword inside it may surface as tokens/comments.
+        let src = r####"let s = r##"x "# // simlint: allow(R2) -- nope; unsafe"##; let t = 1;"####;
+        let lexed = lex(src);
+        let ids: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.ident().map(str::to_string))
+            .collect();
+        assert_eq!(ids, vec!["let", "s", "let", "t"]);
+        assert!(lexed.comments.is_empty(), "{:?}", lexed.comments);
+    }
+
+    #[test]
+    fn byte_and_char_literals_do_not_open_comments_or_unsafe() {
+        // A '/' char and a b'/' byte literal must not start a comment,
+        // and "unsafe" inside a byte string is data, not a keyword.
+        let src = "let a = '/'; let b = b'/'; let c = b\"unsafe // x\"; done()";
+        let lexed = lex(src);
+        let ids: Vec<String> = lexed
+            .tokens
+            .iter()
+            .filter_map(|t| t.kind.ident().map(str::to_string))
+            .collect();
+        assert!(!ids.contains(&"unsafe".to_string()));
+        assert!(ids.contains(&"done".to_string()));
+        assert!(lexed.comments.is_empty(), "{:?}", lexed.comments);
+    }
+
+    #[test]
     fn numbers_and_ranges() {
         let lexed = lex("a[0]; b[0..4]; 1.5e3");
         let lits: Vec<&str> = lexed

@@ -4,18 +4,33 @@
 //! and waiver policy. The analyzer is dependency-free by construction:
 //! it lexes Rust source itself ([`lexer`]), reads its policy from a tiny
 //! TOML subset ([`policy`]), and emits rustc-style text or JSON
-//! ([`diag`]). Rules live in [`rules`]; this module is the driver that
-//! walks the tree and stitches the passes together.
+//! ([`diag`]). Per-file rules live in [`rules`]; the item extractor
+//! ([`symbols`]) and the call-graph rules R6/R7 ([`graph`]) see the
+//! whole workspace at once. This module is the driver: pass 1 lexes and
+//! extracts every file, pass 2 runs per-file rules, pass 3 builds the
+//! call graph and runs the transitive rules, and the waiver post-pass
+//! (including W1 stale-waiver detection) stitches it all together.
 
 pub mod diag;
+pub mod graph;
 pub mod lexer;
 pub mod policy;
 pub mod rules;
+pub mod symbols;
 
 use diag::Finding;
 use policy::Policy;
 use std::fs;
 use std::path::{Path, PathBuf};
+
+/// One scanned file: its lexed token stream plus extracted items. The
+/// whole-workspace slice of these is what [`graph::CallGraph`] consumes.
+pub struct SourceFile {
+    /// Path relative to the scan root, `/`-separated.
+    pub rel: String,
+    pub lexed: lexer::Lexed,
+    pub syms: symbols::FileSyms,
+}
 
 /// Run every rule over the tree under `root` according to `policy`.
 ///
@@ -24,24 +39,54 @@ use std::path::{Path, PathBuf};
 /// across platforms and directory-iteration orders. The caller decides
 /// the exit code from [`unwaived_count`].
 pub fn run_check(root: &Path, policy: &Policy) -> Result<Vec<Finding>, String> {
-    let mut findings = Vec::new();
+    // Pass 1: lex + extract the whole tree.
+    let mut files = Vec::new();
     for file in collect_files(root, policy)? {
         let rel = rel_path(root, &file);
         let src = fs::read_to_string(&file)
             .map_err(|e| format!("{}: read failed: {e}", file.display()))?;
         let lexed = lexer::lex(&src);
-        let (waivers, mut w0) = rules::parse_waivers(&rel, &lexed);
-        let mut file_findings = Vec::new();
-        file_findings.extend(rules::rule_r1(&rel, &lexed, policy));
-        file_findings.extend(rules::rule_r2(&rel, &lexed, policy));
-        file_findings.extend(rules::rule_r3(&rel, &lexed, policy));
-        file_findings.extend(rules::rule_r4(&rel, &lexed));
-        for spec in &policy.codecs {
-            if spec.file == rel {
-                file_findings.extend(rules::rule_r5(spec, &lexed));
+        let syms = symbols::extract(&lexed);
+        files.push(SourceFile { rel, lexed, syms });
+    }
+
+    // Pass 2: per-file rules.
+    let mut per_file: Vec<Vec<Finding>> = files
+        .iter()
+        .map(|sf| {
+            let mut out = Vec::new();
+            out.extend(rules::rule_r1(&sf.rel, &sf.lexed, policy));
+            out.extend(rules::rule_r2(&sf.rel, &sf.lexed, policy));
+            out.extend(rules::rule_r3(&sf.rel, &sf.lexed, policy));
+            out.extend(rules::rule_r8(&sf.rel, &sf.lexed, policy));
+            for spec in &policy.codecs {
+                if spec.file == sf.rel {
+                    out.extend(rules::rule_r5(spec, &sf.lexed));
+                }
             }
+            out
+        })
+        .collect();
+
+    // Pass 3: the call-graph rules see every file at once.
+    let call_graph = graph::CallGraph::build(&files);
+    let graph_findings = graph::rule_r6(&files, &call_graph)
+        .into_iter()
+        .chain(graph::rule_r7(&files, &call_graph, policy));
+    for f in graph_findings {
+        match files.iter().position(|sf| sf.rel == f.file) {
+            Some(i) => per_file[i].push(f),
+            None => return Err(format!("graph finding for unscanned file {}", f.file)),
         }
-        rules::apply_waivers(&mut file_findings, &waivers);
+    }
+
+    // Waiver post-pass: apply per file, then surface unused waivers (W1)
+    // and malformed ones (W0).
+    let mut findings = Vec::new();
+    for (sf, mut file_findings) in files.iter().zip(per_file) {
+        let (waivers, mut w0) = rules::parse_waivers(&sf.rel, &sf.lexed);
+        let used = rules::apply_waivers(&mut file_findings, &waivers);
+        findings.extend(rules::stale_waiver_findings(&sf.rel, &waivers, &used));
         findings.append(&mut file_findings);
         findings.append(&mut w0);
     }
@@ -56,6 +101,7 @@ pub fn run_check(root: &Path, policy: &Policy) -> Result<Vec<Finding>, String> {
                 line: 1,
                 col: 1,
                 message: format!("[codec.{}] file not found under scan root", spec.name),
+                path: Vec::new(),
                 waived: None,
             });
         }

@@ -88,9 +88,17 @@ fn print_help() {
          Reads <root>/simlint.toml and scans the configured trees.\n\
          Rules: R1 default-hasher maps in determinism scopes;\n\
          R2 wall-clock reads outside watchdog/bench scopes;\n\
-         R3 panic paths in the net transport; R4 allocation inside\n\
-         #[hot_path] functions; R5 codec encode/decode lockstep.\n\
+         R3 panic paths in the net transport;\n\
+         R5 codec encode/decode lockstep;\n\
+         R6 transitive hot-path purity — a #[hot_path] fn must not\n\
+         reach allocation, panics, or the wall clock through any call\n\
+         chain (the full witness path is reported);\n\
+         R7 lock-order discipline against the [r7] hierarchy;\n\
+         R8 unsafe audit — unsafe only in [r8]-allowed files, each\n\
+         site with an adjacent // SAFETY: justification.\n\
          Waive a line with: // simlint: allow(R2) -- <justification>\n\
+         A waiver that suppresses nothing is a W1 finding; a malformed\n\
+         one is W0. Neither can be waived.\n\
          \n\
          Exit: 0 clean, 1 unwaived findings, 2 usage/policy error."
     );

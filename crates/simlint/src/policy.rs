@@ -39,6 +39,16 @@ pub struct Policy {
     pub r3_scope: Vec<String>,
     /// R5 codec specs.
     pub codecs: Vec<CodecSpec>,
+    /// R7: path prefixes where lock-order discipline is checked.
+    pub r7_scope: Vec<String>,
+    /// R7: the declared lock hierarchy, outermost first. Acquiring a lock
+    /// at or above the rank of one already held is a finding.
+    pub r7_order: Vec<String>,
+    /// R7: guard-returning free helper functions (`lock`, `lock_recover`)
+    /// whose first ranked-lock argument names the lock they acquire.
+    pub r7_helpers: Vec<String>,
+    /// R8: files where `unsafe` is permitted (with `// SAFETY:` comments).
+    pub r8_allow: Vec<String>,
 }
 
 impl Policy {
@@ -113,6 +123,10 @@ impl Policy {
             ("r1", "scope") => &mut self.r1_scope,
             ("r2", "allow") => &mut self.r2_allow,
             ("r3", "scope") => &mut self.r3_scope,
+            ("r7", "scope") => &mut self.r7_scope,
+            ("r7", "order") => &mut self.r7_order,
+            ("r7", "helpers") => &mut self.r7_helpers,
+            ("r8", "allow") => &mut self.r8_allow,
             (s, k) => return Err(format!("unknown key `{k}` in section `[{s}]`")),
         };
         *slot = parse_string_array(value)?;
@@ -203,6 +217,14 @@ allow = ["crates/bench"]
 [r3]
 scope = ["crates/chare-rt/src/net/comm.rs"]
 
+[r7]
+scope = ["crates/serve"]
+order = ["handlers", "state", "topic_state"]
+helpers = ["lock", "lock_recover"]
+
+[r8]
+allow = ["crates/chare-rt/src/net/shm.rs"]
+
 [codec.simmsg]
 file = "crates/core/src/messages.rs"
 enum = "SimMsg"
@@ -216,6 +238,9 @@ decode = "wire_decode"
         assert_eq!(p.scan_include, vec!["crates", "src"]);
         assert_eq!(p.scan_exclude, vec!["crates/simlint/tests/fixtures"]);
         assert_eq!(p.r1_scope, vec!["crates/core", "crates/ptts"]);
+        assert_eq!(p.r7_order, vec!["handlers", "state", "topic_state"]);
+        assert_eq!(p.r7_helpers, vec!["lock", "lock_recover"]);
+        assert_eq!(p.r8_allow, vec!["crates/chare-rt/src/net/shm.rs"]);
         assert_eq!(p.codecs.len(), 1);
         assert_eq!(p.codecs[0].enum_name, "SimMsg");
         assert_eq!(p.codecs[0].decode_fn, "wire_decode");

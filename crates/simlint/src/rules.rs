@@ -1,10 +1,15 @@
-//! The rule implementations (R1–R5) plus the waiver machinery.
+//! The per-file rule implementations (R1–R3, R5, R8) plus the waiver
+//! machinery. The call-graph rules (R6 transitive hot-path purity, R7
+//! lock order) live in [`crate::graph`]; R4's direct hot-path check was
+//! subsumed by R6.
 //!
-//! Every rule is a pure function over one file's token stream; rule R5
-//! additionally cross-references two token streams (enum declaration vs.
-//! codec bodies). Waivers are parsed out of line comments and applied as
-//! a post-pass: a waived finding is kept (with its justification) so the
-//! JSON report documents the wall, but it no longer fails the check.
+//! Every rule here is a pure function over one file's token stream; rule
+//! R5 additionally cross-references two token streams (enum declaration
+//! vs. codec bodies). Waivers are parsed out of line comments and applied
+//! as a post-pass: a waived finding is kept (with its justification) so
+//! the JSON report documents the wall, but it no longer fails the check.
+//! A waiver that suppresses nothing is itself a finding (W1), so the
+//! wall cannot silently rot as code moves.
 
 use crate::diag::Finding;
 use crate::lexer::{Lexed, Token, TokenKind};
@@ -55,6 +60,7 @@ pub fn parse_waivers(path: &str, lexed: &Lexed) -> (Vec<Waiver>, Vec<Finding>) {
                 line: c.line,
                 col: 1,
                 message: format!("malformed waiver: {msg}"),
+                path: Vec::new(),
                 waived: None,
             }),
         }
@@ -72,8 +78,8 @@ fn parse_waiver_body(body: &str) -> Result<(Vec<String>, String), String> {
     let mut rules = Vec::new();
     for r in rules_str.split(',') {
         let r = r.trim();
-        if !matches!(r, "R1" | "R2" | "R3" | "R4" | "R5") {
-            return Err(format!("unknown rule id `{r}` (expected R1..R5)"));
+        if !matches!(r, "R1" | "R2" | "R3" | "R4" | "R5" | "R6" | "R7" | "R8") {
+            return Err(format!("unknown rule id `{r}` (expected R1..R8)"));
         }
         rules.push(r.to_string());
     }
@@ -96,20 +102,50 @@ fn next_code_line(tokens: &[Token], after: u32) -> Option<u32> {
     tokens.iter().map(|t| t.line).find(|&l| l > after)
 }
 
-/// Mark findings covered by a waiver on the same line. `W0` findings are
-/// never waivable.
-pub fn apply_waivers(findings: &mut [Finding], waivers: &[Waiver]) {
+/// Mark findings covered by a waiver on the same line. `W0`/`W1` findings
+/// are never waivable. Returns one flag per waiver: did it suppress at
+/// least one finding? Unused waivers become W1 stale-waiver findings via
+/// [`stale_waiver_findings`].
+pub fn apply_waivers(findings: &mut [Finding], waivers: &[Waiver]) -> Vec<bool> {
+    let mut used = vec![false; waivers.len()];
     for f in findings.iter_mut() {
-        if f.rule == "W0" {
+        if f.rule == "W0" || f.rule == "W1" {
             continue;
         }
-        if let Some(w) = waivers
+        if let Some((k, w)) = waivers
             .iter()
-            .find(|w| w.applies_line == f.line && w.rules.contains(&f.rule))
+            .enumerate()
+            .find(|(_, w)| w.applies_line == f.line && w.rules.contains(&f.rule))
         {
             f.waived = Some(w.justification.clone());
+            used[k] = true;
         }
     }
+    used
+}
+
+/// W1: a waiver that suppressed nothing. Stale waivers hide real policy —
+/// the rule they name either moved or was fixed — so they must be pruned,
+/// and (like W0) they cannot themselves be waived.
+pub fn stale_waiver_findings(path: &str, waivers: &[Waiver], used: &[bool]) -> Vec<Finding> {
+    waivers
+        .iter()
+        .zip(used)
+        .filter(|(_, &u)| !u)
+        .map(|(w, _)| Finding {
+            rule: "W1".into(),
+            file: path.into(),
+            line: w.comment_line,
+            col: 1,
+            message: format!(
+                "stale waiver: `allow({})` suppresses no finding on line {} — remove it",
+                w.rules.join(", "),
+                w.applies_line
+            ),
+            path: Vec::new(),
+            waived: None,
+        })
+        .collect()
 }
 
 /// Line extents (inclusive) of `#[cfg(test)] mod … { … }` bodies. Rules
@@ -165,16 +201,16 @@ fn is_cfg_test_attr(tokens: &[Token], i: usize) -> bool {
 }
 
 /// Index of the `]` matching the `[` at `open`.
-fn bracket_close(tokens: &[Token], open: usize) -> Option<usize> {
+pub(crate) fn bracket_close(tokens: &[Token], open: usize) -> Option<usize> {
     matching_close(tokens, open, '[', ']')
 }
 
 /// Index of the `}` matching the `{` at `open`.
-fn brace_close(tokens: &[Token], open: usize) -> Option<usize> {
+pub(crate) fn brace_close(tokens: &[Token], open: usize) -> Option<usize> {
     matching_close(tokens, open, '{', '}')
 }
 
-fn matching_close(tokens: &[Token], open: usize, o: char, c: char) -> Option<usize> {
+pub(crate) fn matching_close(tokens: &[Token], open: usize, o: char, c: char) -> Option<usize> {
     if !tokens.get(open)?.kind.is_punct(o) {
         return None;
     }
@@ -254,6 +290,7 @@ fn scan_patterns(
                     line: anchor.line,
                     col: anchor.col,
                     message: (*message).into(),
+                    path: Vec::new(),
                     waived: None,
                 });
             }
@@ -350,114 +387,89 @@ pub fn rule_r3(path: &str, lexed: &Lexed, policy: &Policy) -> Vec<Finding> {
     scan_patterns(path, &lexed.tokens, "R3", PATS, &skip, None)
 }
 
-/// R4: allocation calls inside `#[hot_path]` functions. The DES kernel's
-/// per-day loop must stay allocation-free (PR 3's zero-allocation work);
-/// this rule keeps regressions from creeping back in.
-pub fn rule_r4(path: &str, lexed: &Lexed) -> Vec<Finding> {
-    const BANNED: &[(&[Pat], usize, &str)] = &[
-        (
-            &[Pat::I("Vec"), Pat::P(':'), Pat::P(':'), Pat::I("new")],
-            0,
-            "`Vec::new` inside a `#[hot_path]` function",
-        ),
-        (
-            &[
-                Pat::I("Vec"),
-                Pat::P(':'),
-                Pat::P(':'),
-                Pat::I("with_capacity"),
-            ],
-            0,
-            "`Vec::with_capacity` inside a `#[hot_path]` function",
-        ),
-        (
-            &[Pat::I("Box"), Pat::P(':'), Pat::P(':'), Pat::I("new")],
-            0,
-            "`Box::new` inside a `#[hot_path]` function",
-        ),
-        (
-            &[Pat::I("String"), Pat::P(':'), Pat::P(':'), Pat::I("new")],
-            0,
-            "`String::new` inside a `#[hot_path]` function",
-        ),
-        (
-            &[Pat::I("String"), Pat::P(':'), Pat::P(':'), Pat::I("from")],
-            0,
-            "`String::from` inside a `#[hot_path]` function",
-        ),
-        (
-            &[Pat::I("vec"), Pat::P('!')],
-            0,
-            "`vec!` inside a `#[hot_path]` function",
-        ),
-        (
-            &[Pat::I("format"), Pat::P('!')],
-            0,
-            "`format!` inside a `#[hot_path]` function",
-        ),
-        (
-            &[Pat::P('.'), Pat::I("to_vec")],
-            1,
-            "`.to_vec()` inside a `#[hot_path]` function",
-        ),
-        (
-            &[Pat::P('.'), Pat::I("to_string")],
-            1,
-            "`.to_string()` inside a `#[hot_path]` function",
-        ),
-        (
-            &[Pat::P('.'), Pat::I("to_owned")],
-            1,
-            "`.to_owned()` inside a `#[hot_path]` function",
-        ),
-        (
-            &[Pat::P('.'), Pat::I("collect")],
-            1,
-            "`.collect()` inside a `#[hot_path]` function",
-        ),
-    ];
+/// R8: unsafe audit. Every `unsafe` keyword must sit in a policy-allowed
+/// file ([`Policy::r8_allow`]) *and* carry an adjacent `// SAFETY:`
+/// justification — trailing on the same line, or on a comment line above
+/// with only blank lines, other comments, attributes, or further `unsafe`
+/// lines in between (so one comment can cover a contiguous unsafe
+/// group). Doc comments (`///`) do not count: a safety argument for the
+/// *caller* is not an argument for this block's soundness.
+pub fn rule_r8(path: &str, lexed: &Lexed, policy: &Policy) -> Vec<Finding> {
     let tokens = &lexed.tokens;
+    let allowed = in_scope(path, &policy.r8_allow);
+
+    // Per-line token facts for the upward SAFETY scan.
+    let mut first_tok_on_line: std::collections::BTreeMap<u32, &TokenKind> =
+        std::collections::BTreeMap::new();
+    let mut unsafe_lines = BTreeSet::new();
+    for t in tokens {
+        first_tok_on_line.entry(t.line).or_insert(&t.kind);
+        if t.kind.is_ident("unsafe") {
+            unsafe_lines.insert(t.line);
+        }
+    }
+    let safety_at = |line: u32| {
+        lexed
+            .comments
+            .iter()
+            .any(|c| c.line == line && c.text.trim_start().starts_with("SAFETY:"))
+    };
+
     let mut out = Vec::new();
-    let mut i = 0;
-    while i < tokens.len() {
-        if tokens[i].kind.is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('[')) {
-            if let Some(close) = bracket_close(tokens, i + 1) {
-                let is_hot = tokens[i + 1..close]
-                    .iter()
-                    .any(|t| t.kind.is_ident("hot_path"));
-                if is_hot {
-                    // Find the `fn` after the attribute block (there may be
-                    // further attributes such as `#[inline]` in between).
-                    if let Some(fn_idx) = tokens[close..]
-                        .iter()
-                        .position(|t| t.kind.is_ident("fn"))
-                        .map(|p| close + p)
-                    {
-                        if let Some(open) = tokens[fn_idx..]
-                            .iter()
-                            .position(|t| t.kind.is_punct('{'))
-                            .map(|p| fn_idx + p)
-                        {
-                            if let Some(end) = brace_close(tokens, open) {
-                                out.extend(scan_patterns(
-                                    path,
-                                    tokens,
-                                    "R4",
-                                    BANNED,
-                                    &[],
-                                    Some((open, end)),
-                                ));
-                                i = end + 1;
-                                continue;
-                            }
-                        }
-                    }
-                }
-                i = close + 1;
-                continue;
+    let mut seen_lines = BTreeSet::new();
+    for t in tokens {
+        if !t.kind.is_ident("unsafe") || !seen_lines.insert(t.line) {
+            continue;
+        }
+        if !allowed {
+            out.push(Finding {
+                rule: "R8".into(),
+                file: path.into(),
+                line: t.line,
+                col: t.col,
+                message: "`unsafe` in a file outside the [r8] allow list; unsafe code is \
+                          confined to audited modules"
+                    .into(),
+                path: Vec::new(),
+                waived: None,
+            });
+            continue;
+        }
+        // Trailing `// SAFETY:` on the same line?
+        if safety_at(t.line) {
+            continue;
+        }
+        // Upward scan: a standalone SAFETY comment with only transparent
+        // lines (blank / comment-only / attribute / more unsafe) between.
+        const MAX_SCAN: u32 = 30;
+        let mut justified = false;
+        let mut l = t.line;
+        while l > 1 && t.line - l < MAX_SCAN {
+            l -= 1;
+            if safety_at(l) {
+                justified = true;
+                break;
+            }
+            let transparent = match first_tok_on_line.get(&l) {
+                None => true, // blank or comment-only line
+                Some(k) if k.is_punct('#') => true,
+                _ => unsafe_lines.contains(&l),
+            };
+            if !transparent {
+                break;
             }
         }
-        i += 1;
+        if !justified {
+            out.push(Finding {
+                rule: "R8".into(),
+                file: path.into(),
+                line: t.line,
+                col: t.col,
+                message: "`unsafe` without an adjacent `// SAFETY:` justification".into(),
+                path: Vec::new(),
+                waived: None,
+            });
+        }
     }
     out
 }
@@ -479,6 +491,7 @@ pub fn rule_r5(spec: &CodecSpec, lexed: &Lexed) -> Vec<Finding> {
                 "[codec.{}] enum `{}` not found in {}",
                 spec.name, spec.enum_name, spec.file
             ),
+            path: Vec::new(),
             waived: None,
         });
         return out;
@@ -494,6 +507,7 @@ pub fn rule_r5(spec: &CodecSpec, lexed: &Lexed) -> Vec<Finding> {
                     "[codec.{}] {role} fn `{fn_name}` not found in {}",
                     spec.name, spec.file
                 ),
+                path: Vec::new(),
                 waived: None,
             });
             continue;
@@ -509,6 +523,7 @@ pub fn rule_r5(spec: &CodecSpec, lexed: &Lexed) -> Vec<Finding> {
                         "variant `{}::{v}` is not handled in `{fn_name}` ({role} arm missing)",
                         spec.enum_name
                     ),
+                    path: Vec::new(),
                     waived: None,
                 });
             }
@@ -581,11 +596,11 @@ mod tests {
     fn policy() -> Policy {
         Policy {
             scan_include: vec!["src".into()],
-            scan_exclude: vec![],
             r1_scope: vec!["src/det".into()],
             r2_allow: vec!["src/bench".into()],
             r3_scope: vec!["src/net/transport.rs".into()],
-            codecs: vec![],
+            r8_allow: vec!["src/ring.rs".into()],
+            ..Policy::default()
         }
     }
 
@@ -668,20 +683,45 @@ mod tests {
     }
 
     #[test]
-    fn r4_only_inside_hot_path_fns() {
-        let src = "#[hot_path]\nfn hot(&mut self) { let v = Vec::new(); }\n\
-                   fn cold() { let v = Vec::new(); }\n";
-        let hits = rule_r4("src/kernel.rs", &lex(src));
+    fn r8_flags_unsafe_outside_the_allowlist() {
+        let src = "fn f(p: *const u8) -> u8 { unsafe { *p } }";
+        let hits = rule_r8("src/other.rs", &lex(src), &policy());
         assert_eq!(hits.len(), 1);
-        assert_eq!(hits[0].line, 2);
+        assert!(hits[0].message.contains("allow list"));
+        assert!(rule_r8(
+            "src/ring.rs",
+            &lex("// SAFETY: p valid\nlet x = unsafe { *p };"),
+            &policy()
+        )
+        .is_empty());
     }
 
     #[test]
-    fn r4_sees_through_interleaved_attributes() {
-        let src = "#[hot_path]\n#[inline]\nfn hot() { buf.collect(); }\n";
-        let hits = rule_r4("src/kernel.rs", &lex(src));
-        assert_eq!(hits.len(), 1);
-        assert!(hits[0].message.contains("collect"));
+    fn r8_requires_an_adjacent_safety_comment() {
+        let p = policy();
+        // Trailing, directly above, and above-with-attribute all count.
+        for ok in [
+            "let x = unsafe { *p }; // SAFETY: p is valid for reads",
+            "// SAFETY: p is valid for reads\nlet x = unsafe { *p };",
+            "// SAFETY: callers uphold the ring invariant\n#[inline]\nunsafe fn g() {}",
+            "// SAFETY: both lines index the mapped header\nlet a = unsafe { *p };\nlet b = unsafe { *q };",
+        ] {
+            assert!(rule_r8("src/ring.rs", &lex(ok), &p).is_empty(), "{ok}");
+        }
+        // Missing, separated by code, and doc-comment-only do not.
+        for bad in [
+            "let x = unsafe { *p };",
+            "// SAFETY: stale, code moved\nlet y = 1;\nlet x = unsafe { *p };",
+            "/// SAFETY: doc comments are for callers\nunsafe fn g() {}",
+        ] {
+            assert_eq!(rule_r8("src/ring.rs", &lex(bad), &p).len(), 1, "{bad}");
+        }
+    }
+
+    #[test]
+    fn r8_reports_once_per_line() {
+        let src = "fn f() { unsafe { a() }; unsafe { b() } }";
+        assert_eq!(rule_r8("src/other.rs", &lex(src), &policy()).len(), 1);
     }
 
     #[test]
@@ -716,11 +756,27 @@ mod tests {
         let p = policy();
         let mut hits = rule_r1("src/det/a.rs", &lexed, &p);
         let (ws, _) = parse_waivers("src/det/a.rs", &lexed);
-        apply_waivers(&mut hits, &ws);
+        let used = apply_waivers(&mut hits, &ws);
         assert!(hits.iter().all(|f| f.waived.is_some()));
         assert_eq!(
             hits[0].waived.as_deref(),
             Some("scratch map, drained sorted")
         );
+        assert_eq!(used, vec![true]);
+        assert!(stale_waiver_findings("src/det/a.rs", &ws, &used).is_empty());
+    }
+
+    #[test]
+    fn unused_waiver_becomes_w1() {
+        let src = "let x = 1; // simlint: allow(R2) -- nothing here reads the clock\n";
+        let lexed = lex(src);
+        let (ws, _) = parse_waivers("src/a.rs", &lexed);
+        let used = apply_waivers(&mut [], &ws);
+        assert_eq!(used, vec![false]);
+        let w1 = stale_waiver_findings("src/a.rs", &ws, &used);
+        assert_eq!(w1.len(), 1);
+        assert_eq!(w1[0].rule, "W1");
+        assert_eq!(w1[0].line, 1);
+        assert!(w1[0].message.contains("allow(R2)"));
     }
 }

@@ -1,0 +1,510 @@
+//! Item and call-site extraction: the front half of the workspace call
+//! graph (DESIGN.md §9).
+//!
+//! This is *not* a parser. It walks the token stream produced by
+//! [`crate::lexer`] with three pieces of context — an `impl` stack (for
+//! method owners), a `fn` stack (for call-site attribution, nested fns
+//! included), and the `#[cfg(test)]` module extents — and records every
+//! function definition plus every syntactic call site inside it. Name
+//! resolution happens later, in [`crate::graph`], against the whole
+//! workspace; this module only answers "what is defined here and what
+//! does each body mention".
+
+use crate::lexer::{Lexed, Token, TokenKind};
+use crate::rules::{brace_close, bracket_close, matching_close, test_mod_extents};
+
+/// One function definition (free fn, inherent or trait-impl method).
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// The function's name.
+    pub name: String,
+    /// The `impl` type the fn is defined on, if any (`impl Foo` and
+    /// `impl Trait for Foo` both record `Foo`).
+    pub owner: Option<String>,
+    /// 1-based position of the name token.
+    pub line: u32,
+    /// 1-based column of the name token.
+    pub col: u32,
+    /// Carries a `#[hot_path]` (or `#[simlint_macros::hot_path]`) marker.
+    pub is_hot: bool,
+    /// Signature returns a `MutexGuard` / `RwLock*Guard`: callers of this
+    /// fn hold whatever lock the body acquires (rule R7).
+    pub returns_guard: bool,
+    /// Defined inside a `#[cfg(test)] mod` body.
+    pub in_test_mod: bool,
+    /// Token-index range of the body: `(open_brace, close_brace)`.
+    pub body: (usize, usize),
+    /// Call sites inside the body, in source order.
+    pub calls: Vec<CallSite>,
+}
+
+/// What a call site syntactically looks like. Resolution strength
+/// differs per shape (see [`crate::graph`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Callee {
+    /// `name(…)` — a free-function call (or module-qualified
+    /// `path::name(…)`, which resolves the same way).
+    Plain(String),
+    /// `self.name(…)` — a method call on the enclosing impl type.
+    SelfMethod(String),
+    /// `recv.name(…)` with a non-`self` receiver; `recv` is the last
+    /// identifier of the receiver chain, kept for display and for the
+    /// lock table (`state.lock()`).
+    Method { recv: String, name: String },
+    /// `Type::name(…)` with an uppercase `Type` head.
+    Qualified { ty: String, name: String },
+    /// `name!(…)`.
+    Macro(String),
+}
+
+impl Callee {
+    /// Human-readable form for call-path diagnostics.
+    pub fn display(&self) -> String {
+        match self {
+            Callee::Plain(n) => n.clone(),
+            Callee::SelfMethod(n) => format!("self.{n}"),
+            Callee::Method { recv, name } => format!("{recv}.{name}"),
+            Callee::Qualified { ty, name } => format!("{ty}::{name}"),
+            Callee::Macro(n) => format!("{n}!"),
+        }
+    }
+
+    /// The bare method/function name being invoked.
+    pub fn name(&self) -> &str {
+        match self {
+            Callee::Plain(n) | Callee::SelfMethod(n) | Callee::Macro(n) => n,
+            Callee::Method { name, .. } | Callee::Qualified { name, .. } => name,
+        }
+    }
+}
+
+/// One call site inside a fn body.
+#[derive(Debug, Clone)]
+pub struct CallSite {
+    pub callee: Callee,
+    /// 1-based position of the invoked name token.
+    pub line: u32,
+    pub col: u32,
+    /// Token index of the invoked name (rule R7's lexical scan keys its
+    /// guard-liveness walk on this).
+    pub tok: usize,
+}
+
+/// Everything extracted from one file.
+#[derive(Debug, Default)]
+pub struct FileSyms {
+    pub fns: Vec<FnDef>,
+}
+
+/// Keywords that can look like `name(` but are control flow, not calls.
+const KEYWORDS: &[&str] = &[
+    "if", "match", "while", "for", "loop", "return", "in", "as", "move", "ref", "let", "else",
+    "unsafe", "use", "where", "impl", "fn", "pub", "mod", "struct", "enum", "union", "trait",
+    "type", "const", "static", "break", "continue", "crate", "super", "dyn", "box", "async",
+    "await", "yield", "extern",
+];
+
+const GUARD_TYPES: &[&str] = &["MutexGuard", "RwLockReadGuard", "RwLockWriteGuard"];
+
+/// Extract all fn definitions (and their call sites) from one file.
+pub fn extract(lexed: &Lexed) -> FileSyms {
+    let tokens = &lexed.tokens;
+    let hot = hot_fn_indices(tokens);
+    let tests = test_mod_extents(tokens);
+    let mut out = FileSyms::default();
+    // (owner, body-close token index) for each open `impl`.
+    let mut impl_stack: Vec<(Option<String>, usize)> = Vec::new();
+    // (index into out.fns, body-close token index) for each open fn.
+    let mut fn_stack: Vec<(usize, usize)> = Vec::new();
+
+    let mut i = 0;
+    while i < tokens.len() {
+        while impl_stack.last().is_some_and(|&(_, end)| i > end) {
+            impl_stack.pop();
+        }
+        while fn_stack.last().is_some_and(|&(_, end)| i > end) {
+            fn_stack.pop();
+        }
+        let t = &tokens[i];
+        if t.kind.is_ident("impl") {
+            if let Some((owner, open)) = parse_impl_header(tokens, i) {
+                if let Some(close) = brace_close(tokens, open) {
+                    impl_stack.push((owner, close));
+                    i = open + 1;
+                    continue;
+                }
+            }
+            i += 1;
+            continue;
+        }
+        if t.kind.is_ident("fn") && tokens.get(i + 1).is_some_and(|n| n.kind.ident().is_some()) {
+            match parse_fn_signature(tokens, i) {
+                Some(sig) => {
+                    if let Some((open, close)) = sig.body {
+                        let name_tok = &tokens[i + 1];
+                        out.fns.push(FnDef {
+                            name: name_tok.kind.ident().unwrap_or_default().to_string(),
+                            owner: impl_stack.last().and_then(|(o, _)| o.clone()),
+                            line: name_tok.line,
+                            col: name_tok.col,
+                            is_hot: hot.contains(&i),
+                            returns_guard: sig.returns_guard,
+                            in_test_mod: in_extents(name_tok.line, &tests),
+                            body: (open, close),
+                            calls: Vec::new(),
+                        });
+                        fn_stack.push((out.fns.len() - 1, close));
+                        i = open + 1;
+                        continue;
+                    }
+                    // Bodyless declaration (trait item, extern block).
+                    i = sig.end + 1;
+                    continue;
+                }
+                None => {
+                    i += 1;
+                    continue;
+                }
+            }
+        }
+        if let (Some(&(fn_idx, _)), Some(name)) = (fn_stack.last(), t.kind.ident()) {
+            if let Some(callee) = detect_call(tokens, i, name) {
+                out.fns[fn_idx].calls.push(CallSite {
+                    callee,
+                    line: t.line,
+                    col: t.col,
+                    tok: i,
+                });
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// Indices of `fn` tokens carrying a `hot_path` attribute (possibly with
+/// other attributes in between).
+fn hot_fn_indices(tokens: &[Token]) -> std::collections::BTreeSet<usize> {
+    let mut out = std::collections::BTreeSet::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if tokens[i].kind.is_punct('#') && tokens.get(i + 1).is_some_and(|t| t.kind.is_punct('[')) {
+            if let Some(close) = bracket_close(tokens, i + 1) {
+                let is_hot = tokens[i + 1..close]
+                    .iter()
+                    .any(|t| t.kind.is_ident("hot_path"));
+                if is_hot {
+                    if let Some(fn_idx) = tokens[close..]
+                        .iter()
+                        .position(|t| t.kind.is_ident("fn"))
+                        .map(|p| close + p)
+                    {
+                        out.insert(fn_idx);
+                    }
+                }
+                i = close + 1;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    out
+}
+
+/// `impl … {` header: the owning type name (after `for`, if present) and
+/// the body-open brace index.
+fn parse_impl_header(tokens: &[Token], at: usize) -> Option<(Option<String>, usize)> {
+    let mut j = at + 1;
+    if tokens.get(j).is_some_and(|t| t.kind.is_punct('<')) {
+        j = skip_generics(tokens, j)?;
+    }
+    let mut owner: Option<String> = None;
+    let mut path_open = true; // collecting the current type path
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('{') => return Some((owner, j)),
+            TokenKind::Punct(';') => return None, // `impl Trait for Type;` — not a body
+            TokenKind::Ident(id) if id == "for" => {
+                owner = None;
+                path_open = true;
+            }
+            TokenKind::Ident(id) if id == "where" => path_open = false,
+            TokenKind::Ident(id) if id == "dyn" || id == "mut" => {}
+            TokenKind::Ident(id) if path_open => owner = Some(id.clone()),
+            TokenKind::Punct('<') => {
+                j = skip_generics(tokens, j)?;
+                path_open = false;
+                continue;
+            }
+            TokenKind::Punct(':') | TokenKind::Punct('&') | TokenKind::Lifetime(_) => {}
+            TokenKind::Punct('(') => {
+                // Tuple / fn-pointer impl target: no usable owner name.
+                j = matching_close(tokens, j, '(', ')')?;
+                owner = None;
+                path_open = false;
+            }
+            _ => path_open = false,
+        }
+        j += 1;
+    }
+    None
+}
+
+struct FnSignature {
+    /// `(open, close)` body braces, `None` for a bodyless declaration.
+    body: Option<(usize, usize)>,
+    /// Index of the terminator (`{`'s close, or the `;`).
+    end: usize,
+    returns_guard: bool,
+}
+
+/// Parse a fn item's shape starting at the `fn` keyword token.
+fn parse_fn_signature(tokens: &[Token], at: usize) -> Option<FnSignature> {
+    let mut j = at + 2; // past `fn name`
+    if tokens.get(j).is_some_and(|t| t.kind.is_punct('<')) {
+        j = skip_generics(tokens, j)?;
+    }
+    if !tokens.get(j).is_some_and(|t| t.kind.is_punct('(')) {
+        return None;
+    }
+    let params_close = matching_close(tokens, j, '(', ')')?;
+    // Return type + where clause: everything to the first `{` or `;`.
+    let mut k = params_close + 1;
+    let mut returns_guard = false;
+    while k < tokens.len() {
+        match &tokens[k].kind {
+            TokenKind::Punct('{') => {
+                let close = brace_close(tokens, k)?;
+                return Some(FnSignature {
+                    body: Some((k, close)),
+                    end: close,
+                    returns_guard,
+                });
+            }
+            TokenKind::Punct(';') => {
+                return Some(FnSignature {
+                    body: None,
+                    end: k,
+                    returns_guard,
+                });
+            }
+            TokenKind::Ident(id) if GUARD_TYPES.contains(&id.as_str()) => returns_guard = true,
+            _ => {}
+        }
+        k += 1;
+    }
+    None
+}
+
+/// Skip a `<…>` generic-argument list starting at the `<` token. Returns
+/// the index just past the matching `>`. `->` arrows inside bounds do not
+/// close the list.
+fn skip_generics(tokens: &[Token], at: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    let mut j = at;
+    while j < tokens.len() {
+        match &tokens[j].kind {
+            TokenKind::Punct('<') => depth += 1,
+            TokenKind::Punct('>') => {
+                let arrow = j > 0 && tokens[j - 1].kind.is_punct('-');
+                if !arrow {
+                    depth -= 1;
+                    if depth == 0 {
+                        return Some(j + 1);
+                    }
+                }
+            }
+            TokenKind::Punct('{') | TokenKind::Punct(';') => return None,
+            _ => {}
+        }
+        j += 1;
+    }
+    None
+}
+
+/// Is the identifier at `i` the head of a call? Looks for `(` right after
+/// (or after a `::<…>` turbofish) and classifies by what precedes it.
+fn detect_call(tokens: &[Token], i: usize, name: &str) -> Option<Callee> {
+    if KEYWORDS.contains(&name) {
+        return None;
+    }
+    let next = tokens.get(i + 1)?;
+    // `name!(…)`, `name![…]`, `name!{…}` — macro invocation.
+    if next.kind.is_punct('!') {
+        let after = tokens.get(i + 2)?;
+        if after.kind.is_punct('(') || after.kind.is_punct('[') || after.kind.is_punct('{') {
+            return Some(Callee::Macro(name.to_string()));
+        }
+        return None;
+    }
+    // `name(` or `name::<T>(` (turbofish).
+    let is_call = if next.kind.is_punct('(') {
+        true
+    } else if next.kind.is_punct(':')
+        && tokens.get(i + 2).is_some_and(|t| t.kind.is_punct(':'))
+        && tokens.get(i + 3).is_some_and(|t| t.kind.is_punct('<'))
+    {
+        skip_generics(tokens, i + 3)
+            .and_then(|after| tokens.get(after))
+            .is_some_and(|t| t.kind.is_punct('('))
+    } else {
+        false
+    };
+    if !is_call {
+        return None;
+    }
+    // Classify by the preceding tokens.
+    if i >= 1 && tokens[i - 1].kind.is_punct('.') {
+        let recv = if i >= 2 {
+            tokens[i - 2].kind.ident().unwrap_or("_")
+        } else {
+            "_"
+        };
+        let chained = i >= 3 && tokens[i - 3].kind.is_punct('.');
+        if recv == "self" && !chained {
+            return Some(Callee::SelfMethod(name.to_string()));
+        }
+        return Some(Callee::Method {
+            recv: recv.to_string(),
+            name: name.to_string(),
+        });
+    }
+    if i >= 2 && tokens[i - 1].kind.is_punct(':') && tokens[i - 2].kind.is_punct(':') {
+        let ty = if i >= 3 {
+            tokens[i - 3].kind.ident().unwrap_or("")
+        } else {
+            ""
+        };
+        if ty.starts_with(|c: char| c.is_ascii_uppercase()) {
+            return Some(Callee::Qualified {
+                ty: ty.to_string(),
+                name: name.to_string(),
+            });
+        }
+        // Module-qualified free fn (`ffi::syscall(…)`), or an
+        // unclassifiable `<T as Trait>::name(…)`.
+        return Some(Callee::Plain(name.to_string()));
+    }
+    if i >= 1 && tokens[i - 1].kind.is_ident("fn") {
+        return None; // the definition itself
+    }
+    // Bare `Name(` with an uppercase head is a tuple-struct or enum
+    // variant constructor, not a call.
+    if name.starts_with(|c: char| c.is_ascii_uppercase()) {
+        return None;
+    }
+    Some(Callee::Plain(name.to_string()))
+}
+
+fn in_extents(line: u32, extents: &[(u32, u32)]) -> bool {
+    extents.iter().any(|&(a, b)| line >= a && line <= b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn syms(src: &str) -> FileSyms {
+        extract(&lex(src))
+    }
+
+    #[test]
+    fn free_fns_methods_and_owners() {
+        let src = "fn top() { helper(); }\n\
+                   struct S;\n\
+                   impl S { fn m(&self) { self.n(); } fn n(&self) {} }\n\
+                   impl Drop for S { fn drop(&mut self) { cleanup(); } }";
+        let s = syms(src);
+        let names: Vec<(String, Option<String>)> = s
+            .fns
+            .iter()
+            .map(|f| (f.name.clone(), f.owner.clone()))
+            .collect();
+        assert_eq!(
+            names,
+            vec![
+                ("top".into(), None),
+                ("m".into(), Some("S".into())),
+                ("n".into(), Some("S".into())),
+                ("drop".into(), Some("S".into())),
+            ]
+        );
+        assert_eq!(s.fns[0].calls[0].callee, Callee::Plain("helper".into()));
+        assert_eq!(s.fns[1].calls[0].callee, Callee::SelfMethod("n".into()));
+    }
+
+    #[test]
+    fn hot_attr_survives_interleaved_attributes() {
+        let src = "#[simlint_macros::hot_path]\n#[inline]\nfn hot() {}\nfn cold() {}";
+        let s = syms(src);
+        assert!(s.fns[0].is_hot);
+        assert!(!s.fns[1].is_hot);
+    }
+
+    #[test]
+    fn call_shapes_are_classified() {
+        let src = "fn f(&self) {\n\
+                     self.inner.push(1);\n\
+                     Vec::with_capacity(4);\n\
+                     ffi::syscall(1);\n\
+                     vec![0; 4];\n\
+                     data.iter().collect::<Vec<u8>>();\n\
+                     Some(3);\n\
+                   }";
+        let calls = &syms(src).fns[0].calls;
+        let shapes: Vec<String> = calls.iter().map(|c| c.callee.display()).collect();
+        assert_eq!(
+            shapes,
+            vec![
+                "inner.push",
+                "Vec::with_capacity",
+                "syscall",
+                "vec!",
+                "data.iter",
+                "_.collect", // turbofish still detected; recv after `)` is opaque
+            ]
+        );
+    }
+
+    #[test]
+    fn nested_fns_attribute_calls_to_the_innermost() {
+        let src = "fn outer() { fn inner() { deep(); } shallow(); }";
+        let s = syms(src);
+        assert_eq!(s.fns[0].name, "outer");
+        assert_eq!(s.fns[1].name, "inner");
+        assert_eq!(s.fns[1].calls[0].callee, Callee::Plain("deep".into()));
+        assert_eq!(s.fns[0].calls[0].callee, Callee::Plain("shallow".into()));
+    }
+
+    #[test]
+    fn guard_returning_signature_is_detected() {
+        let src = "fn a(&self) -> MutexGuard<'_, u32> { self.m.lock().unwrap() }\n\
+                   fn b(g: &str) -> usize { g.len() }";
+        let s = syms(src);
+        assert!(s.fns[0].returns_guard);
+        assert!(!s.fns[1].returns_guard);
+    }
+
+    #[test]
+    fn test_mod_fns_are_flagged() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests { fn helper() {} }";
+        let s = syms(src);
+        assert!(!s.fns[0].in_test_mod);
+        assert!(s.fns[1].in_test_mod);
+    }
+
+    #[test]
+    fn generics_and_where_clauses_do_not_derail_bodies() {
+        let src = "fn f<T: Fn(u8) -> u8>(x: T) -> impl Iterator<Item = u8> where T: Clone {\n\
+                     target();\n\
+                     std::iter::empty()\n\
+                   }";
+        let s = syms(src);
+        assert_eq!(s.fns.len(), 1);
+        assert!(s.fns[0]
+            .calls
+            .iter()
+            .any(|c| c.callee == Callee::Plain("target".into())));
+    }
+}

@@ -1,6 +1,8 @@
 //! Fixture-corpus integration tests: one positive and one negative case
-//! per rule R1–R5, waiver placement, JSON round-trip, the CLI exit-code
-//! contract, and — the wall itself — a clean run over the real workspace.
+//! per rule (R1–R3, R5 per-file; R6–R8 call-graph and audit rules),
+//! waiver placement including W1 stale-waiver detection, JSON
+//! round-trip, the CLI exit-code contract, and — the wall itself — a
+//! clean run over the real workspace.
 
 use simlint::diag::{from_json, to_json, Finding};
 use simlint::{load_policy, run_check, unwaived_count};
@@ -93,16 +95,87 @@ fn r3_covers_the_shm_transport_scope() {
 }
 
 #[test]
-fn r4_flags_allocation_in_hot_path_fns_only() {
+fn r6_reports_the_full_witness_path_in_text_and_json() {
     let all = corpus_findings();
-    let pos = in_file(&all, "R4", "src/r4_pos.rs");
-    assert_eq!(pos.len(), 2, "{pos:?}");
-    assert!(pos.iter().any(|f| f.message.contains("to_vec")));
+    let pos = in_file(&all, "R6", "src/r6_pos.rs");
+    assert_eq!(pos.len(), 2, "direct format! + two-deep push: {pos:?}");
     assert!(pos.iter().any(|f| f.message.contains("format!")));
-    assert!(
-        in_file(&all, "R4", "src/r4_neg.rs").is_empty(),
-        "scratch reuse in hot fns and allocation in cold fns are allowed"
+    // The allocation two calls below the hot root is reported with the
+    // whole chain, both in the message and in the structured `path`.
+    let deep = pos
+        .iter()
+        .find(|f| f.message.contains("Vec::push"))
+        .expect("transitive push finding");
+    let chain = "r6_pos::advance → r6_pos::stage → r6_pos::record → events.push → Vec::push";
+    assert!(deep.message.contains(chain), "{}", deep.message);
+    assert_eq!(
+        deep.path,
+        [
+            "r6_pos::advance",
+            "r6_pos::stage",
+            "r6_pos::record",
+            "events.push",
+            "Vec::push"
+        ]
     );
+    let json = to_json(&all);
+    assert!(
+        json.contains(
+            "\"path\":[\"r6_pos::advance\",\"r6_pos::stage\",\"r6_pos::record\",\
+             \"events.push\",\"Vec::push\"]"
+        ),
+        "witness path must survive into the JSON output:\n{json}"
+    );
+    assert!(
+        in_file(&all, "R6", "src/r6_neg.rs").is_empty(),
+        "preallocated hot closures and unreachable cold allocators are clean"
+    );
+}
+
+#[test]
+fn r7_flags_inverted_lock_order_only() {
+    let all = corpus_findings();
+    let pos = in_file(&all, "R7", "src/locks/r7_pos.rs");
+    assert_eq!(pos.len(), 1, "{pos:?}");
+    assert!(pos[0].message.contains("`table`"), "{}", pos[0].message);
+    assert!(pos[0].message.contains("`slot`"), "{}", pos[0].message);
+    assert!(
+        pos[0].message.contains("declared order"),
+        "{}",
+        pos[0].message
+    );
+    assert!(
+        in_file(&all, "R7", "src/locks/r7_neg.rs").is_empty(),
+        "declared-order nesting and drop-before-reacquire are clean"
+    );
+}
+
+#[test]
+fn r8_audits_unsafe_placement_and_safety_comments() {
+    let all = corpus_findings();
+    let outside = in_file(&all, "R8", "src/r8_pos.rs");
+    assert_eq!(outside.len(), 1, "{outside:?}");
+    assert!(outside[0].message.contains("allow list"));
+    let allowed = in_file(&all, "R8", "src/r8_allowed.rs");
+    assert_eq!(allowed.len(), 1, "only the uncommented site: {allowed:?}");
+    assert!(allowed[0].message.contains("SAFETY"));
+    assert!(
+        in_file(&all, "R8", "src/shm/r3_pos.rs").is_empty(),
+        "allow-listed unsafe with a trailing SAFETY comment is clean"
+    );
+}
+
+#[test]
+fn stale_waivers_surface_as_w1() {
+    let all = corpus_findings();
+    let w1 = in_file(&all, "W1", "src/w1_stale.rs");
+    assert_eq!(w1.len(), 1, "{w1:?}");
+    assert_eq!(w1[0].line, 4, "W1 anchors at the waiver comment");
+    assert!(w1[0].message.contains("suppresses no finding"));
+    assert!(w1[0].waived.is_none(), "W1 itself can never be waived");
+    // Waivers that do suppress something must not produce W1 noise.
+    assert!(in_file(&all, "W1", "src/waivers.rs").is_empty());
+    assert!(in_file(&all, "W1", "src/shm/r3_pos.rs").is_empty());
 }
 
 #[test]

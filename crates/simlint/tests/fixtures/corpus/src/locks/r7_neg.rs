@@ -1,0 +1,24 @@
+// R7 negative: acquisitions in declared order, and drop-before-
+// reacquire, are both clean.
+use std::sync::Mutex;
+
+pub struct Locks {
+    table: Mutex<u64>,
+    slot: Mutex<u64>,
+}
+
+impl Locks {
+    fn ordered(&self) -> u64 {
+        let t = self.table.lock().unwrap();
+        let s = self.slot.lock().unwrap();
+        *t + *s
+    }
+
+    fn sequential(&self) -> u64 {
+        let s = self.slot.lock().unwrap();
+        let held = *s;
+        drop(s);
+        let t = self.table.lock().unwrap();
+        held + *t
+    }
+}

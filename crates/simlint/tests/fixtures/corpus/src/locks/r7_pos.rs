@@ -1,0 +1,16 @@
+// R7 positive: `table` is declared outermost, so acquiring it while a
+// `slot` guard is still live inverts the hierarchy.
+use std::sync::Mutex;
+
+pub struct Locks {
+    table: Mutex<u64>,
+    slot: Mutex<u64>,
+}
+
+impl Locks {
+    fn inverted(&self) -> u64 {
+        let s = self.slot.lock().unwrap();
+        let t = self.table.lock().unwrap();
+        *s + *t
+    }
+}

@@ -1,0 +1,21 @@
+// R6 negative: the hot closure only touches preallocated state, and the
+// allocating helper is unreachable from any `#[hot_path]` root.
+#[simlint_macros::hot_path]
+fn advance(counts: &mut [u64], idx: usize) -> u64 {
+    bump(counts, idx);
+    total(counts)
+}
+
+fn bump(counts: &mut [u64], idx: usize) {
+    if let Some(c) = counts.get_mut(idx) {
+        *c += 1;
+    }
+}
+
+fn total(counts: &[u64]) -> u64 {
+    counts.iter().sum()
+}
+
+fn cold_report(counts: &[u64]) -> String {
+    format!("{} buckets", counts.len())
+}

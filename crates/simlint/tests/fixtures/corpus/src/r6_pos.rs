@@ -1,0 +1,17 @@
+// R6 positive: one direct sink (`format!`) and one allocation the hot
+// function only reaches two calls deep — the transitive walk must carry
+// the full witness path to the `Vec::push` at the bottom.
+#[simlint_macros::hot_path]
+fn advance(events: &mut Vec<u64>, now: u64) -> usize {
+    let tag = format!("tick {now}");
+    stage(events, now + tag.len() as u64);
+    events.len()
+}
+
+fn stage(events: &mut Vec<u64>, now: u64) {
+    record(events, now)
+}
+
+fn record(events: &mut Vec<u64>, now: u64) {
+    events.push(now);
+}

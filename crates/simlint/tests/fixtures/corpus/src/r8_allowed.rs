@@ -1,0 +1,10 @@
+// R8 allow-listed file: each `unsafe` site still needs an adjacent
+// `// SAFETY:` justification; the second one below is missing it.
+fn first(xs: &[u8]) -> u8 {
+    // SAFETY: fixture — the caller guarantees xs is non-empty.
+    unsafe { *xs.as_ptr() }
+}
+
+fn second(xs: &[u8]) -> u8 {
+    unsafe { *xs.as_ptr().add(1) }
+}

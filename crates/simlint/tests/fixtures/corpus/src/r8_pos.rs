@@ -1,0 +1,6 @@
+// R8 positive: `unsafe` in a file outside the [r8] allow list is always
+// a finding — a SAFETY comment cannot move a file into the list.
+fn peek(xs: &[u8]) -> u8 {
+    // SAFETY: this comment does not make the file policy-allowed.
+    unsafe { *xs.as_ptr() }
+}

@@ -21,7 +21,7 @@ fn mmap(_fd: i32, _len: usize) -> Option<*mut u8> {
 }
 
 fn header(base: *mut u8, _len: usize) -> &'static [u8] {
-    unsafe { std::slice::from_raw_parts(base, 8) }
+    unsafe { std::slice::from_raw_parts(base, 8) } // SAFETY: fixture — the header is always 8 mapped bytes
 }
 
 fn capacity(r: &[u8]) -> Option<usize> {

@@ -1,0 +1,6 @@
+// W1: a well-formed waiver that suppresses nothing is itself a finding
+// (stale waivers rot into false documentation).
+fn quiet() -> u64 {
+    // simlint: allow(R2) -- fixture: stale — the next line never reads the clock
+    41 + 1
+}

@@ -63,6 +63,7 @@ proptest! {
         line in 1u32..100_000,
         col in 1u32..500,
         message in arb_string(60),
+        path in collection::vec(arb_string(20), 0..4),
         has_waiver in 0usize..2,
         waiver_text in arb_string(60),
     ) {
@@ -72,6 +73,7 @@ proptest! {
             line,
             col,
             message,
+            path,
             waived: (has_waiver == 1).then_some(waiver_text),
         }];
         let back = from_json(&to_json(&findings)).expect("round-trip parses");

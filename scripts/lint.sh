@@ -6,6 +6,10 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 echo "== simlint --check (static determinism wall) =="
+# v2 runs the whole-workspace call-graph rules (R6 transitive hot-path,
+# R7 lock order, R8 unsafe audit) on top of the per-file rules, and
+# fails on stale (W1) or malformed (W0) waivers. Exit contract is
+# unchanged: 0 clean, 1 unwaived findings, 2 usage/policy error.
 cargo run -p simlint --release --quiet -- --check
 
 echo "== cargo fmt --check =="
